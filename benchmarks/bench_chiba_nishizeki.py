@@ -1,0 +1,46 @@
+"""E5 - Lemma 3.1 and Corollary 3.2: ``d_E <= 2 m kappa`` and ``T <= 2 m kappa``.
+
+Evaluates both inequalities on every workload family and prints the
+realized ratios ``d_E / (2 m kappa)`` and ``T / (2 m kappa)``.
+
+Reproduction target: every ratio is <= 1 (the inequalities hold), with the
+clique-like families approaching the constant and the tree-like families
+far below it - the slack profile the Chiba-Nishizeki argument predicts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.generators import complete_graph, standard_suite
+from repro.graph import count_triangles, degeneracy, edge_degree_sum
+
+
+def run_chiba_nishizeki(scale: str, seeds: range) -> None:
+    rows = []
+    graphs = [(w.name, w.instantiate(seed=0)) for w in standard_suite(scale)]
+    graphs.append(("clique-64", complete_graph(64)))  # near-tight case
+    for name, graph in graphs:
+        m = graph.num_edges
+        kappa = degeneracy(graph)
+        if m == 0 or kappa == 0:
+            continue
+        d_e = edge_degree_sum(graph)
+        t = count_triangles(graph)
+        bound = 2 * m * kappa
+        rows.append([name, m, kappa, d_e, d_e / bound, t, t / bound])
+        assert d_e <= bound, name
+        assert t <= bound, name
+    print()
+    print(
+        format_table(
+            ["workload", "m", "kappa", "d_E", "d_E/(2mk)", "T", "T/(2mk)"],
+            rows,
+            caption="E5: Lemma 3.1 + Corollary 3.2 across families (ratios must be <= 1)",
+        )
+    )
+
+
+def test_chiba_nishizeki(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_chiba_nishizeki, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )

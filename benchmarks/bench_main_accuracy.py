@@ -1,0 +1,85 @@
+"""E2 - Theorem 1.2 / 5.1: accuracy vs. provisioned space of the main
+algorithm across the full workload suite and an epsilon sweep.
+
+Reproduction target: on every triangle-rich low-degeneracy family the
+median estimate lands within the target epsilon band (practical constants),
+and tightening epsilon tightens the error while inflating space by the
+predicted ``1/eps^2``-ish factor.
+"""
+
+from __future__ import annotations
+
+from repro import EstimatorConfig
+from repro.analysis import format_table
+from repro.graph import count_triangles
+from repro.generators import standard_suite
+from repro.harness import aggregate, print_report_table, run_paper_estimator_on_graph, sweep_seeds
+
+EPSILONS = (0.4, 0.25, 0.15)
+
+
+def run_suite_accuracy(scale: str, seeds: range) -> None:
+    aggregates = []
+    for workload in standard_suite(scale):
+        graph = workload.instantiate(seed=0)
+        t = count_triangles(graph)
+        if t == 0:
+            continue
+        reports = sweep_seeds(
+            lambda s: run_paper_estimator_on_graph(
+                graph,
+                kappa=workload.kappa_bound,
+                seed=s,
+                workload=workload.name,
+                exact=t,
+            ),
+            seeds,
+        )
+        aggregates.append(aggregate(reports))
+    print()
+    print_report_table(aggregates, caption="E2: main algorithm across the workload suite")
+
+
+def run_epsilon_sweep(scale: str, seeds: range) -> None:
+    from repro.generators import workload_by_name
+
+    workload = workload_by_name("wheel", scale=scale)
+    graph = workload.instantiate(seed=0)
+    t = count_triangles(graph)
+    rows = []
+    for epsilon in EPSILONS:
+        reports = sweep_seeds(
+            lambda s: run_paper_estimator_on_graph(
+                graph,
+                kappa=workload.kappa_bound,
+                seed=s,
+                workload=f"wheel eps={epsilon}",
+                config=EstimatorConfig(epsilon=epsilon, seed=s, t_hint=float(t)),
+                exact=t,
+            ),
+            seeds,
+        )
+        agg = aggregate(reports)
+        rows.append(
+            [epsilon, agg.median_abs_error, agg.max_abs_error, agg.mean_space_words]
+        )
+    print()
+    print(
+        format_table(
+            ["epsilon", "median |err|", "max |err|", "mean words"],
+            rows,
+            caption="E2: epsilon sweep on the wheel (space ~ 1/eps^2-ish)",
+        )
+    )
+
+
+def test_suite_accuracy(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_suite_accuracy, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )
+
+
+def test_epsilon_sweep(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_epsilon_sweep, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )

@@ -1,0 +1,87 @@
+"""E9 - pass structure and runtime scaling.
+
+Confirms the constant-pass discipline measured end to end (6 passes per
+Algorithm 2 run, 3 with the degree oracle, 1 for the exact counter) and
+times the estimator across a size sweep of the BA family.
+
+Reproduction target: per-run passes never exceed their stated constants;
+wall time grows near-linearly in m (each pass is one sweep; sample sizes at
+fixed T/m ratio stay bounded).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import EstimatorConfig
+from repro.analysis import format_table
+from repro.core import DegreeOracle, IdealEstimator
+from repro.core.exact_reference import ExactStreamingCounter
+from repro.core.params import ParameterPlan
+from repro.core.estimator import run_single_estimate
+from repro.graph import count_triangles
+from repro.generators import barabasi_albert_graph
+from repro.streams.memory import InMemoryEdgeStream
+from repro.streams.transforms import shuffled
+
+SIZES = {"tiny": [250, 500], "small": [500, 1000, 2000, 4000], "medium": [1000, 2000, 4000, 8000, 16000]}
+
+
+def run_passes_runtime(scale: str, seeds: range) -> None:
+    rows = []
+    for n in SIZES[scale]:
+        graph = barabasi_albert_graph(n, 5, random.Random(1))
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(2)))
+
+        plan = ParameterPlan.build(
+            graph.num_vertices, graph.num_edges, 5, float(max(1, t)), 0.25
+        )
+        start = time.perf_counter()
+        single = run_single_estimate(stream, plan, random.Random(3))
+        single_time = time.perf_counter() - start
+
+        oracle_result = IdealEstimator(
+            DegreeOracle(graph), copies=200, rng=random.Random(4)
+        ).estimate(stream)
+        exact_result = ExactStreamingCounter().count(stream)
+
+        rows.append(
+            [
+                n,
+                graph.num_edges,
+                t,
+                single.passes_used,
+                oracle_result.passes_used,
+                exact_result.passes_used,
+                single_time,
+                graph.num_edges / max(single_time, 1e-9),
+            ]
+        )
+        assert single.passes_used <= 6
+        assert oracle_result.passes_used == 3
+        assert exact_result.passes_used == 1
+    print()
+    print(
+        format_table(
+            [
+                "n",
+                "m",
+                "T",
+                "alg2 passes",
+                "oracle passes",
+                "exact passes",
+                "alg2 sec",
+                "edges/sec",
+            ],
+            rows,
+            caption="E9: pass constants and runtime scaling (BA family, one Algorithm 2 run)",
+        )
+    )
+
+
+def test_passes_runtime(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_passes_runtime, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )

@@ -1,0 +1,109 @@
+"""E1 - Table 1 regenerated: predicted bounds and measured algorithms.
+
+Two tables per workload family:
+
+1. the paper's Table 1 *predicted* leading terms evaluated on the instance
+   (``analysis.bounds``), and
+2. the *measured* estimate / error / passes / peak words of every
+   implemented algorithm (exact counter, all six baselines, and the paper's
+   estimator) at matched target accuracy.
+
+Reproduction target: the paper bound ``m*kappa/T`` sits at (or near) the
+bottom of the predicted table on every triangle-rich low-degeneracy family,
+and the measured paper estimator meets its accuracy target within six
+passes per run.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EstimatorConfig
+from repro.analysis import format_table, predicted_bounds
+from repro.analysis.bounds import lower_bound_rows
+from repro.baselines import available_baselines
+from repro.core.exact_reference import ExactStreamingCounter
+from repro.graph import count_triangles, degeneracy, per_edge_triangle_counts
+from repro.generators import workload_by_name
+from repro.harness import (
+    aggregate,
+    print_report_table,
+    run_baseline_on_graph,
+    run_paper_estimator_on_graph,
+    sweep_seeds,
+)
+from repro.streams.memory import InMemoryEdgeStream
+
+FAMILIES = ["wheel", "ba", "triangulated-grid"]
+
+
+def run_table1(scale: str, seeds: range) -> None:
+    for family in FAMILIES:
+        workload = workload_by_name(family, scale=scale)
+        graph = workload.instantiate(seed=0)
+        t = count_triangles(graph)
+        if t == 0:
+            continue
+        kappa = degeneracy(graph)
+        max_te = max(per_edge_triangle_counts(graph).values(), default=0)
+        rows = predicted_bounds(
+            graph.num_vertices,
+            graph.num_edges,
+            float(t),
+            kappa=kappa,
+            max_degree=graph.max_degree(),
+            max_te=max_te,
+        )
+        print()
+        print(
+            format_table(
+                ["algorithm", "source", "formula", "passes", "predicted words"],
+                [[r.name, r.source, r.formula, r.passes, r.value] for r in rows],
+                caption=(
+                    f"E1/{family}: Table 1 predicted leading terms "
+                    f"(n={graph.num_vertices} m={graph.num_edges} T={t} kappa={kappa})"
+                ),
+            )
+        )
+
+        lower = lower_bound_rows(graph.num_vertices, graph.num_edges, float(t), kappa=kappa)
+        print(
+            format_table(
+                ["lower bound", "source", "formula", "passes", "predicted words"],
+                [[r.name, r.source, r.formula, r.passes, r.value] for r in lower],
+                caption=f"E1/{family}: Table 1 lower-bound rows",
+            )
+        )
+
+        aggregates = []
+        exact = ExactStreamingCounter().count(InMemoryEdgeStream.from_graph(graph))
+        # exact counter row, built by hand (it is not a RunReport producer)
+        print(
+            f"exact reference: T={exact.triangles}, 1 pass, "
+            f"{exact.space_words_peak} words"
+        )
+        for name in available_baselines():
+            reports = sweep_seeds(
+                lambda s, n=name: run_baseline_on_graph(
+                    n, graph, seed=s, workload=family, exact=t
+                ),
+                seeds,
+            )
+            aggregates.append(aggregate(reports))
+        paper_reports = sweep_seeds(
+            lambda s: run_paper_estimator_on_graph(
+                graph,
+                kappa=workload.kappa_bound,
+                seed=s,
+                workload=family,
+                config=EstimatorConfig(seed=s, t_hint=float(t)),
+                exact=t,
+            ),
+            seeds,
+        )
+        aggregates.append(aggregate(paper_reports))
+        print_report_table(aggregates, caption=f"E1/{family}: measured at matched accuracy")
+
+
+def test_table1(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(run_table1, args=(bench_scale, bench_seeds), rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+"""E3 - the Section 1.1 wheel example: polylog vs Omega(sqrt(n)).
+
+Grows wheels over a factor-of-8 size range and reports measured peak words
+for the paper's estimator and the two worst-case-optimal baselines, plus
+each algorithm's *growth factor* relative to its smallest instance.
+
+Reproduction target: the paper's growth factor stays ~1 (its space is
+independent of n on wheels: m*kappa/T = Theta(1)); the baselines' growth
+factors track sqrt(n) (sample counts m^{3/2}/T, m/sqrt(T) = Theta(sqrt(n))).
+Absolute words favor the baselines at these laptop sizes - constants, not
+scaling; EXPERIMENTS.md discusses this.
+"""
+
+from __future__ import annotations
+
+from repro import EstimatorConfig
+from repro.analysis import fit_power_law, format_table
+from repro.generators import wheel_graph
+from repro.harness import run_baseline_on_graph, run_paper_estimator_on_graph
+
+SIZES = {"tiny": [256, 512, 1024], "small": [512, 1024, 2048, 4096], "medium": [1024, 2048, 4096, 8192, 16384]}
+
+
+def run_wheel_scaling(scale: str, seeds: range) -> None:
+    rows = []
+    base: dict = {}
+    for n in SIZES[scale]:
+        graph = wheel_graph(n)
+        exact = n - 1
+        cells = {"n": n, "T": exact}
+        paper_words = []
+        mvv_words = []
+        hl_words = []
+        for seed in seeds:
+            paper = run_paper_estimator_on_graph(
+                graph,
+                kappa=3,
+                seed=seed,
+                config=EstimatorConfig(seed=seed, t_hint=float(exact)),
+                exact=exact,
+            )
+            paper_words.append(paper.space_words_peak)
+            mvv_words.append(
+                run_baseline_on_graph("mvv-neighbor", graph, seed=seed, exact=exact).space_words_peak
+            )
+            hl_words.append(
+                run_baseline_on_graph(
+                    "mvv-heavy-light", graph, seed=seed, exact=exact
+                ).space_words_peak
+            )
+        for name, words in (("paper", paper_words), ("mvv-neighbor", mvv_words), ("mvv-heavy-light", hl_words)):
+            mean_words = sum(words) / len(words)
+            base.setdefault(name, mean_words)
+            cells[f"{name} words"] = mean_words
+            cells[f"{name} growth"] = mean_words / base[name]
+        rows.append(cells)
+    headers = list(rows[0].keys())
+    print()
+    print(
+        format_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            caption="E3: wheel scaling - growth factors (paper flat, baselines ~sqrt(n))",
+        )
+    )
+    # Fitted space-growth exponents: theory says 0 for the paper (polylog),
+    # 1/2 for both baselines.
+    ns = [float(row["n"]) for row in rows]
+    exponent_rows = []
+    for name, theory in (("paper", 0.0), ("mvv-neighbor", 0.5), ("mvv-heavy-light", 0.5)):
+        fit = fit_power_law(ns, [row[f"{name} words"] for row in rows])
+        exponent_rows.append([name, fit.exponent, theory, fit.r_squared])
+    print(
+        format_table(
+            ["algorithm", "fitted exponent", "theory exponent", "R^2"],
+            exponent_rows,
+            caption="E3: fitted space-growth exponents (words ~ n^alpha)",
+        )
+    )
+
+
+def test_wheel_scaling(benchmark, bench_scale, bench_seeds):
+    benchmark.pedantic(
+        run_wheel_scaling, args=(bench_scale, bench_seeds), rounds=1, iterations=1
+    )

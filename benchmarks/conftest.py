@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Benchmarks are the experiment regenerators (DESIGN.md, Section 3): each file
+reproduces one paper claim and prints the paper-style table to stdout.
+``pytest benchmarks/ --benchmark-only -s`` shows the tables; timings are the
+pytest-benchmark side dish, the tables are the dish.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny`` | ``small`` | ``medium``, default ``small``): ``tiny`` for smoke
+runs, ``medium`` for the EXPERIMENTS.md headline numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("tiny", "small", "medium"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be tiny|small|medium, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_seeds(bench_scale) -> range:
+    """Number of repeated runs per table cell, by scale."""
+    return range({"tiny": 2, "small": 3, "medium": 5}[bench_scale])

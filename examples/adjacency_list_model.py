@@ -1,0 +1,66 @@
+"""The vertex-arrival (adjacency-list) model, demonstrated.
+
+Section 2 of the paper contrasts the arbitrary-order edge model with the
+adjacency-list model of McGregor et al., where all edges incident to a
+vertex arrive together and a *one-pass* ``O~(m/sqrt(T))`` algorithm
+exists.  This example streams the same graph both ways:
+
+* edge-arrival: the paper's six-pass estimator;
+* vertex-arrival: the one-pass MVV reservoir estimator.
+
+Run:  python examples/adjacency_list_model.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.baselines.adjlist_mvv import AdjListMVVEstimator
+from repro.generators import barabasi_albert_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream, VertexArrivalStream
+from repro.streams.transforms import shuffled
+
+
+def main() -> None:
+    rng = random.Random(14)
+    graph = barabasi_albert_graph(1500, 5, rng)
+    t = count_triangles(graph)
+    m = graph.num_edges
+    print(f"graph: n={graph.num_vertices} m={m} T={t}")
+
+    # Edge-arrival model: the paper's algorithm (six passes per run).
+    edge_stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, rng))
+    paper = TriangleCountEstimator(
+        EstimatorConfig(seed=3, t_hint=float(t))
+    ).estimate(edge_stream, kappa=5)
+    print(
+        f"edge model / paper:     est {paper.estimate:8.0f} "
+        f"({(paper.estimate - t) / t:+.1%}), {paper.passes_total} passes, "
+        f"{paper.space_words_peak} words"
+    )
+
+    # Vertex-arrival model: one pass, reservoir sized at ~ 4 m / sqrt(T).
+    va_stream = VertexArrivalStream.from_graph(graph, rng=random.Random(5))
+    k = max(8, math.ceil(4 * m / math.sqrt(t)))
+    estimates = []
+    for seed in range(5):
+        result = AdjListMVVEstimator(k, random.Random(seed)).estimate(va_stream)
+        estimates.append(result.estimate)
+    median = sorted(estimates)[2]
+    print(
+        f"vertex model / mvv:     est {median:8.0f} "
+        f"({(median - t) / t:+.1%}), 1 pass per run, {2 * k} words "
+        f"(reservoir k={k} ~ 4m/sqrt(T))"
+    )
+    print(
+        "\nThe adjacency-list grouping buys a one-pass algorithm; the paper's"
+        "\ncontribution is beating m/sqrt(T)-style space in the *harder*"
+        "\narbitrary-order edge model whenever the degeneracy is small."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Triangle counting under insertions AND deletions.
+
+Every sampling algorithm in this repository - including the paper's - is
+insert-only.  Table 1's dynamic-stream row ([41], with the matching lower
+bound [44]) is a *linear sketch*: one counter per copy, updated additively,
+so deletions subtract out exactly.  This example churns a graph through
+thousands of spurious insert/delete pairs and shows the sketch estimate is
+bit-identical to the clean run, then shows its accuracy cost: the
+``m^3/T^2`` sample complexity.
+
+Run:  python examples/dynamic_stream.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generators import complete_graph
+from repro.graph import count_triangles
+from repro.sketches import TriangleSketchEstimator
+from repro.streams import DynamicEdgeStream, churn_stream
+
+
+def main() -> None:
+    graph = complete_graph(14)
+    t = count_triangles(graph)
+    m = graph.num_edges
+    print(f"net graph: K14  m={m} T={t}  (m^3/T^2 = {m**3 / t**2:.1f})")
+
+    clean = DynamicEdgeStream.insert_only(graph.edge_list())
+    # K14 has no internal non-edges, so let churn use a wider id universe.
+    churned = churn_stream(graph, churn_factor=3.0, rng=random.Random(1), num_vertices=100)
+    print(
+        f"streams: clean = {len(clean)} updates; "
+        f"churned = {len(churned)} updates ({len(churned) - len(clean)} cancel out)"
+    )
+
+    estimator_a = TriangleSketchEstimator(4000, random.Random(7), median_groups=5)
+    estimator_b = TriangleSketchEstimator(4000, random.Random(7), median_groups=5)
+    result_clean = estimator_a.estimate(clean)
+    result_churned = estimator_b.estimate(churned)
+    print(
+        f"clean   estimate: {result_clean.estimate:8.1f} "
+        f"({(result_clean.estimate - t) / t:+.1%}), 1 pass, "
+        f"{result_clean.space_words_peak} words"
+    )
+    print(
+        f"churned estimate: {result_churned.estimate:8.1f}  <- identical: "
+        f"{result_churned.estimate == result_clean.estimate} "
+        "(linearity cancels deletions exactly)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: estimate a graph's triangle count from an edge stream.
+
+Builds a preferential-attachment graph (a canonical constant-degeneracy
+family per the paper), streams it in random order, and runs the paper's
+six-pass estimator next to the exact reference counter.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EstimatorConfig, ExactStreamingCounter, TriangleCountEstimator
+from repro.generators import barabasi_albert_graph
+from repro.streams import InMemoryEdgeStream
+from repro.streams.transforms import shuffled
+
+
+def main() -> None:
+    # A Barabasi-Albert graph attaching k=5 edges per vertex is
+    # 5-degenerate by construction, so kappa=5 is a *certified* promise.
+    rng = random.Random(2020)
+    graph = barabasi_albert_graph(n=2000, k=5, rng=rng)
+    stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, rng))
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges}")
+
+    exact = ExactStreamingCounter().count(stream)
+    print(f"exact count: T={exact.triangles} "
+          f"(1 pass, {exact.space_words_peak} words - it stored the whole graph)")
+
+    config = EstimatorConfig(epsilon=0.25, repetitions=5, seed=7)
+    result = TriangleCountEstimator(config).estimate(stream, kappa=5)
+    err = (result.estimate - exact.triangles) / exact.triangles
+    print(f"paper estimator: {result.estimate:.0f} ({err:+.1%} error)")
+    print(f"  guessing rounds: {len(result.rounds)} "
+          f"(T-guess walked {result.rounds[0].t_guess:.0f} -> "
+          f"{result.rounds[-1].t_guess:.0f})")
+    print(f"  peak space: {result.space_words_peak} words per run, "
+          f"{result.passes_total} passes total (6 per run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Estimate the clustering structure of a synthetic social network.
+
+The paper's practical motivation: real-world social graphs have low
+degeneracy and many triangles, so the ``m*kappa/T`` bound is tiny for them.
+No public dataset ships with this repository (offline build), so the
+network is simulated with a Chung-Lu power-law model - the standard
+degree-sequence stand-in for social graphs (see DESIGN.md, Substitutions).
+
+The example computes, *from the stream*:
+
+* a (1 +- eps) triangle count with the paper's estimator;
+* the exact wedge count (one cheap degree pass);
+* hence the global clustering coefficient ``3T / W``;
+
+and cross-checks against the offline ground truth.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.generators.random_graphs import chung_lu_graph, power_law_weights
+from repro.graph import count_triangles, degeneracy, global_clustering_coefficient, wedge_count
+from repro.streams import InMemoryEdgeStream, PassScheduler
+from repro.streams.transforms import shuffled
+
+
+def wedge_count_from_stream(stream: InMemoryEdgeStream) -> float:
+    """Exact wedge count in one pass with a degree table.
+
+    ``W = sum_v C(d_v, 2)`` needs every degree; for a social-network-sized
+    table this is routine (it is the same liberty the JSP baseline takes).
+    """
+    scheduler = PassScheduler(stream, max_passes=1)
+    degree: dict[int, int] = {}
+    for u, v in scheduler.new_pass():
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+    return sum(d * (d - 1) / 2 for d in degree.values())
+
+
+def main() -> None:
+    rng = random.Random(99)
+    n = 4000
+    weights = power_law_weights(n, exponent=2.5, max_weight=n ** 0.5)
+    graph = chung_lu_graph(weights, rng)
+    kappa = degeneracy(graph)  # offline; used here as the promise
+    print(f"synthetic social network: n={graph.num_vertices} m={graph.num_edges} "
+          f"kappa={kappa} (power-law 2.5)")
+
+    stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, rng))
+    result = TriangleCountEstimator(EstimatorConfig(epsilon=0.25, seed=4)).estimate(
+        stream, kappa=max(1, kappa)
+    )
+    wedges = wedge_count_from_stream(stream)
+    estimated_gcc = 3 * result.estimate / wedges if wedges else 0.0
+
+    true_t = count_triangles(graph)
+    print(f"triangles:  estimated {result.estimate:.0f}  vs exact {true_t}"
+          f"  ({(result.estimate - true_t) / max(1, true_t):+.1%})")
+    print(f"wedges:     {wedges:.0f} (exact, one degree pass; "
+          f"offline check {wedge_count(graph)})")
+    print(f"clustering: estimated {estimated_gcc:.4f}  vs exact "
+          f"{global_clustering_coefficient(graph):.4f}")
+    print(f"space: {result.space_words_peak} words vs m = {graph.num_edges} "
+          f"edges stored by an exact counter")
+
+
+if __name__ == "__main__":
+    main()

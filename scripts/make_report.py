@@ -1,0 +1,91 @@
+"""Regenerate the full experiment report in one command.
+
+Runs every experiment's ``run_*`` function (the same code the pytest
+benchmarks wrap) at a chosen scale and captures the printed tables into a
+single Markdown file, so EXPERIMENTS.md can be refreshed mechanically:
+
+    python scripts/make_report.py --scale small --out report.md
+
+The benchmark modules live outside the installed package (they are pytest
+targets), so they are loaded by file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import importlib.util
+import io
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+# Experiment id -> (bench file, run-function name), in report order.
+EXPERIMENTS = [
+    ("E0", "bench_workloads.py", "run_workload_characterization"),
+    ("E1", "bench_table1.py", "run_table1"),
+    ("E2a", "bench_main_accuracy.py", "run_suite_accuracy"),
+    ("E2b", "bench_main_accuracy.py", "run_epsilon_sweep"),
+    ("E3", "bench_wheel_scaling.py", "run_wheel_scaling"),
+    ("E4", "bench_crossover.py", "run_crossover"),
+    ("E5", "bench_chiba_nishizeki.py", "run_chiba_nishizeki"),
+    ("E6", "bench_assignment.py", "run_assignment_ledger"),
+    ("E7", "bench_ideal_estimator.py", "run_ideal_estimator"),
+    ("E8", "bench_lowerbound.py", "run_lowerbound_game"),
+    ("E9", "bench_passes_runtime.py", "run_passes_runtime"),
+    ("E10", "bench_cliques.py", "run_cliques"),
+    ("E11", "bench_ablation.py", "run_ablation"),
+    ("E12", "bench_dynamic.py", "run_dynamic"),
+    ("E13", "bench_stream_orders.py", "run_stream_orders"),
+]
+
+SEEDS = {"tiny": range(2), "small": range(3), "medium": range(5)}
+
+
+def load_run_function(filename: str, function: str):
+    """Import a benchmark module by path and return its run function."""
+    path = BENCH_DIR / filename
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return getattr(module, function)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    parser.add_argument("--out", default="report.md")
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="experiment ids to run (default: all)"
+    )
+    args = parser.parse_args(argv)
+    seeds = SEEDS[args.scale]
+
+    sections = [f"# Experiment report (scale={args.scale})\n"]
+    for exp_id, filename, function in EXPERIMENTS:
+        if args.only and exp_id not in args.only:
+            continue
+        run = load_run_function(filename, function)
+        buffer = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stdout(buffer):
+            run(args.scale, seeds)
+        elapsed = time.perf_counter() - start
+        print(f"{exp_id}: {filename}::{function} done in {elapsed:.1f}s", file=sys.stderr)
+        sections.append(f"## {exp_id} ({filename})\n")
+        sections.append("```")
+        sections.append(buffer.getvalue().strip())
+        sections.append("```")
+        sections.append(f"_({elapsed:.1f}s)_\n")
+    pathlib.Path(args.out).write_text("\n".join(sections) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a wheel, which this offline environment
+cannot (no ``wheel`` distribution is installed).  ``python setup.py develop``
+performs the equivalent editable install through setuptools directly.  All
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro: degeneracy-aware streaming triangle counting.
+
+A from-scratch reproduction of *"How the Degeneracy Helps for Triangle
+Counting in Graph Streams"* (Bera & Seshadhri, PODS 2020): the six-pass
+``O~(m * kappa / T)``-space ``(1 +- eps)`` triangle estimator, the Section 4
+degree-oracle warm-up, every implementable baseline from the paper's
+Table 1, the Theorem 6.3 lower-bound instance family, and the experiment
+harness that regenerates each of the paper's quantitative claims.
+
+Quickstart
+----------
+>>> from repro import TriangleCountEstimator, EstimatorConfig
+>>> from repro.generators import wheel_graph
+>>> from repro.streams import InMemoryEdgeStream
+>>> graph = wheel_graph(500)
+>>> stream = InMemoryEdgeStream.from_graph(graph)
+>>> result = TriangleCountEstimator(EstimatorConfig(seed=1)).estimate(stream, kappa=3)
+>>> result.estimate > 0
+True
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+from .core.driver import EstimateResult, EstimatorConfig, TriangleCountEstimator
+from .core.exact_reference import ExactStreamingCounter
+from .core.oracle_model import DegreeOracle, IdealEstimator
+from .core.params import ParameterPlan, PlanConstants
+from .errors import (
+    EstimationError,
+    GraphError,
+    ParameterError,
+    PassBudgetExceeded,
+    ReproError,
+    SpaceBudgetExceeded,
+    StreamError,
+)
+from .graph import Graph, core_decomposition, count_triangles, degeneracy
+from .streams import EdgeStream, FileEdgeStream, InMemoryEdgeStream, PassScheduler, SpaceMeter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TriangleCountEstimator",
+    "EstimatorConfig",
+    "EstimateResult",
+    "ParameterPlan",
+    "PlanConstants",
+    "IdealEstimator",
+    "DegreeOracle",
+    "ExactStreamingCounter",
+    "Graph",
+    "degeneracy",
+    "core_decomposition",
+    "count_triangles",
+    "EdgeStream",
+    "InMemoryEdgeStream",
+    "FileEdgeStream",
+    "PassScheduler",
+    "SpaceMeter",
+    "ReproError",
+    "GraphError",
+    "StreamError",
+    "PassBudgetExceeded",
+    "SpaceBudgetExceeded",
+    "ParameterError",
+    "EstimationError",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Closed-form theory: space bounds, crossovers, concentration calculators.
+
+This package encodes the paper's formulas so experiments can print the
+*predicted* column next to the *measured* one:
+
+* :mod:`~repro.analysis.bounds` - every Table 1 row as a function of
+  ``(n, m, T, kappa, Delta, ...)`` plus the paper's new ``m*kappa/T`` bound
+  and the ``T = kappa^2`` crossover solver;
+* :mod:`~repro.analysis.concentration` - Chernoff/Chebyshev sample-size
+  calculators (Theorems 3.3 and 3.4 as used in the proofs);
+* :mod:`~repro.analysis.variance` - the Section 4 variance identity
+  ``Var[X] <= d_E * T`` and empirical moment tools;
+* :mod:`~repro.analysis.tables` - plain-text table rendering for the
+  benchmark harness.
+"""
+
+from .bounds import (
+    BoundRow,
+    crossover_t_for_kappa,
+    paper_bound,
+    predicted_bounds,
+    space_bound,
+)
+from .concentration import (
+    chebyshev_failure_probability,
+    chebyshev_samples,
+    chernoff_failure_probability,
+    chernoff_samples,
+)
+from .fitting import PowerLawFit, fit_power_law
+from .variance import empirical_moments, ideal_estimator_variance_bound
+from .tables import format_table
+
+__all__ = [
+    "BoundRow",
+    "space_bound",
+    "paper_bound",
+    "predicted_bounds",
+    "crossover_t_for_kappa",
+    "chernoff_samples",
+    "chernoff_failure_probability",
+    "chebyshev_samples",
+    "chebyshev_failure_probability",
+    "ideal_estimator_variance_bound",
+    "empirical_moments",
+    "format_table",
+    "PowerLawFit",
+    "fit_power_law",
+]

@@ -1,0 +1,68 @@
+"""Concentration-inequality calculators (Theorems 3.3 and 3.4).
+
+These are the two tools every proof in the paper uses; the calculators
+expose them in both directions (samples needed for a target failure
+probability, and failure probability at a given sample count), so tests can
+check that the empirical failure rates of our estimators sit below the
+theoretical envelopes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not 0 < epsilon < 1:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+
+
+def chernoff_failure_probability(samples: int, mean: float, epsilon: float) -> float:
+    """Theorem 3.3: ``Pr[|avg - mu| >= eps*mu] <= 2*exp(-eps^2 * r * mu / 3)``.
+
+    ``mean`` is the common expectation ``mu`` of the indicator variables.
+    """
+    _check_epsilon(epsilon)
+    if samples < 1:
+        raise ParameterError(f"samples must be >= 1, got {samples}")
+    if not 0 <= mean <= 1:
+        raise ParameterError(f"indicator mean must be in [0, 1], got {mean}")
+    return min(1.0, 2.0 * math.exp(-epsilon * epsilon * samples * mean / 3.0))
+
+
+def chernoff_samples(mean: float, epsilon: float, delta: float) -> int:
+    """Samples making the Theorem 3.3 bound at most ``delta``."""
+    _check_epsilon(epsilon)
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    if not 0 < mean <= 1:
+        raise ParameterError(f"indicator mean must be in (0, 1], got {mean}")
+    return math.ceil(3.0 * math.log(2.0 / delta) / (epsilon * epsilon * mean))
+
+
+def chebyshev_failure_probability(variance: float, mean: float, epsilon: float) -> float:
+    """Theorem 3.4: ``Pr[|X - mu| >= eps*mu] <= Var[X] / (eps^2 * mu^2)``."""
+    _check_epsilon(epsilon)
+    if variance < 0:
+        raise ParameterError(f"variance must be non-negative, got {variance}")
+    if mean == 0:
+        raise ParameterError("Chebyshev relative bound needs a non-zero mean")
+    return min(1.0, variance / (epsilon * epsilon * mean * mean))
+
+
+def chebyshev_samples(variance: float, mean: float, epsilon: float, delta: float) -> int:
+    """Independent averages driving the Theorem 3.4 bound below ``delta``.
+
+    Averaging ``k`` i.i.d. copies divides the variance by ``k``; solve for
+    the smallest ``k`` with ``Var / (k * eps^2 * mu^2) <= delta``.
+    """
+    _check_epsilon(epsilon)
+    if not 0 < delta < 1:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    if variance < 0:
+        raise ParameterError(f"variance must be non-negative, got {variance}")
+    if mean == 0:
+        raise ParameterError("Chebyshev relative bound needs a non-zero mean")
+    return max(1, math.ceil(variance / (delta * epsilon * epsilon * mean * mean)))

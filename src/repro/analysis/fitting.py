@@ -1,0 +1,65 @@
+"""Scaling-law fitting for the growth experiments.
+
+Experiment E3 claims *shapes*: the paper's space is flat in ``n`` on wheels
+while the baselines grow like ``sqrt(n)``.  :func:`fit_power_law` turns a
+measured ``(x, y)`` series into the least-squares exponent of
+``y = c * x^alpha`` (ordinary linear regression in log-log space), so the
+benchmark can print "fitted exponent 0.03 vs theory 0" instead of asking
+the reader to eyeball a table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = c * x^alpha`` in log-log space."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted law at ``x``."""
+        return self.prefactor * (x ** self.exponent)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x^alpha`` by linear regression on ``(log x, log y)``.
+
+    Requires at least two points with positive coordinates and at least two
+    distinct ``x`` values.
+    """
+    if len(xs) != len(ys):
+        raise ParameterError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if len(xs) < 2:
+        raise ParameterError("need at least two points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ParameterError("power-law fitting needs positive coordinates")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((a - mean_x) ** 2 for a in lx)
+    if sxx == 0:
+        raise ParameterError("all x values identical; exponent undefined")
+    sxy = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    # Coefficient of determination in log space.
+    syy = sum((b - mean_y) ** 2 for b in ly)
+    if syy == 0:
+        r_squared = 1.0  # constant y: perfectly explained by slope ~ 0
+    else:
+        residual = sum(
+            (b - (slope * a + intercept)) ** 2 for a, b in zip(lx, ly)
+        )
+        r_squared = 1.0 - residual / syy
+    return PowerLawFit(exponent=slope, prefactor=math.exp(intercept), r_squared=r_squared)

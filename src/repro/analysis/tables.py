@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints paper-style tables to stdout; this module is
+the one place that knows how to align columns, format numbers compactly
+(engineering-style for the wide dynamic ranges space bounds span), and emit
+a caption.  Kept dependency-free on purpose - output must render in any
+terminal and diff cleanly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_number(value: object, precision: int = 3) -> str:
+    """Compact human-readable rendering of ints/floats/strings."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        if magnitude >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str | None = None,
+) -> str:
+    """Render an aligned monospace table; numbers right-aligned.
+
+    Raises ``ValueError`` if any row's width disagrees with the header.
+    """
+    width = len(headers)
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {width}")
+    rendered: List[List[str]] = [[format_number(cell) for cell in row] for row in rows]
+    numeric = [
+        all(isinstance(row[col], (int, float)) and not isinstance(row[col], bool) for row in rows)
+        if rows
+        else False
+        for col in range(width)
+    ]
+    col_width = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered else len(headers[col])
+        for col in range(width)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric[col]:
+                parts.append(cell.rjust(col_width[col]))
+            else:
+                parts.append(cell.ljust(col_width[col]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if caption:
+        lines.append(caption)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in col_width))
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)

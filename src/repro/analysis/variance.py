@@ -1,0 +1,51 @@
+"""Variance identities from Section 4 and empirical moment tools.
+
+The ideal estimator's second-moment calculation (Section 4) gives
+``E[X] = T`` and ``Var[X] <= E[X^2] = d_E * T`` for *any* unique full
+assignment rule.  Experiment E7 checks both empirically;
+:func:`empirical_moments` is its measurement half and
+:func:`ideal_estimator_variance_bound` its theoretical half.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ParameterError
+from ..graph.adjacency import Graph
+from ..graph.properties import edge_degree_sum
+from ..graph.triangles import count_triangles
+
+
+def ideal_estimator_variance_bound(graph: Graph) -> float:
+    """Section 4's bound: ``Var[X] <= d_E * T`` for the ideal estimator."""
+    return float(edge_degree_sum(graph)) * count_triangles(graph)
+
+
+@dataclass(frozen=True)
+class Moments:
+    """Sample moments of a collection of estimator outputs."""
+
+    count: int
+    mean: float
+    variance: float
+    std: float
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation ``std / mean`` (inf for zero mean)."""
+        if self.mean == 0:
+            return float("inf")
+        return self.std / abs(self.mean)
+
+
+def empirical_moments(samples: Sequence[float]) -> Moments:
+    """Unbiased sample mean/variance of estimator outputs (needs >= 2)."""
+    n = len(samples)
+    if n < 2:
+        raise ParameterError(f"need at least 2 samples for moments, got {n}")
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return Moments(count=n, mean=mean, variance=variance, std=math.sqrt(variance))

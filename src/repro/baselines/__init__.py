@@ -1,0 +1,43 @@
+"""Streaming triangle-counting baselines from the paper's Table 1.
+
+Each baseline is an independent estimator with explicit pass and space
+accounting, so experiment E1 can put measured columns next to the paper's
+predicted bounds.  The roster (see each module for the fidelity notes):
+
+=====================  =========================  ==========================
+module                 Table 1 source             space regime represented
+=====================  =========================  ==========================
+``exact`` (in core)    trivial                    ``Theta(m)``
+``buriol``             Buriol et al. [14]         ``O~(m n / T)``
+``doulion``            Tsourakakis et al. [59]    sparsification (``p m``)
+``jsp_wedge``          Jha-Seshadhri-Pinar [37]   ``O~(m / sqrt(T))``-style
+``pavan``              Pavan et al. [48]          ``O~(m Delta / T)``
+``mvv_neighbor``       McGregor et al. [46]       ``O~(m^{3/2} / T)``
+``mvv_heavy_light``    McGregor et al. [46]       ``O~(m / sqrt(T))`` multi-pass
+=====================  =========================  ==========================
+
+All baselines implement :class:`~repro.baselines.base.BaselineEstimator` and
+are registered in :mod:`~repro.baselines.registry`.
+"""
+
+from .base import BaselineEstimator, BaselineResult
+from .buriol import BuriolEstimator
+from .doulion import DoulionEstimator
+from .jsp_wedge import JSPWedgeEstimator
+from .pavan import PavanEstimator
+from .mvv_neighbor import MVVNeighborEstimator
+from .mvv_heavy_light import MVVHeavyLightEstimator
+from .registry import available_baselines, make_baseline
+
+__all__ = [
+    "BaselineEstimator",
+    "BaselineResult",
+    "BuriolEstimator",
+    "DoulionEstimator",
+    "JSPWedgeEstimator",
+    "PavanEstimator",
+    "MVVNeighborEstimator",
+    "MVVHeavyLightEstimator",
+    "available_baselines",
+    "make_baseline",
+]

@@ -1,0 +1,50 @@
+"""Common interface for baseline streaming triangle estimators.
+
+Every baseline exposes the same contract as the paper's algorithm: consume
+an :class:`~repro.streams.base.EdgeStream` through a
+:class:`~repro.streams.multipass.PassScheduler`, charge storage to a
+:class:`~repro.streams.space.SpaceMeter`, and return a
+:class:`BaselineResult`.  This uniformity is what lets experiment E1 build
+one comparison table across all algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..streams.base import EdgeStream
+from ..streams.space import SpaceMeter
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of one baseline run: estimate plus resource accounting."""
+
+    estimate: float
+    passes_used: int
+    space_words_peak: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+class BaselineEstimator(ABC):
+    """Abstract base for all baseline estimators.
+
+    Subclasses define :attr:`name`, :attr:`passes_required` and
+    :meth:`_run`; the public :meth:`estimate` wraps space metering.
+    """
+
+    #: short identifier used by the registry and in benchmark tables
+    name: str = "baseline"
+    #: number of passes one run consumes (upper bound)
+    passes_required: int = 1
+
+    def estimate(self, stream: EdgeStream, meter: Optional[SpaceMeter] = None) -> BaselineResult:
+        """Run the estimator over ``stream`` and return its result."""
+        meter = meter if meter is not None else SpaceMeter()
+        return self._run(stream, meter)
+
+    @abstractmethod
+    def _run(self, stream: EdgeStream, meter: SpaceMeter) -> BaselineResult:
+        """Algorithm body; must respect the streaming discipline."""

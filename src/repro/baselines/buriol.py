@@ -1,0 +1,108 @@
+"""Buriol et al. [14]: uniform edge + uniform vertex sampling, ``O~(mn/T)``.
+
+The basic estimator: pick a uniform edge ``e = (u, v)`` and a uniform vertex
+``w`` from ``[n]``; the pair spans a triangle with probability ``3T / (mn)``
+(each triangle contributes three (edge, apex) pairs), so
+``X = (m * n / 3) * 1[triangle]`` is unbiased with relative variance
+``~ mn / (3T)`` - the Table 1 row ``O~(mn/T)``.
+
+Fidelity note: the original is one-pass (it checks for the two closing
+edges in the stream suffix, costing an extra ``O(1)`` bias-correction
+factor); we run the transparent two-pass variant - sample in pass 1, verify
+both wedge edges in pass 2 - which has exactly the stated mean and variance
+and keeps the space comparison clean.  The pass count is reported honestly
+as 2.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParameterError
+from ..sampling.combine import mean
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Vertex, canonical_edge
+from .base import BaselineEstimator, BaselineResult
+
+
+class BuriolEstimator(BaselineEstimator):
+    """Two-pass Buriol-style estimator with ``copies`` parallel instances.
+
+    Parameters
+    ----------
+    copies:
+        Number of (edge, vertex) samples; the paper-level analysis needs
+        ``O~(mn/T)`` of them for constant relative error.
+    num_vertices:
+        The vertex-universe size ``n``; vertex ids are assumed to live in
+        ``[0, n)`` (the model's standard "n known a priori" assumption,
+        which the original algorithm also makes).
+    rng:
+        Source of randomness.
+    """
+
+    name = "buriol"
+    passes_required = 2
+
+    def __init__(self, copies: int, num_vertices: int, rng: random.Random) -> None:
+        if copies < 1:
+            raise ParameterError(f"copies must be >= 1, got {copies}")
+        if num_vertices < 1:
+            raise ParameterError(f"num_vertices must be >= 1, got {num_vertices}")
+        self._copies = copies
+        self._n = num_vertices
+        self._rng = rng
+
+    def _run(self, stream: EdgeStream, meter: SpaceMeter) -> BaselineResult:
+        scheduler = PassScheduler(stream, max_passes=self.passes_required)
+        m = len(stream)
+        if m == 0:
+            return BaselineResult(0.0, 0, meter.peak_words)
+
+        # Pass 1: one i.i.d. uniform edge per copy (pre-drawn stream
+        # positions, collected in a single sweep - equivalent to a per-copy
+        # reservoir, m being known); apex vertices drawn uniformly from
+        # [0, n) up front, independent of the stream.
+        slots_by_position: Dict[int, List[int]] = {}
+        for i in range(self._copies):
+            slots_by_position.setdefault(self._rng.randrange(m), []).append(i)
+        sampled: List[Optional[Edge]] = [None] * self._copies
+        meter.allocate(2 * self._copies, "edge-sample")
+        for position, edge in enumerate(scheduler.new_pass()):
+            for i in slots_by_position.get(position, ()):
+                sampled[i] = edge
+        apexes: List[Vertex] = [self._rng.randrange(self._n) for _ in range(self._copies)]
+        meter.allocate(self._copies, "apexes")
+
+        # Pass 2: for each copy, both edges (u, w) and (v, w) must appear.
+        watch: Dict[Edge, List[int]] = {}
+        needed: List[int] = [0] * self._copies
+        for i, e in enumerate(sampled):
+            if e is None:
+                continue
+            u, v = e
+            w = apexes[i]
+            if w == u or w == v:
+                continue  # degenerate apex: cannot span a triangle
+            needed[i] = 2
+            watch.setdefault(canonical_edge(u, w), []).append(i)
+            watch.setdefault(canonical_edge(v, w), []).append(i)
+        meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "watch")
+        seen = [0] * self._copies
+        for edge in scheduler.new_pass():
+            for i in watch.get(edge, ()):
+                seen[i] += 1
+
+        indicator = [
+            1.0 if needed[i] == 2 and seen[i] == 2 else 0.0 for i in range(self._copies)
+        ]
+        estimate = (m * self._n / 3.0) * mean(indicator)
+        return BaselineResult(
+            estimate=estimate,
+            passes_used=scheduler.passes_used,
+            space_words_peak=meter.peak_words,
+            extras={"hit_rate": mean(indicator)},
+        )

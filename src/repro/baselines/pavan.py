@@ -1,0 +1,109 @@
+"""Pavan et al. [48]: neighborhood sampling, ``O~(m * Delta / T)``.
+
+Basic estimator: pick a uniform edge ``e`` (pass 1); pick a uniform edge
+``f`` among the edges *adjacent* to ``e`` while counting their number
+``c_e`` (pass 2); check whether ``e`` and ``f`` span a triangle, i.e.
+whether the one missing edge is present (pass 3).  Every triangle contains
+six ordered adjacent edge pairs ``(e, f)``, each hit with probability
+``1 / (m * c_e)``, so ``X = (m * c_e / 6) * 1[triangle]`` is unbiased.
+``c_e <= 2 * Delta`` drives the ``m * Delta / T`` variance - the Table 1
+row.
+
+Fidelity note: the original interleaves all three steps into one pass over
+an insert-only stream with clever conditional replacement; the multi-pass
+factoring below has identical estimator distribution and space, at 3 passes
+(reported honestly).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParameterError
+from ..sampling.combine import mean
+from ..sampling.reservoir import SingleItemReservoir
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Vertex, canonical_edge
+from .base import BaselineEstimator, BaselineResult
+
+
+class PavanEstimator(BaselineEstimator):
+    """Three-pass neighborhood-sampling estimator with ``copies`` instances."""
+
+    name = "pavan"
+    passes_required = 3
+
+    def __init__(self, copies: int, rng: random.Random) -> None:
+        if copies < 1:
+            raise ParameterError(f"copies must be >= 1, got {copies}")
+        self._copies = copies
+        self._rng = rng
+
+    def _run(self, stream: EdgeStream, meter: SpaceMeter) -> BaselineResult:
+        scheduler = PassScheduler(stream, max_passes=self.passes_required)
+        m = len(stream)
+        if m == 0:
+            return BaselineResult(0.0, 0, meter.peak_words)
+
+        # Pass 1: i.i.d. uniform first edges via pre-drawn positions.
+        slots_by_position: Dict[int, List[int]] = {}
+        for i in range(self._copies):
+            slots_by_position.setdefault(self._rng.randrange(m), []).append(i)
+        first: List[Optional[Edge]] = [None] * self._copies
+        meter.allocate(2 * self._copies, "first-edge")
+        for position, edge in enumerate(scheduler.new_pass()):
+            for i in slots_by_position.get(position, ()):
+                first[i] = edge
+
+        # Pass 2: per copy, reservoir over the edges adjacent to `first[i]`
+        # (sharing an endpoint, excluding the edge itself), counting c_e.
+        adjacent_res: List[SingleItemReservoir] = [
+            SingleItemReservoir(self._rng) for _ in range(self._copies)
+        ]
+        meter.allocate(3 * self._copies, "adjacent-sample")
+        by_endpoint: Dict[Vertex, List[int]] = {}
+        for i, e in enumerate(first):
+            assert e is not None
+            for endpoint in e:
+                by_endpoint.setdefault(endpoint, []).append(i)
+        for edge in scheduler.new_pass():
+            a, b = edge
+            for endpoint in (a, b):
+                for i in by_endpoint.get(endpoint, ()):
+                    if edge != first[i]:
+                        adjacent_res[i].offer(edge)
+
+        # Pass 3: the pair (first, adjacent) spans a triangle iff the one
+        # missing edge between their non-shared endpoints is present.
+        watch: Dict[Edge, List[int]] = {}
+        c_e: List[int] = [res.offers for res in adjacent_res]
+        for i in range(self._copies):
+            e, f = first[i], adjacent_res[i].sample()
+            if e is None or f is None:
+                continue
+            shared = set(e) & set(f)
+            if len(shared) != 1:
+                continue  # parallel edges cannot happen; shared == 2 impossible
+            (x,) = set(e) - shared
+            (y,) = set(f) - shared
+            if x == y:
+                continue
+            watch.setdefault(canonical_edge(x, y), []).append(i)
+        meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
+        closed = [False] * self._copies
+        for edge in scheduler.new_pass():
+            for i in watch.get(edge, ()):
+                closed[i] = True
+
+        samples = [
+            (m * c_e[i] / 6.0) if closed[i] else 0.0 for i in range(self._copies)
+        ]
+        return BaselineResult(
+            estimate=mean(samples),
+            passes_used=scheduler.passes_used,
+            space_words_peak=meter.peak_words,
+            extras={"mean_adjacency": mean([float(c) for c in c_e])},
+        )

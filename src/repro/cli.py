@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``stats <edgelist>``
+    Offline ground truth of an edge-list file: n, m, T, kappa, d_E,
+    max degree, wedges, transitivity.
+``exact <edgelist>``
+    One-pass exact triangle count with space/pass accounting.
+``estimate <edgelist> --kappa K [--epsilon E] [--seed S] [--repetitions R]``
+    The paper's estimator on the file's stream.
+``bounds <edgelist>``
+    Table 1 predicted space bounds evaluated on the instance.
+``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
+    Write a workload-suite graph to an edge-list file.
+
+All output is plain text; exit code 0 on success, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import format_table, predicted_bounds
+from .core.driver import EstimatorConfig, TriangleCountEstimator
+from .core.exact_reference import ExactStreamingCounter
+from .generators import standard_suite, workload_by_name
+from .graph.properties import summary
+from .graph.triangles import per_edge_triangle_counts
+from .io import read_edgelist, write_edgelist
+from .streams.file import FileEdgeStream
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Degeneracy-aware streaming triangle counting (Bera-Seshadhri, PODS 2020)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="offline ground truth of an edge list")
+    p_stats.add_argument("edgelist")
+
+    p_exact = sub.add_parser("exact", help="one-pass exact triangle count")
+    p_exact.add_argument("edgelist")
+
+    p_est = sub.add_parser("estimate", help="run the paper's estimator")
+    p_est.add_argument("edgelist")
+    p_est.add_argument("--kappa", type=int, required=True, help="degeneracy upper bound (promise)")
+    p_est.add_argument("--epsilon", type=float, default=0.25)
+    p_est.add_argument("--seed", type=int, default=0)
+    p_est.add_argument("--repetitions", type=int, default=5)
+
+    p_bounds = sub.add_parser("bounds", help="Table 1 predicted bounds for an instance")
+    p_bounds.add_argument("edgelist")
+
+    p_gen = sub.add_parser("generate", help="write a workload graph to a file")
+    p_gen.add_argument("family", help="workload name (see `repro generate --list`)")
+    p_gen.add_argument("--out", required=True)
+    p_gen.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edgelist(args.edgelist)
+    s = summary(graph)
+    rows = [[key, value] for key, value in s.items()]
+    print(format_table(["statistic", "value"], rows, caption=f"stats: {args.edgelist}"))
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    stream = FileEdgeStream(args.edgelist)
+    result = ExactStreamingCounter().count(stream)
+    print(f"triangles: {result.triangles}")
+    print(f"passes:    {result.passes_used}")
+    print(f"space:     {result.space_words_peak} words")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    stream = FileEdgeStream(args.edgelist)
+    config = EstimatorConfig(
+        epsilon=args.epsilon, seed=args.seed, repetitions=args.repetitions
+    )
+    result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
+    print(f"estimate:  {result.estimate:.1f}")
+    print(f"rounds:    {len(result.rounds)}")
+    print(f"passes:    {result.passes_total} total ({6 * args.repetitions} max per round)")
+    print(f"space:     {result.space_words_peak} words peak per run")
+    if result.final_plan is not None:
+        plan = result.final_plan
+        print(f"plan:      r={plan.r} s={plan.s} t_guess={plan.t_guess:.0f}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    graph = read_edgelist(args.edgelist)
+    s = summary(graph)
+    if s["T"] == 0:
+        print("graph is triangle-free; bounds are undefined (T = 0)")
+        return 0
+    max_te = max(per_edge_triangle_counts(graph).values(), default=0)
+    rows = predicted_bounds(
+        int(s["n"]),
+        int(s["m"]),
+        float(s["T"]),
+        kappa=int(s["kappa"]),
+        max_degree=int(s["max_degree"]),
+        max_te=int(max_te),
+    )
+    print(
+        format_table(
+            ["algorithm", "source", "formula", "passes", "predicted words"],
+            [[r.name, r.source, r.formula, r.passes, r.value] for r in rows],
+            caption=f"Table 1 bounds for {args.edgelist} "
+            f"(n={int(s['n'])} m={int(s['m'])} T={int(s['T'])} kappa={int(s['kappa'])})",
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    try:
+        workload = workload_by_name(args.family, scale=args.scale)
+    except Exception:
+        names = ", ".join(w.name for w in standard_suite(args.scale))
+        print(f"unknown family {args.family!r}; available: {names}", file=sys.stderr)
+        return 2
+    graph = workload.instantiate(seed=args.seed)
+    write_edgelist(
+        graph,
+        args.out,
+        header=[
+            f"family={workload.name} scale={args.scale} seed={args.seed}",
+            f"kappa_bound={workload.kappa_bound}",
+            workload.description,
+        ],
+    )
+    print(f"wrote {graph.num_edges} edges ({graph.num_vertices} vertices) to {args.out}")
+    print(f"degeneracy promise: kappa <= {workload.kappa_bound}")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "exact": _cmd_exact,
+    "estimate": _cmd_estimate,
+    "bounds": _cmd_bounds,
+    "generate": _cmd_generate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

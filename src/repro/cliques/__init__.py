@@ -1,0 +1,39 @@
+"""Section 7 / Conjecture 7.1: the clique-counting extension.
+
+The paper closes with a conjecture: for graphs of degeneracy ``kappa`` with
+``T`` many ``ell``-cliques, a constant-pass stream algorithm should achieve
+a ``(1 +- eps)``-approximation in ``O~(m * kappa^{ell-2} / T)`` bits.
+
+This package implements the natural generalization of the paper's Section 4
+machinery to ``ell``-cliques and measures the conjecture empirically:
+
+* :mod:`~repro.cliques.exact` - from-scratch exact ``k``-clique counting
+  via degeneracy orientation (the Chiba-Nishizeki style substrate:
+  enumeration, total counts, per-edge counts);
+* :mod:`~repro.cliques.oracle_estimator` - the Algorithm 1 analogue for
+  ``k``-cliques in the degree-oracle model: sample an edge ``e``
+  proportional to ``d_e``, draw ``k - 2`` i.i.d. uniform members of
+  ``N(e)``, check that they complete a clique, and credit it only at its
+  uniquely assigned edge.  Unbiased for every ``k >= 3``; its measured
+  relative variance against the conjectured ``m * kappa^{k-2} / T`` budget
+  is experiment E10 (``benchmarks/bench_cliques.py``).
+
+The full streaming (oracle-free) version of the conjecture is open - this
+package reproduces the *evidence* for it, exactly as a "future work"
+reproduction should.
+"""
+
+from .exact import (
+    count_cliques,
+    enumerate_cliques,
+    per_edge_clique_counts,
+)
+from .oracle_estimator import CliqueOracleEstimator, CliqueOracleResult
+
+__all__ = [
+    "count_cliques",
+    "enumerate_cliques",
+    "per_edge_clique_counts",
+    "CliqueOracleEstimator",
+    "CliqueOracleResult",
+]

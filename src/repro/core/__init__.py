@@ -1,0 +1,42 @@
+"""The paper's primary contribution: degeneracy-aware triangle estimation.
+
+Layout follows the paper:
+
+* :mod:`~repro.core.params` - the parameter plan ``(r, ell, s)`` and the
+  heavy/costly thresholds of Section 5, in both ``theory`` and ``practical``
+  constant regimes;
+* :mod:`~repro.core.oracle_model` - Section 4: the degree-oracle model and
+  Algorithm 1 (``IdealEstimator``);
+* :mod:`~repro.core.assignment` - Section 5.1: Algorithm 3
+  (``IsAssigned`` / ``Assignment``) as a two-pass streaming procedure;
+* :mod:`~repro.core.estimator` - Section 5: Algorithm 2, the six-pass
+  estimator;
+* :mod:`~repro.core.driver` - the user-facing
+  :class:`~repro.core.driver.TriangleCountEstimator`: unknown-``T``
+  geometric guessing, median-of-repetitions, diagnostics;
+* :mod:`~repro.core.exact_reference` - a store-everything exact one-pass
+  counter used as ground truth and as the "no space bound" reference row.
+"""
+
+from .params import ParameterPlan, PlanConstants
+from .oracle_model import DegreeOracle, IdealEstimator, IdealEstimatorResult
+from .assignment import ExactAssigner, StreamingAssigner
+from .estimator import SinglePassStackResult, run_single_estimate
+from .driver import EstimateResult, EstimatorConfig, TriangleCountEstimator
+from .exact_reference import ExactStreamingCounter
+
+__all__ = [
+    "ParameterPlan",
+    "PlanConstants",
+    "DegreeOracle",
+    "IdealEstimator",
+    "IdealEstimatorResult",
+    "StreamingAssigner",
+    "ExactAssigner",
+    "run_single_estimate",
+    "SinglePassStackResult",
+    "TriangleCountEstimator",
+    "EstimatorConfig",
+    "EstimateResult",
+    "ExactStreamingCounter",
+]

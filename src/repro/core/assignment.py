@@ -1,0 +1,258 @@
+"""Section 5.1: Algorithm 3 - ``IsAssigned`` / ``Assignment`` in the stream.
+
+A triangle should be assigned to its contained edge with the fewest
+triangles (smallest ``t_e``) - but ``t_e`` is unknown in the stream, so
+Algorithm 3 *estimates* it: for each edge ``f`` of the triangle, draw ``s``
+uniform members of ``N(f)`` and count how many close a triangle with ``f``,
+giving ``Y_f = (d_f / s) * (closed count)`` with ``E[Y_f] = t_f``.  Two
+guard rails keep everything inside the space budget:
+
+* edges with ``d_f`` above the *degree cutoff* ``m*kappa^2/(eps^2*T)`` get
+  ``Y_f = infinity`` (line 9; estimating their ``t_f`` would need too many
+  samples);
+* if even the minimum estimate exceeds the *assignment cutoff*
+  ``kappa/(2*eps)`` the triangle is left unassigned (line 18; such "heavy"
+  triangles carry at most ``2*eps*T`` triangles in total by Lemma 5.12).
+
+This module implements the procedure *batched*: Algorithm 2 discovers all of
+its candidate triangles in pass 4, then a single
+:meth:`StreamingAssigner.assign` call resolves every ``Assignment(tau)``
+simultaneously in two further passes (passes 5 and 6 of the overall
+six-pass estimator):
+
+* pass 5 counts the degree of every vertex appearing in a candidate
+  triangle *and*, for each (edge, endpoint) pair, reservoir-samples ``s``
+  i.i.d. members of that endpoint's neighborhood (both endpoints are
+  sampled because the lower-degree one - whose neighborhood is ``N(f)`` -
+  is only identified once degrees are known, at the end of the pass);
+* pass 6 watches for the specific closing edges of all sampled wedges.
+
+Two implementation choices worth flagging against the paper's pseudocode:
+
+* **memoization granularity**: the paper memoizes ``Assignment`` per
+  triangle; we additionally share each edge's ``Y_f`` estimate across all
+  candidate triangles containing it, and share the ``s`` neighborhood
+  samples across all candidate edges owned by the same vertex.  Every
+  property of Definition 5.2 is proved per-edge (heavy edges receive
+  nothing, light edges of good triangles win) by a Chernoff bound on that
+  edge's own samples plus a union bound - no independence *across* edges
+  is used - so both sharings preserve the analysis while cutting space and
+  time by the multiplicity factors.
+* **i.i.d. neighborhood samples**: each of the ``s`` sample slots is an
+  independent single-item reservoir.  Updating ``s`` slots per incident
+  stream edge naively costs ``O(s)``; on the ``k``-th incident edge each
+  slot flips with probability ``1/k``, so the flipping subset is drawn
+  directly with geometric skips, for ``O(d + s log d)`` total work per
+  bundle instead of ``O(s * d)``.
+
+:class:`ExactAssigner` is a test/benchmark double that applies the ideal
+min-``t_e`` rule using ground-truth counts from the graph substrate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+
+from ..graph.adjacency import Graph
+from ..graph.triangles import per_edge_triangle_counts
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Triangle, Vertex, canonical_edge, triangle_edges
+from .params import ParameterPlan
+
+
+class Assigner(Protocol):
+    """Protocol for assignment procedures usable by Algorithm 2."""
+
+    passes_required: int
+
+    def assign(
+        self, scheduler: PassScheduler, triangles: Iterable[Triangle]
+    ) -> Dict[Triangle, Optional[Edge]]:
+        """Resolve ``Assignment(tau)`` for every given triangle.
+
+        Returns a mapping triangle -> assigned edge, or ``None`` for
+        unassigned triangles.  May consume up to ``passes_required`` passes
+        from ``scheduler`` (zero if ``triangles`` is empty).
+        """
+        ...  # pragma: no cover - protocol body
+
+
+class _Bundle:
+    """``s`` independent single-item neighbor reservoirs for one vertex.
+
+    ``slots[j]`` holds slot ``j``'s current sample.  On the ``k``-th
+    incident edge every slot independently adopts the new neighbor with
+    probability ``1/k``; the adopting subset is drawn with geometric skips.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, s: int) -> None:
+        self.slots: List[Optional[Vertex]] = [None] * s
+
+    def offer(self, neighbor: Vertex, k: int, rng: random.Random) -> None:
+        """Offer the ``k``-th neighbor (1-based) to every slot independently."""
+        slots = self.slots
+        if k == 1:
+            for j in range(len(slots)):
+                slots[j] = neighbor
+            return
+        # Geometric skips over the slot indices with success prob 1/k.
+        log_fail = math.log1p(-1.0 / k)
+        j = -1
+        s = len(slots)
+        while True:
+            j += 1 + int(math.log(1.0 - rng.random()) / log_fail)
+            if j >= s:
+                return
+            slots[j] = neighbor
+
+
+class StreamingAssigner:
+    """Algorithm 3, batched over all candidate triangles (two passes)."""
+
+    passes_required = 2
+
+    def __init__(
+        self,
+        plan: ParameterPlan,
+        rng: random.Random,
+        meter: Optional[SpaceMeter] = None,
+    ) -> None:
+        self._plan = plan
+        self._rng = rng
+        self._meter = meter if meter is not None else SpaceMeter()
+
+    def assign(
+        self, scheduler: PassScheduler, triangles: Iterable[Triangle]
+    ) -> Dict[Triangle, Optional[Edge]]:
+        """Resolve assignments for all distinct triangles in two passes."""
+        distinct = sorted(set(triangles))
+        if not distinct:
+            return {}
+        edges = sorted({f for t in distinct for f in triangle_edges(t)})
+
+        degree, bundles = self._pass5_degrees_and_samples(scheduler, edges)
+        estimates = self._pass6_estimate_te(scheduler, edges, degree, bundles)
+        return self._resolve(distinct, estimates)
+
+    # -- pass 5 --------------------------------------------------------------
+
+    def _pass5_degrees_and_samples(
+        self, scheduler: PassScheduler, edges: List[Edge]
+    ) -> Tuple[Dict[Vertex, int], Dict[Vertex, _Bundle]]:
+        """Count degrees of all candidate-edge endpoints and sample neighbors.
+
+        One bundle of ``s`` reservoirs per *vertex* (shared by every
+        candidate edge that vertex may end up owning; see module docstring
+        for why sharing is sound).
+        """
+        s = self._plan.s
+        bundles: Dict[Vertex, _Bundle] = {}
+        for f in edges:
+            for endpoint in f:
+                if endpoint not in bundles:
+                    bundles[endpoint] = _Bundle(s)
+        degree: Dict[Vertex, int] = {v: 0 for v in bundles}
+        self._meter.allocate(s * len(bundles), "assignment-reservoirs")
+        self._meter.allocate(len(degree), "assignment-degrees")
+
+        rng = self._rng
+        for a, b in scheduler.new_pass():
+            if a in degree:
+                k = degree[a] + 1
+                degree[a] = k
+                bundles[a].offer(b, k, rng)
+            if b in degree:
+                k = degree[b] + 1
+                degree[b] = k
+                bundles[b].offer(a, k, rng)
+        return degree, bundles
+
+    # -- pass 6 --------------------------------------------------------------
+
+    def _pass6_estimate_te(
+        self,
+        scheduler: PassScheduler,
+        edges: List[Edge],
+        degree: Dict[Vertex, int],
+        bundles: Dict[Vertex, _Bundle],
+    ) -> Dict[Edge, float]:
+        """Check wedge closures and return ``Y_f`` per candidate edge."""
+        s = self._plan.s
+        watch: Dict[Edge, List[Edge]] = {}
+        estimates: Dict[Edge, float] = {}
+        for f in edges:
+            u, v = f
+            d_f = min(degree[u], degree[v])
+            if d_f > self._plan.degree_cutoff:
+                estimates[f] = float("inf")  # Algorithm 3 line 9
+                continue
+            estimates[f] = 0.0
+            # Section 3 convention: N(e) is the lower-degree endpoint's
+            # neighborhood, ties to the second endpoint.
+            owner = u if degree[u] < degree[v] else v
+            other = v if owner == u else u
+            for w in bundles[owner].slots:
+                if w is None or w == other:
+                    # No sample (impossible for a real edge) or the sample is
+                    # the edge's own far endpoint: counts as a miss.
+                    continue
+                watch.setdefault(canonical_edge(other, w), []).append(f)
+        self._meter.allocate(
+            2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch"
+        )
+
+        hits: Dict[Edge, int] = {f: 0 for f in edges}
+        for edge in scheduler.new_pass():
+            watchers = watch.get(edge)
+            if watchers:
+                for f in watchers:
+                    hits[f] += 1
+        for f in edges:
+            if estimates[f] != float("inf"):
+                u, v = f
+                estimates[f] = min(degree[u], degree[v]) * hits[f] / s
+        return estimates
+
+    # -- resolution ------------------------------------------------------------
+
+    def _resolve(
+        self, distinct: List[Triangle], estimates: Dict[Edge, float]
+    ) -> Dict[Triangle, Optional[Edge]]:
+        out: Dict[Triangle, Optional[Edge]] = {}
+        for t in distinct:
+            # Minimum Y_f with canonical-edge tie-break, for consistency.
+            best_edge = min(triangle_edges(t), key=lambda f: (estimates[f], f))
+            if estimates[best_edge] > self._plan.assignment_cutoff:
+                out[t] = None  # Algorithm 3 line 18: return bottom
+            else:
+                out[t] = best_edge
+        return out
+
+
+class ExactAssigner:
+    """Ground-truth assignment double: the ideal min-``t_e`` rule.
+
+    Uses exact per-edge triangle counts from the graph substrate and never
+    leaves a triangle unassigned.  Consumes zero passes.  Intended for tests
+    and ablation benchmarks that isolate Algorithm 2's sampling error from
+    Algorithm 3's estimation error.
+    """
+
+    passes_required = 0
+
+    def __init__(self, graph: Graph) -> None:
+        self._te = per_edge_triangle_counts(graph)
+
+    def assign(
+        self, scheduler: PassScheduler, triangles: Iterable[Triangle]
+    ) -> Dict[Triangle, Optional[Edge]]:
+        """Assign each triangle to its exact minimum-``t_e`` edge."""
+        out: Dict[Triangle, Optional[Edge]] = {}
+        for t in set(triangles):
+            out[t] = min(triangle_edges(t), key=lambda e: (self._te[e], e))
+        return out

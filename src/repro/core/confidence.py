@@ -1,0 +1,113 @@
+"""Empirical confidence intervals for repeated estimates.
+
+The paper's guarantee is an ``(eps, delta)`` statement; practitioners want
+an interval.  Since the driver already runs ``repetitions`` independent
+Algorithm 2 instances, an order-statistics (quantile) interval over those
+estimates is free to compute and makes the repetition spread visible.
+Intervals here are *descriptive* (spread of the observed runs), not the
+formal ``(1 +- eps)`` guarantee - the docstring of
+:func:`estimate_with_interval` spells out the distinction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ParameterError
+from ..streams.base import EdgeStream
+from .driver import EstimateResult, EstimatorConfig, TriangleCountEstimator
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided empirical interval around a point estimate."""
+
+    point: float
+    low: float
+    high: float
+    level: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.point <= self.high:
+            raise ParameterError(
+                f"inconsistent interval: {self.low} <= {self.point} <= {self.high} fails"
+            )
+
+    @property
+    def width(self) -> float:
+        """Interval width ``high - low``."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (the numpy default), dependency-free."""
+    if not values:
+        raise ParameterError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+def interval_from_estimates(
+    estimates: Sequence[float], level: float = 0.9
+) -> ConfidenceInterval:
+    """Empirical quantile interval of repeated estimator outputs.
+
+    The point estimate is the median (matching the driver's combiner); the
+    interval spans the central ``level`` mass of the observed runs.
+    Requires at least 3 estimates for a non-degenerate interval.
+    """
+    if len(estimates) < 3:
+        raise ParameterError(f"need >= 3 estimates for an interval, got {len(estimates)}")
+    if not 0.0 < level < 1.0:
+        raise ParameterError(f"level must be in (0, 1), got {level}")
+    tail = (1.0 - level) / 2.0
+    point = quantile(estimates, 0.5)
+    return ConfidenceInterval(
+        point=point,
+        low=min(quantile(estimates, tail), point),
+        high=max(quantile(estimates, 1.0 - tail), point),
+        level=level,
+    )
+
+
+def estimate_with_interval(
+    stream: EdgeStream,
+    kappa: int,
+    config: Optional[EstimatorConfig] = None,
+    level: float = 0.9,
+) -> tuple[EstimateResult, ConfidenceInterval]:
+    """Run the driver and attach an empirical interval to its result.
+
+    The interval is computed from the accepted round's independent runs.
+    It describes run-to-run spread; the formal ``(1 +- eps)`` guarantee
+    comes from the configuration (``epsilon``, ``repetitions``), not from
+    this interval.  Needs ``repetitions >= 3``.
+    """
+    config = config if config is not None else EstimatorConfig()
+    if config.repetitions < 3:
+        raise ParameterError("estimate_with_interval needs repetitions >= 3")
+    result = TriangleCountEstimator(config).estimate(stream, kappa=kappa)
+    round_ = result.accepted_round if result.accepted_round is not None else (
+        result.rounds[-1] if result.rounds else None
+    )
+    if round_ is None:
+        interval = ConfidenceInterval(point=0.0, low=0.0, high=0.0, level=level)
+    else:
+        interval = interval_from_estimates([r.estimate for r in round_.runs], level=level)
+    return result, interval

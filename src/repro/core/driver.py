@@ -1,0 +1,259 @@
+"""The user-facing estimator: unknown-``T`` search and repetition control.
+
+The paper states its guarantees in terms of the true triangle count ``T``,
+leaving the (standard) completion of handling unknown ``T`` implicit.  This
+driver supplies it with the geometric guessing loop used throughout the
+sublinear-estimation literature (e.g. Eden et al.):
+
+1. start from the Corollary 3.2 upper bound ``T0 = 2 * m * kappa``;
+2. run ``repetitions`` independent Algorithm 2 instances sized for the
+   current guess and take their median;
+3. if the median is at least half the guess, accept it - the guess is then
+   within a constant factor of the truth, so the run was adequately
+   provisioned; otherwise halve the guess and repeat.
+
+Each halving doubles the sample sizes, so the total space is dominated by
+the final, accepted round - i.e. still ``O~(m * kappa / T)``.  A graph with
+no triangles walks the guess below 1 and yields estimate 0.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import EstimationError, ParameterError
+from ..rng import make_rng, spawn
+from ..sampling.combine import median
+from ..streams.base import EdgeStream
+from ..streams.space import SpaceMeter
+from .estimator import AssignerFactory, SinglePassStackResult, run_single_estimate
+from .params import ParameterPlan, PlanConstants
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Configuration of :class:`TriangleCountEstimator`.
+
+    Attributes
+    ----------
+    epsilon:
+        Target relative accuracy.
+    repetitions:
+        Independent Algorithm 2 runs per guessing round (median combined);
+        odd values make the median a single run's value.
+    mode:
+        ``"practical"`` (default) or ``"theory"`` parameter constants; see
+        :mod:`repro.core.params`.
+    constants:
+        Optional override of the plan constants.
+    seed:
+        Root seed; all randomness in the run derives from it.
+    t_hint:
+        If given, skip the guessing loop and provision directly for this
+        triangle-count guess (used by benchmarks to isolate behaviour).
+    space_budget_words:
+        Optional hard per-run space cap (Section 3's Markov abort).
+    max_rounds:
+        Optional cap on guessing rounds; default is enough to walk the guess
+        from ``2 m kappa`` down below 1.
+    share_passes:
+        When ``True`` (default), each round's repetitions run *in parallel*
+        over six shared passes - the paper's accounting (Theorem 5.1's
+        constant passes cover the whole ensemble, and the reported space is
+        the ensemble total).  ``False`` runs repetitions sequentially (6
+        passes each, per-run space); also the fallback whenever a custom
+        ``assigner_factory`` is injected.
+    """
+
+    epsilon: float = 0.25
+    repetitions: int = 5
+    mode: str = "practical"
+    constants: Optional[PlanConstants] = None
+    seed: int = 0
+    t_hint: Optional[float] = None
+    space_budget_words: Optional[int] = None
+    max_rounds: Optional[int] = None
+    share_passes: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.repetitions < 1:
+            raise ParameterError(f"repetitions must be >= 1, got {self.repetitions}")
+
+
+@dataclass(frozen=True)
+class GuessRound:
+    """Record of one guessing round: the guess, every run, and the median."""
+
+    t_guess: float
+    runs: List[SinglePassStackResult]
+    median_estimate: float
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """Full outcome of a :meth:`TriangleCountEstimator.estimate` call.
+
+    ``estimate`` is the final triangle-count estimate.  ``rounds`` records
+    the guessing trajectory.  ``space_words_peak`` is the largest space used
+    by any single run (the model's per-instance space); ``passes_total``
+    sums passes over all runs and rounds (each run alone stays within the
+    constant six-pass budget - the total reflects the driver's repetition
+    and search factors, both ``O(log)``).
+    """
+
+    estimate: float
+    rounds: List[GuessRound]
+    space_words_peak: int
+    passes_total: int
+    final_plan: Optional[ParameterPlan]
+
+    @property
+    def accepted_round(self) -> Optional[GuessRound]:
+        """The round that produced the final estimate, if any was accepted."""
+        for r in self.rounds:
+            if r.accepted:
+                return r
+        return None
+
+
+class TriangleCountEstimator:
+    """Constant-pass streaming ``(1 +- eps)`` triangle counting (Theorem 1.2).
+
+    Example
+    -------
+    >>> from repro.generators import wheel_graph
+    >>> from repro.streams import InMemoryEdgeStream
+    >>> graph = wheel_graph(100)
+    >>> stream = InMemoryEdgeStream.from_graph(graph)
+    >>> estimator = TriangleCountEstimator(EstimatorConfig(seed=7))
+    >>> result = estimator.estimate(stream, kappa=3)
+    >>> abs(result.estimate - 99) / 99 < 0.5
+    True
+    """
+
+    def __init__(self, config: Optional[EstimatorConfig] = None) -> None:
+        self._config = config if config is not None else EstimatorConfig()
+
+    @property
+    def config(self) -> EstimatorConfig:
+        """The configuration in force."""
+        return self._config
+
+    def estimate(
+        self,
+        stream: EdgeStream,
+        kappa: int,
+        assigner_factory: Optional[AssignerFactory] = None,
+    ) -> EstimateResult:
+        """Estimate the triangle count of ``stream``.
+
+        Parameters
+        ----------
+        stream:
+            The input edge stream.
+        kappa:
+            An upper bound on the graph's degeneracy.  The paper's model
+            takes this as a promise on the input class; Theorem 1.2's bound
+            degrades gracefully if the supplied value over-estimates the
+            true degeneracy (space grows linearly in the bound).
+        assigner_factory:
+            Optional override of the ``IsAssigned`` implementation.
+        """
+        cfg = self._config
+        if kappa < 1:
+            raise ParameterError(f"kappa must be >= 1, got {kappa}")
+        m = len(stream)
+        if m == 0:
+            return EstimateResult(
+                estimate=0.0, rounds=[], space_words_peak=0, passes_total=0, final_plan=None
+            )
+        # The model assumes n is known a priori (Table 1 notes this is the
+        # standard assumption); one statistics pass recovers an upper bound.
+        n = stream.stats().num_vertices_upper
+        root = make_rng(cfg.seed)
+
+        upper = 2.0 * m * kappa  # Corollary 3.2
+        if cfg.t_hint is not None:
+            if cfg.t_hint <= 0:
+                raise ParameterError(f"t_hint must be positive, got {cfg.t_hint}")
+            guesses: List[float] = [float(cfg.t_hint)]
+        else:
+            max_rounds = cfg.max_rounds
+            if max_rounds is None:
+                max_rounds = max(1, math.ceil(math.log2(upper)) + 2)
+            guesses = [upper / (2.0 ** k) for k in range(max_rounds)]
+
+        rounds: List[GuessRound] = []
+        space_peak = 0
+        passes_total = 0
+        final_plan: Optional[ParameterPlan] = None
+        estimate = 0.0
+
+        for round_index, t_guess in enumerate(guesses):
+            if t_guess < 1.0 and cfg.t_hint is None:
+                break  # fewer than one triangle remains plausible: answer 0
+            plan = ParameterPlan.build(
+                num_vertices=n,
+                num_edges=m,
+                kappa=kappa,
+                t_guess=t_guess,
+                epsilon=cfg.epsilon,
+                mode=cfg.mode,
+                constants=cfg.constants,
+            )
+            runs: List[SinglePassStackResult] = []
+            if cfg.share_passes and assigner_factory is None:
+                # The paper's accounting: all repetitions in parallel over
+                # six shared passes; space is the ensemble total.
+                from .parallel import run_parallel_estimates
+
+                rngs = [
+                    spawn(root, f"round{round_index}/rep{rep}")
+                    for rep in range(cfg.repetitions)
+                ]
+                meter = SpaceMeter(budget_words=cfg.space_budget_words)
+                runs = run_parallel_estimates(stream, plan, rngs, meter=meter)
+                space_peak = max(space_peak, meter.peak_words)
+                passes_total += runs[0].passes_used if runs else 0
+            else:
+                for rep in range(cfg.repetitions):
+                    rng = spawn(root, f"round{round_index}/rep{rep}")
+                    meter = SpaceMeter(budget_words=cfg.space_budget_words)
+                    run = run_single_estimate(
+                        stream, plan, rng, meter=meter, assigner_factory=assigner_factory
+                    )
+                    runs.append(run)
+                    space_peak = max(space_peak, run.space_words_peak)
+                    passes_total += run.passes_used
+            med = median([run.estimate for run in runs])
+            accepted = cfg.t_hint is not None or med >= t_guess / 2.0
+            rounds.append(
+                GuessRound(t_guess=t_guess, runs=runs, median_estimate=med, accepted=accepted)
+            )
+            final_plan = plan
+            estimate = med
+            if accepted:
+                return EstimateResult(
+                    estimate=med,
+                    rounds=rounds,
+                    space_words_peak=space_peak,
+                    passes_total=passes_total,
+                    final_plan=final_plan,
+                )
+
+        if cfg.t_hint is not None:  # pragma: no cover - hint rounds always accept
+            raise EstimationError("hinted round did not record a result")
+        # All guesses rejected: consistent with a (near-)triangle-free graph.
+        return EstimateResult(
+            estimate=0.0 if estimate < 1.0 else estimate,
+            rounds=rounds,
+            space_words_peak=space_peak,
+            passes_total=passes_total,
+            final_plan=final_plan,
+        )

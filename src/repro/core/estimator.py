@@ -1,0 +1,240 @@
+"""Section 5: Algorithm 2 - the six-pass triangle estimator.
+
+One invocation of :func:`run_single_estimate` produces one sample of the
+random variable ``X`` from Algorithm 2 line 13.  The pass layout matches
+Theorem 5.1's six passes:
+
+====  =====================================================================
+pass  work
+====  =====================================================================
+1     sample ``r`` i.i.d. uniform edges ``R`` (with replacement; the stream
+      length ``m`` is known, so the i.i.d. sample is drawn by pre-selecting
+      ``r`` uniform positions and collecting them in one sweep)
+2     compute the degree of every endpoint of ``R`` by streaming counters
+      (at most ``2r`` of them), giving ``d_e = min(d_u, d_v)`` per edge
+ -    (offline) resolve ``ell`` from the realized ``d_R`` (Lemma 5.7) and
+      draw ``ell`` indices of ``R`` proportional to ``d_e``
+3     for each draw, sample ``w`` uniformly from ``N(e)`` - a single-item
+      reservoir over the sub-stream of edges incident to the lower-degree
+      endpoint of ``e``
+4     check which wedges ``{e, w}`` close triangles by watching for the one
+      missing edge of each wedge
+5-6   :class:`~repro.core.assignment.StreamingAssigner` resolves
+      ``Assignment(tau)`` for all distinct candidate triangles (Section 5.1);
+      skipped entirely when pass 4 found no triangles
+====  =====================================================================
+
+The estimate is ``X = (m / r) * d_R * Y`` with ``Y`` the fraction of draws
+whose triangle was assigned to the drawn edge (Algorithm 2 line 13).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sampling.discrete import CumulativeSampler
+from ..sampling.reservoir import SingleItemReservoir
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle
+from .assignment import Assigner, StreamingAssigner
+from .params import ParameterPlan
+
+AssignerFactory = Callable[[ParameterPlan, random.Random, SpaceMeter], Assigner]
+
+
+@dataclass(frozen=True)
+class SinglePassStackResult:
+    """Diagnostics of one Algorithm 2 invocation.
+
+    ``estimate`` is the sample of ``X``; the remaining fields expose the
+    run's internals for the experiment harness (realized ``d_R``, resolved
+    ``ell``, how many wedges closed, how many closed wedges were assigned to
+    the drawn edge, pass count, and peak space).
+    """
+
+    estimate: float
+    r: int
+    ell: int
+    d_r: float
+    wedges_closed: int
+    assigned_hits: int
+    distinct_candidate_triangles: int
+    passes_used: int
+    space_words_peak: int
+
+
+def run_single_estimate(
+    stream: EdgeStream,
+    plan: ParameterPlan,
+    rng: random.Random,
+    meter: Optional[SpaceMeter] = None,
+    assigner_factory: Optional[AssignerFactory] = None,
+) -> SinglePassStackResult:
+    """Run Algorithm 2 once and return one sample of ``X`` with diagnostics.
+
+    Parameters
+    ----------
+    stream:
+        The input edge stream (length must equal ``plan.num_edges``).
+    plan:
+        Resolved parameters (see :class:`~repro.core.params.ParameterPlan`).
+    rng:
+        Randomness for all sampling steps.
+    meter:
+        Space meter to charge; a fresh unlimited one is created if omitted.
+    assigner_factory:
+        Builds the ``IsAssigned`` implementation; defaults to the streaming
+        Algorithm 3.  Tests inject :class:`~repro.core.assignment.ExactAssigner`
+        here to isolate Algorithm 2's error from Algorithm 3's.
+    """
+    meter = meter if meter is not None else SpaceMeter()
+    m = len(stream)
+    if m != plan.num_edges:
+        raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
+    scheduler = PassScheduler(stream, max_passes=6)
+    if assigner_factory is None:
+        assigner: Assigner = StreamingAssigner(plan, rng, meter)
+    else:
+        assigner = assigner_factory(plan, rng, meter)
+
+    sampled_edges = _pass1_uniform_sample(scheduler, plan.r, m, rng, meter)
+    vertex_degree = _pass2_degrees(scheduler, sampled_edges, meter)
+    edge_degree = {
+        e: min(vertex_degree[e[0]], vertex_degree[e[1]]) for e in set(sampled_edges)
+    }
+
+    weights = [float(edge_degree[e]) for e in sampled_edges]
+    d_r = sum(weights)
+    ell = plan.ell(d_r)
+    sampler = CumulativeSampler(weights)
+    draw_slots = sampler.draw_many(rng, ell)
+    draws = [sampled_edges[slot] for slot in draw_slots]
+    meter.allocate(2 * ell, "draws")
+
+    owners = [_neighborhood_owner(e, vertex_degree) for e in draws]
+    apexes = _pass3_neighbor_samples(scheduler, owners, rng, meter)
+    candidates = _pass4_closure_check(scheduler, draws, owners, apexes, meter)
+
+    distinct = {t for t in candidates if t is not None}
+    assignment: Dict[Triangle, Optional[Edge]] = (
+        assigner.assign(scheduler, distinct) if distinct else {}
+    )
+
+    hits = 0
+    for edge, triangle in zip(draws, candidates):
+        if triangle is not None and assignment.get(triangle) == edge:
+            hits += 1
+    y = hits / ell
+    estimate = (m / plan.r) * d_r * y
+
+    return SinglePassStackResult(
+        estimate=estimate,
+        r=plan.r,
+        ell=ell,
+        d_r=d_r,
+        wedges_closed=sum(1 for t in candidates if t is not None),
+        assigned_hits=hits,
+        distinct_candidate_triangles=len(distinct),
+        passes_used=scheduler.passes_used,
+        space_words_peak=meter.peak_words,
+    )
+
+
+def _neighborhood_owner(e: Edge, vertex_degree: Dict[Vertex, int]) -> Vertex:
+    """Owner of ``N(e)``: the lower-degree endpoint (Section 3 convention).
+
+    ``N(e) = N(u)`` if ``d_u < d_v``, else ``N(v)`` - so ties go to the
+    canonical second endpoint, exactly as in the paper's definition.
+    """
+    u, v = e
+    return u if vertex_degree[u] < vertex_degree[v] else v
+
+
+def _pass1_uniform_sample(
+    scheduler: PassScheduler, r: int, m: int, rng: random.Random, meter: SpaceMeter
+) -> List[Edge]:
+    """Pass 1: collect ``r`` i.i.d. uniform stream positions (with replacement)."""
+    slots_by_position: Dict[int, List[int]] = {}
+    for slot in range(r):
+        position = rng.randrange(m)
+        slots_by_position.setdefault(position, []).append(slot)
+    sampled: List[Optional[Edge]] = [None] * r
+    meter.allocate(2 * r, "R")
+    for position, edge in enumerate(scheduler.new_pass()):
+        for slot in slots_by_position.get(position, ()):
+            sampled[slot] = edge
+    assert all(e is not None for e in sampled)
+    return sampled  # type: ignore[return-value]
+
+
+def _pass2_degrees(
+    scheduler: PassScheduler, sampled_edges: List[Edge], meter: SpaceMeter
+) -> Dict[Vertex, int]:
+    """Pass 2: stream-count degrees of all endpoints of ``R``."""
+    tracked: Dict[Vertex, int] = {}
+    for u, v in sampled_edges:
+        tracked[u] = 0
+        tracked[v] = 0
+    meter.allocate(len(tracked), "degrees")
+    for a, b in scheduler.new_pass():
+        if a in tracked:
+            tracked[a] += 1
+        if b in tracked:
+            tracked[b] += 1
+    return tracked
+
+
+def _pass3_neighbor_samples(
+    scheduler: PassScheduler,
+    owners: List[Vertex],
+    rng: random.Random,
+    meter: SpaceMeter,
+) -> List[Optional[Vertex]]:
+    """Pass 3: per draw, a uniform member of the owner's neighborhood."""
+    reservoirs = [SingleItemReservoir(rng) for _ in owners]
+    by_owner: Dict[Vertex, List[int]] = {}
+    for i, owner in enumerate(owners):
+        by_owner.setdefault(owner, []).append(i)
+    meter.allocate(len(owners) + len(by_owner), "neighbor-reservoirs")
+    for a, b in scheduler.new_pass():
+        for i in by_owner.get(a, ()):
+            reservoirs[i].offer(b)
+        for i in by_owner.get(b, ()):
+            reservoirs[i].offer(a)
+    return [res.sample() for res in reservoirs]
+
+
+def _pass4_closure_check(
+    scheduler: PassScheduler,
+    draws: List[Edge],
+    owners: List[Vertex],
+    apexes: List[Optional[Vertex]],
+    meter: SpaceMeter,
+) -> List[Optional[Triangle]]:
+    """Pass 4: resolve which wedges ``{e, w}`` close into triangles.
+
+    For draw ``i`` with edge ``(u, v)`` and apex ``w`` sampled from the
+    owner's neighborhood, the only missing edge is (other endpoint, ``w``);
+    a watch table detects it in one pass.  Returns the closed triangle per
+    draw, or ``None``.
+    """
+    watch: Dict[Edge, List[int]] = {}
+    wedges: List[Optional[Triangle]] = [None] * len(draws)
+    for i, ((u, v), owner, w) in enumerate(zip(draws, owners, apexes)):
+        if w is None:
+            continue
+        other = v if owner == u else u
+        if w == other:
+            continue  # sampled the edge's own endpoint; not a wedge
+        wedges[i] = canonical_triangle(u, v, w)
+        watch.setdefault(canonical_edge(other, w), []).append(i)
+    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
+    closed = [False] * len(draws)
+    for edge in scheduler.new_pass():
+        for i in watch.get(edge, ()):
+            closed[i] = True
+    return [wedges[i] if closed[i] else None for i in range(len(draws))]

@@ -1,0 +1,217 @@
+"""Section 4: the abstract model with a free degree oracle, and Algorithm 1.
+
+The warm-up model grants the algorithm a *degree oracle*: queried with a
+vertex, it returns the vertex's degree, at zero space cost.  Algorithm 1
+(``IdealEstimator``) then runs in three passes:
+
+1. sample an edge ``e`` with probability ``d_e / d_E`` - implemented with
+   Chao's weighted reservoir, querying the oracle for ``d_e = min(d_u, d_v)``
+   as each edge arrives;
+2. sample ``w`` uniformly from ``N(e)`` (the neighborhood of the lower-degree
+   endpoint);
+3. check whether ``{e, w}`` forms a triangle, and if it does, apply the
+   assignment rule (the Section 4 suggestion: assign every triangle "to the
+   edge with lowest degree, breaking ties arbitrarily (but consistently)" -
+   with a free oracle this costs no passes).
+
+Each copy outputs ``X = d_E * Y``; the unbiasedness ``E[X] = T`` and the
+variance bound ``Var[X] <= d_E * T`` from Section 4 hold for *any* unique
+full assignment, so the min-degree rule suffices here.  Experiment E7
+verifies both properties empirically.
+
+Many copies run in parallel over the same three passes; the final estimate
+is the median of means (Section 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParameterError
+from ..graph.adjacency import Graph
+from ..sampling.combine import median_of_means
+from ..sampling.reservoir import SingleItemReservoir
+from ..sampling.weighted import WeightedReservoir
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle, triangle_edges
+
+
+class DegreeOracle:
+    """The free degree oracle of the Section 4 abstract model.
+
+    Built from the ground-truth graph (the model grants the queries for
+    free, so *how* the oracle knows the degrees is outside the model).
+    Query counts are recorded so experiments can report them - the paper
+    notes its Section 4 estimator makes ``2m`` oracle queries.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._degrees: Dict[Vertex, int] = graph.degrees()
+        self._queries = 0
+
+    @property
+    def queries(self) -> int:
+        """Number of degree queries served so far."""
+        return self._queries
+
+    def degree(self, v: Vertex) -> int:
+        """Return ``d_v``; unknown vertices have degree 0 (isolated)."""
+        self._queries += 1
+        return self._degrees.get(v, 0)
+
+    def edge_degree(self, e: Edge) -> int:
+        """Return ``d_e = min(d_u, d_v)`` (two queries)."""
+        u, v = e
+        return min(self.degree(u), self.degree(v))
+
+    def neighborhood_owner(self, e: Edge) -> Vertex:
+        """Return the endpoint defining ``N(e)`` (Section 3 convention)."""
+        u, v = e
+        return u if self.degree(u) < self.degree(v) else v
+
+
+def min_degree_edge_assignment(oracle: DegreeOracle, triangle: Triangle) -> Edge:
+    """Section 4's assignment rule: the triangle's minimum-``d_e`` edge.
+
+    Ties are broken by canonical edge order, making the rule consistent
+    across invocations as the paper requires.
+    """
+    return min(triangle_edges(triangle), key=lambda e: (oracle.edge_degree(e), e))
+
+
+@dataclass(frozen=True)
+class IdealEstimatorResult:
+    """Outcome of one :class:`IdealEstimator` run.
+
+    ``estimate`` is the median-of-means combination; ``raw_estimates`` holds
+    every copy's ``X`` value (used by E7 to measure bias and variance);
+    ``d_e_sum`` is the exact ``d_E`` accumulated during pass 1.
+    """
+
+    estimate: float
+    raw_estimates: List[float]
+    d_e_sum: float
+    passes_used: int
+    oracle_queries: int
+    space_words_peak: int
+
+
+class IdealEstimator:
+    """Algorithm 1, run as ``copies`` parallel instances over three passes.
+
+    Parameters
+    ----------
+    oracle:
+        The free degree oracle.
+    copies:
+        Number of independent basic estimators (the paper needs
+        ``O~(d_E / T)`` of them for a ``(1 +- eps)`` estimate).
+    median_groups:
+        Number of groups for the median-of-means combiner; must divide
+        ``copies``.
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(
+        self,
+        oracle: DegreeOracle,
+        copies: int,
+        rng: random.Random,
+        median_groups: int = 1,
+    ) -> None:
+        if copies < 1:
+            raise ParameterError(f"copies must be >= 1, got {copies}")
+        if median_groups < 1 or copies % median_groups != 0:
+            raise ParameterError(
+                f"median_groups ({median_groups}) must divide copies ({copies})"
+            )
+        self._oracle = oracle
+        self._copies = copies
+        self._groups = median_groups
+        self._rng = rng
+
+    def estimate(self, stream: EdgeStream, meter: Optional[SpaceMeter] = None) -> IdealEstimatorResult:
+        """Run the three passes and return the combined estimate."""
+        meter = meter if meter is not None else SpaceMeter()
+        scheduler = PassScheduler(stream, max_passes=3)
+
+        # Pass 1: one weighted reservoir per copy; free degree queries give
+        # each arriving edge its weight d_e.
+        reservoirs = [
+            WeightedReservoir[Edge](self._rng, meter, category="weighted-reservoir")
+            for _ in range(self._copies)
+        ]
+        d_e_sum = 0.0
+        for edge in scheduler.new_pass():
+            w = float(self._oracle.edge_degree(edge))
+            d_e_sum += w
+            for res in reservoirs:
+                res.offer(edge, w)
+        # All reservoirs observed the same total weight; record once.
+        sampled: List[Optional[Edge]] = [res.sample() for res in reservoirs]
+
+        # Pass 2: uniform neighbor of the lower-degree endpoint, per copy.
+        owners: List[Optional[Vertex]] = [
+            self._oracle.neighborhood_owner(e) if e is not None else None for e in sampled
+        ]
+        neighbor_res: List[SingleItemReservoir[Vertex]] = [
+            SingleItemReservoir(self._rng, meter, category="neighbor-reservoir")
+            for _ in range(self._copies)
+        ]
+        by_owner: Dict[Vertex, List[int]] = {}
+        for i, x in enumerate(owners):
+            if x is not None:
+                by_owner.setdefault(x, []).append(i)
+        meter.allocate(len(by_owner), "owner-index")
+        for a, b in scheduler.new_pass():
+            for i in by_owner.get(a, ()):
+                neighbor_res[i].offer(b)
+            for i in by_owner.get(b, ()):
+                neighbor_res[i].offer(a)
+
+        # Pass 3: watch for the single closing edge of each copy's wedge.
+        closing: Dict[Edge, List[int]] = {}
+        candidates: List[Optional[Triangle]] = [None] * self._copies
+        for i, e in enumerate(sampled):
+            if e is None:
+                continue
+            w = neighbor_res[i].sample()
+            if w is None:
+                continue
+            u, v = e
+            owner = owners[i]
+            other = v if owner == u else u
+            if w == other:
+                continue  # the "neighbor" is the edge's own endpoint; no wedge
+            candidates[i] = canonical_triangle(u, v, w)
+            closing.setdefault(canonical_edge(other, w), []).append(i)
+        meter.allocate(2 * len(closing), "closing-watch")
+        found = [False] * self._copies
+        for edge in scheduler.new_pass():
+            for i in closing.get(edge, ()):
+                found[i] = True
+
+        # Resolve Y per copy and combine.
+        raw: List[float] = []
+        for i in range(self._copies):
+            y = 0.0
+            triangle = candidates[i]
+            if triangle is not None and found[i] and sampled[i] is not None:
+                assigned_to = min_degree_edge_assignment(self._oracle, triangle)
+                if assigned_to == sampled[i]:
+                    y = 1.0
+            raw.append(d_e_sum * y)
+        estimate = median_of_means(raw, self._groups)
+        return IdealEstimatorResult(
+            estimate=estimate,
+            raw_estimates=raw,
+            d_e_sum=d_e_sum,
+            passes_used=scheduler.passes_used,
+            oracle_queries=self._oracle.queries,
+            space_words_peak=meter.peak_words,
+        )

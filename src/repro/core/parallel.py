@@ -1,0 +1,305 @@
+"""Running many Algorithm 2 instances in parallel over six shared passes.
+
+The paper's model runs all of its independent basic estimators *in
+parallel*: Theorem 5.1's "six passes" covers the entire ensemble, and the
+space bound covers the sum of all copies.  The sequential driver loop
+(6 passes per repetition) is statistically identical but inflates the pass
+count by the repetition factor; this module restores the paper's
+accounting: :func:`run_parallel_estimates` executes ``k`` independent
+instances over exactly six shared passes.
+
+Sharing rules (what may be shared without breaking independence):
+
+* **the degree table** (pass 2) is shared - degrees are deterministic
+  functions of the stream, so every instance reading the same table is
+  exact, not a statistical shortcut;
+* **everything random** (pass-1 positions, the ``d_e``-proportional draws,
+  neighbor reservoirs, assignment sample bundles) is kept strictly
+  per-instance, driven by that instance's own RNG - instances remain
+  mutually independent, as the median-of-runs combiner requires.
+
+The assignment stage is a multi-instance replication of
+:class:`~repro.core.assignment.StreamingAssigner` (same two passes, same
+cutoffs), with bundles keyed by ``(instance, vertex)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..sampling.discrete import CumulativeSampler
+from ..sampling.reservoir import SingleItemReservoir
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle, triangle_edges
+from .assignment import _Bundle
+from .estimator import SinglePassStackResult, _neighborhood_owner
+from .params import ParameterPlan
+
+_DrawKey = Tuple[int, int]  # (instance, draw index)
+
+
+def run_parallel_estimates(
+    stream: EdgeStream,
+    plan: ParameterPlan,
+    rngs: List[random.Random],
+    meter: Optional[SpaceMeter] = None,
+) -> List[SinglePassStackResult]:
+    """Run ``len(rngs)`` independent Algorithm 2 instances in six passes.
+
+    Returns one :class:`SinglePassStackResult` per instance; every result
+    reports the *shared* pass count (at most 6) and the ensemble's peak
+    space (the paper's accounting - parallel copies coexist in memory).
+    """
+    meter = meter if meter is not None else SpaceMeter()
+    k = len(rngs)
+    if k < 1:
+        raise ValueError("need at least one instance")
+    m = len(stream)
+    if m != plan.num_edges:
+        raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
+    scheduler = PassScheduler(stream, max_passes=6)
+
+    sampled = _pass1(scheduler, plan.r, m, rngs, meter)
+    degree = _pass2(scheduler, sampled, meter)
+
+    draws: List[List[Edge]] = []
+    owners: List[List[Vertex]] = []
+    ells: List[int] = []
+    d_rs: List[float] = []
+    for j in range(k):
+        weights = [float(min(degree[u], degree[v])) for u, v in sampled[j]]
+        d_r = sum(weights)
+        ell = plan.ell(d_r)
+        sampler = CumulativeSampler(weights)
+        slots = sampler.draw_many(rngs[j], ell)
+        instance_draws = [sampled[j][slot] for slot in slots]
+        draws.append(instance_draws)
+        owners.append([_neighborhood_owner(e, degree) for e in instance_draws])
+        ells.append(ell)
+        d_rs.append(d_r)
+        meter.allocate(2 * ell, "draws")
+
+    apexes = _pass3(scheduler, owners, rngs, meter)
+    candidates = _pass4(scheduler, draws, owners, apexes, meter)
+
+    distinct_by_instance: List[set] = [
+        {t for t in candidates[j] if t is not None} for j in range(k)
+    ]
+    assignments = _passes5and6_assign(
+        scheduler, plan, rngs, distinct_by_instance, meter
+    )
+
+    results: List[SinglePassStackResult] = []
+    for j in range(k):
+        hits = 0
+        for edge, triangle in zip(draws[j], candidates[j]):
+            if triangle is not None and assignments[j].get(triangle) == edge:
+                hits += 1
+        y = hits / ells[j]
+        estimate = (m / plan.r) * d_rs[j] * y
+        results.append(
+            SinglePassStackResult(
+                estimate=estimate,
+                r=plan.r,
+                ell=ells[j],
+                d_r=d_rs[j],
+                wedges_closed=sum(1 for t in candidates[j] if t is not None),
+                assigned_hits=hits,
+                distinct_candidate_triangles=len(distinct_by_instance[j]),
+                passes_used=scheduler.passes_used,
+                space_words_peak=meter.peak_words,
+            )
+        )
+    return results
+
+
+def _pass1(
+    scheduler: PassScheduler,
+    r: int,
+    m: int,
+    rngs: List[random.Random],
+    meter: SpaceMeter,
+) -> List[List[Edge]]:
+    """Pass 1: r i.i.d. uniform edges per instance, one shared sweep."""
+    k = len(rngs)
+    slots_by_position: Dict[int, List[_DrawKey]] = {}
+    for j in range(k):
+        for slot in range(r):
+            position = rngs[j].randrange(m)
+            slots_by_position.setdefault(position, []).append((j, slot))
+    sampled: List[List[Optional[Edge]]] = [[None] * r for _ in range(k)]
+    meter.allocate(2 * r * k, "R")
+    for position, edge in enumerate(scheduler.new_pass()):
+        for j, slot in slots_by_position.get(position, ()):
+            sampled[j][slot] = edge
+    assert all(e is not None for inst in sampled for e in inst)
+    return sampled  # type: ignore[return-value]
+
+
+def _pass2(
+    scheduler: PassScheduler,
+    sampled: List[List[Edge]],
+    meter: SpaceMeter,
+) -> Dict[Vertex, int]:
+    """Pass 2: one shared degree table for all endpoints of all instances."""
+    tracked: Dict[Vertex, int] = {}
+    for instance in sampled:
+        for u, v in instance:
+            tracked[u] = 0
+            tracked[v] = 0
+    meter.allocate(len(tracked), "degrees")
+    for a, b in scheduler.new_pass():
+        if a in tracked:
+            tracked[a] += 1
+        if b in tracked:
+            tracked[b] += 1
+    return tracked
+
+
+def _pass3(
+    scheduler: PassScheduler,
+    owners: List[List[Vertex]],
+    rngs: List[random.Random],
+    meter: SpaceMeter,
+) -> List[List[Optional[Vertex]]]:
+    """Pass 3: per-draw uniform neighbor reservoirs, all instances at once."""
+    reservoirs: Dict[_DrawKey, SingleItemReservoir] = {}
+    by_owner: Dict[Vertex, List[_DrawKey]] = {}
+    for j, instance_owners in enumerate(owners):
+        for i, owner in enumerate(instance_owners):
+            reservoirs[(j, i)] = SingleItemReservoir(rngs[j])
+            by_owner.setdefault(owner, []).append((j, i))
+    meter.allocate(len(reservoirs) + len(by_owner), "neighbor-reservoirs")
+    for a, b in scheduler.new_pass():
+        for key in by_owner.get(a, ()):
+            reservoirs[key].offer(b)
+        for key in by_owner.get(b, ()):
+            reservoirs[key].offer(a)
+    return [
+        [reservoirs[(j, i)].sample() for i in range(len(owners[j]))]
+        for j in range(len(owners))
+    ]
+
+
+def _pass4(
+    scheduler: PassScheduler,
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
+    meter: SpaceMeter,
+) -> List[List[Optional[Triangle]]]:
+    """Pass 4: shared closure watch across all instances."""
+    watch: Dict[Edge, List[_DrawKey]] = {}
+    wedges: List[List[Optional[Triangle]]] = [
+        [None] * len(draws[j]) for j in range(len(draws))
+    ]
+    for j in range(len(draws)):
+        for i, ((u, v), owner, w) in enumerate(zip(draws[j], owners[j], apexes[j])):
+            if w is None:
+                continue
+            other = v if owner == u else u
+            if w == other:
+                continue
+            wedges[j][i] = canonical_triangle(u, v, w)
+            watch.setdefault(canonical_edge(other, w), []).append((j, i))
+    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
+    closed: Dict[_DrawKey, bool] = {}
+    for edge in scheduler.new_pass():
+        for key in watch.get(edge, ()):
+            closed[key] = True
+    return [
+        [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
+        for j in range(len(draws))
+    ]
+
+
+def _passes5and6_assign(
+    scheduler: PassScheduler,
+    plan: ParameterPlan,
+    rngs: List[random.Random],
+    distinct_by_instance: List[set],
+    meter: SpaceMeter,
+) -> List[Dict[Triangle, Optional[Edge]]]:
+    """Passes 5-6: Algorithm 3 for every instance, sharing the two passes.
+
+    Bundles and estimates are per (instance, vertex/edge) - instances stay
+    independent; only the passes are shared.  Skipped entirely (0 passes)
+    when no instance found any triangle.
+    """
+    k = len(rngs)
+    if not any(distinct_by_instance):
+        return [{} for _ in range(k)]
+    s = plan.s
+
+    edges_by_instance: List[List[Edge]] = [
+        sorted({f for t in distinct for f in triangle_edges(t)})
+        for distinct in distinct_by_instance
+    ]
+
+    # Pass 5: degrees (shared table) + per-(instance, vertex) sample bundles.
+    bundles: Dict[Tuple[int, Vertex], _Bundle] = {}
+    degree: Dict[Vertex, int] = {}
+    by_vertex: Dict[Vertex, List[Tuple[int, _Bundle]]] = {}
+    for j in range(k):
+        for f in edges_by_instance[j]:
+            for endpoint in f:
+                degree[endpoint] = 0
+                key = (j, endpoint)
+                if key not in bundles:
+                    bundle = _Bundle(s)
+                    bundles[key] = bundle
+                    by_vertex.setdefault(endpoint, []).append((j, bundle))
+    meter.allocate(s * len(bundles), "assignment-reservoirs")
+    meter.allocate(len(degree), "assignment-degrees")
+    for a, b in scheduler.new_pass():
+        if a in degree:
+            degree[a] += 1
+            count = degree[a]
+            for j, bundle in by_vertex[a]:
+                bundle.offer(b, count, rngs[j])
+        if b in degree:
+            degree[b] += 1
+            count = degree[b]
+            for j, bundle in by_vertex[b]:
+                bundle.offer(a, count, rngs[j])
+
+    # Pass 6: closure watch per (instance, edge).
+    watch: Dict[Edge, List[Tuple[int, Edge]]] = {}
+    estimates: List[Dict[Edge, float]] = [dict() for _ in range(k)]
+    for j in range(k):
+        for f in edges_by_instance[j]:
+            u, v = f
+            d_f = min(degree[u], degree[v])
+            if d_f > plan.degree_cutoff:
+                estimates[j][f] = float("inf")
+                continue
+            estimates[j][f] = 0.0
+            owner = u if degree[u] < degree[v] else v
+            other = v if owner == u else u
+            for w in bundles[(j, owner)].slots:
+                if w is None or w == other:
+                    continue
+                watch.setdefault(canonical_edge(other, w), []).append((j, f))
+    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch")
+    hits: Dict[Tuple[int, Edge], int] = {}
+    for edge in scheduler.new_pass():
+        for key in watch.get(edge, ()):
+            hits[key] = hits.get(key, 0) + 1
+    for j in range(k):
+        for f in edges_by_instance[j]:
+            if estimates[j][f] != float("inf"):
+                u, v = f
+                estimates[j][f] = min(degree[u], degree[v]) * hits.get((j, f), 0) / s
+
+    # Resolve per instance with the canonical tie-break.
+    out: List[Dict[Triangle, Optional[Edge]]] = []
+    for j in range(k):
+        resolved: Dict[Triangle, Optional[Edge]] = {}
+        for t in sorted(distinct_by_instance[j]):
+            best = min(triangle_edges(t), key=lambda f: (estimates[j][f], f))
+            resolved[t] = None if estimates[j][best] > plan.assignment_cutoff else best
+        out.append(resolved)
+    return out

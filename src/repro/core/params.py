@@ -1,0 +1,189 @@
+"""Parameter plans for Algorithm 2 and Algorithm 3.
+
+The paper fixes its sample sizes in three places:
+
+* Lemma 5.5: ``r = (c / eps^2) * log(n) * m * tau_max / T`` uniform edges in
+  pass 1, where ``tau_max <= kappa / eps`` by Definition 5.2(3);
+* Lemma 5.7: ``ell = (c / eps^2) * log(n) * m * d_R / (r * T)`` degree-
+  proportional draws from ``R``;
+* Theorem 5.13: ``s = (c / eps^2) * log(n) * m * kappa / T`` neighbor samples
+  per edge inside ``Assignment``, plus the two thresholds
+
+  - *degree cutoff* ``m * kappa^2 / (eps^2 * T)``: edges above it get
+    ``Y_e = infinity`` (Algorithm 3 line 9),
+  - *assignment cutoff* ``kappa / (2 * eps)``: a triangle whose minimum
+    estimate exceeds it is left unassigned (Algorithm 3 line 18).
+
+With the paper's constants (``c > 6``, ``c > 20``, ``c > 60``) these sizes
+are astronomically conservative - correct but useless on a laptop.  The
+library therefore supports two regimes with identical functional forms:
+
+* ``theory``: the paper's formulas verbatim (including ``log n`` and the
+  stated constants);
+* ``practical``: the same formulas with small tunable constants and no
+  ``log n`` factor (the ``log n`` is an artifact of union-bounding to
+  ``1/poly(n)`` failure probability; the experiments drive failure
+  probability down with median-of-repetitions instead).
+
+Both regimes preserve the *scaling* in ``m * kappa / T``, which is what the
+experiments measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PlanConstants:
+    """Leading constants of the three sample-size formulas.
+
+    The theory regime uses the smallest constants permitted by the lemmas
+    (``c_r > 6``, ``c_ell > 20``, ``c_s > 60``); the practical regime uses
+    small constants tuned so that laptop-scale runs concentrate well.
+    """
+
+    c_r: float
+    c_ell: float
+    c_s: float
+
+    THEORY: "PlanConstants" = None  # type: ignore[assignment]  # set below
+    PRACTICAL: "PlanConstants" = None  # type: ignore[assignment]  # set below
+
+    def __post_init__(self) -> None:
+        if min(self.c_r, self.c_ell, self.c_s) <= 0:
+            raise ParameterError("plan constants must be positive")
+
+
+# The lemmas require c > 6 (Lemma 5.5), c > 20 (Lemma 5.7), c > 60 (Thm 5.13).
+PlanConstants.THEORY = PlanConstants(c_r=7.0, c_ell=21.0, c_s=61.0)
+PlanConstants.PRACTICAL = PlanConstants(c_r=3.0, c_ell=3.0, c_s=3.0)
+
+
+@dataclass(frozen=True)
+class ParameterPlan:
+    """A fully resolved parameter set for one Algorithm 2 run.
+
+    Attributes
+    ----------
+    epsilon:
+        Target relative accuracy of this run.
+    num_vertices, num_edges, kappa, t_guess:
+        The instance parameters the plan was derived from.  ``t_guess`` is
+        the current guess for ``T`` (driver supplies it; Corollary 3.2 caps
+        the first guess at ``2 * m * kappa``).
+    r:
+        Pass-1 uniform sample size (edges, with replacement).
+    s:
+        Per-edge neighbor samples inside Algorithm 3.
+    degree_cutoff:
+        ``m * kappa^2 / (eps^2 * T)`` - Algorithm 3 line 9 threshold.
+    assignment_cutoff:
+        ``kappa / (2 * eps)`` - Algorithm 3 line 18 threshold.
+    mode:
+        ``"theory"`` or ``"practical"`` (informational).
+    """
+
+    epsilon: float
+    num_vertices: int
+    num_edges: int
+    kappa: int
+    t_guess: float
+    r: int
+    s: int
+    degree_cutoff: float
+    assignment_cutoff: float
+    mode: str
+    c_ell: float
+    log_factor: float
+
+    def ell(self, d_r: float) -> int:
+        """Pass-dependent draw count ``ell`` (Lemma 5.7).
+
+        ``d_R = sum_{e in R} d_e`` is only known after pass 2, so ``ell`` is
+        resolved per run: ``ell = (c / eps^2) * log-factor * m * d_R / (r * T)``.
+        """
+        if d_r < 0:
+            raise ParameterError(f"d_R must be non-negative, got {d_r}")
+        raw = self.c_ell * self.log_factor * self.num_edges * d_r / (
+            self.r * self.t_guess * self.epsilon * self.epsilon
+        )
+        # Clamped for the same reason as ``r`` (see :meth:`build`): past a few
+        # stream-lengths' worth of draws, exact counting would be cheaper.
+        return min(max(8, math.ceil(raw)), max(8, 4 * self.num_edges))
+
+    @property
+    def predicted_space_words(self) -> float:
+        """The headline bound this plan should realize: ``O(m * kappa / T)``
+        up to the plan's constants and log factor (used for sanity plots)."""
+        return self.num_edges * self.kappa / self.t_guess
+
+    @staticmethod
+    def _validate(num_vertices: int, num_edges: int, kappa: int, t_guess: float, epsilon: float) -> None:
+        if num_vertices < 1:
+            raise ParameterError(f"num_vertices must be >= 1, got {num_vertices}")
+        if num_edges < 1:
+            raise ParameterError(f"num_edges must be >= 1, got {num_edges}")
+        if kappa < 1:
+            raise ParameterError(f"kappa must be >= 1, got {kappa}")
+        if t_guess <= 0:
+            raise ParameterError(f"t_guess must be positive, got {t_guess}")
+        if not 0 < epsilon < 1:
+            raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+
+    @classmethod
+    def build(
+        cls,
+        num_vertices: int,
+        num_edges: int,
+        kappa: int,
+        t_guess: float,
+        epsilon: float,
+        mode: str = "practical",
+        constants: PlanConstants | None = None,
+    ) -> "ParameterPlan":
+        """Resolve a plan for the given instance parameters.
+
+        ``mode="theory"`` applies the paper's formulas with the ``log n``
+        factor and Lemma-mandated constants; ``mode="practical"`` drops the
+        log factor and uses :attr:`PlanConstants.PRACTICAL` (or the supplied
+        ``constants``).
+        """
+        cls._validate(num_vertices, num_edges, kappa, t_guess, epsilon)
+        if mode not in ("theory", "practical"):
+            raise ParameterError(f"mode must be 'theory' or 'practical', got {mode!r}")
+        if constants is None:
+            constants = PlanConstants.THEORY if mode == "theory" else PlanConstants.PRACTICAL
+        log_factor = max(1.0, math.log(max(2, num_vertices))) if mode == "theory" else 1.0
+        eps_sq = epsilon * epsilon
+
+        # Lemma 5.5 with tau_max bounded by kappa / eps (Definition 5.2(3)).
+        tau_max_bound = kappa / epsilon if mode == "theory" else float(kappa)
+        r_raw = constants.c_r * log_factor * num_edges * tau_max_bound / (t_guess * eps_sq)
+        # Beyond ~4m samples the run would store (a multiset as large as) the
+        # whole stream, at which point exact counting is cheaper; clamping
+        # keeps degenerate guesses from exhausting memory without affecting
+        # any regime where the algorithm is supposed to win.
+        r = min(max(8, math.ceil(r_raw)), max(8, 4 * num_edges))
+
+        # Theorem 5.13.
+        s_raw = constants.c_s * log_factor * num_edges * kappa / (t_guess * eps_sq)
+        s = min(max(4, math.ceil(s_raw)), max(4, 4 * num_edges))
+
+        return cls(
+            epsilon=epsilon,
+            num_vertices=num_vertices,
+            num_edges=num_edges,
+            kappa=kappa,
+            t_guess=t_guess,
+            r=r,
+            s=s,
+            degree_cutoff=num_edges * kappa * kappa / (eps_sq * t_guess),
+            assignment_cutoff=kappa / (2 * epsilon),
+            mode=mode,
+            c_ell=constants.c_ell,
+            log_factor=log_factor,
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the common failure modes (malformed graph input, stream
+protocol misuse, infeasible estimator parameters, exhausted space budget).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph input.
+
+    Examples: self-loops, negative vertex ids, duplicate edges passed to a
+    builder configured to reject them, or queries about vertices that are not
+    present in the graph.
+    """
+
+
+class StreamError(ReproError):
+    """Raised when the streaming protocol is violated.
+
+    Examples: opening a new pass while another pass is still being consumed,
+    exceeding a declared pass budget, or reading from a closed stream.
+    """
+
+
+class PassBudgetExceeded(StreamError):
+    """Raised when an algorithm opens more passes than its declared budget."""
+
+
+class SpaceBudgetExceeded(ReproError):
+    """Raised when a :class:`repro.streams.space.SpaceMeter` with a hard
+    budget observes an allocation beyond that budget.
+
+    The paper converts expected-space guarantees into worst-case guarantees by
+    aborting once space exceeds a constant multiple of the expectation
+    (Section 3); this exception is the abort signal.
+    """
+
+
+class ParameterError(ReproError):
+    """Raised for infeasible or inconsistent estimator parameters.
+
+    Examples: ``epsilon`` outside ``(0, 1)``, a non-positive triangle-count
+    guess, or a degeneracy bound smaller than 1.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when an estimator cannot produce an estimate.
+
+    Example: the geometric guessing loop in the driver exhausting all guesses
+    without stabilizing (which indicates the graph has no triangles at all or
+    the configuration is pathological).
+    """

@@ -1,0 +1,64 @@
+"""Workload generators.
+
+Every generator returns a :class:`~repro.graph.adjacency.Graph` and is fully
+deterministic given its RNG.  The families mirror the graph classes the
+paper uses to motivate and stress its result:
+
+* :mod:`~repro.generators.basic` - wheel (the paper's polylog-space
+  showcase), book/friendship (the paper's variance worst case: ``n - 2``
+  triangles sharing one edge), cycles, cliques, bipartite cliques;
+* :mod:`~repro.generators.planar` - grid triangulations (planar, hence
+  constant degeneracy);
+* :mod:`~repro.generators.preferential` - Barabasi-Albert preferential
+  attachment (the paper's named constant-degeneracy random family);
+* :mod:`~repro.generators.random_graphs` - Erdos-Renyi and Chung-Lu
+  power-law (stand-ins for real-world social graphs; see DESIGN.md
+  substitutions);
+* :mod:`~repro.generators.small_world` - Watts-Strogatz (high clustering at
+  low degeneracy, cited in the paper's "high triangle density" discussion);
+* :mod:`~repro.generators.planted` - planted-triangle families with
+  independently tunable ``T`` and ``kappa`` (used by the crossover
+  experiment E4);
+* :mod:`~repro.generators.workloads` - the named suite benchmarks iterate.
+"""
+
+from .basic import (
+    book_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    friendship_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from .planar import grid_graph, triangulated_grid_graph
+from .preferential import barabasi_albert_graph
+from .random_graphs import chung_lu_graph, erdos_renyi_gnm, erdos_renyi_gnp
+from .rmat import rmat_graph
+from .small_world import watts_strogatz_graph
+from .planted import planted_triangles_graph
+from .workloads import Workload, standard_suite, workload_by_name
+
+__all__ = [
+    "wheel_graph",
+    "book_graph",
+    "friendship_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "grid_graph",
+    "triangulated_grid_graph",
+    "barabasi_albert_graph",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "chung_lu_graph",
+    "rmat_graph",
+    "watts_strogatz_graph",
+    "planted_triangles_graph",
+    "Workload",
+    "standard_suite",
+    "workload_by_name",
+]

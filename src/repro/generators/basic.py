@@ -1,0 +1,110 @@
+"""Deterministic structured graphs.
+
+These small closed-form families have exactly known ``(n, m, T, kappa)``,
+which makes them the backbone of the unit tests and of two experiments:
+
+* :func:`wheel_graph` - the paper's Section 1.1 showcase: ``m = Theta(n)``,
+  ``T = Theta(n)``, ``kappa = 3``, so the paper's bound is polylogarithmic
+  while every prior bound is ``Omega(sqrt(n))`` (experiment E3);
+* :func:`book_graph` - the paper's Section 1.2 variance worst case:
+  ``n - 2`` triangles all sharing one spine edge, planar, ``t_e`` maximally
+  skewed (experiment E6 exercises the assignment rule here).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.adjacency import Graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n >= 1`` vertices ``0 - 1 - ... - (n-1)``; no triangles."""
+    if n < 1:
+        raise GraphError(f"path needs n >= 1, got {n}")
+    return Graph(edges=((i, i + 1) for i in range(n - 1)), vertices=range(n))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices; triangle-free for ``n > 3``."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    return Graph(edges=((i, (i + 1) % n) for i in range(n)))
+
+
+def star_graph(n: int) -> Graph:
+    """Star: center ``0`` joined to leaves ``1..n-1``; ``n >= 2``, no triangles."""
+    if n < 2:
+        raise GraphError(f"star needs n >= 2, got {n}")
+    return Graph(edges=((0, i) for i in range(1, n)))
+
+
+def wheel_graph(n: int) -> Graph:
+    """Wheel: an ``(n-1)``-cycle plus a hub (vertex ``0``) joined to all.
+
+    Requires ``n >= 4``.  Facts used by experiment E3: ``m = 2(n-1)``,
+    ``T = n - 1`` (each rim edge forms one triangle with the hub; for
+    ``n = 4`` the wheel is ``K_4`` with ``T = 4``), ``kappa = 3`` (planar
+    and 3-degenerate).
+    """
+    if n < 4:
+        raise GraphError(f"wheel needs n >= 4, got {n}")
+    rim = n - 1
+    edges = [(0, i) for i in range(1, n)]
+    edges += [(i, i % rim + 1) for i in range(1, n)]
+    return Graph(edges=edges)
+
+
+def book_graph(pages: int) -> Graph:
+    """Triangle book: ``pages`` triangles sharing the spine edge ``(0, 1)``.
+
+    Requires ``pages >= 1``.  The spine edge has ``t_e = pages`` while every
+    page edge has ``t_e = 1`` - the paper's example of maximal ``t_e``
+    variance at constant degeneracy (``kappa = 2``, planar).
+    ``n = pages + 2``, ``m = 2 * pages + 1``, ``T = pages``.
+    """
+    if pages < 1:
+        raise GraphError(f"book needs pages >= 1, got {pages}")
+    edges = [(0, 1)]
+    for p in range(pages):
+        apex = 2 + p
+        edges.append((0, apex))
+        edges.append((1, apex))
+    return Graph(edges=edges)
+
+
+def friendship_graph(blades: int) -> Graph:
+    """Friendship (windmill): ``blades`` triangles sharing one vertex.
+
+    Requires ``blades >= 1``.  ``n = 2 * blades + 1``, ``m = 3 * blades``,
+    ``T = blades``, ``kappa = 2``.  Unlike the book graph, the skew here is
+    on a *vertex*, not an edge - every edge has ``t_e = 1`` - so it is the
+    control case showing the assignment rule is only stressed by edge skew.
+    """
+    if blades < 1:
+        raise GraphError(f"friendship needs blades >= 1, got {blades}")
+    edges = []
+    for b in range(blades):
+        u, v = 1 + 2 * b, 2 + 2 * b
+        edges += [(0, u), (0, v), (u, v)]
+    return Graph(edges=edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique ``K_n`` (``n >= 1``): ``T = C(n, 3)``, ``kappa = n - 1``."""
+    if n < 1:
+        raise GraphError(f"complete graph needs n >= 1, got {n}")
+    return Graph(
+        edges=((i, j) for i in range(n) for j in range(i + 1, n)), vertices=range(n)
+    )
+
+
+def complete_bipartite_graph(p: int, q: int) -> Graph:
+    """``K_{p,q}`` with parts ``0..p-1`` and ``p..p+q-1``; triangle-free.
+
+    This is the fixed part ``G_fixed`` of the Theorem 6.3 lower-bound
+    construction (with ``p = q``), where its triangle-freeness and
+    degeneracy ``min(p, q)`` are what the reduction leans on.
+    """
+    if p < 1 or q < 1:
+        raise GraphError(f"complete bipartite needs p, q >= 1, got ({p}, {q})")
+    return Graph(edges=((i, p + j) for i in range(p) for j in range(q)))

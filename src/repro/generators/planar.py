@@ -1,0 +1,49 @@
+"""Planar workloads: grids and triangulated grids.
+
+Planar graphs are the paper's first example of a constant-degeneracy class
+(every planar graph is 5-degenerate).  The triangulated grid adds one
+diagonal per grid cell, producing ``2 * (rows-1) * (cols-1)`` triangles
+while staying planar - a large-``T``, tiny-``kappa`` family where the
+paper's bound shines.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graph.adjacency import Graph
+
+
+def _cell(rows: int, cols: int, r: int, c: int) -> int:
+    return r * cols + c
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` lattice; triangle-free, ``kappa = 2`` (for 2x2+)."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs positive dimensions, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = _cell(rows, cols, r, c)
+            if c + 1 < cols:
+                edges.append((v, _cell(rows, cols, r, c + 1)))
+            if r + 1 < rows:
+                edges.append((v, _cell(rows, cols, r + 1, c)))
+    return Graph(edges=edges, vertices=range(rows * cols))
+
+
+def triangulated_grid_graph(rows: int, cols: int) -> Graph:
+    """The grid plus one down-right diagonal per cell.
+
+    Planar, ``kappa = 3``; ``T = 2 * (rows - 1) * (cols - 1)`` exactly (each
+    cell's diagonal creates two triangles and no others arise).  The family
+    keeps ``T = Theta(m)`` at constant degeneracy - the regime where the
+    paper's space bound is polylogarithmic.
+    """
+    if rows < 2 or cols < 2:
+        raise GraphError(f"triangulated grid needs >= 2x2, got {rows}x{cols}")
+    graph = grid_graph(rows, cols)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            graph.add_edge_unchecked(_cell(rows, cols, r, c), _cell(rows, cols, r + 1, c + 1))
+    return graph

@@ -1,0 +1,100 @@
+"""Planted-triangle families with independently tunable ``T`` and ``kappa``.
+
+Experiment E4 (the ``T = kappa^2`` crossover between ``m*kappa/T`` and
+``m/sqrt(T)``) needs workloads where the triangle count sweeps over orders
+of magnitude while ``m`` and ``kappa`` stay (nearly) fixed.  The
+construction: start from a triangle-free base (a large even cycle), then
+plant ``T`` disjoint "page" triangles onto dedicated spine edges plus a
+controllable clique to raise ``kappa`` when asked.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import GraphError
+from ..graph.adjacency import Graph
+
+
+def planted_triangles_graph(
+    base_edges: int,
+    triangles: int,
+    kappa_clique: int = 0,
+    kappa_bipartite: int = 0,
+    rng: random.Random | None = None,
+) -> Graph:
+    """Build a graph with exactly ``triangles`` triangles (plus clique ones).
+
+    Parameters
+    ----------
+    base_edges:
+        Size of the triangle-free cycle backbone (must be >= 4 and even to
+        stay triangle-free; odd values are rounded up).  Contributes
+        ``base_edges`` edges and 0 triangles.
+    triangles:
+        Number of disjoint planted triangles: each uses a fresh apex vertex
+        attached to a distinct backbone edge, adding 2 edges and exactly 1
+        triangle (apexes are distinct, and distinct backbone host edges keep
+        the planted triangles edge-disjoint except for their hosts).
+        Requires ``triangles <= base_edges`` so each host edge is used once.
+    kappa_clique:
+        If > 0, appends a disjoint clique on ``kappa_clique + 1`` fresh
+        vertices, forcing degeneracy ``max(kappa_clique, 2 or 3)`` and
+        adding ``C(kappa_clique + 1, 3)`` extra triangles (callers that want
+        ``T`` exact should account for them via
+        :func:`planted_clique_triangles`).
+    kappa_bipartite:
+        If > 0, appends a disjoint complete bipartite ``K_{b,b}`` with
+        ``b = kappa_bipartite`` on fresh vertices: forces degeneracy
+        ``>= b`` while adding *zero* triangles - the knob experiment E4
+        uses to push ``kappa^2`` above ``T``.
+    rng:
+        Optional; when provided, backbone host edges are chosen at random
+        instead of consecutively (shape is identical, placement differs).
+    """
+    if base_edges < 4:
+        raise GraphError(f"base_edges must be >= 4, got {base_edges}")
+    if triangles < 0:
+        raise GraphError(f"triangles must be >= 0, got {triangles}")
+    n_cycle = base_edges + (base_edges % 2)  # even cycle is triangle-free
+    if triangles > n_cycle:
+        raise GraphError(
+            f"cannot plant {triangles} triangles on a cycle of {n_cycle} edges"
+        )
+    graph = Graph(edges=((i, (i + 1) % n_cycle) for i in range(n_cycle)))
+
+    hosts = list(range(n_cycle))
+    if rng is not None:
+        rng.shuffle(hosts)
+    next_vertex = n_cycle
+    for t in range(triangles):
+        i = hosts[t]
+        u, v = i, (i + 1) % n_cycle
+        apex = next_vertex
+        next_vertex += 1
+        graph.add_edge_unchecked(u, apex)
+        graph.add_edge_unchecked(v, apex)
+
+    if kappa_clique > 0:
+        clique = range(next_vertex, next_vertex + kappa_clique + 1)
+        for a in clique:
+            for b in clique:
+                if a < b:
+                    graph.add_edge_unchecked(a, b)
+        next_vertex += kappa_clique + 1
+
+    if kappa_bipartite > 0:
+        left = range(next_vertex, next_vertex + kappa_bipartite)
+        right = range(next_vertex + kappa_bipartite, next_vertex + 2 * kappa_bipartite)
+        for a in left:
+            for b in right:
+                graph.add_edge_unchecked(a, b)
+    return graph
+
+
+def planted_clique_triangles(kappa_clique: int) -> int:
+    """Triangles contributed by the optional clique: ``C(kappa_clique+1, 3)``."""
+    if kappa_clique <= 0:
+        return 0
+    c = kappa_clique + 1
+    return c * (c - 1) * (c - 2) // 6

@@ -1,0 +1,136 @@
+"""Random graph families: Erdos-Renyi and Chung-Lu power law.
+
+The Chung-Lu model is the library's stand-in for real-world social graphs
+(see DESIGN.md "Substitutions"): with a power-law weight sequence it
+reproduces the two properties the paper's practical argument relies on -
+low degeneracy and non-trivial triangle density - without needing external
+datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import GraphError
+from ..graph.adjacency import Graph
+
+
+def erdos_renyi_gnp(n: int, p: float, rng: random.Random) -> Graph:
+    """``G(n, p)``: each of the ``C(n, 2)`` edges present independently w.p. ``p``.
+
+    Uses the skip-sampling (geometric jump) technique so the running time is
+    ``O(n + m)`` rather than ``O(n^2)`` for sparse ``p``.
+    """
+    if n < 1:
+        raise GraphError(f"G(n,p) needs n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    graph = Graph(vertices=range(n))
+    if p == 0.0 or n < 2:
+        return graph
+    if p == 1.0:
+        for i in range(n):
+            for j in range(i + 1, n):
+                graph.add_edge_unchecked(i, j)
+        return graph
+    # Enumerate candidate pairs in row-major order, jumping geometrically.
+    import math
+
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge_unchecked(v, w)
+    return graph
+
+
+def erdos_renyi_gnm(n: int, m: int, rng: random.Random) -> Graph:
+    """``G(n, m)``: a uniform simple graph with exactly ``m`` edges."""
+    if n < 1:
+        raise GraphError(f"G(n,m) needs n >= 1, got {n}")
+    max_edges = n * (n - 1) // 2
+    if not 0 <= m <= max_edges:
+        raise GraphError(f"m must be in [0, {max_edges}] for n={n}, got {m}")
+    graph = Graph(vertices=range(n))
+    chosen: set[tuple[int, int]] = set()
+    # Rejection sampling is fine until m approaches max_edges; switch to
+    # explicit enumeration for dense requests.
+    if m > max_edges // 2:
+        all_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for u, v in rng.sample(all_pairs, m):
+            graph.add_edge_unchecked(u, v)
+        return graph
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = (u, v) if u < v else (v, u)
+        if e in chosen:
+            continue
+        chosen.add(e)
+        graph.add_edge_unchecked(*e)
+    return graph
+
+
+def power_law_weights(n: int, exponent: float, max_weight: float) -> List[float]:
+    """Expected-degree sequence ``w_i ~ i^{-1/(exponent-1)}`` capped at ``max_weight``.
+
+    The classic Chung-Lu recipe for a power law with the given ``exponent``
+    (> 2 for finite mean).
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if exponent <= 2.0:
+        raise GraphError(f"power-law exponent must exceed 2, got {exponent}")
+    gamma = 1.0 / (exponent - 1.0)
+    return [min(max_weight, (n / (i + 1)) ** gamma) for i in range(n)]
+
+
+def chung_lu_graph(weights: List[float], rng: random.Random) -> Graph:
+    """Chung-Lu random graph: edge ``(i, j)`` present w.p. ``min(1, w_i w_j / W)``.
+
+    Implemented with the Miller-Hagberg efficient procedure: vertices sorted
+    by weight descending, each row sampled with geometric skips against the
+    row's maximum probability and accepted proportionally, giving expected
+    ``O(n + m)`` time.
+    """
+    import math
+
+    n = len(weights)
+    if n < 1:
+        raise GraphError("weights must be non-empty")
+    if any(w < 0 for w in weights):
+        raise GraphError("weights must be non-negative")
+    total = sum(weights)
+    graph = Graph(vertices=range(n))
+    if total <= 0:
+        return graph
+    order = sorted(range(n), key=lambda i: -weights[i])
+    sorted_w = [weights[i] for i in order]
+    for i in range(n - 1):
+        wi = sorted_w[i]
+        if wi <= 0:
+            break
+        # Upper-bound probability for this row: the next-largest weight.
+        p_row = min(1.0, wi * sorted_w[i + 1] / total)
+        if p_row <= 0:
+            continue
+        j = i + 1
+        while j < n:
+            if p_row < 1.0:
+                r = rng.random()
+                j += int(math.log(1.0 - r) / math.log(1.0 - p_row))
+            if j >= n:
+                break
+            p_actual = min(1.0, wi * sorted_w[j] / total)
+            if rng.random() < p_actual / p_row:
+                graph.add_edge_unchecked(order[i], order[j])
+            j += 1
+    return graph

@@ -1,0 +1,86 @@
+"""R-MAT (recursive matrix / stochastic Kronecker) graphs.
+
+The paper's practical argument targets "massive real-world graphs" - web
+crawls and social networks.  R-MAT (Chakrabarti-Zhan-Faloutsos) is the
+standard synthetic stand-in for those: recursive quadrant sampling with
+probabilities ``(a, b, c, d)`` produces the skewed degree distributions
+and community-like structure of web graphs, and with the canonical
+parameters its degeneracy stays far below the maximum degree - the
+separation the paper's bound exploits.  Listed as a substitution in
+DESIGN.md alongside Chung-Lu and Barabasi-Albert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..errors import GraphError
+from ..graph.adjacency import Graph
+from ..types import canonical_edge
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int,
+    rng: random.Random,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    max_attempts_factor: int = 64,
+) -> Graph:
+    """Sample an R-MAT graph with ``2^scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        ``log2`` of the vertex count (``1 <= scale <= 24`` supported here).
+    edge_factor:
+        Target edges per vertex; the generator draws distinct undirected
+        non-loop edges until it has ``edge_factor * 2^scale`` of them (or
+        exhausts ``max_attempts_factor`` times that many draws - dense or
+        tiny configurations may saturate earlier, which is reported by the
+        resulting edge count, never silently padded).
+    rng:
+        Source of randomness.
+    probabilities:
+        The quadrant probabilities ``(a, b, c, d)``; must be non-negative
+        and sum to 1 (small float slack tolerated and renormalized).  The
+        default is the Graph500 parameterization.
+    """
+    if not 1 <= scale <= 24:
+        raise GraphError(f"scale must be in [1, 24], got {scale}")
+    if edge_factor < 1:
+        raise GraphError(f"edge_factor must be >= 1, got {edge_factor}")
+    a, b, c, d = probabilities
+    if min(a, b, c, d) < 0:
+        raise GraphError(f"quadrant probabilities must be non-negative, got {probabilities}")
+    total = a + b + c + d
+    if not 0.99 <= total <= 1.01:
+        raise GraphError(f"quadrant probabilities must sum to ~1, got {total}")
+    a, b, c, d = a / total, b / total, c / total, d / total
+
+    n = 1 << scale
+    target = edge_factor * n
+    max_pairs = n * (n - 1) // 2
+    target = min(target, max_pairs)
+    edges: set = set()
+    attempts = 0
+    attempt_budget = max_attempts_factor * target
+    while len(edges) < target and attempts < attempt_budget:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            if r < a:
+                quadrant = (0, 0)
+            elif r < a + b:
+                quadrant = (0, 1)
+            elif r < a + b + c:
+                quadrant = (1, 0)
+            else:
+                quadrant = (1, 1)
+            u = (u << 1) | quadrant[0]
+            v = (v << 1) | quadrant[1]
+        if u == v:
+            continue
+        edges.add(canonical_edge(u, v))
+    return Graph(edges=sorted(edges), vertices=range(n))

@@ -1,0 +1,72 @@
+"""Static graph substrate: adjacency structure, degeneracy, exact triangles.
+
+This package is the "ground truth" layer.  The streaming estimators never see
+a :class:`~repro.graph.adjacency.Graph`; they consume
+:class:`~repro.streams.base.EdgeStream` objects.  The graph layer exists to
+
+* generate workloads (together with :mod:`repro.generators`),
+* compute exact quantities that the paper's analysis refers to
+  (degeneracy ``kappa``, exact triangle count ``T``, per-edge triangle
+  counts ``t_e``, ``d_E = sum_e d_e``), and
+* validate the estimators in tests and benchmarks.
+"""
+
+from .adjacency import Graph
+from .builder import GraphBuilder
+from .degeneracy import CoreDecomposition, core_decomposition, degeneracy, degeneracy_ordering
+from .properties import (
+    clustering_coefficients,
+    degree_histogram,
+    edge_degree,
+    edge_degree_sum,
+    global_clustering_coefficient,
+    wedge_count,
+)
+from .triangles import (
+    TriangleStatistics,
+    count_triangles,
+    count_triangles_node_iterator,
+    enumerate_triangles,
+    min_te_assignment,
+    per_edge_triangle_counts,
+    per_vertex_triangle_counts,
+    triangle_statistics,
+    triangles_through_edge,
+)
+from .arboricity import arboricity_bounds, nash_williams_lower_bound
+from .connectivity import (
+    component_sizes,
+    connected_components,
+    giant_component_fraction,
+    is_connected,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "CoreDecomposition",
+    "core_decomposition",
+    "degeneracy",
+    "degeneracy_ordering",
+    "edge_degree",
+    "edge_degree_sum",
+    "wedge_count",
+    "degree_histogram",
+    "clustering_coefficients",
+    "global_clustering_coefficient",
+    "TriangleStatistics",
+    "count_triangles",
+    "count_triangles_node_iterator",
+    "enumerate_triangles",
+    "per_edge_triangle_counts",
+    "per_vertex_triangle_counts",
+    "triangles_through_edge",
+    "triangle_statistics",
+    "min_te_assignment",
+    "arboricity_bounds",
+    "nash_williams_lower_bound",
+    "connected_components",
+    "component_sizes",
+    "is_connected",
+    "giant_component_fraction",
+]

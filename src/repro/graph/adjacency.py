@@ -1,0 +1,195 @@
+"""Adjacency-set graph representation.
+
+:class:`Graph` is an immutable-after-construction simple undirected graph
+backed by one hash set per vertex.  It is the reference representation used
+by generators, exact counters, and validation; streaming algorithms never
+hold a full :class:`Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+from ..errors import GraphError
+from ..types import Edge, Vertex, canonical_edge
+
+
+class Graph:
+    """A simple undirected graph with integer vertices.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of vertex pairs.  Pairs are canonicalized; duplicates and
+        self-loops raise :class:`~repro.errors.GraphError`.
+    vertices:
+        Optional extra isolated vertices to include beyond edge endpoints.
+
+    Notes
+    -----
+    The constructor is O(m).  Neighbor queries, degree queries, and edge
+    membership tests are O(1) expected.
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[int, int]] = (),
+        vertices: Iterable[int] = (),
+    ) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._m = 0
+        for v in vertices:
+            if v < 0:
+                raise GraphError(f"negative vertex id {v}")
+            self._adj.setdefault(v, set())
+        for u, v in edges:
+            self.add_edge_unchecked(u, v)
+
+    # -- construction ------------------------------------------------------
+
+    def add_edge_unchecked(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)``; raises on duplicates and self-loops.
+
+        Named "unchecked" because it bypasses any builder-level policy (see
+        :class:`~repro.graph.builder.GraphBuilder`), not because it skips
+        structural validation.
+        """
+        a, b = canonical_edge(u, v)
+        nbrs = self._adj.setdefault(a, set())
+        if b in nbrs:
+            raise GraphError(f"duplicate edge ({a}, {b})")
+        nbrs.add(b)
+        self._adj.setdefault(b, set()).add(a)
+        self._m += 1
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (including isolated vertices)."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._m
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices in insertion order."""
+        return iter(self._adj)
+
+    def has_vertex(self, v: int) -> bool:
+        """Return whether ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether the undirected edge ``(u, v)`` is present."""
+        if u == v:
+            return False
+        nbrs = self._adj.get(u)
+        return nbrs is not None and v in nbrs
+
+    def degree(self, v: int) -> int:
+        """Return the degree of vertex ``v``.
+
+        Raises :class:`~repro.errors.GraphError` for unknown vertices, since
+        silently returning 0 has historically masked generator bugs.
+        """
+        try:
+            return len(self._adj[v])
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+
+    def neighbors(self, v: int) -> Set[Vertex]:
+        """Return the neighbor set of ``v`` (a live view; do not mutate)."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise GraphError(f"vertex {v} not in graph") from None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges in canonical form, each exactly once."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[Edge]:
+        """Return all edges as a sorted list (deterministic order)."""
+        return sorted(self.edges())
+
+    def degrees(self) -> Dict[Vertex, int]:
+        """Return a fresh ``{vertex: degree}`` mapping."""
+        return {v: len(nbrs) for v, nbrs in self._adj.items()}
+
+    def max_degree(self) -> int:
+        """Return the maximum degree (0 for an empty/edgeless graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    # -- derived graphs ----------------------------------------------------
+
+    def induced_subgraph(self, keep: Iterable[int]) -> "Graph":
+        """Return the subgraph induced by the vertex set ``keep``."""
+        keep_set = set(keep)
+        sub = Graph(vertices=(v for v in keep_set if v in self._adj))
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge_unchecked(u, v)
+        return sub
+
+    def subgraph_of_edges(self, edges: Iterable[Edge]) -> "Graph":
+        """Return the subgraph formed by a subset of this graph's edges.
+
+        Raises :class:`~repro.errors.GraphError` if any requested edge is not
+        present in this graph.
+        """
+        sub = Graph()
+        for u, v in edges:
+            if not self.has_edge(u, v):
+                raise GraphError(f"edge ({u}, {v}) not in graph")
+            sub.add_edge_unchecked(u, v)
+        return sub
+
+    def relabeled(self, mapping: Dict[int, int]) -> "Graph":
+        """Return a copy with vertices renamed through ``mapping``.
+
+        Every vertex must appear in ``mapping`` and the mapping must be
+        injective (checked).
+        """
+        values = list(mapping.values())
+        if len(set(values)) != len(values):
+            raise GraphError("relabel mapping is not injective")
+        out = Graph(vertices=(mapping[v] for v in self._adj))
+        for u, v in self.edges():
+            out.add_edge_unchecked(mapping[u], mapping[v])
+        return out
+
+    def copy(self) -> "Graph":
+        """Return a deep copy."""
+        out = Graph(vertices=self._adj)
+        for u, v in self.edges():
+            out.add_edge_unchecked(u, v)
+        return out
+
+    # -- dunder ------------------------------------------------------------
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:  # Graphs are mutable during construction.
+        raise TypeError("Graph objects are unhashable")

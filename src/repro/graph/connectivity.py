@@ -1,0 +1,69 @@
+"""Connected components (iterative BFS).
+
+Workload characterization needs component structure: a generator bug that
+leaves a workload disconnected in surprising ways (e.g. a planted gadget
+accidentally isolated) changes what an experiment measures.  The E0 table
+and the suite tests use these helpers as tripwires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from .adjacency import Graph
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Return the vertex sets of all connected components.
+
+    Components are listed largest-first (ties by smallest member); each
+    component's vertices are sorted.  Iterative BFS - no recursion-depth
+    hazards on path-like graphs.
+    """
+    seen: set[int] = set()
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        queue = deque([start])
+        seen.add(start)
+        members = [start]
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if w not in seen:
+                    seen.add(w)
+                    members.append(w)
+                    queue.append(w)
+        components.append(sorted(members))
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return components
+
+
+def component_sizes(graph: Graph) -> List[int]:
+    """Component sizes, largest first."""
+    return [len(c) for c in connected_components(graph)]
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one component (empty graphs count as
+    connected by convention)."""
+    return len(connected_components(graph)) <= 1
+
+
+def giant_component_fraction(graph: Graph) -> float:
+    """Fraction of vertices in the largest component (0.0 for empty)."""
+    sizes = component_sizes(graph)
+    if not sizes:
+        return 0.0
+    return sizes[0] / graph.num_vertices
+
+
+def component_labels(graph: Graph) -> Dict[int, int]:
+    """Map each vertex to its component index (in largest-first order)."""
+    labels: Dict[int, int] = {}
+    for index, component in enumerate(connected_components(graph)):
+        for v in component:
+            labels[v] = index
+    return labels

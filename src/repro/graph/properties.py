@@ -1,0 +1,107 @@
+"""Scalar and per-element graph properties used by the paper's analysis.
+
+The central quantity is the *edge degree* ``d_e = min(d_u, d_v)`` and its sum
+``d_E = sum_e d_e``, which Lemma 3.1 (Chiba-Nishizeki) bounds by ``2 m kappa``.
+Wedge counts and clustering coefficients are needed by the Jha-Seshadhri-
+Pinar baseline and by the workload characterization tables in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Tuple
+
+from ..errors import GraphError
+from ..types import Edge, canonical_edge
+from .adjacency import Graph
+
+
+def edge_degree(graph: Graph, edge: Edge) -> int:
+    """Return ``d_e = min(d_u, d_v)`` for ``edge = (u, v)`` (Section 3)."""
+    u, v = edge
+    return min(graph.degree(u), graph.degree(v))
+
+
+def edge_neighborhood_owner(graph: Graph, edge: Edge) -> int:
+    """Return the endpoint whose neighborhood defines ``N(e)``.
+
+    Per Section 3: ``N(e) = N(u)`` if ``d_u < d_v`` else ``N(v)``.  Ties go
+    to the higher-id endpoint, matching the paper's "otherwise" branch where
+    ``N(e) = N(v)`` when ``d_u >= d_v``.
+    """
+    u, v = canonical_edge(*edge)
+    if not graph.has_edge(u, v):
+        raise GraphError(f"edge ({u}, {v}) not in graph")
+    return u if graph.degree(u) < graph.degree(v) else v
+
+
+def edge_degree_sum(graph: Graph) -> int:
+    """Return ``d_E = sum_{e in E} d_e``.
+
+    Lemma 3.1 guarantees ``d_E <= 2 m kappa``; benchmark E5 verifies this
+    inequality empirically across all workload families.
+    """
+    return sum(edge_degree(graph, e) for e in graph.edges())
+
+
+def wedge_count(graph: Graph) -> int:
+    """Return the number of wedges (paths of length two), ``sum_v C(d_v, 2)``."""
+    return sum(d * (d - 1) // 2 for d in graph.degrees().values())
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Return ``{degree: number of vertices with that degree}``."""
+    return dict(Counter(graph.degrees().values()))
+
+
+def clustering_coefficients(graph: Graph) -> Dict[int, float]:
+    """Return the local clustering coefficient of every vertex.
+
+    ``c_v = (triangles through v) / C(d_v, 2)``; vertices of degree < 2 get
+    coefficient 0.0 by convention.
+    """
+    from .triangles import per_vertex_triangle_counts  # local import: avoids cycle
+
+    tri = per_vertex_triangle_counts(graph)
+    coeffs: Dict[int, float] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        wedges = d * (d - 1) // 2
+        coeffs[v] = tri[v] / wedges if wedges else 0.0
+    return coeffs
+
+
+def global_clustering_coefficient(graph: Graph) -> float:
+    """Return the transitivity ``3T / W`` (0.0 for wedge-free graphs).
+
+    This is the "high triangle density" statistic the paper cites as a
+    common property of real-world graphs (Section 1.1).
+    """
+    from .triangles import count_triangles  # local import: avoids cycle
+
+    wedges = wedge_count(graph)
+    if wedges == 0:
+        return 0.0
+    return 3 * count_triangles(graph) / wedges
+
+
+def summary(graph: Graph) -> Dict[str, float]:
+    """Return the workload-characterization row used by benchmark tables.
+
+    Keys: ``n, m, T, kappa, d_E, max_degree, wedges, transitivity``.
+    """
+    from .degeneracy import degeneracy  # local import: avoids cycle
+    from .triangles import count_triangles
+
+    t = count_triangles(graph)
+    wedges = wedge_count(graph)
+    return {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "T": t,
+        "kappa": degeneracy(graph),
+        "d_E": edge_degree_sum(graph),
+        "max_degree": graph.max_degree(),
+        "wedges": wedges,
+        "transitivity": (3 * t / wedges) if wedges else 0.0,
+    }

@@ -1,0 +1,57 @@
+"""Cross-validation of the graph substrate against networkx.
+
+networkx is intentionally quarantined to this module (and the test suite);
+no algorithm in the library imports it.  These helpers let tests and
+benchmarks assert that our from-scratch degeneracy and triangle code agrees
+with an independent, widely-trusted implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from .adjacency import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import networkx
+
+
+def to_networkx(graph: Graph) -> "networkx.Graph":
+    """Convert a :class:`Graph` to a :class:`networkx.Graph`."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    g.add_edges_from(graph.edges())
+    return g
+
+
+def from_networkx(nx_graph: "networkx.Graph") -> Graph:
+    """Convert a :class:`networkx.Graph` to a :class:`Graph`.
+
+    Vertices must be non-negative ints; self-loops are rejected by the
+    :class:`Graph` constructor.
+    """
+    return Graph(edges=nx_graph.edges(), vertices=nx_graph.nodes())
+
+
+def crosscheck_triangles(graph: Graph) -> Tuple[int, int]:
+    """Return ``(ours, networkx)`` triangle counts for ``graph``."""
+    import networkx as nx
+
+    from .triangles import count_triangles
+
+    ours = count_triangles(graph)
+    theirs = sum(nx.triangles(to_networkx(graph)).values()) // 3
+    return ours, theirs
+
+
+def crosscheck_core_numbers(graph: Graph) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Return ``(ours, networkx)`` core-number mappings for ``graph``."""
+    import networkx as nx
+
+    from .degeneracy import core_decomposition
+
+    ours = core_decomposition(graph).core_numbers
+    theirs = nx.core_number(to_networkx(graph))
+    return ours, dict(theirs)

@@ -1,0 +1,27 @@
+"""Experiment harness: run estimators on workloads, sweep, and report.
+
+The harness is the glue the benchmarks are written in:
+
+* :mod:`~repro.harness.runner` - run one algorithm on one workload and
+  collect an :class:`~repro.harness.runner.RunReport` (estimate, relative
+  error, passes, peak words, wall time);
+* :mod:`~repro.harness.sweep` - repeat/aggregate over seeds and parameter
+  grids;
+* :mod:`~repro.harness.reporting` - print the paper-style tables and
+  series (thin wrapper over :mod:`repro.analysis.tables`).
+"""
+
+from .runner import RunReport, run_baseline_on_graph, run_paper_estimator_on_graph
+from .sweep import AggregateReport, aggregate, sweep_seeds
+from .reporting import print_report_table, report_rows
+
+__all__ = [
+    "RunReport",
+    "run_paper_estimator_on_graph",
+    "run_baseline_on_graph",
+    "AggregateReport",
+    "aggregate",
+    "sweep_seeds",
+    "print_report_table",
+    "report_rows",
+]

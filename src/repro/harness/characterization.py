@@ -1,0 +1,81 @@
+"""Workload characterization: the "Table 2" every systems paper needs.
+
+Benchmarks compare algorithms *on instances*; readers need the instances'
+vital signs to interpret the comparison.  :func:`characterize` computes
+the full row for one graph, and :func:`characterize_suite` the table for
+the whole named suite - printed by ``benchmarks/bench_workloads.py`` and
+quoted in EXPERIMENTS.md.
+
+The row includes the two quantities the paper's story revolves around:
+``m*kappa/T`` (the paper's bound) and ``T / kappa^2`` (how far past the
+crossover the instance sits; > 1 means the paper's bound is the best
+known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..graph.adjacency import Graph
+from ..graph.connectivity import giant_component_fraction
+from ..graph.degeneracy import degeneracy
+from ..graph.properties import edge_degree_sum, global_clustering_coefficient
+from ..graph.triangles import count_triangles, per_edge_triangle_counts
+from ..generators.workloads import Workload, standard_suite
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """Vital signs of one experiment instance."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    triangles: int
+    kappa: int
+    kappa_promise: int
+    d_e_sum: int
+    max_degree: int
+    max_te: int
+    transitivity: float
+    giant_fraction: float
+
+    @property
+    def paper_bound(self) -> float:
+        """``m * kappa / T`` (inf for triangle-free instances)."""
+        if self.triangles == 0:
+            return float("inf")
+        return self.num_edges * self.kappa / self.triangles
+
+    @property
+    def crossover_ratio(self) -> float:
+        """``T / kappa^2``: > 1 means the paper's bound is the best known."""
+        return self.triangles / (self.kappa * self.kappa) if self.kappa else 0.0
+
+
+def characterize(graph: Graph, name: str = "", kappa_promise: int = 0) -> WorkloadCharacterization:
+    """Compute the full characterization row for one graph."""
+    te = per_edge_triangle_counts(graph)
+    return WorkloadCharacterization(
+        name=name,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        triangles=count_triangles(graph),
+        kappa=degeneracy(graph),
+        kappa_promise=kappa_promise,
+        d_e_sum=edge_degree_sum(graph),
+        max_degree=graph.max_degree(),
+        max_te=max(te.values(), default=0),
+        transitivity=global_clustering_coefficient(graph),
+        giant_fraction=giant_component_fraction(graph),
+    )
+
+
+def characterize_suite(scale: str = "small", seed: int = 0) -> List[WorkloadCharacterization]:
+    """Characterize every entry of the named workload suite."""
+    rows = []
+    for workload in standard_suite(scale):
+        graph = workload.instantiate(seed=seed)
+        rows.append(characterize(graph, name=workload.name, kappa_promise=workload.kappa_bound))
+    return rows

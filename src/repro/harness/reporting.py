@@ -1,0 +1,47 @@
+"""Paper-style table printing for aggregated experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.tables import format_table
+from .sweep import AggregateReport
+
+_HEADERS = [
+    "algorithm",
+    "workload",
+    "runs",
+    "T (exact)",
+    "median est",
+    "med |err|",
+    "max |err|",
+    "mean words",
+    "mean passes",
+    "mean sec",
+]
+
+
+def report_rows(aggregates: Sequence[AggregateReport]) -> List[List[object]]:
+    """Convert aggregates into table rows matching :data:`_HEADERS`."""
+    return [
+        [
+            a.algorithm,
+            a.workload,
+            a.runs,
+            a.exact,
+            a.median_estimate,
+            a.median_abs_error,
+            a.max_abs_error,
+            a.mean_space_words,
+            a.mean_passes,
+            a.mean_wall_seconds,
+        ]
+        for a in aggregates
+    ]
+
+
+def print_report_table(aggregates: Sequence[AggregateReport], caption: str = "") -> str:
+    """Render (and print) the standard experiment table; returns the text."""
+    text = format_table(_HEADERS, report_rows(aggregates), caption=caption or None)
+    print(text)
+    return text

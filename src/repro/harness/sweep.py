@@ -1,0 +1,65 @@
+"""Seed sweeps and aggregation.
+
+Randomized estimators are only meaningfully compared through repeated runs;
+:func:`sweep_seeds` executes a runner closure over a seed range and
+:func:`aggregate` condenses the reports into the statistics the experiment
+tables print (median absolute error, worst error, mean space, mean time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..errors import ParameterError
+from ..sampling.combine import mean, median
+from .runner import RunReport
+
+
+def sweep_seeds(run: Callable[[int], RunReport], seeds: Sequence[int]) -> List[RunReport]:
+    """Execute ``run(seed)`` for every seed, returning all reports."""
+    if not seeds:
+        raise ParameterError("sweep needs at least one seed")
+    return [run(seed) for seed in seeds]
+
+
+@dataclass(frozen=True)
+class AggregateReport:
+    """Summary statistics of a seed sweep for one (algorithm, workload)."""
+
+    algorithm: str
+    workload: str
+    runs: int
+    exact: int
+    median_estimate: float
+    median_abs_error: float
+    max_abs_error: float
+    mean_space_words: float
+    max_space_words: int
+    mean_passes: float
+    mean_wall_seconds: float
+
+
+def aggregate(reports: Sequence[RunReport]) -> AggregateReport:
+    """Condense a sweep (all for the same algorithm/workload) into one row."""
+    if not reports:
+        raise ParameterError("cannot aggregate zero reports")
+    algorithms = {r.algorithm for r in reports}
+    workloads = {r.workload for r in reports}
+    if len(algorithms) != 1 or len(workloads) != 1:
+        raise ParameterError(
+            f"aggregate expects one algorithm/workload, got {algorithms} x {workloads}"
+        )
+    return AggregateReport(
+        algorithm=reports[0].algorithm,
+        workload=reports[0].workload,
+        runs=len(reports),
+        exact=reports[0].exact,
+        median_estimate=median([r.estimate for r in reports]),
+        median_abs_error=median([r.abs_relative_error for r in reports]),
+        max_abs_error=max(r.abs_relative_error for r in reports),
+        mean_space_words=mean([float(r.space_words_peak) for r in reports]),
+        max_space_words=max(r.space_words_peak for r in reports),
+        mean_passes=mean([float(r.passes_used) for r in reports]),
+        mean_wall_seconds=mean([r.wall_seconds for r in reports]),
+    )

@@ -1,0 +1,5 @@
+"""Edge-list I/O: the bridge between files and graphs/streams."""
+
+from .edgelist import read_edgelist, write_edgelist
+
+__all__ = ["read_edgelist", "write_edgelist"]

@@ -1,0 +1,60 @@
+"""Reading and writing whitespace-separated edge-list files.
+
+The format is the SNAP-style "u v" per line with ``#`` comments.  Reading
+goes through :class:`~repro.graph.builder.GraphBuilder` so callers choose
+how to treat the dirt real files contain (duplicates, self-loops); writing
+emits canonical sorted order so files are deterministic and diff-friendly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..errors import StreamError
+from ..graph.adjacency import Graph
+from ..graph.builder import GraphBuilder
+
+
+def read_edgelist(
+    path: str | os.PathLike[str],
+    on_duplicate: str = "ignore",
+    on_self_loop: str = "ignore",
+) -> Graph:
+    """Parse an edge-list file into a :class:`Graph`.
+
+    Defaults are permissive (drop duplicates and self-loops) because that is
+    what real edge-list files need; pass ``"error"`` policies for strict
+    ingestion.  Malformed lines always raise
+    :class:`~repro.errors.StreamError` with the offending location.
+    """
+    builder = GraphBuilder(on_duplicate=on_duplicate, on_self_loop=on_self_loop)
+    path = os.fspath(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) < 2:
+                raise StreamError(f"{path}:{lineno}: expected 'u v', got {text!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise StreamError(f"{path}:{lineno}: non-integer vertex in {text!r}") from exc
+            builder.add_edge(u, v)
+    return builder.build()
+
+
+def write_edgelist(
+    graph: Graph, path: str | os.PathLike[str], header: Iterable[str] = ()
+) -> None:
+    """Write ``graph`` as a canonical sorted edge list.
+
+    ``header`` lines are emitted as ``#`` comments at the top.
+    """
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        for line in header:
+            handle.write(f"# {line}\n")
+        for u, v in graph.edge_list():
+            handle.write(f"{u} {v}\n")

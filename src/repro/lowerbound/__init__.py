@@ -1,0 +1,32 @@
+"""Section 6: the ``Omega(m * kappa / T)`` lower-bound construction.
+
+The paper proves its lower bound by reducing set-disjointness to
+triangle detection on a crafted instance family (Theorem 6.3).  A
+communication lower bound cannot be "run", but its *construction* can: this
+package builds the exact instance family and measures, empirically, that
+estimators distinguish the YES family (triangle-free) from the NO family
+(``>= p^2 q`` triangles) only when given the ``m * kappa / T`` space the
+theorem demands (experiment E8).
+
+* :mod:`~repro.lowerbound.disjointness` - promise set-disjointness
+  instances ``disj^N_R`` (both YES and NO cases);
+* :mod:`~repro.lowerbound.reduction` - the graph ``G(x, y)``: complete
+  bipartite core ``A x B`` (``|A| = |B| = p``), ``N`` blocks ``V_i`` of
+  size ``q``, Alice wiring ``V_i -> A`` when ``x_i = 1``, Bob wiring
+  ``V_i -> B`` when ``y_i = 1``;
+* :mod:`~repro.lowerbound.experiment` - the distinguishing game harness.
+"""
+
+from .disjointness import DisjointnessInstance, sample_disjointness
+from .reduction import LowerBoundInstance, build_reduction_graph, instance_parameters
+from .experiment import DistinguishingOutcome, run_distinguishing_experiment
+
+__all__ = [
+    "DisjointnessInstance",
+    "sample_disjointness",
+    "LowerBoundInstance",
+    "build_reduction_graph",
+    "instance_parameters",
+    "DistinguishingOutcome",
+    "run_distinguishing_experiment",
+]

@@ -1,0 +1,86 @@
+"""Promise set-disjointness instances (the ``disj^N_R`` problem).
+
+Alice holds ``x`` and Bob holds ``y``, both ``N``-bit strings with exactly
+``R`` ones; they must decide whether some index has ``x_i = y_i = 1``.
+Theorem 6.2 (Kalyanasundaram-Schnitger / Razborov) puts its randomized
+communication complexity at ``Omega(R)``; the paper reduces from
+``disj^N_{N/3}``.
+
+This module samples both promise cases uniformly:
+
+* **YES** (disjoint, per the paper's convention where YES maps to the
+  triangle-free graph): supports of ``x`` and ``y`` are disjoint;
+* **NO** (intersecting): the supports share at least one index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class DisjointnessInstance:
+    """One ``disj^N_R`` input pair, in support-set form.
+
+    ``alice`` and ``bob`` are the supports of ``x`` and ``y``; the promise
+    guarantees ``|alice| = |bob| = R``.  ``disjoint`` records the case.
+    """
+
+    universe: int
+    alice: FrozenSet[int]
+    bob: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if len(self.alice) != len(self.bob):
+            raise ParameterError("promise violated: |alice| != |bob|")
+        for index in self.alice | self.bob:
+            if not 0 <= index < self.universe:
+                raise ParameterError(f"index {index} outside universe [0, {self.universe})")
+
+    @property
+    def ones(self) -> int:
+        """The promise weight ``R``."""
+        return len(self.alice)
+
+    @property
+    def disjoint(self) -> bool:
+        """Whether the supports are disjoint (the YES case)."""
+        return not (self.alice & self.bob)
+
+
+def sample_disjointness(
+    universe: int, ones: int, intersecting: bool, rng: random.Random
+) -> DisjointnessInstance:
+    """Sample a uniform promise instance of the requested case.
+
+    ``intersecting=False`` requires ``2 * ones <= universe`` (two disjoint
+    supports must fit); ``intersecting=True`` requires ``ones >= 1``.
+    The intersecting case is sampled by rejection (draw until the supports
+    meet), which for the paper's regime ``ones = universe / 3`` accepts
+    almost immediately.
+    """
+    if ones < 1:
+        raise ParameterError(f"ones must be >= 1, got {ones}")
+    if ones > universe:
+        raise ParameterError(f"ones ({ones}) exceeds universe ({universe})")
+    if not intersecting and 2 * ones > universe:
+        raise ParameterError(
+            f"disjoint case needs 2*ones <= universe, got ones={ones}, universe={universe}"
+        )
+    indices = list(range(universe))
+    if not intersecting:
+        chosen = rng.sample(indices, 2 * ones)
+        return DisjointnessInstance(
+            universe=universe,
+            alice=frozenset(chosen[:ones]),
+            bob=frozenset(chosen[ones:]),
+        )
+    while True:
+        alice = frozenset(rng.sample(indices, ones))
+        bob = frozenset(rng.sample(indices, ones))
+        if alice & bob:
+            return DisjointnessInstance(universe=universe, alice=alice, bob=bob)

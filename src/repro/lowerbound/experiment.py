@@ -1,0 +1,116 @@
+"""The empirical distinguishing game for experiment E8.
+
+Theorem 6.3 says: any constant-pass algorithm distinguishing the YES family
+(triangle-free) from the NO family (``>= kappa^r`` triangles) needs
+``Omega(m * kappa / T)`` space.  The runnable consequence we test: the
+paper's own estimator, run with a space provision scaled by ``budget_factor``
+relative to its nominal ``m*kappa/T`` plan, should separate the families
+reliably at factor ``>= 1`` and degrade toward coin-flipping as the factor
+shrinks (the samples simply stop seeing the planted blocks).
+
+A *trial* samples one YES and one NO instance, runs the estimator on both,
+and scores a success when the NO estimate exceeds the detection threshold
+(half the planted count) while the YES estimate stays below it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..core.driver import EstimatorConfig, TriangleCountEstimator
+from ..core.params import PlanConstants
+from ..errors import ParameterError
+from ..rng import spawn
+from ..streams.memory import InMemoryEdgeStream
+from ..streams.transforms import shuffled
+from .disjointness import sample_disjointness
+from .reduction import LowerBoundInstance, build_reduction_graph
+
+
+@dataclass(frozen=True)
+class DistinguishingOutcome:
+    """Aggregate result of the distinguishing game at one budget factor."""
+
+    budget_factor: float
+    trials: int
+    successes: int
+    yes_estimates: List[float]
+    no_estimates: List[float]
+    space_words_peak: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials where YES and NO were classified correctly."""
+        return self.successes / self.trials
+
+
+def run_distinguishing_experiment(
+    instance: LowerBoundInstance,
+    budget_factor: float,
+    trials: int,
+    seed: int = 0,
+    epsilon: float = 0.3,
+) -> DistinguishingOutcome:
+    """Play ``trials`` rounds of the YES/NO game at one budget factor.
+
+    ``budget_factor`` scales the estimator's plan constants - factor 1 is
+    the nominal ``m*kappa/T`` provision, factor 0.1 a tenth of it, etc.
+    The estimator receives the degeneracy promise ``2 * kappa`` (valid for
+    both families per the Theorem 6.3 analysis) and a ``t_hint`` equal to
+    the planted count, exactly the promise regime of triangle-detection.
+    """
+    if budget_factor <= 0:
+        raise ParameterError(f"budget_factor must be positive, got {budget_factor}")
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    root = random.Random(seed)
+    ones = instance.universe // 3
+    planted = instance.planted_triangles
+    threshold = planted / 2.0
+
+    base = PlanConstants.PRACTICAL
+    constants = PlanConstants(
+        c_r=base.c_r * budget_factor,
+        c_ell=base.c_ell * budget_factor,
+        c_s=base.c_s * budget_factor,
+    )
+
+    yes_estimates: List[float] = []
+    no_estimates: List[float] = []
+    successes = 0
+    space_peak = 0
+    for trial in range(trials):
+        rng = spawn(root, f"trial{trial}")
+        estimates = {}
+        for case_intersecting in (False, True):
+            disj = sample_disjointness(
+                instance.universe, ones, intersecting=case_intersecting, rng=rng
+            )
+            graph = build_reduction_graph(instance, disj)
+            stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, rng))
+            config = EstimatorConfig(
+                epsilon=epsilon,
+                repetitions=3,
+                seed=rng.randrange(2 ** 31),
+                t_hint=float(planted),
+                constants=constants,
+            )
+            result = TriangleCountEstimator(config).estimate(
+                stream, kappa=2 * instance.kappa_target
+            )
+            estimates[case_intersecting] = result.estimate
+            space_peak = max(space_peak, result.space_words_peak)
+        yes_estimates.append(estimates[False])
+        no_estimates.append(estimates[True])
+        if estimates[False] < threshold <= estimates[True]:
+            successes += 1
+    return DistinguishingOutcome(
+        budget_factor=budget_factor,
+        trials=trials,
+        successes=successes,
+        yes_estimates=yes_estimates,
+        no_estimates=no_estimates,
+        space_words_peak=space_peak,
+    )

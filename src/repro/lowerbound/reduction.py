@@ -1,0 +1,140 @@
+"""The Theorem 6.3 reduction graph ``G(x, y)``.
+
+Construction (quoting the proof):
+
+* ``G_fixed``: a complete bipartite graph on parts ``A``, ``B`` with
+  ``|A| = |B| = p``;
+* ``N`` vertex blocks ``V_1 .. V_N``, each of size ``q``;
+* Alice adds all edges ``V_i x A`` for every ``i`` with ``x_i = 1``;
+* Bob adds all edges ``V_i x B`` for every ``i`` with ``y_i = 1``.
+
+Then ``G`` is triangle-free iff the supports are disjoint; an intersecting
+index contributes ``p^2 * q`` triangles (block vertex + one vertex from
+each side of the core).  Degeneracy is ``p`` in the YES case and at most
+``2p`` in the NO case (the vertex ordering ``V_1 < ... < V_N < A < B``
+witnesses both).  With ``p = kappa`` and ``q = kappa^{r-2}`` the instance
+realizes ``T = p^2 q = kappa^r`` against ``m = Theta(N p q)``, giving the
+``Omega(m * kappa / T)`` statement.
+
+Vertex numbering: ``A = [0, p)``, ``B = [p, 2p)``, block ``V_i`` occupies
+``[2p + i*q, 2p + (i+1)*q)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ParameterError
+from ..graph.adjacency import Graph
+from ..types import Edge
+from .disjointness import DisjointnessInstance
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """Derived parameters of one reduction instance (before edges exist).
+
+    ``kappa_target`` and ``exponent_r`` are the knobs of Theorem 6.3
+    (``T = kappa^r``); everything else follows from the construction.
+    """
+
+    kappa_target: int
+    exponent_r: int
+    universe: int
+    p: int
+    q: int
+
+    @property
+    def num_vertices(self) -> int:
+        """``n = 2p + N*q``."""
+        return 2 * self.p + self.universe * self.q
+
+    @property
+    def planted_triangles(self) -> int:
+        """Triangles per intersecting index: ``p^2 * q = kappa^r``."""
+        return self.p * self.p * self.q
+
+    def block_range(self, i: int) -> range:
+        """Vertex ids of block ``V_i``."""
+        if not 0 <= i < self.universe:
+            raise ParameterError(f"block index {i} outside [0, {self.universe})")
+        start = 2 * self.p + i * self.q
+        return range(start, start + self.q)
+
+    @property
+    def side_a(self) -> range:
+        """Vertex ids of part ``A``."""
+        return range(0, self.p)
+
+    @property
+    def side_b(self) -> range:
+        """Vertex ids of part ``B``."""
+        return range(self.p, 2 * self.p)
+
+
+def instance_parameters(kappa: int, exponent_r: int, universe: int) -> LowerBoundInstance:
+    """Fix ``p = kappa`` and ``q = kappa^{r-2}`` per the proof of Thm 6.3."""
+    if kappa < 1:
+        raise ParameterError(f"kappa must be >= 1, got {kappa}")
+    if exponent_r < 2:
+        raise ParameterError(f"Theorem 6.3 needs r >= 2, got {exponent_r}")
+    if universe < 3:
+        raise ParameterError(f"universe must be >= 3, got {universe}")
+    return LowerBoundInstance(
+        kappa_target=kappa,
+        exponent_r=exponent_r,
+        universe=universe,
+        p=kappa,
+        q=kappa ** (exponent_r - 2),
+    )
+
+
+def reduction_edges(
+    instance: LowerBoundInstance, disjointness: DisjointnessInstance
+) -> Iterator[Edge]:
+    """Yield the edges of ``G(x, y)`` (fixed core, then Alice's, then Bob's).
+
+    The order models the natural stream: the public core followed by each
+    player's edges - any order is fine for the algorithms (arbitrary-order
+    model), and experiments shuffle anyway.
+    """
+    if disjointness.universe != instance.universe:
+        raise ParameterError("disjointness universe does not match instance")
+    for a in instance.side_a:
+        for b in instance.side_b:
+            yield (a, b)
+    for i in sorted(disjointness.alice):
+        for v in instance.block_range(i):
+            for a in instance.side_a:
+                yield (min(a, v), max(a, v))
+    for i in sorted(disjointness.bob):
+        for v in instance.block_range(i):
+            for b in instance.side_b:
+                yield (min(b, v), max(b, v))
+
+
+def build_reduction_graph(
+    instance: LowerBoundInstance, disjointness: DisjointnessInstance
+) -> Graph:
+    """Materialize ``G(x, y)`` as a :class:`Graph` (includes all blocks as
+    vertices, so YES and NO cases have identical vertex sets)."""
+    graph = Graph(vertices=range(instance.num_vertices))
+    for u, v in reduction_edges(instance, disjointness):
+        graph.add_edge_unchecked(u, v)
+    return graph
+
+
+def expected_shape(
+    instance: LowerBoundInstance, disjointness: DisjointnessInstance
+) -> Tuple[int, int]:
+    """Return ``(m, minimum triangles)`` the construction guarantees.
+
+    ``m = p^2 + R*p*q + R*p*q`` (core + Alice + Bob); the triangle floor is
+    ``(number of intersecting indices) * p^2 * q`` (0 in the YES case).
+    """
+    p, q = instance.p, instance.q
+    r_ones = disjointness.ones
+    m = p * p + 2 * r_ones * p * q
+    intersections = len(disjointness.alice & disjointness.bob)
+    return m, intersections * instance.planted_triangles

@@ -1,0 +1,29 @@
+"""Sampling substrate: reservoirs, weighted reservoirs, discrete sampling.
+
+These are the primitives the paper's algorithms are built from:
+
+* pass 1 of Algorithm 2 needs a uniform ``k``-item reservoir over the stream
+  (:class:`~repro.sampling.reservoir.Reservoir`);
+* the Section 4 oracle model needs *weighted* reservoir sampling
+  (:class:`~repro.sampling.weighted.WeightedReservoir`, the A-Chao scheme the
+  paper cites as [16]);
+* the offline draws from ``R`` proportional to ``d_e`` need discrete
+  distribution sampling (:func:`~repro.sampling.discrete.CumulativeSampler`);
+* the final estimate aggregation needs the median-of-means combiner
+  (:func:`~repro.sampling.combine.median_of_means`).
+"""
+
+from .reservoir import Reservoir, SingleItemReservoir
+from .weighted import WeightedReservoir
+from .discrete import CumulativeSampler
+from .combine import mean, median, median_of_means
+
+__all__ = [
+    "Reservoir",
+    "SingleItemReservoir",
+    "WeightedReservoir",
+    "CumulativeSampler",
+    "median_of_means",
+    "median",
+    "mean",
+]

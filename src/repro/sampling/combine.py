@@ -1,0 +1,79 @@
+"""Estimate combination: mean, median, and median-of-means.
+
+The paper's final estimate is the "median of the mean" of many independent
+basic estimators (Section 4, citing Chakrabarti's lecture notes [15]): means
+drive the variance down by Chebyshev, the median over independent groups
+boosts the 3/4 success probability to ``1 - delta`` by Chernoff.  The group
+sizing helpers expose the standard constants so drivers can size experiments
+from ``(epsilon, delta)`` directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of central pair for even length); raises on empty."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def median_of_means(values: Sequence[float], groups: int) -> float:
+    """Split ``values`` into ``groups`` contiguous groups; median of group means.
+
+    ``len(values)`` must be divisible by ``groups`` so every mean aggregates
+    the same number of samples (unequal groups would skew the median).
+    """
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if not values:
+        raise ValueError("median_of_means of empty sequence")
+    if len(values) % groups != 0:
+        raise ValueError(f"{len(values)} values do not split evenly into {groups} groups")
+    per_group = len(values) // groups
+    group_means = [
+        mean(values[g * per_group : (g + 1) * per_group]) for g in range(groups)
+    ]
+    return median(group_means)
+
+
+def groups_for_failure_probability(delta: float) -> int:
+    """Return an odd number of median groups achieving failure prob ``delta``.
+
+    The standard bound needs ``ceil(8 * ln(1/delta))`` groups (each group's
+    mean is within tolerance with probability >= 3/4 by Chebyshev; the median
+    fails only if half the groups fail, a Chernoff event).  Rounded up to odd
+    so the median is a single group's value.
+    """
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    g = max(1, math.ceil(8 * math.log(1 / delta)))
+    return g if g % 2 == 1 else g + 1
+
+
+def samples_per_group(relative_variance: float, epsilon: float) -> int:
+    """Return the per-group sample count for a ``(1 +- epsilon)`` group mean.
+
+    ``relative_variance`` is ``Var[X] / E[X]^2`` of the basic estimator; by
+    Chebyshev, ``ceil(4 * relative_variance / epsilon^2)`` samples bring the
+    group failure probability below 1/4.
+    """
+    if relative_variance < 0:
+        raise ValueError(f"relative_variance must be non-negative, got {relative_variance}")
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    return max(1, math.ceil(4 * relative_variance / (epsilon * epsilon)))

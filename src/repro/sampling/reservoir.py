@@ -1,0 +1,132 @@
+"""Uniform reservoir sampling (Vitter's Algorithm R).
+
+Two flavours are provided:
+
+* :class:`Reservoir` - a ``k``-item *with-replacement-free* uniform sample of
+  a stream of unknown length.  After ``t`` offers, every prefix item is in
+  the reservoir with probability ``min(1, k/t)``; the final content is a
+  uniform ``k``-subset.  Used (with independent copies) for the multiset
+  ``R`` of Algorithm 2 pass 1.
+* :class:`SingleItemReservoir` - the ``k = 1`` special case with O(1) state,
+  used for the uniform-neighbor draws in passes 3 and 5 (one instance per
+  pending draw, each seeing only the sub-stream of qualifying edges).
+
+Both charge their storage to an optional
+:class:`~repro.streams.space.SpaceMeter`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, List, Optional, TypeVar
+
+from ..streams.space import SpaceMeter
+
+Item = TypeVar("Item")
+
+
+class Reservoir(Generic[Item]):
+    """Uniform ``k``-item reservoir over a stream of unknown length.
+
+    Parameters
+    ----------
+    capacity:
+        Number of items to retain (``k``).
+    rng:
+        Source of randomness.
+    meter, category:
+        Optional space meter to charge; each retained item costs
+        ``words_per_item`` words.
+    words_per_item:
+        Cost of one stored item in words (2 for an edge, 1 for a vertex id).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rng: random.Random,
+        meter: Optional[SpaceMeter] = None,
+        category: str = "reservoir",
+        words_per_item: int = 2,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._rng = rng
+        self._items: List[Item] = []
+        self._offers = 0
+        self._meter = meter
+        self._category = category
+        self._words_per_item = words_per_item
+
+    @property
+    def offers(self) -> int:
+        """Total number of items offered so far."""
+        return self._offers
+
+    @property
+    def capacity(self) -> int:
+        """The reservoir size ``k``."""
+        return self._capacity
+
+    def offer(self, item: Item) -> None:
+        """Offer one stream item (Algorithm R step)."""
+        self._offers += 1
+        if len(self._items) < self._capacity:
+            self._items.append(item)
+            if self._meter is not None:
+                self._meter.allocate(self._words_per_item, self._category)
+            return
+        j = self._rng.randrange(self._offers)
+        if j < self._capacity:
+            self._items[j] = item
+
+    def sample(self) -> List[Item]:
+        """Return the current reservoir content (size ``min(k, offers)``)."""
+        return list(self._items)
+
+
+class SingleItemReservoir(Generic[Item]):
+    """O(1)-state uniform sample of one item from a (sub-)stream.
+
+    Each call to :meth:`offer` keeps the new item with probability
+    ``1/offers``, so after the pass the held item is uniform over everything
+    offered.  This is how passes 3 and 5 of the implementation draw a uniform
+    member of ``N(e)`` without knowing ``d_e``'s endpoint neighborhood in
+    advance: the reservoir is offered every stream edge incident to the
+    neighborhood-owning endpoint.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        meter: Optional[SpaceMeter] = None,
+        category: str = "reservoir",
+        words_per_item: int = 1,
+    ) -> None:
+        self._rng = rng
+        self._item: Optional[Item] = None
+        self._offers = 0
+        self._meter = meter
+        self._category = category
+        self._words_per_item = words_per_item
+
+    @property
+    def offers(self) -> int:
+        """Total number of items offered so far."""
+        return self._offers
+
+    def offer(self, item: Item) -> None:
+        """Offer one item; it becomes the held item with probability ``1/offers``."""
+        self._offers += 1
+        if self._offers == 1:
+            self._item = item
+            if self._meter is not None:
+                self._meter.allocate(self._words_per_item, self._category)
+            return
+        if self._rng.randrange(self._offers) == 0:
+            self._item = item
+
+    def sample(self) -> Optional[Item]:
+        """Return the held item, or ``None`` if nothing was ever offered."""
+        return self._item

@@ -1,0 +1,72 @@
+"""Weighted reservoir sampling (Chao's scheme, the paper's reference [16]).
+
+:class:`WeightedReservoir` maintains one item such that, at every point of
+the stream, the held item equals item ``i`` with probability
+``w_i / sum_j w_j`` over the items offered so far.  This is exactly the
+"sample an edge with probability d_e / d_E" primitive of the Section 4
+oracle-model estimator (Algorithm 1, pass 1), where the weight of an edge is
+its degree ``d_e`` obtained from the degree oracle at arrival time.
+
+The update rule is Chao (1982): keep a running weight total ``W``; on an
+offer of weight ``w``, replace the held item with probability ``w / W``.
+A one-line induction shows the proportionality invariant is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Optional, TypeVar
+
+from ..streams.space import SpaceMeter
+
+Item = TypeVar("Item")
+
+
+class WeightedReservoir(Generic[Item]):
+    """One-item reservoir with probability proportional to item weight."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        meter: Optional[SpaceMeter] = None,
+        category: str = "weighted-reservoir",
+        words_per_item: int = 2,
+    ) -> None:
+        self._rng = rng
+        self._item: Optional[Item] = None
+        self._total_weight = 0.0
+        self._offers = 0
+        self._meter = meter
+        self._category = category
+        self._words_per_item = words_per_item
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all weights offered so far (``d_E`` after a full pass)."""
+        return self._total_weight
+
+    @property
+    def offers(self) -> int:
+        """Number of items offered so far."""
+        return self._offers
+
+    def offer(self, item: Item, weight: float) -> None:
+        """Offer ``item`` with non-negative ``weight`` (zero-weight items
+        never displace the held item and can never be returned)."""
+        if weight < 0:
+            raise ValueError(f"negative weight {weight}")
+        self._offers += 1
+        self._total_weight += weight
+        if weight == 0:
+            return
+        if self._item is None:
+            self._item = item
+            if self._meter is not None:
+                self._meter.allocate(self._words_per_item, self._category)
+            return
+        if self._rng.random() < weight / self._total_weight:
+            self._item = item
+
+    def sample(self) -> Optional[Item]:
+        """Return the held item (``None`` if only zero-weight items were offered)."""
+        return self._item

@@ -1,0 +1,20 @@
+"""Linear sketches for dynamic (insert/delete) graph streams.
+
+Table 1 of the paper lists a one-pass *dynamic-stream* algorithm at
+``O~(m^3/T^2)`` (Kane-Mehlhorn-Sauerwald-Sun [41]) with a matching
+``Omega(m^3/T^2)`` one-pass lower bound [44].  The algorithm is a linear
+sketch, so it tolerates deletions - something none of the sampling
+algorithms in this repository can do.  This package implements it:
+
+* :mod:`~repro.sketches.kwise` - k-wise independent hash families via
+  random polynomials over the Mersenne-prime field ``GF(2^61 - 1)``;
+* :mod:`~repro.sketches.cycle_sketch` - the triangle sketch
+  ``Z = sum_{(u,v) in E} x(u) * x(v)`` with Rademacher vertex variables:
+  with 6-wise independence, ``E[Z^3] = 6T`` exactly (see the module's
+  derivation), giving an unbiased one-pass dynamic estimator.
+"""
+
+from .kwise import KWiseHash
+from .cycle_sketch import TriangleSketch, TriangleSketchEstimator
+
+__all__ = ["KWiseHash", "TriangleSketch", "TriangleSketchEstimator"]

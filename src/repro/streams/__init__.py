@@ -1,0 +1,41 @@
+"""Streaming substrate: edge streams, multi-pass scheduling, space metering.
+
+The paper's model is an *arbitrary-order, constant-pass* edge stream.  This
+package makes that model executable and auditable:
+
+* :class:`~repro.streams.base.EdgeStream` is the read-only protocol every
+  algorithm consumes;
+* :class:`~repro.streams.multipass.PassScheduler` hands out one sequential
+  pass at a time and counts them, so an algorithm cannot silently exceed the
+  constant-pass budget;
+* :class:`~repro.streams.space.SpaceMeter` charges word-level storage, so an
+  algorithm cannot silently exceed its space bound either.
+"""
+
+from .base import EdgeStream, StreamStats
+from .memory import InMemoryEdgeStream
+from .file import FileEdgeStream
+from .multipass import PassScheduler
+from .space import SpaceMeter
+from .transforms import (
+    adversarial_heavy_edge_last_order,
+    shuffled,
+    sorted_order,
+)
+from .vertex_arrival import VertexArrivalStream
+from .dynamic import DynamicEdgeStream, churn_stream
+
+__all__ = [
+    "EdgeStream",
+    "StreamStats",
+    "InMemoryEdgeStream",
+    "FileEdgeStream",
+    "VertexArrivalStream",
+    "DynamicEdgeStream",
+    "churn_stream",
+    "PassScheduler",
+    "SpaceMeter",
+    "shuffled",
+    "sorted_order",
+    "adversarial_heavy_edge_last_order",
+]

@@ -1,0 +1,66 @@
+"""The edge-stream protocol.
+
+An :class:`EdgeStream` represents the input tape of the paper's model: a
+fixed, arbitrary-order sequence of distinct undirected edges that can be
+replayed from the beginning any number of times, but never accessed randomly.
+Implementations must return the *same sequence* on every replay - multi-pass
+algorithms depend on pass-to-pass consistency (e.g. pass 2 of Algorithm 2
+recomputes degrees of edges sampled in pass 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..types import Edge
+
+
+class EdgeStream(ABC):
+    """Abstract replayable edge stream.
+
+    Subclasses implement :meth:`__iter__` (a fresh sequential pass) and
+    :meth:`__len__` (the stream length ``m``, which is also learnable in one
+    pass; exposing it directly avoids a bookkeeping pass in every algorithm
+    and matches the standard convention in the streaming literature).
+    """
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Edge]:
+        """Start a fresh pass over the stream, yielding canonical edges."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Return the number of edges ``m`` in the stream."""
+
+    def stats(self) -> "StreamStats":
+        """Compute single-pass stream statistics (n, m, max vertex id).
+
+        Uses O(1) space beyond the two counters by tracking only extrema;
+        the number of distinct vertices is *not* computable in O(1) space,
+        so ``num_vertices_upper`` reports ``max_vertex_id + 1`` instead,
+        which is the standard a-priori ``n`` of the model.
+        """
+        max_vertex = -1
+        m = 0
+        for u, v in self:
+            m += 1
+            if v > max_vertex:
+                max_vertex = v
+            if u > max_vertex:
+                max_vertex = u
+        return StreamStats(num_edges=m, max_vertex_id=max_vertex)
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """One-pass summary of a stream: ``m`` and the largest vertex id."""
+
+    num_edges: int
+    max_vertex_id: int
+
+    @property
+    def num_vertices_upper(self) -> int:
+        """An upper bound on ``n``: vertex ids live in ``[0, max_vertex_id]``."""
+        return self.max_vertex_id + 1

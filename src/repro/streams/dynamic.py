@@ -1,0 +1,133 @@
+"""Dynamic (insert/delete) edge streams.
+
+The paper's algorithm is insert-only, but its Table 1 cites the dynamic-
+stream results of Kane et al. [41] (upper bound) and Kutzkov-Pagh [44]
+(matching lower bound).  :class:`DynamicEdgeStream` is the turnstile
+counterpart of :class:`~repro.streams.base.EdgeStream`: a replayable
+sequence of ``(edge, +1 | -1)`` updates whose *net* multiplicities are 0/1
+(a simple graph), consumed by the linear sketches in
+:mod:`repro.sketches`.
+
+:func:`churn_stream` manufactures adversarial-ish dynamic workloads: start
+from a target graph, then interleave spurious insert-then-delete churn
+edges so that the final graph is the target but the stream is much longer
+and most updates cancel - the regime where deletion tolerance matters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import StreamError
+from ..graph.adjacency import Graph
+from ..types import Edge, canonical_edge
+
+Update = Tuple[Edge, int]
+
+
+class DynamicEdgeStream:
+    """A replayable sequence of edge insertions and deletions.
+
+    Parameters
+    ----------
+    updates:
+        ``(edge, delta)`` pairs with ``delta`` in ``{+1, -1}``.  Validated:
+        running multiplicities must stay in ``{0, 1}`` (no deleting absent
+        edges, no double-inserting), so every prefix is a simple graph.
+    """
+
+    def __init__(self, updates: Sequence[Tuple[Tuple[int, int], int]]) -> None:
+        validated: List[Update] = []
+        multiplicity: Dict[Edge, int] = {}
+        for position, (raw_edge, delta) in enumerate(updates):
+            if delta not in (1, -1):
+                raise StreamError(f"update {position}: delta must be +-1, got {delta}")
+            edge = canonical_edge(*raw_edge)
+            current = multiplicity.get(edge, 0)
+            new = current + delta
+            if new not in (0, 1):
+                action = "insert" if delta == 1 else "delete"
+                raise StreamError(
+                    f"update {position}: cannot {action} edge {edge} at multiplicity {current}"
+                )
+            multiplicity[edge] = new
+            validated.append((edge, delta))
+        self._updates = validated
+        self._net_edges = sorted(e for e, count in multiplicity.items() if count == 1)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        """Number of *updates* (not net edges)."""
+        return len(self._updates)
+
+    @property
+    def net_edge_count(self) -> int:
+        """Edges present after all updates."""
+        return len(self._net_edges)
+
+    def net_graph(self) -> Graph:
+        """The simple graph remaining after all updates."""
+        return Graph(edges=self._net_edges)
+
+    @classmethod
+    def insert_only(cls, edges: Sequence[Tuple[int, int]]) -> "DynamicEdgeStream":
+        """Wrap a plain edge sequence as insertions."""
+        return cls([(e, 1) for e in edges])
+
+
+def churn_stream(
+    graph: Graph,
+    churn_factor: float,
+    rng: random.Random,
+    num_vertices: int | None = None,
+) -> DynamicEdgeStream:
+    """Build a dynamic stream whose net result is ``graph``.
+
+    Inserts all of ``graph``'s edges (shuffled) interleaved with
+    ``ceil(churn_factor * m)`` churn edges - non-edges of ``graph`` that
+    are inserted and later deleted.  ``churn_factor = 0`` gives a shuffled
+    insert-only stream; larger factors stress deletion handling.
+
+    ``num_vertices`` widens the id range churn edges may use (defaults to
+    the graph's own max id + 1).
+    """
+    if churn_factor < 0:
+        raise StreamError(f"churn_factor must be non-negative, got {churn_factor}")
+    real_edges = graph.edge_list()
+    m = len(real_edges)
+    n = num_vertices if num_vertices is not None else (
+        max((v for v in graph.vertices()), default=0) + 1
+    )
+    churn_count = int(churn_factor * m + 0.999999) if churn_factor > 0 else 0
+
+    churn_edges: List[Edge] = []
+    attempts = 0
+    present = set(real_edges)
+    while len(churn_edges) < churn_count:
+        attempts += 1
+        if attempts > 100 * (churn_count + 1) + 1000:
+            break  # graph too dense for the requested churn; use what we have
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = canonical_edge(u, v)
+        if e in present:
+            continue
+        present.add(e)
+        churn_edges.append(e)
+
+    # Event list: every real edge one insert; every churn edge an insert
+    # and a delete.  Shuffle inserts; schedule each churn delete at a
+    # uniform position after its insert.
+    inserts: List[Update] = [(e, 1) for e in real_edges] + [(e, 1) for e in churn_edges]
+    rng.shuffle(inserts)
+    updates: List[Update] = list(inserts)
+    for e in churn_edges:
+        insert_at = next(i for i, (edge, d) in enumerate(updates) if edge == e and d == 1)
+        position = rng.randrange(insert_at + 1, len(updates) + 1)
+        updates.insert(position, (e, -1))
+    return DynamicEdgeStream(updates)

@@ -1,0 +1,70 @@
+"""File-backed edge streams.
+
+:class:`FileEdgeStream` replays a whitespace-separated edge-list file without
+ever materializing it in memory, so the stream abstraction holds even for
+graphs far larger than RAM.  The on-disk format is the de-facto standard
+"u v" per line, with ``#`` comments and blank lines ignored (the format used
+by SNAP and most public graph repositories).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from ..errors import StreamError
+from ..types import Edge, canonical_edge
+from .base import EdgeStream
+
+
+class FileEdgeStream(EdgeStream):
+    """A replayable stream backed by an edge-list file.
+
+    Parameters
+    ----------
+    path:
+        Path to the edge-list file.
+    validate:
+        When ``True`` (default), edges are canonicalized on the fly and
+        malformed lines raise :class:`~repro.errors.StreamError`.  Duplicate
+        detection would require O(m) memory, defeating the purpose of a
+        file stream, so it is *not* performed here; use
+        :class:`~repro.graph.builder.GraphBuilder` to sanitize files first.
+
+    The stream length is computed lazily on first use of ``len()`` (one extra
+    file sweep) and cached.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], validate: bool = True) -> None:
+        self._path = os.fspath(path)
+        self._validate = validate
+        self._length: int | None = None
+        if not os.path.exists(self._path):
+            raise StreamError(f"edge-list file not found: {self._path}")
+
+    def _parse(self, line: str, lineno: int) -> Edge | None:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            return None
+        parts = text.split()
+        if len(parts) < 2:
+            raise StreamError(f"{self._path}:{lineno}: expected 'u v', got {text!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise StreamError(f"{self._path}:{lineno}: non-integer vertex in {text!r}") from exc
+        if self._validate:
+            return canonical_edge(u, v)
+        return (u, v)
+
+    def __iter__(self) -> Iterator[Edge]:
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                edge = self._parse(line, lineno)
+                if edge is not None:
+                    yield edge
+
+    def __len__(self) -> int:
+        if self._length is None:
+            self._length = sum(1 for _ in self)
+        return self._length

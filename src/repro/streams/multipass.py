@@ -1,0 +1,78 @@
+"""Multi-pass scheduling with pass budgets.
+
+:class:`PassScheduler` is the only sanctioned way for an algorithm to read an
+:class:`~repro.streams.base.EdgeStream`.  It enforces the constant-pass
+discipline of the paper's model:
+
+* passes are strictly sequential - opening a new pass while the previous one
+  is still being consumed raises :class:`~repro.errors.StreamError`;
+* an optional pass budget turns "constant number of passes" into a checked
+  invariant (:class:`~repro.errors.PassBudgetExceeded`);
+* the number of passes actually used is recorded for benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import PassBudgetExceeded, StreamError
+from ..types import Edge
+from .base import EdgeStream
+
+
+class PassScheduler:
+    """Hands out sequential passes over a stream, counting them.
+
+    Parameters
+    ----------
+    stream:
+        The underlying edge stream.
+    max_passes:
+        Optional hard pass budget; exceeding it raises
+        :class:`~repro.errors.PassBudgetExceeded`.
+    """
+
+    def __init__(self, stream: EdgeStream, max_passes: Optional[int] = None) -> None:
+        if max_passes is not None and max_passes < 1:
+            raise StreamError(f"max_passes must be >= 1, got {max_passes}")
+        self._stream = stream
+        self._max_passes = max_passes
+        self._passes_used = 0
+        self._pass_open = False
+
+    @property
+    def passes_used(self) -> int:
+        """Number of passes opened so far."""
+        return self._passes_used
+
+    @property
+    def num_edges(self) -> int:
+        """The stream length ``m``."""
+        return len(self._stream)
+
+    def new_pass(self) -> Iterator[Edge]:
+        """Open the next sequential pass.
+
+        The returned iterator must be consumed (or abandoned) before the next
+        call to :meth:`new_pass`; interleaved passes violate the streaming
+        model and raise :class:`~repro.errors.StreamError`.
+        """
+        if self._pass_open:
+            raise StreamError("previous pass still open; streams cannot be read concurrently")
+        if self._max_passes is not None and self._passes_used >= self._max_passes:
+            raise PassBudgetExceeded(
+                f"pass budget of {self._max_passes} exhausted "
+                f"(attempted pass {self._passes_used + 1})"
+            )
+        self._passes_used += 1
+        self._pass_open = True
+        return self._run_pass()
+
+    def _run_pass(self) -> Iterator[Edge]:
+        try:
+            for edge in self._stream:
+                yield edge
+        finally:
+            # Mark the pass closed whether it was fully consumed, abandoned,
+            # or aborted by an exception - any of these ends the pass.
+            self._pass_open = False

@@ -1,0 +1,109 @@
+"""Word-level space accounting.
+
+Every streaming algorithm in the library charges its storage to a
+:class:`SpaceMeter`.  The meter tracks *current* and *peak* usage in words
+(one word = one stored vertex id, edge slot, counter, or float), which is the
+granularity at which the paper's bounds are stated (the ``O~`` hides the
+``log n`` bits-per-word factor).
+
+The meter supports named categories so benchmark reports can break peak
+usage down (e.g. ``reservoir``, ``degrees``, ``assignment-table``), and an
+optional hard budget that converts expected-space guarantees into worst-case
+behaviour exactly as Section 3 of the paper prescribes: "simply abort if the
+space usage runs beyond c times the expected space usage".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import SpaceBudgetExceeded
+
+
+class SpaceMeter:
+    """Tracks current and peak word-level storage of one algorithm run.
+
+    Parameters
+    ----------
+    budget_words:
+        Optional hard cap.  Any :meth:`allocate` pushing current usage above
+        the cap raises :class:`~repro.errors.SpaceBudgetExceeded`.
+    """
+
+    def __init__(self, budget_words: Optional[int] = None) -> None:
+        if budget_words is not None and budget_words < 0:
+            raise ValueError(f"budget_words must be non-negative, got {budget_words}")
+        self._budget = budget_words
+        self._current = 0
+        self._peak = 0
+        self._by_category: Dict[str, int] = {}
+        self._peak_by_category: Dict[str, int] = {}
+
+    # -- charging ----------------------------------------------------------
+
+    def allocate(self, words: int, category: str = "general") -> None:
+        """Charge ``words`` words of storage to ``category``."""
+        if words < 0:
+            raise ValueError(f"cannot allocate a negative amount ({words})")
+        self._current += words
+        used = self._by_category.get(category, 0) + words
+        self._by_category[category] = used
+        if used > self._peak_by_category.get(category, 0):
+            self._peak_by_category[category] = used
+        if self._current > self._peak:
+            self._peak = self._current
+        if self._budget is not None and self._current > self._budget:
+            raise SpaceBudgetExceeded(
+                f"space budget exceeded: {self._current} > {self._budget} words "
+                f"(category {category!r})"
+            )
+
+    def release(self, words: int, category: str = "general") -> None:
+        """Release ``words`` words previously charged to ``category``."""
+        if words < 0:
+            raise ValueError(f"cannot release a negative amount ({words})")
+        held = self._by_category.get(category, 0)
+        if words > held:
+            raise ValueError(f"releasing {words} words from category {category!r} holding {held}")
+        self._by_category[category] = held - words
+        self._current -= words
+
+    def set_category(self, words: int, category: str) -> None:
+        """Set a category's current usage to ``words`` (charge or release the delta).
+
+        Convenient for data structures whose size is easier to restate than
+        to delta (e.g. a memo table after each insertion batch).
+        """
+        held = self._by_category.get(category, 0)
+        if words >= held:
+            self.allocate(words - held, category)
+        else:
+            self.release(held - words, category)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def current_words(self) -> int:
+        """Words currently held."""
+        return self._current
+
+    @property
+    def peak_words(self) -> int:
+        """Largest number of words ever held simultaneously."""
+        return self._peak
+
+    @property
+    def budget_words(self) -> Optional[int]:
+        """The configured hard budget, or ``None``."""
+        return self._budget
+
+    def peak_breakdown(self) -> Dict[str, int]:
+        """Return per-category peaks (each category's own high-water mark).
+
+        Note the per-category peaks need not sum to :attr:`peak_words`, since
+        categories may peak at different times.
+        """
+        return dict(self._peak_by_category)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpaceMeter(current={self._current}, peak={self._peak}, budget={self._budget})"

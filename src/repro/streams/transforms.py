@@ -1,0 +1,47 @@
+"""Stream-order transforms: shuffles and adversarial orders.
+
+The paper's guarantees hold for *arbitrary order* streams, so experiments
+must exercise more than one order.  These helpers produce edge orderings to
+feed :meth:`InMemoryEdgeStream.from_graph`:
+
+* :func:`shuffled` - a uniformly random order under an explicit RNG (the
+  default order in all benchmarks);
+* :func:`sorted_order` - deterministic lexicographic order (worst case for
+  algorithms that accidentally rely on order randomness);
+* :func:`adversarial_heavy_edge_last_order` - edges sorted by increasing
+  ``t_e``, so all triangle-dense edges arrive at the very end.  This stresses
+  reservoir-based pass-1 sampling the hardest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..graph.adjacency import Graph
+from ..graph.triangles import per_edge_triangle_counts
+from ..types import Edge
+
+
+def shuffled(graph: Graph, rng: random.Random) -> List[Edge]:
+    """Return the graph's edges in a uniformly random order."""
+    edges = graph.edge_list()
+    rng.shuffle(edges)
+    return edges
+
+
+def sorted_order(graph: Graph) -> List[Edge]:
+    """Return the graph's edges in lexicographic order (deterministic)."""
+    return graph.edge_list()
+
+
+def adversarial_heavy_edge_last_order(graph: Graph) -> List[Edge]:
+    """Return edges ordered by increasing per-edge triangle count ``t_e``.
+
+    All triangle-carrying edges arrive last, which is the hardest order for
+    single-pass samplers that must commit to a sample before seeing the
+    informative suffix.  Ties are broken lexicographically so the order is
+    deterministic.
+    """
+    te = per_edge_triangle_counts(graph)
+    return sorted(te, key=lambda e: (te[e], e))

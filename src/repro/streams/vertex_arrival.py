@@ -1,0 +1,85 @@
+"""The vertex-arrival (adjacency-list) stream model.
+
+Section 2 of the paper discusses the *adjacency list* model: "all the edges
+incident on a vertex arrive together."  Formally, vertices arrive in some
+order; when vertex ``v`` arrives, the stream reveals every edge between
+``v`` and the already-arrived vertices.  Each edge therefore appears
+exactly once (at its later endpoint), so a vertex-arrival stream *is* an
+edge stream with extra structure - :class:`VertexArrivalStream` implements
+the :class:`~repro.streams.base.EdgeStream` protocol and additionally
+exposes :meth:`batches` for algorithms that exploit the grouping (the
+McGregor-Vorotnikova-Vu adjacency-list estimator in
+:mod:`repro.baselines.adjlist_mvv`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..errors import StreamError
+from ..graph.adjacency import Graph
+from ..types import Edge, Vertex
+from .base import EdgeStream
+
+
+class VertexArrivalStream(EdgeStream):
+    """An adjacency-list-order edge stream over a fixed graph.
+
+    Parameters
+    ----------
+    graph:
+        The underlying graph.
+    arrival_order:
+        Permutation of the graph's vertices fixing the arrival order.
+        Isolated vertices may be included (they contribute empty batches).
+    """
+
+    def __init__(self, graph: Graph, arrival_order: Sequence[Vertex]) -> None:
+        vertices = sorted(graph.vertices())
+        if sorted(arrival_order) != vertices:
+            raise StreamError("arrival_order is not a permutation of the graph's vertices")
+        self._order: List[Vertex] = list(arrival_order)
+        position: Dict[Vertex, int] = {v: i for i, v in enumerate(self._order)}
+        # Precompute each vertex's batch: edges to earlier-arrived neighbors,
+        # in deterministic (earlier-position) order.
+        self._batches: List[Tuple[Vertex, List[Vertex]]] = []
+        m = 0
+        for v in self._order:
+            earlier = sorted(
+                (u for u in graph.neighbors(v) if position[u] < position[v]),
+                key=position.__getitem__,
+            )
+            self._batches.append((v, earlier))
+            m += len(earlier)
+        self._m = m
+
+    def __iter__(self) -> Iterator[Edge]:
+        for v, earlier in self._batches:
+            for u in earlier:
+                yield (u, v) if u < v else (v, u)
+
+    def __len__(self) -> int:
+        return self._m
+
+    @property
+    def arrival_order(self) -> List[Vertex]:
+        """The vertex arrival order (copy)."""
+        return list(self._order)
+
+    def batches(self) -> Iterator[Tuple[Vertex, List[Vertex]]]:
+        """Yield ``(vertex, earlier neighbors)`` pairs in arrival order.
+
+        This is the adjacency-list view: the ``v``-th batch is exactly the
+        set of edges revealed when ``v`` arrives.  Like :meth:`__iter__`,
+        every call replays the identical sequence.
+        """
+        for v, earlier in self._batches:
+            yield v, list(earlier)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, rng=None) -> "VertexArrivalStream":
+        """Build a stream with sorted or (given ``rng``) shuffled arrivals."""
+        order = sorted(graph.vertices())
+        if rng is not None:
+            rng.shuffle(order)
+        return cls(graph, order)

@@ -1,0 +1,100 @@
+"""Shared primitive types: vertices, edges, triangles, and canonical forms.
+
+Conventions used across the whole library (see DESIGN.md):
+
+* a *vertex* is a non-negative ``int``;
+* an *edge* is a ``tuple[int, int]`` stored in canonical form ``(u, v)`` with
+  ``u < v``;
+* a *triangle* is a ``tuple[int, int, int]`` stored in canonical sorted form
+  ``(a, b, c)`` with ``a < b < c``.
+
+Keeping these as plain tuples (rather than dataclasses) keeps the memory
+footprint of reservoirs and streams small and makes equality/hashing trivial,
+which matters because edges are used as dict keys throughout the estimators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .errors import GraphError
+
+Vertex = int
+Edge = Tuple[int, int]
+Triangle = Tuple[int, int, int]
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical form ``(min(u, v), max(u, v))`` of an edge.
+
+    Raises :class:`~repro.errors.GraphError` for self-loops or negative
+    vertex ids, since the paper's model assumes simple graphs.
+    """
+    if u == v:
+        raise GraphError(f"self-loop ({u}, {v}) is not a valid edge")
+    if u < 0 or v < 0:
+        raise GraphError(f"negative vertex id in edge ({u}, {v})")
+    if u < v:
+        return (u, v)
+    return (v, u)
+
+
+def canonical_triangle(a: Vertex, b: Vertex, c: Vertex) -> Triangle:
+    """Return the canonical sorted form of a triangle's vertex set.
+
+    Raises :class:`~repro.errors.GraphError` if the three vertices are not
+    pairwise distinct.
+    """
+    if a == b or b == c or a == c:
+        raise GraphError(f"triangle vertices must be distinct, got ({a}, {b}, {c})")
+    x, y, z = sorted((a, b, c))
+    return (x, y, z)
+
+
+def triangle_edges(t: Triangle) -> Tuple[Edge, Edge, Edge]:
+    """Return the three canonical edges of triangle ``t = (a, b, c)``."""
+    a, b, c = t
+    return ((a, b), (a, c), (b, c))
+
+
+def edge_endpoints(e: Edge) -> Tuple[Vertex, Vertex]:
+    """Return the endpoints of edge ``e`` (identity helper for readability)."""
+    return e
+
+
+def third_vertex(e: Edge, t: Triangle) -> Vertex:
+    """Return the vertex of triangle ``t`` that is not an endpoint of ``e``.
+
+    Raises :class:`~repro.errors.GraphError` if ``e`` is not an edge of ``t``.
+    """
+    u, v = e
+    a, b, c = t
+    members = {a, b, c}
+    if u not in members or v not in members:
+        raise GraphError(f"edge {e} is not part of triangle {t}")
+    (w,) = members - {u, v}
+    return w
+
+
+def closes_triangle(e: Edge, w: Vertex) -> Triangle:
+    """Return the canonical triangle formed by edge ``e`` and apex ``w``."""
+    u, v = e
+    return canonical_triangle(u, v, w)
+
+
+def normalize_edges(edges: Iterable[Tuple[int, int]]) -> list[Edge]:
+    """Canonicalize an iterable of edges, rejecting duplicates.
+
+    Returns a list preserving first-seen order.  Raises
+    :class:`~repro.errors.GraphError` if the same undirected edge appears
+    twice, matching the paper's "unrepeated edges" stream model.
+    """
+    seen: set[Edge] = set()
+    out: list[Edge] = []
+    for u, v in edges:
+        e = canonical_edge(u, v)
+        if e in seen:
+            raise GraphError(f"duplicate edge {e} in edge list")
+        seen.add(e)
+        out.append(e)
+    return out

@@ -1,0 +1,88 @@
+"""Shared fixtures: small graphs with known closed-form statistics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import (
+    barabasi_albert_graph,
+    book_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    friendship_graph,
+    triangulated_grid_graph,
+    wheel_graph,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K_3: the smallest graph with a triangle."""
+    return complete_graph(3)
+
+
+@pytest.fixture
+def k4() -> Graph:
+    return complete_graph(4)
+
+
+@pytest.fixture
+def wheel10() -> Graph:
+    """Wheel on 10 vertices: m=18, T=9, kappa=3."""
+    return wheel_graph(10)
+
+
+@pytest.fixture
+def book8() -> Graph:
+    """Book with 8 pages: spine edge carries all 8 triangles."""
+    return book_graph(8)
+
+
+@pytest.fixture
+def friendship6() -> Graph:
+    """Friendship graph with 6 blades: T=6, all t_e=1."""
+    return friendship_graph(6)
+
+
+@pytest.fixture
+def grid4() -> Graph:
+    """Triangulated 4x4 grid: planar, T=18, kappa=3."""
+    return triangulated_grid_graph(4, 4)
+
+
+@pytest.fixture
+def c6() -> Graph:
+    """Triangle-free 6-cycle."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def ba_small() -> Graph:
+    """Deterministic BA graph (n=120, k=4): kappa <= 4 certified."""
+    return barabasi_albert_graph(120, 4, random.Random(12345))
+
+
+@pytest.fixture
+def er_small() -> Graph:
+    """Deterministic sparse ER graph (n=100, m=300)."""
+    return erdos_renyi_gnm(100, 300, random.Random(999))
+
+
+@pytest.fixture
+def all_fixture_graphs(triangle, k4, wheel10, book8, friendship6, grid4, c6, ba_small, er_small):
+    """The full roster, for cross-cutting invariant tests."""
+    return {
+        "triangle": triangle,
+        "k4": k4,
+        "wheel10": wheel10,
+        "book8": book8,
+        "friendship6": friendship6,
+        "grid4": grid4,
+        "c6": c6,
+        "ba_small": ba_small,
+        "er_small": er_small,
+    }

@@ -1,0 +1,160 @@
+"""Tests for repro.analysis.bounds: Table 1 formulas and the crossover."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    crossover_t_for_kappa,
+    paper_bound,
+    predicted_bounds,
+    space_bound,
+)
+from repro.analysis.bounds import dominance_table
+from repro.errors import ParameterError
+
+
+class TestSpaceBound:
+    def test_paper_formula(self):
+        assert space_bound("paper", 100, 1000, 50.0, kappa=4) == 1000 * 4 / 50.0
+
+    def test_paper_requires_kappa(self):
+        with pytest.raises(ParameterError, match="kappa"):
+            space_bound("paper", 100, 1000, 50.0)
+
+    def test_buriol_formula(self):
+        assert space_bound("buriol", 100, 1000, 50.0) == 1000 * 100 / 50.0
+
+    def test_mvv_neighbor_formula(self):
+        assert space_bound("mvv-neighbor", 100, 1000, 50.0) == 1000 ** 1.5 / 50.0
+
+    def test_sqrt_t_formulas_agree(self):
+        a = space_bound("cormode-jowhari", 100, 1000, 64.0)
+        b = space_bound("mvv-heavy-light", 100, 1000, 64.0)
+        assert a == b == 1000 / 8.0
+
+    def test_pavan_requires_max_degree(self):
+        with pytest.raises(ParameterError):
+            space_bound("pavan", 100, 1000, 50.0)
+        assert space_bound("pavan", 100, 1000, 50.0, max_degree=20) == 1000 * 20 / 50.0
+
+    def test_pagh_tsourakakis(self):
+        value = space_bound("pagh-tsourakakis", 100, 1000, 100.0, max_te=5)
+        assert value == 1000 * 5 / 100.0 + 1000 / 10.0
+
+    def test_kane(self):
+        assert space_bound("kane", 100, 1000, 50.0) == 1000 ** 3 / 2500.0
+
+    def test_bar_yossef(self):
+        assert space_bound("bar-yossef", 10, 100, 50.0) == (100 * 10 / 50.0) ** 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown bound"):
+            space_bound("alien", 10, 100, 5.0)
+
+    def test_nonpositive_inputs(self):
+        with pytest.raises(ParameterError):
+            space_bound("paper", 10, 100, 0.0, kappa=2)
+
+    def test_paper_bound_shortcut(self):
+        assert paper_bound(1000, 50.0, 4) == 80.0
+
+
+class TestPredictedBounds:
+    def test_all_rows_present_paper_last(self):
+        rows = predicted_bounds(100, 1000, 500.0, kappa=3, max_degree=30, max_te=10)
+        assert len(rows) == 10
+        assert rows[-1].name == "paper"
+        assert all(r.value > 0 for r in rows)
+
+    def test_paper_beats_worst_case_when_t_large(self):
+        # T >> kappa^2: m*kappa/T < min(m^{3/2}/T, m/sqrt(T)).
+        rows = {r.name: r.value for r in predicted_bounds(
+            10_000, 50_000, 100_000.0, kappa=5, max_degree=200, max_te=60
+        )}
+        assert rows["paper"] < rows["mvv-neighbor"]
+        assert rows["paper"] < rows["mvv-heavy-light"]
+
+
+class TestCrossover:
+    def test_crossover_is_kappa_squared(self):
+        assert crossover_t_for_kappa(7) == 49.0
+
+    def test_crossover_validation(self):
+        with pytest.raises(ParameterError):
+            crossover_t_for_kappa(0)
+
+    def test_exact_tie_at_crossover(self):
+        kappa, m, n = 6, 5000, 1000
+        t_star = crossover_t_for_kappa(kappa)
+        ours = space_bound("paper", n, m, t_star, kappa=kappa)
+        theirs = space_bound("mvv-heavy-light", n, m, t_star)
+        assert ours == pytest.approx(theirs)
+
+    def test_dominance_flips_at_crossover(self):
+        kappa, m, n = 6, 50_000, 10_000
+        t_star = crossover_t_for_kappa(kappa)
+        rows = dominance_table(n, m, kappa, [t_star / 4, 4 * t_star])
+        assert rows[0]["paper_wins"] == 0.0
+        assert rows[1]["paper_wins"] == 1.0
+
+    def test_dominance_table_fields(self):
+        rows = dominance_table(100, 1000, 3, [10.0, 100.0])
+        for row in rows:
+            assert row["best_prior"] == min(row["m32_over_t"], row["m_over_sqrt_t"])
+            assert math.isclose(row["paper"], 1000 * 3 / row["T"])
+
+
+class TestLowerBounds:
+    def test_paper_lower_bound_formula(self):
+        from repro.analysis.bounds import lower_bound
+
+        assert lower_bound("paper-lb", 100, 1000, 50.0, kappa=4) == 80.0
+
+    def test_paper_lb_requires_kappa(self):
+        from repro.analysis.bounds import lower_bound
+
+        with pytest.raises(ParameterError):
+            lower_bound("paper-lb", 100, 1000, 50.0)
+
+    def test_kutzkov_pagh_matches_kane_upper(self):
+        # The dynamic one-pass bound is tight: Omega(m^3/T^2) vs O(m^3/T^2).
+        from repro.analysis.bounds import lower_bound
+
+        lb = lower_bound("kutzkov-pagh", 100, 1000, 50.0)
+        ub = space_bound("kane", 100, 1000, 50.0)
+        assert lb == ub
+
+    def test_unknown_name(self):
+        from repro.analysis.bounds import lower_bound
+
+        with pytest.raises(ParameterError, match="unknown lower bound"):
+            lower_bound("nope", 10, 10, 1.0)
+
+    def test_all_rows_paper_last(self):
+        from repro.analysis.bounds import lower_bound_rows
+
+        rows = lower_bound_rows(1000, 5000, 500.0, kappa=4)
+        assert len(rows) == 9
+        assert rows[-1].name == "paper-lb"
+        assert all(r.value > 0 for r in rows)
+
+    def test_paper_upper_meets_paper_lower(self):
+        # Theorem 1.2 vs Theorem 1.3: the same leading term - the paper's
+        # "effectively optimal" claim.
+        from repro.analysis.bounds import lower_bound
+
+        ub = space_bound("paper", 1000, 5000, 500.0, kappa=4)
+        lb = lower_bound("paper-lb", 1000, 5000, 500.0, kappa=4)
+        assert ub == lb
+
+    def test_bera_chakrabarti_is_min(self):
+        from repro.analysis.bounds import lower_bound
+
+        import math
+
+        m, t = 5000.0, 500.0
+        value = lower_bound("bera-chakrabarti", 1000, 5000, 500.0)
+        assert value == min(m / math.sqrt(t), m ** 1.5 / t)

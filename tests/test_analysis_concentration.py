@@ -1,0 +1,102 @@
+"""Tests for concentration calculators and variance tools."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    chebyshev_failure_probability,
+    chebyshev_samples,
+    chernoff_failure_probability,
+    chernoff_samples,
+    empirical_moments,
+    ideal_estimator_variance_bound,
+)
+from repro.errors import ParameterError
+from repro.generators import book_graph
+from repro.graph import count_triangles, edge_degree_sum
+
+
+class TestChernoff:
+    def test_formula(self):
+        p = chernoff_failure_probability(samples=1000, mean=0.5, epsilon=0.2)
+        assert p == pytest.approx(2 * math.exp(-0.04 * 1000 * 0.5 / 3))
+
+    def test_capped_at_one(self):
+        assert chernoff_failure_probability(1, 0.01, 0.1) == 1.0
+
+    def test_monotone_in_samples(self):
+        a = chernoff_failure_probability(100, 0.5, 0.2)
+        b = chernoff_failure_probability(1000, 0.5, 0.2)
+        assert b < a
+
+    def test_samples_inverse(self):
+        # chernoff_samples returns enough samples for the target delta.
+        n = chernoff_samples(mean=0.3, epsilon=0.2, delta=0.05)
+        assert chernoff_failure_probability(n, 0.3, 0.2) <= 0.05
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chernoff_failure_probability(0, 0.5, 0.2)
+        with pytest.raises(ParameterError):
+            chernoff_failure_probability(10, 1.5, 0.2)
+        with pytest.raises(ParameterError):
+            chernoff_samples(0.0, 0.2, 0.1)
+
+    def test_empirical_indicator_concentration(self):
+        # Sanity check the bound against simulation: empirical failure rate
+        # must not exceed the Chernoff envelope.
+        rng = random.Random(0)
+        mean, eps, samples = 0.4, 0.3, 200
+        bound = chernoff_failure_probability(samples, mean, eps)
+        failures = 0
+        trials = 400
+        for _ in range(trials):
+            avg = sum(1 for _ in range(samples) if rng.random() < mean) / samples
+            if abs(avg - mean) >= eps * mean:
+                failures += 1
+        assert failures / trials <= bound + 0.05
+
+
+class TestChebyshev:
+    def test_formula(self):
+        p = chebyshev_failure_probability(variance=4.0, mean=10.0, epsilon=0.5)
+        assert p == pytest.approx(4.0 / (0.25 * 100.0))
+
+    def test_capped_at_one(self):
+        assert chebyshev_failure_probability(1e9, 1.0, 0.1) == 1.0
+
+    def test_samples_inverse(self):
+        k = chebyshev_samples(variance=100.0, mean=10.0, epsilon=0.2, delta=0.1)
+        assert chebyshev_failure_probability(100.0 / k, 10.0, 0.2) <= 0.1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chebyshev_failure_probability(-1.0, 1.0, 0.1)
+        with pytest.raises(ParameterError):
+            chebyshev_failure_probability(1.0, 0.0, 0.1)
+        with pytest.raises(ParameterError):
+            chebyshev_samples(1.0, 1.0, 0.1, 1.5)
+
+
+class TestVarianceTools:
+    def test_ideal_bound_formula(self):
+        g = book_graph(10)
+        assert ideal_estimator_variance_bound(g) == edge_degree_sum(g) * count_triangles(g)
+
+    def test_empirical_moments(self):
+        m = empirical_moments([2.0, 4.0, 6.0])
+        assert m.mean == 4.0
+        assert m.variance == pytest.approx(4.0)
+        assert m.std == pytest.approx(2.0)
+        assert m.relative_std == pytest.approx(0.5)
+
+    def test_moments_need_two_samples(self):
+        with pytest.raises(ParameterError):
+            empirical_moments([1.0])
+
+    def test_relative_std_zero_mean(self):
+        assert empirical_moments([-1.0, 1.0]).relative_std == float("inf")

@@ -1,0 +1,52 @@
+"""Tests for the power-law fitting used by the scaling experiments."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.fitting import fit_power_law
+from repro.errors import ParameterError
+
+
+class TestFitPowerLaw:
+    def test_exact_linear(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        fit = fit_power_law(xs, [3 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_sqrt(self):
+        xs = [1.0, 4.0, 16.0, 64.0]
+        fit = fit_power_law(xs, [5 * math.sqrt(x) for x in xs])
+        assert fit.exponent == pytest.approx(0.5)
+
+    def test_constant_series(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [7.0, 7.0, 7.0])
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_series_recovers_exponent(self):
+        rng = random.Random(0)
+        xs = [2.0 ** i for i in range(1, 12)]
+        ys = [4 * x ** 1.5 * (1 + 0.05 * (rng.random() - 0.5)) for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.05)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 2.0, 4.0], [2.0, 4.0, 8.0])
+        assert fit.predict(8.0) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ParameterError):
+            fit_power_law([1.0, 2.0], [1.0])
+        with pytest.raises(ParameterError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            fit_power_law([3.0, 3.0], [1.0, 2.0])

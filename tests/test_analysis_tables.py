@@ -1,0 +1,65 @@
+"""Tests for the plain-text table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.tables import format_number
+
+
+class TestFormatNumber:
+    def test_int_grouping(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_bool(self):
+        assert format_number(True) == "yes"
+        assert format_number(False) == "no"
+
+    def test_float_compact(self):
+        assert format_number(0.123456) == "0.123"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_number(1.5e9) or format_number(1.5e9) == "1.5e+09"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_nan_and_inf(self):
+        assert format_number(float("nan")) == "nan"
+        assert format_number(float("inf")) == "inf"
+        assert format_number(float("-inf")) == "-inf"
+
+    def test_string_passthrough(self):
+        assert format_number("hello") == "hello"
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_caption(self):
+        text = format_table(["x"], [[1]], caption="my table")
+        assert text.splitlines()[0] == "my table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[5], [12345]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("12,345")
+        assert lines[-2].endswith("5")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_deterministic(self):
+        rows = [["x", 1.5], ["y", 2.5]]
+        assert format_table(["k", "v"], rows) == format_table(["k", "v"], rows)

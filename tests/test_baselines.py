@@ -1,0 +1,187 @@
+"""Tests for all baseline estimators and the registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    BuriolEstimator,
+    DoulionEstimator,
+    JSPWedgeEstimator,
+    MVVHeavyLightEstimator,
+    MVVNeighborEstimator,
+    PavanEstimator,
+    available_baselines,
+)
+from repro.baselines.registry import InstanceParameters, make_baseline
+from repro.errors import ParameterError
+from repro.generators import barabasi_albert_graph, cycle_graph, wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream
+from repro.streams.transforms import shuffled
+
+
+@pytest.fixture(scope="module")
+def ba_graph():
+    return barabasi_albert_graph(250, 5, random.Random(6))
+
+
+@pytest.fixture(scope="module")
+def ba_stream(ba_graph):
+    return InMemoryEdgeStream.from_graph(ba_graph, shuffled(ba_graph, random.Random(10)))
+
+
+@pytest.fixture(scope="module")
+def ba_t(ba_graph):
+    return count_triangles(ba_graph)
+
+
+def make_all(graph, t, seed=0, epsilon=0.3):
+    params = InstanceParameters(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        t_hint=float(t),
+        epsilon=epsilon,
+    )
+    return {
+        name: make_baseline(name, params, random.Random(seed))
+        for name in available_baselines()
+    }
+
+
+class TestValidation:
+    def test_buriol_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            BuriolEstimator(copies=0, num_vertices=10, rng=random.Random(0))
+        with pytest.raises(ParameterError):
+            BuriolEstimator(copies=5, num_vertices=0, rng=random.Random(0))
+
+    def test_doulion_rejects_bad_p(self):
+        for p in (0.0, 1.5, -0.2):
+            with pytest.raises(ParameterError):
+                DoulionEstimator(p=p, rng=random.Random(0))
+
+    def test_jsp_rejects_zero_samples(self):
+        with pytest.raises(ParameterError):
+            JSPWedgeEstimator(wedge_samples=0, rng=random.Random(0))
+
+    def test_pavan_rejects_zero_copies(self):
+        with pytest.raises(ParameterError):
+            PavanEstimator(copies=0, rng=random.Random(0))
+
+    def test_mvv_neighbor_rejects_zero_copies(self):
+        with pytest.raises(ParameterError):
+            MVVNeighborEstimator(copies=0, rng=random.Random(0))
+
+    def test_mvv_heavy_light_rejects_bad_args(self):
+        with pytest.raises(ParameterError):
+            MVVHeavyLightEstimator(theta=0.0, wedge_samples=5, rng=random.Random(0))
+        with pytest.raises(ParameterError):
+            MVVHeavyLightEstimator(theta=2.0, wedge_samples=0, rng=random.Random(0))
+
+
+class TestRegistry:
+    def test_roster(self):
+        assert available_baselines() == [
+            "buriol",
+            "doulion",
+            "jsp-wedge",
+            "mvv-heavy-light",
+            "mvv-neighbor",
+            "pavan",
+        ]
+
+    def test_unknown_name(self):
+        params = InstanceParameters(10, 10, 5.0, 0.3)
+        with pytest.raises(ParameterError, match="unknown baseline"):
+            make_baseline("nope", params, random.Random(0))
+
+    def test_instance_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            InstanceParameters(0, 10, 5.0, 0.3)
+        with pytest.raises(ParameterError):
+            InstanceParameters(10, 10, 0.0, 0.3)
+        with pytest.raises(ParameterError):
+            InstanceParameters(10, 10, 5.0, 1.5)
+
+    def test_copies_helper(self):
+        params = InstanceParameters(10, 10, 5.0, 0.5, leading_constant=1.0)
+        assert params.copies(relative_variance=100.0) == 400
+
+
+class TestBehaviour:
+    def test_all_respect_declared_passes(self, ba_graph, ba_stream, ba_t):
+        for name, estimator in make_all(ba_graph, ba_t).items():
+            result = estimator.estimate(ba_stream)
+            assert result.passes_used <= estimator.passes_required, name
+
+    def test_all_triangle_free_near_zero(self):
+        graph = cycle_graph(60)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        for name, estimator in make_all(graph, t=5).items():
+            result = estimator.estimate(stream)
+            assert result.estimate == 0.0, name
+
+    def test_all_deterministic_given_seed(self, ba_graph, ba_stream, ba_t):
+        for name in available_baselines():
+            r1 = make_all(ba_graph, ba_t, seed=4)[name].estimate(ba_stream)
+            r2 = make_all(ba_graph, ba_t, seed=4)[name].estimate(ba_stream)
+            assert r1.estimate == r2.estimate, name
+
+    def test_all_report_space(self, ba_graph, ba_stream, ba_t):
+        for name, estimator in make_all(ba_graph, ba_t).items():
+            result = estimator.estimate(ba_stream)
+            assert result.space_words_peak > 0, name
+
+    @pytest.mark.parametrize(
+        "name,tolerance",
+        [
+            ("buriol", 0.8),          # highest variance of the roster
+            ("doulion", 0.6),
+            ("jsp-wedge", 0.4),
+            ("mvv-heavy-light", 0.4),
+            ("mvv-neighbor", 0.4),
+            ("pavan", 0.5),
+        ],
+    )
+    def test_median_accuracy_over_seeds(self, ba_graph, ba_stream, ba_t, name, tolerance):
+        estimates = []
+        for seed in range(5):
+            estimator = make_all(ba_graph, ba_t, seed=seed)[name]
+            estimates.append(estimator.estimate(ba_stream).estimate)
+        med = sorted(estimates)[2]
+        assert abs(med - ba_t) / ba_t < tolerance, (name, estimates)
+
+    def test_doulion_p_one_is_exact(self, ba_graph, ba_stream, ba_t):
+        result = DoulionEstimator(p=1.0, rng=random.Random(0)).estimate(ba_stream)
+        assert result.estimate == ba_t
+
+    def test_doulion_space_scales_with_p(self, ba_graph, ba_stream):
+        full = DoulionEstimator(p=1.0, rng=random.Random(0)).estimate(ba_stream)
+        tenth = DoulionEstimator(p=0.1, rng=random.Random(0)).estimate(ba_stream)
+        assert tenth.space_words_peak < 0.3 * full.space_words_peak
+
+    def test_mvv_heavy_light_heavy_bookkeeping(self):
+        # The wheel hub is the only vertex above theta for moderate theta.
+        graph = wheel_graph(100)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        est = MVVHeavyLightEstimator(theta=10.0, wedge_samples=200, rng=random.Random(1))
+        result = est.estimate(stream)
+        assert result.extras["heavy_vertices"] == 1.0
+        assert result.extras["heavy_triangles"] == 0.0
+
+    def test_jsp_wedge_extras(self, ba_graph, ba_stream, ba_t):
+        est = JSPWedgeEstimator(wedge_samples=500, rng=random.Random(2))
+        result = est.estimate(ba_stream)
+        assert result.extras["wedges"] > 0
+        assert 0.0 <= result.extras["closed_fraction"] <= 1.0
+
+    def test_empty_stream_all_baselines(self):
+        stream = InMemoryEdgeStream([])
+        graph_params = InstanceParameters(5, 1, 1.0, 0.3)
+        for name in available_baselines():
+            estimator = make_baseline(name, graph_params, random.Random(0))
+            result = estimator.estimate(stream)
+            assert result.estimate == 0.0, name

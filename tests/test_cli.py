@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.generators import wheel_graph
+from repro.io import write_edgelist
+
+
+@pytest.fixture
+def wheel_file(tmp_path):
+    path = tmp_path / "wheel.txt"
+    write_edgelist(wheel_graph(60), path)
+    return str(path)
+
+
+class TestStats:
+    def test_stats_output(self, wheel_file, capsys):
+        assert main(["stats", wheel_file]) == 0
+        out = capsys.readouterr().out
+        assert "kappa" in out
+        assert "59" in out  # T = n - 1
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(Exception):
+            main(["stats", str(tmp_path / "nope.txt")])
+
+
+class TestExact:
+    def test_exact_output(self, wheel_file, capsys):
+        assert main(["exact", wheel_file]) == 0
+        out = capsys.readouterr().out
+        assert "triangles: 59" in out
+        assert "passes:    1" in out
+
+
+class TestEstimate:
+    def test_estimate_runs(self, wheel_file, capsys):
+        code = main(
+            ["estimate", wheel_file, "--kappa", "3", "--seed", "1", "--repetitions", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out
+        assert "plan:" in out
+
+    def test_kappa_required(self, wheel_file):
+        with pytest.raises(SystemExit):
+            main(["estimate", wheel_file])
+
+
+class TestBounds:
+    def test_bounds_table(self, wheel_file, capsys):
+        assert main(["bounds", wheel_file]) == 0
+        out = capsys.readouterr().out
+        assert "m*kappa/T" in out
+        assert "Thm 1.2" in out
+
+    def test_triangle_free_message(self, tmp_path, capsys):
+        path = tmp_path / "path.txt"
+        path.write_text("0 1\n1 2\n")
+        assert main(["bounds", str(path)]) == 0
+        assert "triangle-free" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "ba.txt"
+        code = main(
+            ["generate", "ba", "--out", str(out_file), "--scale", "tiny", "--seed", "2"]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "kappa <=" in capsys.readouterr().out
+        # generated file is consumable by the other commands
+        assert main(["exact", str(out_file)]) == 0
+
+    def test_generate_unknown_family(self, tmp_path, capsys):
+        code = main(["generate", "galaxy", "--out", str(tmp_path / "x.txt")])
+        assert code == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "wheel", "--out", str(a), "--scale", "tiny", "--seed", "5"])
+        main(["generate", "wheel", "--out", str(b), "--scale", "tiny", "--seed", "5"])
+        assert a.read_text() == b.read_text()
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,181 @@
+"""Tests for the Conjecture 7.1 clique extension."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.variance import empirical_moments
+from repro.cliques import (
+    CliqueOracleEstimator,
+    count_cliques,
+    enumerate_cliques,
+    per_edge_clique_counts,
+)
+from repro.cliques.exact import min_count_edge_assignment
+from repro.errors import ParameterError
+from repro.generators import (
+    barabasi_albert_graph,
+    book_graph,
+    complete_graph,
+    cycle_graph,
+    wheel_graph,
+)
+from repro.graph import Graph, count_triangles
+from repro.streams import InMemoryEdgeStream
+
+
+def _comb(n: int, k: int) -> int:
+    return math.comb(n, k)
+
+
+class TestExactCounting:
+    def test_k1_is_vertices(self, wheel10):
+        assert count_cliques(wheel10, 1) == wheel10.num_vertices
+
+    def test_k2_is_edges(self, wheel10):
+        assert count_cliques(wheel10, 2) == wheel10.num_edges
+
+    def test_k3_matches_triangle_counter(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            assert count_cliques(g, 3) == count_triangles(g), name
+
+    @pytest.mark.parametrize("n,k", [(6, 3), (6, 4), (6, 5), (6, 6), (8, 4)])
+    def test_clique_graph_closed_form(self, n, k):
+        assert count_cliques(complete_graph(n), k) == _comb(n, k)
+
+    def test_k_larger_than_clique_number(self, c6):
+        assert count_cliques(c6, 3) == 0
+
+    def test_wheel_has_no_4_cliques(self):
+        assert count_cliques(wheel_graph(12), 4) == 0
+
+    def test_wheel4_is_k4(self):
+        assert count_cliques(wheel_graph(4), 4) == 1
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            count_cliques(triangle, 0)
+
+    def test_against_networkx(self):
+        import networkx as nx
+
+        from repro.graph.validation import to_networkx
+
+        g = barabasi_albert_graph(60, 5, random.Random(4))
+        nx_graph = to_networkx(g)
+        for k in (3, 4, 5):
+            theirs = sum(1 for c in nx.enumerate_all_cliques(nx_graph) if len(c) == k)
+            assert count_cliques(g, k) == theirs, k
+
+
+class TestEnumeration:
+    def test_yields_sorted_distinct(self):
+        g = complete_graph(7)
+        cliques = list(enumerate_cliques(g, 4))
+        assert len(cliques) == len(set(cliques)) == _comb(7, 4)
+        for c in cliques:
+            assert list(c) == sorted(c)
+
+    def test_every_pair_adjacent(self):
+        g = barabasi_albert_graph(40, 4, random.Random(1))
+        for clique in enumerate_cliques(g, 4):
+            for i, u in enumerate(clique):
+                for v in clique[i + 1 :]:
+                    assert g.has_edge(u, v)
+
+
+class TestPerEdgeCounts:
+    def test_sum_identity(self):
+        # Each k-clique contains C(k, 2) edges.
+        g = complete_graph(8)
+        for k in (3, 4):
+            counts = per_edge_clique_counts(g, k)
+            assert sum(counts.values()) == _comb(k, 2) * count_cliques(g, k)
+
+    def test_matches_triangle_te(self, book8):
+        from repro.graph import per_edge_triangle_counts
+
+        assert per_edge_clique_counts(book8, 3) == per_edge_triangle_counts(book8)
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            per_edge_clique_counts(triangle, 1)
+
+
+class TestAssignmentRule:
+    def test_assigns_to_contained_edge(self):
+        g = complete_graph(7)
+        assignment = min_count_edge_assignment(g, 4)
+        assert len(assignment) == _comb(7, 4)
+        for clique, edge in assignment.items():
+            assert edge[0] in clique and edge[1] in clique
+
+    def test_deterministic(self):
+        g = barabasi_albert_graph(30, 4, random.Random(2))
+        assert min_count_edge_assignment(g, 3) == min_count_edge_assignment(g, 3)
+
+
+class TestCliqueOracleEstimator:
+    def test_validation(self, triangle):
+        with pytest.raises(ParameterError):
+            CliqueOracleEstimator(triangle, k=2, copies=10, rng=random.Random(0))
+        with pytest.raises(ParameterError):
+            CliqueOracleEstimator(triangle, k=3, copies=0, rng=random.Random(0))
+        with pytest.raises(ParameterError):
+            CliqueOracleEstimator(triangle, k=3, copies=10, rng=random.Random(0), median_groups=4)
+
+    def test_three_passes(self):
+        g = complete_graph(8)
+        stream = InMemoryEdgeStream.from_graph(g)
+        est = CliqueOracleEstimator(g, k=4, copies=20, rng=random.Random(1))
+        assert est.estimate(stream).passes_used == 3
+
+    def test_clique_free_estimates_zero(self):
+        g = cycle_graph(20)
+        stream = InMemoryEdgeStream.from_graph(g)
+        est = CliqueOracleEstimator(g, k=3, copies=50, rng=random.Random(1))
+        assert est.estimate(stream).estimate == 0.0
+
+    def test_k3_matches_triangle_semantics(self):
+        # For k=3 the estimator is Algorithm 1 with the min-count rule;
+        # unbiasedness check within standard error.
+        g = wheel_graph(40)
+        t = count_triangles(g)
+        stream = InMemoryEdgeStream.from_graph(g)
+        est = CliqueOracleEstimator(g, k=3, copies=2000, rng=random.Random(5))
+        result = est.estimate(stream)
+        moments = empirical_moments(result.raw_estimates)
+        se = moments.std / math.sqrt(len(result.raw_estimates))
+        assert abs(moments.mean - t) <= 4 * se + 1e-9
+
+    @pytest.mark.parametrize("k", [4, 5])
+    def test_unbiased_on_clique_graph(self, k):
+        g = complete_graph(10)
+        truth = _comb(10, k)
+        stream = InMemoryEdgeStream.from_graph(g)
+        est = CliqueOracleEstimator(g, k=k, copies=4000, rng=random.Random(7))
+        result = est.estimate(stream)
+        moments = empirical_moments(result.raw_estimates)
+        se = moments.std / math.sqrt(len(result.raw_estimates))
+        assert abs(moments.mean - truth) <= 4 * se + 0.05 * truth
+
+    def test_unbiased_on_ba_4cliques(self):
+        g = barabasi_albert_graph(50, 6, random.Random(9))
+        truth = count_cliques(g, 4)
+        assert truth > 0
+        stream = InMemoryEdgeStream.from_graph(g)
+        est = CliqueOracleEstimator(g, k=4, copies=6000, rng=random.Random(11))
+        result = est.estimate(stream)
+        moments = empirical_moments(result.raw_estimates)
+        se = moments.std / math.sqrt(len(result.raw_estimates))
+        assert abs(moments.mean - truth) <= 4 * se + 0.1 * truth
+
+    def test_deterministic(self):
+        g = complete_graph(8)
+        stream = InMemoryEdgeStream.from_graph(g)
+        a = CliqueOracleEstimator(g, k=4, copies=50, rng=random.Random(3)).estimate(stream)
+        b = CliqueOracleEstimator(g, k=4, copies=50, rng=random.Random(3)).estimate(stream)
+        assert a.estimate == b.estimate

@@ -1,0 +1,164 @@
+"""Tests for Algorithm 3 (StreamingAssigner) against Definition 5.2."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ExactAssigner, ParameterPlan, StreamingAssigner
+from repro.graph import count_triangles, degeneracy, enumerate_triangles, per_edge_triangle_counts
+from repro.generators import barabasi_albert_graph, book_graph, friendship_graph, wheel_graph
+from repro.streams import InMemoryEdgeStream, PassScheduler, SpaceMeter
+from repro.types import triangle_edges
+
+
+def plan_for(graph, kappa, epsilon=0.25, t_guess=None):
+    t = t_guess if t_guess is not None else max(1, count_triangles(graph))
+    return ParameterPlan.build(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        kappa=kappa,
+        t_guess=float(t),
+        epsilon=epsilon,
+    )
+
+
+def run_assigner(graph, kappa, triangles, seed=0, epsilon=0.25):
+    plan = plan_for(graph, kappa, epsilon)
+    stream = InMemoryEdgeStream.from_graph(graph)
+    scheduler = PassScheduler(stream)
+    assigner = StreamingAssigner(plan, random.Random(seed), SpaceMeter())
+    return assigner.assign(scheduler, triangles)
+
+
+class TestExactAssigner:
+    def test_assigns_min_te_edge(self, book8):
+        te = per_edge_triangle_counts(book8)
+        assigner = ExactAssigner(book8)
+        triangles = list(enumerate_triangles(book8))
+        out = assigner.assign(None, triangles)
+        for t, e in out.items():
+            assert e in triangle_edges(t)
+            assert te[e] == min(te[f] for f in triangle_edges(t))
+
+    def test_never_unassigned(self, grid4):
+        out = ExactAssigner(grid4).assign(None, list(enumerate_triangles(grid4)))
+        assert all(e is not None for e in out.values())
+
+    def test_zero_passes_declared(self, triangle):
+        assert ExactAssigner(triangle).passes_required == 0
+
+
+class TestStreamingAssignerBasics:
+    def test_empty_input_consumes_no_passes(self, wheel10):
+        plan = plan_for(wheel10, 3)
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        scheduler = PassScheduler(stream)
+        out = StreamingAssigner(plan, random.Random(0)).assign(scheduler, [])
+        assert out == {}
+        assert scheduler.passes_used == 0
+
+    def test_two_passes_used(self, wheel10):
+        plan = plan_for(wheel10, 3)
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        scheduler = PassScheduler(stream)
+        triangles = list(enumerate_triangles(wheel10))[:3]
+        StreamingAssigner(plan, random.Random(0)).assign(scheduler, triangles)
+        assert scheduler.passes_used == 2
+
+    def test_unique_assignment_to_contained_edge(self, grid4):
+        # Definition 5.2(1): assigned edge is one of the triangle's own.
+        triangles = list(enumerate_triangles(grid4))
+        out = run_assigner(grid4, 3, triangles)
+        assert set(out) == set(triangles)
+        for t, e in out.items():
+            assert e is None or e in triangle_edges(t)
+
+    def test_duplicate_input_triangles_deduplicated(self, wheel10):
+        triangles = list(enumerate_triangles(wheel10))[:2]
+        out = run_assigner(wheel10, 3, triangles * 5)
+        assert set(out) == set(triangles)
+
+    def test_deterministic_given_seed(self, grid4):
+        triangles = list(enumerate_triangles(grid4))
+        out1 = run_assigner(grid4, 3, triangles, seed=5)
+        out2 = run_assigner(grid4, 3, triangles, seed=5)
+        assert out1 == out2
+
+
+class TestDefinition52Properties:
+    def test_almost_all_assigned_on_benign_graph(self, grid4):
+        # Definition 5.2(2): on the triangulated grid no edge is heavy
+        # (t_e <= 2 << kappa/eps), so everything should be assigned.
+        triangles = list(enumerate_triangles(grid4))
+        out = run_assigner(grid4, 3, triangles)
+        assigned = [t for t, e in out.items() if e is not None]
+        assert len(assigned) == len(triangles)
+
+    def test_bounded_assignment_on_book(self, book8):
+        # Definition 5.2(3): the spine (t_e = 8 > kappa/eps = 8) must not
+        # swallow every triangle; with kappa=2, eps=0.25, the cutoff
+        # kappa/(2 eps) = 4 keeps assignments on the pages.
+        triangles = list(enumerate_triangles(book8))
+        out = run_assigner(book8, 2, triangles, seed=3)
+        spine_hits = sum(1 for e in out.values() if e == (0, 1))
+        assert spine_hits <= 2  # estimate noise may leak a little
+
+    def test_tau_max_bounded(self):
+        # tau_max <= kappa/eps whp across a real workload.
+        graph = barabasi_albert_graph(150, 4, random.Random(3))
+        triangles = list(enumerate_triangles(graph))
+        out = run_assigner(graph, 4, triangles, seed=1)
+        per_edge: dict = {}
+        for t, e in out.items():
+            if e is not None:
+                per_edge[e] = per_edge.get(e, 0) + 1
+        kappa = degeneracy(graph)
+        assert max(per_edge.values()) <= kappa / 0.25 + 2
+
+    def test_most_triangles_assigned_on_ba(self):
+        graph = barabasi_albert_graph(150, 4, random.Random(3))
+        triangles = list(enumerate_triangles(graph))
+        out = run_assigner(graph, 4, triangles, seed=1)
+        assigned = sum(1 for e in out.values() if e is not None)
+        # Lemma 5.12-style: heavy + costly triangles are a small fraction.
+        assert assigned >= 0.6 * len(triangles)
+
+    def test_friendship_all_assigned(self, friendship6):
+        # All t_e = 1: nothing is heavy, everything assigns.
+        triangles = list(enumerate_triangles(friendship6))
+        out = run_assigner(friendship6, 2, triangles)
+        assert all(e is not None for e in out.values())
+
+
+class TestDegreeCutoff:
+    def test_high_degree_edges_skipped(self, book8):
+        # With a tiny degree cutoff, every edge gets Y = inf and every
+        # triangle is unassigned.
+        plan = ParameterPlan.build(
+            num_vertices=book8.num_vertices,
+            num_edges=book8.num_edges,
+            kappa=2,
+            t_guess=1e9,  # blows the cutoffs down to ~0
+            epsilon=0.25,
+        )
+        assert plan.degree_cutoff < 1
+        stream = InMemoryEdgeStream.from_graph(book8)
+        scheduler = PassScheduler(stream)
+        out = StreamingAssigner(plan, random.Random(0)).assign(
+            scheduler, list(enumerate_triangles(book8))
+        )
+        assert all(e is None for e in out.values())
+
+    def test_space_charged_to_meter(self, grid4):
+        plan = plan_for(grid4, 3)
+        meter = SpaceMeter()
+        stream = InMemoryEdgeStream.from_graph(grid4)
+        scheduler = PassScheduler(stream)
+        StreamingAssigner(plan, random.Random(0), meter).assign(
+            scheduler, list(enumerate_triangles(grid4))
+        )
+        breakdown = meter.peak_breakdown()
+        assert breakdown.get("assignment-reservoirs", 0) > 0
+        assert breakdown.get("assignment-degrees", 0) > 0

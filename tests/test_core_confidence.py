@@ -1,0 +1,100 @@
+"""Tests for empirical confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    estimate_with_interval,
+    interval_from_estimates,
+    quantile,
+)
+from repro.core.driver import EstimatorConfig
+from repro.errors import ParameterError
+from repro.generators import cycle_graph, wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 10.0], 0.25) == 2.5
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.3) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            quantile([], 0.5)
+        with pytest.raises(ParameterError):
+            quantile([1.0], 1.5)
+
+
+class TestInterval:
+    def test_ordering_enforced(self):
+        with pytest.raises(ParameterError):
+            ConfidenceInterval(point=5.0, low=6.0, high=7.0, level=0.9)
+
+    def test_width_and_contains(self):
+        ci = ConfidenceInterval(point=5.0, low=4.0, high=7.0, level=0.9)
+        assert ci.width == 3.0
+        assert ci.contains(4.0) and ci.contains(7.0)
+        assert not ci.contains(7.5)
+
+    def test_from_estimates_median_point(self):
+        ci = interval_from_estimates([10.0, 20.0, 30.0, 40.0, 50.0], level=0.8)
+        assert ci.point == 30.0
+        assert ci.low <= 20.0
+        assert ci.high >= 40.0
+
+    def test_needs_three(self):
+        with pytest.raises(ParameterError):
+            interval_from_estimates([1.0, 2.0])
+
+    def test_level_validation(self):
+        with pytest.raises(ParameterError):
+            interval_from_estimates([1.0, 2.0, 3.0], level=1.0)
+
+    def test_interval_narrows_with_level(self):
+        values = [float(x) for x in range(100)]
+        wide = interval_from_estimates(values, level=0.95)
+        narrow = interval_from_estimates(values, level=0.5)
+        assert narrow.width < wide.width
+
+
+class TestEstimateWithInterval:
+    def test_wheel_interval_contains_truth(self):
+        graph = wheel_graph(300)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        result, ci = estimate_with_interval(
+            stream, kappa=3, config=EstimatorConfig(seed=4, repetitions=7)
+        )
+        assert result.estimate == ci.point
+        assert ci.contains(t) or abs(ci.point - t) / t < 0.35
+
+    def test_triangle_free_degenerate_interval(self):
+        graph = cycle_graph(30)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        result, ci = estimate_with_interval(
+            stream, kappa=2, config=EstimatorConfig(seed=1, repetitions=3)
+        )
+        assert result.estimate == 0.0
+        assert ci.low == ci.high == 0.0
+
+    def test_requires_three_repetitions(self):
+        graph = wheel_graph(50)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        with pytest.raises(ParameterError, match="repetitions"):
+            estimate_with_interval(
+                stream, kappa=3, config=EstimatorConfig(seed=1, repetitions=2)
+            )

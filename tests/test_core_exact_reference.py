@@ -1,0 +1,48 @@
+"""Tests for the exact one-pass reference counter."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ExactStreamingCounter
+from repro.generators import erdos_renyi_gnm, wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream, SpaceMeter
+from repro.streams.transforms import shuffled
+
+
+class TestExactCounter:
+    def test_matches_offline_count(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            stream = InMemoryEdgeStream.from_graph(g)
+            result = ExactStreamingCounter().count(stream)
+            assert result.triangles == count_triangles(g), name
+
+    def test_order_invariance(self):
+        g = erdos_renyi_gnm(60, 250, random.Random(3))
+        t = count_triangles(g)
+        for seed in range(5):
+            stream = InMemoryEdgeStream.from_graph(g, shuffled(g, random.Random(seed)))
+            assert ExactStreamingCounter().count(stream).triangles == t
+
+    def test_one_pass(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        assert ExactStreamingCounter().count(stream).passes_used == 1
+
+    def test_space_is_two_words_per_edge(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        result = ExactStreamingCounter().count(stream)
+        assert result.space_words_peak == 2 * wheel10.num_edges
+
+    def test_empty_stream(self):
+        result = ExactStreamingCounter().count(InMemoryEdgeStream([]))
+        assert result.triangles == 0
+        assert result.space_words_peak == 0
+
+    def test_external_meter(self, grid4):
+        meter = SpaceMeter()
+        stream = InMemoryEdgeStream.from_graph(grid4)
+        ExactStreamingCounter().count(stream, meter=meter)
+        assert meter.peak_breakdown() == {"adjacency": 2 * grid4.num_edges}

@@ -1,0 +1,139 @@
+"""Tests for Section 4: DegreeOracle and Algorithm 1 (IdealEstimator)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.variance import empirical_moments, ideal_estimator_variance_bound
+from repro.core import DegreeOracle, IdealEstimator
+from repro.core.oracle_model import min_degree_edge_assignment
+from repro.errors import ParameterError
+from repro.generators import book_graph, complete_graph, cycle_graph, wheel_graph
+from repro.graph import count_triangles, edge_degree_sum
+from repro.streams import InMemoryEdgeStream
+from repro.types import triangle_edges
+
+
+class TestDegreeOracle:
+    def test_degrees(self, wheel10):
+        oracle = DegreeOracle(wheel10)
+        assert oracle.degree(0) == 9
+        assert oracle.degree(1) == 3
+
+    def test_unknown_vertex_is_isolated(self, triangle):
+        assert DegreeOracle(triangle).degree(77) == 0
+
+    def test_query_counter(self, triangle):
+        oracle = DegreeOracle(triangle)
+        oracle.degree(0)
+        oracle.edge_degree((0, 1))
+        assert oracle.queries == 3
+
+    def test_edge_degree(self, wheel10):
+        assert DegreeOracle(wheel10).edge_degree((0, 1)) == 3
+
+    def test_neighborhood_owner_tie_breaks_to_second(self, triangle):
+        assert DegreeOracle(triangle).neighborhood_owner((1, 2)) == 2
+
+
+class TestMinDegreeAssignment:
+    def test_assigns_to_contained_edge(self, wheel10):
+        oracle = DegreeOracle(wheel10)
+        t = (0, 1, 2)
+        assert min_degree_edge_assignment(oracle, t) in triangle_edges(t)
+
+    def test_wheel_assigns_to_rim(self, wheel10):
+        # Rim edge (1,2) has d_e = 3; spokes have d_e = 3 as well; the
+        # canonical tie-break picks the lexicographically first edge.
+        oracle = DegreeOracle(wheel10)
+        assert min_degree_edge_assignment(oracle, (0, 1, 2)) == (0, 1)
+
+    def test_deterministic(self, k4):
+        oracle = DegreeOracle(k4)
+        a1 = min_degree_edge_assignment(oracle, (0, 1, 2))
+        a2 = min_degree_edge_assignment(oracle, (0, 1, 2))
+        assert a1 == a2
+
+
+class TestIdealEstimatorValidation:
+    def test_copies_positive(self, triangle):
+        with pytest.raises(ParameterError):
+            IdealEstimator(DegreeOracle(triangle), copies=0, rng=random.Random(0))
+
+    def test_groups_divide_copies(self, triangle):
+        with pytest.raises(ParameterError, match="divide"):
+            IdealEstimator(DegreeOracle(triangle), copies=10, rng=random.Random(0), median_groups=3)
+
+
+class TestIdealEstimatorBehaviour:
+    def test_triangle_free_estimates_zero(self, c6):
+        stream = InMemoryEdgeStream.from_graph(c6)
+        est = IdealEstimator(DegreeOracle(c6), copies=30, rng=random.Random(1))
+        result = est.estimate(stream)
+        assert result.estimate == 0.0
+
+    def test_three_passes(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        result = IdealEstimator(DegreeOracle(wheel10), copies=10, rng=random.Random(1)).estimate(stream)
+        assert result.passes_used == 3
+
+    def test_d_e_sum_exact(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        result = IdealEstimator(DegreeOracle(wheel10), copies=5, rng=random.Random(1)).estimate(stream)
+        assert result.d_e_sum == edge_degree_sum(wheel10)
+
+    def test_raw_estimates_are_zero_or_d_e(self, wheel10):
+        # Each copy outputs d_E * Y with Y in {0, 1}.
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        result = IdealEstimator(DegreeOracle(wheel10), copies=40, rng=random.Random(2)).estimate(stream)
+        d_e = result.d_e_sum
+        assert set(result.raw_estimates) <= {0.0, d_e}
+
+    @pytest.mark.parametrize(
+        "graph_factory,n_copies",
+        [
+            (lambda: wheel_graph(60), 1200),
+            (lambda: book_graph(40), 1200),
+            (lambda: complete_graph(12), 800),
+        ],
+    )
+    def test_unbiasedness(self, graph_factory, n_copies):
+        # The copy-mean should approach T within a few standard errors.
+        graph = graph_factory()
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        est = IdealEstimator(DegreeOracle(graph), copies=n_copies, rng=random.Random(5))
+        result = est.estimate(stream)
+        moments = empirical_moments(result.raw_estimates)
+        standard_error = moments.std / (n_copies ** 0.5)
+        assert abs(moments.mean - t) <= 4 * standard_error + 1e-9
+
+    def test_variance_bound(self):
+        # Empirical variance must respect Var[X] <= d_E * T (Section 4),
+        # with slack for sampling noise.
+        graph = book_graph(40)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        est = IdealEstimator(DegreeOracle(graph), copies=2000, rng=random.Random(8))
+        result = est.estimate(stream)
+        bound = ideal_estimator_variance_bound(graph)
+        moments = empirical_moments(result.raw_estimates)
+        assert moments.variance <= 1.3 * bound
+
+    def test_median_of_means_estimate(self):
+        graph = wheel_graph(40)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        est = IdealEstimator(
+            DegreeOracle(graph), copies=3000, rng=random.Random(3), median_groups=5
+        )
+        result = est.estimate(stream)
+        assert abs(result.estimate - t) / t < 0.35
+
+    def test_deterministic_given_seed(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        r1 = IdealEstimator(DegreeOracle(wheel10), copies=20, rng=random.Random(9)).estimate(stream)
+        r2 = IdealEstimator(DegreeOracle(wheel10), copies=20, rng=random.Random(9)).estimate(stream)
+        assert r1.estimate == r2.estimate
+        assert r1.raw_estimates == r2.raw_estimates

@@ -1,0 +1,133 @@
+"""Tests for repro.core.params: plan formulas, regimes, and clamps."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ParameterPlan, PlanConstants
+from repro.errors import ParameterError
+
+
+def make_plan(**overrides):
+    defaults = dict(
+        num_vertices=1000, num_edges=5000, kappa=5, t_guess=2000.0, epsilon=0.25
+    )
+    defaults.update(overrides)
+    return ParameterPlan.build(**defaults)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_vertices", 0),
+            ("num_edges", 0),
+            ("kappa", 0),
+            ("t_guess", 0.0),
+            ("t_guess", -5.0),
+            ("epsilon", 0.0),
+            ("epsilon", 1.0),
+        ],
+    )
+    def test_rejects_bad_inputs(self, field, value):
+        with pytest.raises(ParameterError):
+            make_plan(**{field: value})
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ParameterError, match="mode"):
+            make_plan(mode="magic")
+
+    def test_constants_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            PlanConstants(c_r=0.0, c_ell=1.0, c_s=1.0)
+
+
+class TestPracticalFormulas:
+    def test_r_tracks_m_kappa_over_t(self):
+        p1 = make_plan(t_guess=1000.0)
+        p2 = make_plan(t_guess=2000.0)
+        # Halving the guess doubles r (before clamps).
+        assert p1.r == pytest.approx(2 * p2.r, rel=0.02)
+
+    def test_r_scales_with_kappa(self):
+        assert make_plan(kappa=10).r == pytest.approx(2 * make_plan(kappa=5).r, rel=0.02)
+
+    def test_r_scales_inverse_epsilon_squared(self):
+        fine = make_plan(epsilon=0.1)
+        coarse = make_plan(epsilon=0.2)
+        assert fine.r == pytest.approx(4 * coarse.r, rel=0.02)
+
+    def test_s_positive_and_tracks_plan(self):
+        p = make_plan()
+        expected = 3.0 * 5000 * 5 / (2000.0 * 0.0625)
+        assert p.s == math.ceil(expected)
+
+    def test_floor_values(self):
+        # Gigantic guess -> formulas shrink below the floors.
+        p = make_plan(t_guess=1e12)
+        assert p.r == 8
+        assert p.s == 4
+        assert p.ell(1.0) == 8
+
+    def test_cap_values(self):
+        # Tiny guess -> formulas explode; clamped to 4m.
+        p = make_plan(t_guess=1e-6)
+        assert p.r == 4 * 5000
+        assert p.s == 4 * 5000
+        assert p.ell(1e12) == 4 * 5000
+
+    def test_degree_cutoff_formula(self):
+        p = make_plan()
+        assert p.degree_cutoff == pytest.approx(5000 * 25 / (0.0625 * 2000.0))
+
+    def test_assignment_cutoff_formula(self):
+        p = make_plan()
+        assert p.assignment_cutoff == pytest.approx(5 / 0.5)
+
+    def test_ell_monotone_in_d_r(self):
+        p = make_plan()
+        assert p.ell(100.0) <= p.ell(1000.0)
+
+    def test_ell_rejects_negative_d_r(self):
+        with pytest.raises(ParameterError):
+            make_plan().ell(-1.0)
+
+    def test_predicted_space(self):
+        p = make_plan()
+        assert p.predicted_space_words == pytest.approx(5000 * 5 / 2000.0)
+
+
+class TestTheoryRegime:
+    def test_theory_includes_log_factor(self):
+        practical = make_plan(mode="practical")
+        theory = make_plan(mode="theory")
+        assert theory.log_factor == pytest.approx(math.log(1000))
+        assert practical.log_factor == 1.0
+        assert theory.r > practical.r
+
+    def test_theory_constants_respect_lemmas(self):
+        c = PlanConstants.THEORY
+        assert c.c_r > 6      # Lemma 5.5
+        assert c.c_ell > 20   # Lemma 5.7
+        assert c.c_s > 60     # Theorem 5.13
+
+    def test_theory_uses_tau_max_kappa_over_eps(self):
+        # In the theory regime, r carries an extra 1/eps from tau_max <= kappa/eps.
+        theory = make_plan(mode="theory", t_guess=1e5)  # clear of floor and cap
+        practical = make_plan(mode="practical", t_guess=1e5)
+        ratio = (theory.r / practical.r)
+        expected = (
+            PlanConstants.THEORY.c_r
+            / PlanConstants.PRACTICAL.c_r
+            * math.log(1000)
+            / 0.25
+        )
+        # Ceil-induced wiggle at small values; just check the scale.
+        assert ratio == pytest.approx(expected, rel=0.6)
+
+    def test_custom_constants(self):
+        custom = PlanConstants(c_r=1.0, c_ell=1.0, c_s=1.0)
+        p = make_plan(constants=custom)
+        assert p.r == math.ceil(1.0 * 5000 * 5 / (2000.0 * 0.0625))

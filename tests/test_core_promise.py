@@ -1,0 +1,134 @@
+"""Tests for the one-pass degeneracy bracket."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.promise import DegeneracyBracket, degeneracy_bracket
+from repro.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    standard_suite,
+    star_graph,
+    wheel_graph,
+)
+from repro.graph import Graph, degeneracy
+from repro.streams import InMemoryEdgeStream
+
+
+def bracket_of(graph):
+    return degeneracy_bracket(InMemoryEdgeStream.from_graph(graph))
+
+
+class TestBracketContainsTruth:
+    def test_all_fixtures(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            b = bracket_of(g)
+            kappa = degeneracy(g)
+            assert b.lower <= kappa <= b.upper, (name, b, kappa)
+
+    def test_workload_suite(self):
+        for w in standard_suite("tiny"):
+            g = w.instantiate(0)
+            b = bracket_of(g)
+            kappa = degeneracy(g)
+            assert b.lower <= kappa <= b.upper, w.name
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi_gnm(80, 240, random.Random(seed))
+        b = bracket_of(g)
+        assert b.lower <= degeneracy(g) <= b.upper
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_hypothesis_bracket(self, raw_edges):
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        b = bracket_of(g)
+        assert b.lower <= degeneracy(g) <= b.upper
+
+
+class TestTightness:
+    def test_clique_exact(self):
+        # K_n: h-index = n-1 = kappa; lower = ceil(m/n) = (n-1)/2 rounded.
+        b = bracket_of(complete_graph(9))
+        assert b.upper == 8
+        assert b.lower == 4
+
+    def test_cycle_tight_at_two(self):
+        b = bracket_of(cycle_graph(20))
+        assert b.lower == 1
+        assert b.upper == 2
+
+    def test_star_upper_is_one(self):
+        # Star: one vertex of degree n-1, the rest degree 1; h-index is 1
+        # ... for n >= 3 at least: histogram has n-1 vertices of degree 1.
+        b = bracket_of(star_graph(10))
+        assert b.upper >= 1
+        assert degeneracy(star_graph(10)) <= b.upper
+
+    def test_wheel_bracket(self):
+        b = bracket_of(wheel_graph(100))
+        assert b.lower == 2
+        assert 3 <= b.upper <= 4  # h-index of (99, 3, 3, ..., 3) is 3
+
+    def test_ba_width_moderate(self):
+        # Power-law tails inflate the h-index; the bracket stays within a
+        # small constant factor of the truth (here lower = kappa = 5,
+        # upper = h-index = 21 -> ratio 4.2).
+        g = barabasi_albert_graph(300, 5, random.Random(2))
+        b = bracket_of(g)
+        assert b.lower == degeneracy(g) == 5
+        assert b.width_ratio <= 6.0
+
+
+class TestMechanics:
+    def test_empty_stream(self):
+        b = degeneracy_bracket(InMemoryEdgeStream([]))
+        assert b.lower == b.upper == 0
+        assert b.num_edges == 0
+
+    def test_one_pass_only(self, wheel10):
+        stream = InMemoryEdgeStream.from_graph(wheel10)
+        # degeneracy_bracket builds its own scheduler with max_passes=1;
+        # reaching here without PassBudgetExceeded is the assertion.
+        b = degeneracy_bracket(stream)
+        assert b.num_edges == wheel10.num_edges
+
+    def test_space_charged(self, wheel10):
+        from repro.streams import SpaceMeter
+
+        meter = SpaceMeter()
+        degeneracy_bracket(InMemoryEdgeStream.from_graph(wheel10), meter=meter)
+        assert meter.peak_breakdown()["degree-index"] == wheel10.num_vertices
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError):
+            DegeneracyBracket(lower=5, upper=3, num_edges=1, num_vertices_seen=2, space_words_peak=0)
+
+    def test_upper_is_safe_promise(self):
+        # End-to-end: feed the bracket's upper end to the estimator.
+        from repro import EstimatorConfig, TriangleCountEstimator
+        from repro.graph import count_triangles
+
+        g = wheel_graph(200)
+        stream = InMemoryEdgeStream.from_graph(g)
+        b = degeneracy_bracket(stream)
+        t = count_triangles(g)
+        result = TriangleCountEstimator(EstimatorConfig(seed=3, repetitions=3)).estimate(
+            stream, kappa=b.upper
+        )
+        assert abs(result.estimate - t) / t < 0.35

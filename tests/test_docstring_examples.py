@@ -1,0 +1,21 @@
+"""The executable examples embedded in docstrings must actually run.
+
+README-level docstrings rot silently; running them as doctests keeps the
+public-facing snippets honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.driver
+
+
+@pytest.mark.parametrize("module", [repro, repro.core.driver])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

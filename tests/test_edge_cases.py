@@ -1,0 +1,151 @@
+"""Edge cases and less-traveled paths across modules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.core.params import ParameterPlan
+from repro.errors import ParameterError
+from repro.generators import book_graph, complete_graph, star_graph, wheel_graph
+from repro.graph import Graph, count_triangles
+from repro.streams import InMemoryEdgeStream
+
+
+class TestTinyInstances:
+    def test_k3_estimate(self):
+        stream = InMemoryEdgeStream.from_graph(complete_graph(3))
+        result = TriangleCountEstimator(EstimatorConfig(seed=0, repetitions=3)).estimate(
+            stream, kappa=2
+        )
+        # One triangle; sampling can only see it or miss it.
+        assert 0.0 <= result.estimate <= 4.0
+
+    def test_k4_estimate(self):
+        stream = InMemoryEdgeStream.from_graph(complete_graph(4))
+        result = TriangleCountEstimator(EstimatorConfig(seed=1, repetitions=5)).estimate(
+            stream, kappa=3
+        )
+        assert result.estimate == pytest.approx(4.0, rel=1.0)
+
+    def test_star_no_triangles(self):
+        stream = InMemoryEdgeStream.from_graph(star_graph(50))
+        result = TriangleCountEstimator(EstimatorConfig(seed=1, repetitions=3)).estimate(
+            stream, kappa=1
+        )
+        assert result.estimate == 0.0
+
+    def test_one_page_book(self):
+        stream = InMemoryEdgeStream.from_graph(book_graph(1))
+        result = TriangleCountEstimator(EstimatorConfig(seed=2, repetitions=3)).estimate(
+            stream, kappa=2
+        )
+        assert 0.0 <= result.estimate <= 4.0
+
+
+class TestPlanBoundaries:
+    def test_epsilon_near_one(self):
+        plan = ParameterPlan.build(100, 200, 3, 50.0, 0.99)
+        assert plan.r >= 8
+        assert plan.assignment_cutoff == pytest.approx(3 / 1.98)
+
+    def test_epsilon_tiny(self):
+        plan = ParameterPlan.build(100, 200, 3, 50.0, 0.01)
+        # 1/eps^2 = 10^4 blows past the 4m cap.
+        assert plan.r == 4 * 200
+
+    def test_kappa_equals_sqrt_2m(self):
+        # The paper notes kappa <= sqrt(2m); plans must accept the extreme.
+        import math
+
+        m = 200
+        kappa = int(math.isqrt(2 * m))
+        plan = ParameterPlan.build(100, m, kappa, 50.0, 0.3)
+        assert plan.r >= 8
+
+    def test_t_guess_above_cor32_bound(self):
+        # Guesses above 2*m*kappa are legal (just overly optimistic).
+        plan = ParameterPlan.build(100, 200, 3, 5000.0, 0.3)
+        assert plan.r == 8  # floor
+
+
+class TestDriverMisc:
+    def test_zero_repetition_rejected_at_config(self):
+        with pytest.raises(ParameterError):
+            EstimatorConfig(repetitions=0)
+
+    def test_single_repetition_runs(self):
+        stream = InMemoryEdgeStream.from_graph(wheel_graph(60))
+        cfg = EstimatorConfig(seed=1, repetitions=1)
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=3)
+        assert result.estimate >= 0.0
+
+    def test_even_repetitions_median(self):
+        stream = InMemoryEdgeStream.from_graph(wheel_graph(60))
+        cfg = EstimatorConfig(seed=1, repetitions=4)
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=3)
+        assert result.estimate >= 0.0
+
+    def test_huge_kappa_promise(self):
+        # A wildly pessimistic promise costs space, not correctness.
+        graph = wheel_graph(80)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        cfg = EstimatorConfig(seed=3, repetitions=3, t_hint=float(t))
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=50)
+        assert abs(result.estimate - t) / t < 0.4
+
+    def test_result_round_records(self):
+        graph = wheel_graph(100)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        cfg = EstimatorConfig(seed=5, repetitions=3)
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=3)
+        for r in result.rounds:
+            assert len(r.runs) == 3
+            assert r.median_estimate == sorted(x.estimate for x in r.runs)[1]
+
+
+class TestGraphMisc:
+    def test_vertices_iteration_includes_isolated(self):
+        g = Graph(edges=[(0, 1)], vertices=[5])
+        assert sorted(g.vertices()) == [0, 1, 5]
+
+    def test_edges_of_empty_graph(self):
+        assert list(Graph().edges()) == []
+
+    def test_induced_subgraph_empty_keep(self, wheel10):
+        sub = wheel10.induced_subgraph([])
+        assert sub.num_vertices == 0
+
+    def test_degree_sequence_of_book(self):
+        g = book_graph(5)
+        degrees = sorted(g.degrees().values(), reverse=True)
+        assert degrees[:2] == [6, 6]  # the two spine endpoints
+        assert all(d == 2 for d in degrees[2:])
+
+
+class TestCliGenerateAllFamilies:
+    @pytest.mark.parametrize(
+        "family",
+        [
+            "wheel",
+            "book",
+            "friendship",
+            "triangulated-grid",
+            "ba",
+            "chung-lu",
+            "watts-strogatz",
+            "er-sparse",
+            "planted",
+            "rmat",
+        ],
+    )
+    def test_generate_then_stats(self, tmp_path, family, capsys):
+        from repro.cli import main
+
+        out = tmp_path / f"{family}.txt"
+        assert main(["generate", family, "--out", str(out), "--scale", "tiny"]) == 0
+        assert main(["stats", str(out)]) == 0
+        assert "kappa" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Failure injection: the guard rails must fail loudly, not silently.
+
+The streaming model's constraints (pass budgets, space budgets, replay
+consistency) are enforced by the infrastructure; these tests inject
+violations and assert the failure is an exception at the right layer, with
+state left coherent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+import pytest
+
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.core.params import ParameterPlan
+from repro.core.estimator import run_single_estimate
+from repro.errors import PassBudgetExceeded, SpaceBudgetExceeded, StreamError
+from repro.generators import wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream, PassScheduler, SpaceMeter
+from repro.streams.base import EdgeStream
+from repro.types import Edge
+
+
+class FlakyStream(EdgeStream):
+    """A stream that dies mid-pass after ``fail_after`` edges."""
+
+    def __init__(self, edges, fail_after: int) -> None:
+        self._edges = list(edges)
+        self._fail_after = fail_after
+
+    def __iter__(self) -> Iterator[Edge]:
+        for i, e in enumerate(self._edges):
+            if i >= self._fail_after:
+                raise IOError("injected stream failure")
+            yield e
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+class MutatingStream(EdgeStream):
+    """A stream whose order changes between passes (model violation)."""
+
+    def __init__(self, edges) -> None:
+        self._edges = list(edges)
+        self._passes = 0
+
+    def __iter__(self) -> Iterator[Edge]:
+        self._passes += 1
+        order = list(self._edges)
+        random.Random(self._passes).shuffle(order)
+        return iter(order)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+class TestStreamFailures:
+    def test_midpass_ioerror_propagates(self):
+        graph = wheel_graph(40)
+        stream = FlakyStream(graph.edge_list(), fail_after=10)
+        plan = ParameterPlan.build(40, graph.num_edges, 3, 39.0, 0.3)
+        with pytest.raises(IOError, match="injected"):
+            run_single_estimate(stream, plan, random.Random(0))
+
+    def test_scheduler_recovers_after_failed_pass(self):
+        graph = wheel_graph(20)
+        edges = graph.edge_list()
+        flaky = FlakyStream(edges, fail_after=5)
+        scheduler = PassScheduler(flaky)
+        with pytest.raises(IOError):
+            list(scheduler.new_pass())
+        # The failed pass counted and closed; a scheduler over a healthy
+        # stream object can continue (same scheduler, swapped behaviour is
+        # not possible - so verify pass accounting stayed coherent).
+        assert scheduler.passes_used == 1
+
+    def test_mutating_stream_does_not_crash_estimator(self):
+        # A stream violating replay consistency produces *wrong numbers*,
+        # not crashes - the model assumption is external.  The estimator
+        # must still terminate and return a finite value.
+        graph = wheel_graph(100)
+        stream = MutatingStream(graph.edge_list())
+        plan = ParameterPlan.build(100, graph.num_edges, 3, 99.0, 0.3)
+        result = run_single_estimate(stream, plan, random.Random(1))
+        assert result.estimate >= 0.0
+        assert result.passes_used <= 6
+
+
+class TestBudgetViolations:
+    def test_space_budget_aborts_during_pass1(self):
+        graph = wheel_graph(200)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        plan = ParameterPlan.build(200, graph.num_edges, 3, 10.0, 0.3)  # big r
+        meter = SpaceMeter(budget_words=50)
+        with pytest.raises(SpaceBudgetExceeded):
+            run_single_estimate(stream, plan, random.Random(0), meter=meter)
+
+    def test_space_budget_driver_level(self):
+        graph = wheel_graph(100)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        cfg = EstimatorConfig(seed=0, repetitions=1, space_budget_words=20)
+        with pytest.raises(SpaceBudgetExceeded):
+            TriangleCountEstimator(cfg).estimate(stream, kappa=3)
+
+    def test_pass_budget_violation_detected(self):
+        graph = wheel_graph(30)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        scheduler = PassScheduler(stream, max_passes=1)
+        list(scheduler.new_pass())
+        with pytest.raises(PassBudgetExceeded):
+            scheduler.new_pass()
+
+    def test_meter_state_coherent_after_abort(self):
+        meter = SpaceMeter(budget_words=10)
+        meter.allocate(8, "a")
+        with pytest.raises(SpaceBudgetExceeded):
+            meter.allocate(5, "b")
+        # The failed allocation was still recorded (abort semantics: the
+        # algorithm stops; the meter reports what it observed).
+        assert meter.current_words == 13
+        assert meter.peak_words == 13
+
+
+class TestInputValidationAtBoundaries:
+    def test_stream_graph_mismatch(self):
+        graph = wheel_graph(30)
+        other = wheel_graph(40)
+        stream = InMemoryEdgeStream.from_graph(other)
+        plan = ParameterPlan.build(30, graph.num_edges, 3, 29.0, 0.3)
+        with pytest.raises(ValueError, match="plan was built"):
+            run_single_estimate(stream, plan, random.Random(0))
+
+    def test_order_not_permutation(self):
+        graph = wheel_graph(10)
+        with pytest.raises(StreamError):
+            InMemoryEdgeStream.from_graph(graph, graph.edge_list()[:-1])
+
+    def test_estimator_survives_minimum_graph(self):
+        # Single triangle: the smallest instance with T > 0.
+        stream = InMemoryEdgeStream([(0, 1), (1, 2), (0, 2)])
+        cfg = EstimatorConfig(seed=1, repetitions=3)
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=2)
+        assert result.estimate == pytest.approx(1.0, rel=1.0)
+
+    def test_estimator_single_edge(self):
+        stream = InMemoryEdgeStream([(0, 1)])
+        cfg = EstimatorConfig(seed=1, repetitions=2)
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=1)
+        assert result.estimate == 0.0

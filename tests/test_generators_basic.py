@@ -1,0 +1,123 @@
+"""Tests for structured generators: closed-form n, m, T, kappa."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    book_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    friendship_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    triangulated_grid_graph,
+    wheel_graph,
+)
+from repro.graph import count_triangles, degeneracy, per_edge_triangle_counts
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory,bad",
+        [
+            (path_graph, 0),
+            (cycle_graph, 2),
+            (star_graph, 1),
+            (wheel_graph, 3),
+            (book_graph, 0),
+            (friendship_graph, 0),
+            (complete_graph, 0),
+        ],
+    )
+    def test_too_small_rejected(self, factory, bad):
+        with pytest.raises(GraphError):
+            factory(bad)
+
+    def test_bipartite_validation(self):
+        with pytest.raises(GraphError):
+            complete_bipartite_graph(0, 3)
+
+    def test_grid_validation(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+        with pytest.raises(GraphError):
+            triangulated_grid_graph(1, 5)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("n", [1, 2, 10])
+    def test_path(self, n):
+        g = path_graph(n)
+        assert g.num_vertices == n
+        assert g.num_edges == n - 1
+
+    @pytest.mark.parametrize("n", [3, 8])
+    def test_cycle(self, n):
+        g = cycle_graph(n)
+        assert g.num_vertices == n
+        assert g.num_edges == n
+        assert count_triangles(g) == (1 if n == 3 else 0)
+
+    @pytest.mark.parametrize("n", [2, 9])
+    def test_star(self, n):
+        g = star_graph(n)
+        assert g.num_vertices == n
+        assert g.num_edges == n - 1
+        assert g.degree(0) == n - 1
+
+    @pytest.mark.parametrize("n", [5, 12, 100])
+    def test_wheel(self, n):
+        g = wheel_graph(n)
+        assert g.num_vertices == n
+        assert g.num_edges == 2 * (n - 1)
+        assert count_triangles(g) == n - 1
+        assert degeneracy(g) == 3
+
+    @pytest.mark.parametrize("pages", [1, 7, 30])
+    def test_book(self, pages):
+        g = book_graph(pages)
+        assert g.num_vertices == pages + 2
+        assert g.num_edges == 2 * pages + 1
+        assert count_triangles(g) == pages
+        te = per_edge_triangle_counts(g)
+        assert te[(0, 1)] == pages
+
+    @pytest.mark.parametrize("blades", [1, 5, 20])
+    def test_friendship(self, blades):
+        g = friendship_graph(blades)
+        assert g.num_vertices == 2 * blades + 1
+        assert g.num_edges == 3 * blades
+        assert count_triangles(g) == blades
+        te = per_edge_triangle_counts(g)
+        assert all(count == 1 for count in te.values())
+
+    @pytest.mark.parametrize("n", [1, 4, 9])
+    def test_complete(self, n):
+        g = complete_graph(n)
+        assert g.num_vertices == n
+        assert g.num_edges == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("p,q", [(2, 3), (4, 4)])
+    def test_complete_bipartite(self, p, q):
+        g = complete_bipartite_graph(p, q)
+        assert g.num_vertices == p + q
+        assert g.num_edges == p * q
+        assert count_triangles(g) == 0
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (4, 7)])
+    def test_grid(self, rows, cols):
+        g = grid_graph(rows, cols)
+        assert g.num_vertices == rows * cols
+        assert g.num_edges == rows * (cols - 1) + cols * (rows - 1)
+        assert count_triangles(g) == 0
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (5, 8)])
+    def test_triangulated_grid(self, rows, cols):
+        g = triangulated_grid_graph(rows, cols)
+        cells = (rows - 1) * (cols - 1)
+        assert g.num_edges == rows * (cols - 1) + cols * (rows - 1) + cells
+        assert count_triangles(g) == 2 * cells

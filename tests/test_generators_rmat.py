@@ -1,0 +1,90 @@
+"""Tests for the R-MAT generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators.rmat import rmat_graph
+from repro.graph import count_triangles, degeneracy
+
+
+class TestValidation:
+    def test_scale_bounds(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0, 4, random.Random(0))
+        with pytest.raises(GraphError):
+            rmat_graph(25, 4, random.Random(0))
+
+    def test_edge_factor(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, 0, random.Random(0))
+
+    def test_probabilities_sum(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, 2, random.Random(0), probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_negative_probability(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, 2, random.Random(0), probabilities=(-0.1, 0.4, 0.4, 0.3))
+
+
+class TestStructure:
+    def test_vertex_count(self):
+        g = rmat_graph(6, 4, random.Random(1))
+        assert g.num_vertices == 64
+
+    def test_edge_count_hits_target(self):
+        g = rmat_graph(8, 8, random.Random(2))
+        assert g.num_edges == 8 * 256
+
+    def test_dense_saturation_respects_max(self):
+        # scale=2 (4 vertices): at most 6 edges regardless of edge_factor.
+        g = rmat_graph(2, 100, random.Random(3))
+        assert g.num_edges <= 6
+
+    def test_deterministic(self):
+        a = rmat_graph(7, 6, random.Random(5))
+        b = rmat_graph(7, 6, random.Random(5))
+        assert a == b
+
+    def test_skewed_degrees(self):
+        # Graph500 parameters produce max degree far above average.
+        g = rmat_graph(10, 8, random.Random(4))
+        avg = 2 * g.num_edges / g.num_vertices
+        assert g.max_degree() > 4 * avg
+
+    def test_low_degeneracy_vs_max_degree(self):
+        # The paper's enabling separation: kappa << max degree.
+        g = rmat_graph(10, 8, random.Random(4))
+        assert degeneracy(g) < g.max_degree() / 3
+
+    def test_contains_triangles(self):
+        g = rmat_graph(10, 8, random.Random(4))
+        assert count_triangles(g) > 0
+
+    def test_uniform_quadrants_look_like_er(self):
+        # a=b=c=d=0.25 is (near-)uniform pair sampling.
+        g = rmat_graph(8, 4, random.Random(6), probabilities=(0.25, 0.25, 0.25, 0.25))
+        avg = 2 * g.num_edges / g.num_vertices
+        assert g.max_degree() < 6 * avg
+
+
+class TestEndToEnd:
+    def test_estimator_on_rmat(self):
+        from repro import EstimatorConfig, TriangleCountEstimator
+        from repro.core.promise import degeneracy_bracket
+        from repro.streams import InMemoryEdgeStream
+        from repro.streams.transforms import shuffled
+
+        g = rmat_graph(9, 8, random.Random(7))
+        t = count_triangles(g)
+        stream = InMemoryEdgeStream.from_graph(g, shuffled(g, random.Random(1)))
+        kappa = degeneracy_bracket(stream).upper  # promise from the stream itself
+        result = TriangleCountEstimator(EstimatorConfig(seed=2, repetitions=5)).estimate(
+            stream, kappa=kappa
+        )
+        if t >= 50:
+            assert abs(result.estimate - t) / t < 0.5

@@ -1,0 +1,56 @@
+"""Tests for the named workload suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.generators import standard_suite, workload_by_name
+from repro.graph import count_triangles, degeneracy
+
+
+class TestSuite:
+    def test_scales(self):
+        assert {w.name for w in standard_suite("tiny")} == {
+            w.name for w in standard_suite("small")
+        }
+
+    def test_unknown_scale(self):
+        with pytest.raises(ParameterError, match="scale"):
+            standard_suite("galactic")
+
+    def test_lookup_by_name(self):
+        w = workload_by_name("wheel", scale="tiny")
+        assert w.name == "wheel"
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ParameterError, match="unknown workload"):
+            workload_by_name("mystery")
+
+    def test_instantiation_deterministic(self):
+        w = workload_by_name("ba", scale="tiny")
+        assert w.instantiate(seed=3) == w.instantiate(seed=3)
+
+    def test_kappa_bounds_are_valid_promises(self):
+        # Every workload's promised kappa bound must dominate the true
+        # degeneracy - the estimator's correctness rests on this.
+        for w in standard_suite("tiny"):
+            g = w.instantiate(seed=0)
+            assert degeneracy(g) <= w.kappa_bound, w.name
+
+    def test_kappa_bounds_hold_across_seeds(self):
+        for w in standard_suite("tiny"):
+            for seed in (1, 2):
+                assert degeneracy(w.instantiate(seed)) <= w.kappa_bound, (w.name, seed)
+
+    def test_triangle_rich_workloads(self):
+        # All suite entries except the sparse-control ones are triangle-rich.
+        for w in standard_suite("tiny"):
+            g = w.instantiate(seed=0)
+            if w.name in ("er-sparse",):
+                continue
+            assert count_triangles(g) > 0, w.name
+
+    def test_descriptions_present(self):
+        for w in standard_suite("tiny"):
+            assert w.description

@@ -1,0 +1,158 @@
+"""Tests for repro.graph.adjacency.Graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+def small_edge_lists():
+    """Hypothesis strategy: duplicate-free canonical edge lists."""
+    pairs = st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda p: p[0] != p[1])
+    return st.lists(pairs, max_size=40).map(
+        lambda edges: list({(min(u, v), max(u, v)) for u, v in edges})
+    )
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = Graph(vertices=[3, 5])
+        assert g.num_vertices == 2
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_rejects_negative_vertex(self):
+        with pytest.raises(GraphError, match="negative"):
+            Graph(vertices=[-1])
+
+    def test_edges_canonicalized(self):
+        g = Graph(edges=[(5, 2)])
+        assert g.has_edge(2, 5)
+        assert list(g.edges()) == [(2, 5)]
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph(edges=[(1, 2), (2, 1)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph(edges=[(4, 4)])
+
+
+class TestQueries:
+    def test_degree(self, wheel10):
+        assert wheel10.degree(0) == 9  # hub
+        assert wheel10.degree(1) == 3  # rim
+
+    def test_degree_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError, match="not in graph"):
+            triangle.degree(99)
+
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_neighbors_unknown_vertex_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors(42)
+
+    def test_has_edge_both_orientations(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert triangle.has_edge(1, 0)
+
+    def test_has_edge_absent(self, c6):
+        assert not c6.has_edge(0, 3)
+
+    def test_has_edge_self_loop_is_false(self, triangle):
+        assert not triangle.has_edge(1, 1)
+
+    def test_has_edge_unknown_vertices(self, triangle):
+        assert not triangle.has_edge(50, 60)
+
+    def test_edge_list_sorted_unique(self, wheel10):
+        edges = wheel10.edge_list()
+        assert edges == sorted(edges)
+        assert len(edges) == wheel10.num_edges == 18
+
+    def test_degrees_mapping(self, k4):
+        assert k4.degrees() == {0: 3, 1: 3, 2: 3, 3: 3}
+
+    def test_max_degree(self, wheel10):
+        assert wheel10.max_degree() == 9
+
+    def test_max_degree_empty(self):
+        assert Graph().max_degree() == 0
+
+    def test_contains_and_len(self, triangle):
+        assert 0 in triangle
+        assert 9 not in triangle
+        assert len(triangle) == 3
+
+    def test_handshake_lemma(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            assert sum(g.degrees().values()) == 2 * g.num_edges, name
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self, k4):
+        sub = k4.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_ignores_foreign_vertices(self, triangle):
+        sub = triangle.induced_subgraph([0, 1, 99])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_subgraph_of_edges(self, k4):
+        sub = k4.subgraph_of_edges([(0, 1), (2, 3)])
+        assert sub.num_edges == 2
+
+    def test_subgraph_of_edges_rejects_missing(self, c6):
+        with pytest.raises(GraphError, match="not in graph"):
+            c6.subgraph_of_edges([(0, 3)])
+
+    def test_relabeled(self, triangle):
+        g = triangle.relabeled({0: 10, 1: 11, 2: 12})
+        assert g.has_edge(10, 11) and g.has_edge(11, 12) and g.has_edge(10, 12)
+
+    def test_relabeled_rejects_non_injective(self, triangle):
+        with pytest.raises(GraphError, match="injective"):
+            triangle.relabeled({0: 5, 1: 5, 2: 6})
+
+    def test_copy_is_equal_but_independent(self, triangle):
+        clone = triangle.copy()
+        assert clone == triangle
+        clone.add_edge_unchecked(0, 7)
+        assert clone != triangle
+
+    def test_equality(self):
+        assert Graph(edges=[(0, 1)]) == Graph(edges=[(1, 0)])
+        assert Graph(edges=[(0, 1)]) != Graph(edges=[(0, 2)])
+
+    def test_unhashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+
+class TestProperties:
+    @given(small_edge_lists())
+    def test_edges_roundtrip(self, edges):
+        g = Graph(edges=edges)
+        assert sorted(g.edges()) == sorted(edges)
+        assert g.num_edges == len(edges)
+
+    @given(small_edge_lists())
+    def test_neighbor_symmetry(self, edges):
+        g = Graph(edges=edges)
+        for v in g.vertices():
+            for w in g.neighbors(v):
+                assert v in g.neighbors(w)

@@ -1,0 +1,69 @@
+"""Tests for repro.graph.arboricity: the sandwich alpha <= kappa <= 2*alpha - 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.generators import complete_graph, cycle_graph, path_graph, wheel_graph
+from repro.graph import Graph, arboricity_bounds, degeneracy, nash_williams_lower_bound
+
+
+class TestNashWilliams:
+    def test_empty_graph(self):
+        assert nash_williams_lower_bound(Graph()) == 0
+
+    def test_single_edge(self):
+        assert nash_williams_lower_bound(Graph(edges=[(0, 1)])) == 1
+
+    def test_tree_has_arboricity_one(self):
+        assert nash_williams_lower_bound(path_graph(20)) == 1
+
+    def test_cycle_needs_two_forests(self):
+        # m = n on n-1 available tree edges per forest -> ceil(n/(n-1)) = 2.
+        assert nash_williams_lower_bound(cycle_graph(8)) == 2
+
+    @pytest.mark.parametrize("n", [4, 6, 10])
+    def test_clique_closed_form(self, n):
+        # alpha(K_n) = ceil(n/2); Nash-Williams on the full graph is tight.
+        assert nash_williams_lower_bound(complete_graph(n)) == math.ceil(n / 2)
+
+
+class TestBounds:
+    def test_interval_validity(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            b = arboricity_bounds(g)
+            assert b.lower <= b.upper, name
+
+    def test_sandwich_with_degeneracy(self, all_fixture_graphs):
+        # alpha <= kappa and kappa <= 2*alpha - 1, i.e.
+        # ceil((kappa+1)/2) <= alpha: our interval must respect both.
+        for name, g in all_fixture_graphs.items():
+            if g.num_edges == 0:
+                continue
+            kappa = degeneracy(g)
+            b = arboricity_bounds(g)
+            assert b.upper <= kappa or b.upper == b.lower, name
+            assert b.lower >= math.ceil((kappa + 1) / 2), name
+
+    def test_clique_exact(self):
+        b = arboricity_bounds(complete_graph(9))
+        assert b.lower == 5  # ceil(9/2)
+
+    def test_wheel(self):
+        b = arboricity_bounds(wheel_graph(20))
+        assert b.lower == 2
+        assert b.upper == 3
+
+    def test_empty_interval_rejected(self):
+        from repro.graph.arboricity import ArboricityBounds
+
+        with pytest.raises(ValueError):
+            ArboricityBounds(lower=3, upper=2)
+
+    def test_is_exact_flag(self):
+        from repro.graph.arboricity import ArboricityBounds
+
+        assert ArboricityBounds(2, 2).is_exact
+        assert not ArboricityBounds(2, 3).is_exact

@@ -1,0 +1,70 @@
+"""Tests for repro.graph.builder.GraphBuilder policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestPolicies:
+    def test_invalid_duplicate_policy(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(on_duplicate="explode")
+
+    def test_invalid_self_loop_policy(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(on_self_loop="explode")
+
+    def test_strict_duplicate_raises(self):
+        b = GraphBuilder()
+        b.add_edge(1, 2)
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_edge(2, 1)
+
+    def test_ignore_duplicate_counts(self):
+        b = GraphBuilder(on_duplicate="ignore")
+        b.add_edge(1, 2).add_edge(2, 1).add_edge(1, 2)
+        assert b.num_edges == 1
+        assert b.dropped_duplicates == 2
+
+    def test_strict_self_loop_raises(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            GraphBuilder().add_edge(3, 3)
+
+    def test_ignore_self_loop_counts(self):
+        b = GraphBuilder(on_self_loop="ignore")
+        b.add_edge(3, 3)
+        assert b.num_edges == 0
+        assert b.dropped_self_loops == 1
+
+
+class TestBuild:
+    def test_build_produces_graph(self):
+        g = GraphBuilder().add_edges([(0, 1), (1, 2)]).build()
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+
+    def test_isolated_vertices_preserved(self):
+        g = GraphBuilder().add_vertex(7).add_edge(0, 1).build()
+        assert g.has_vertex(7)
+        assert g.degree(7) == 0
+
+    def test_add_vertex_rejects_negative(self):
+        with pytest.raises(GraphError, match="negative"):
+            GraphBuilder().add_vertex(-4)
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder().add_edge(0, 1)
+        g1 = b.build()
+        b.add_edge(1, 2)
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2
+
+    def test_build_deterministic(self):
+        edges = [(4, 2), (0, 9), (3, 1)]
+        g1 = GraphBuilder().add_edges(edges).build()
+        g2 = GraphBuilder().add_edges(reversed(edges)).build()
+        assert g1 == g2

@@ -1,0 +1,101 @@
+"""Tests for connected components."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import cycle_graph, path_graph, wheel_graph
+from repro.graph import Graph
+from repro.graph.connectivity import (
+    component_labels,
+    component_sizes,
+    connected_components,
+    giant_component_fraction,
+    is_connected,
+)
+
+
+class TestComponents:
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+        assert is_connected(Graph())
+        assert giant_component_fraction(Graph()) == 0.0
+
+    def test_single_vertex(self):
+        g = Graph(vertices=[5])
+        assert connected_components(g) == [[5]]
+        assert is_connected(g)
+
+    def test_connected_families(self):
+        for g in (path_graph(10), cycle_graph(8), wheel_graph(12)):
+            assert is_connected(g)
+            assert component_sizes(g) == [g.num_vertices]
+
+    def test_two_components_sorted_largest_first(self):
+        g = Graph(edges=[(0, 1), (2, 3), (3, 4)])
+        comps = connected_components(g)
+        assert comps == [[2, 3, 4], [0, 1]]
+        assert component_sizes(g) == [3, 2]
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph(edges=[(0, 1)], vertices=[7, 8])
+        assert len(connected_components(g)) == 3
+        assert not is_connected(g)
+
+    def test_giant_fraction(self):
+        g = Graph(edges=[(0, 1), (1, 2)], vertices=[9])
+        assert giant_component_fraction(g) == 0.75
+
+    def test_labels_consistent(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        labels = component_labels(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_long_path_no_recursion_limit(self):
+        # 50k-vertex path: recursive DFS would blow the stack.
+        g = path_graph(50_000)
+        assert is_connected(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    def test_components_partition_vertices(self, raw_edges):
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        comps = connected_components(g)
+        flattened = sorted(v for c in comps for v in c)
+        assert flattened == sorted(g.vertices())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    def test_edges_stay_within_components(self, raw_edges):
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        labels = component_labels(g)
+        for u, v in g.edges():
+            assert labels[u] == labels[v]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.generators import erdos_renyi_gnm
+        from repro.graph.validation import to_networkx
+
+        g = erdos_renyi_gnm(100, 110, random.Random(3))
+        ours = sorted(component_sizes(g), reverse=True)
+        theirs = sorted((len(c) for c in nx.connected_components(to_networkx(g))), reverse=True)
+        assert ours == theirs

@@ -1,0 +1,161 @@
+"""Tests for repro.graph.degeneracy: Matula-Beck peeling.
+
+Cross-checks against networkx (quarantined to tests per DESIGN.md) and
+against closed-form degeneracies of the structured families.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    book_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+    triangulated_grid_graph,
+    wheel_graph,
+)
+from repro.graph import Graph, core_decomposition, degeneracy, degeneracy_ordering
+from repro.graph.degeneracy import later_neighbor_counts
+from repro.graph.validation import crosscheck_core_numbers
+
+
+class TestClosedForms:
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+
+    def test_single_edge(self):
+        assert degeneracy(Graph(edges=[(0, 1)])) == 1
+
+    @pytest.mark.parametrize("n", [2, 5, 30])
+    def test_path(self, n):
+        assert degeneracy(path_graph(n)) == (1 if n >= 2 else 0)
+
+    @pytest.mark.parametrize("n", [3, 7, 20])
+    def test_cycle(self, n):
+        assert degeneracy(cycle_graph(n)) == 2
+
+    @pytest.mark.parametrize("n", [2, 6, 15])
+    def test_star(self, n):
+        assert degeneracy(star_graph(n)) == 1
+
+    @pytest.mark.parametrize("n", [3, 4, 8])
+    def test_clique(self, n):
+        assert degeneracy(complete_graph(n)) == n - 1
+
+    @pytest.mark.parametrize("n", [5, 10, 50])
+    def test_wheel_is_3_degenerate(self, n):
+        assert degeneracy(wheel_graph(n)) == 3
+
+    @pytest.mark.parametrize("pages", [1, 2, 10])
+    def test_book(self, pages):
+        assert degeneracy(book_graph(pages)) == 2
+
+    @pytest.mark.parametrize("p,q", [(1, 5), (3, 3), (4, 7)])
+    def test_complete_bipartite(self, p, q):
+        # kappa(K_{p,q}) = min(p, q), the fact Theorem 6.3's G_fixed uses.
+        assert degeneracy(complete_bipartite_graph(p, q)) == min(p, q)
+
+    def test_triangulated_grid(self):
+        assert degeneracy(triangulated_grid_graph(5, 5)) == 3
+
+
+class TestOrderingProperties:
+    def test_ordering_is_permutation(self, wheel10):
+        order = degeneracy_ordering(wheel10)
+        assert sorted(order) == sorted(wheel10.vertices())
+
+    def test_later_neighbors_bounded_by_degeneracy(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            kappa = degeneracy(g)
+            order = degeneracy_ordering(g)
+            counts = later_neighbor_counts(g, order)
+            assert max(counts.values(), default=0) <= kappa, name
+
+    def test_any_ordering_upper_bounds_degeneracy(self, ba_small):
+        # kappa <= max later-neighbor count for *any* order (Thm 6.3's tool).
+        order = sorted(ba_small.vertices())
+        counts = later_neighbor_counts(ba_small, order)
+        assert degeneracy(ba_small) <= max(counts.values())
+
+
+class TestCoreNumbers:
+    def test_core_numbers_match_networkx(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            ours, theirs = crosscheck_core_numbers(g)
+            assert ours == theirs, name
+
+    def test_degeneracy_is_max_core(self, ba_small):
+        decomposition = core_decomposition(ba_small)
+        assert decomposition.degeneracy == max(decomposition.core_numbers.values())
+
+    def test_k_core_vertices(self, k4):
+        decomposition = core_decomposition(k4)
+        assert sorted(decomposition.k_core_vertices(3)) == [0, 1, 2, 3]
+        assert decomposition.k_core_vertices(4) == []
+
+    def test_isolated_vertices_core_zero(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)], vertices=[9])
+        decomposition = core_decomposition(g)
+        assert decomposition.core_numbers[9] == 0
+        assert decomposition.degeneracy == 2
+
+
+class TestRandomizedCrosscheck:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_er_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = erdos_renyi_gnm(60, 150, random.Random(seed))
+        from repro.graph.validation import to_networkx
+
+        ours = core_decomposition(g).core_numbers
+        theirs = nx.core_number(to_networkx(g))
+        assert ours == dict(theirs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    def test_hypothesis_core_numbers(self, raw_edges):
+        import networkx as nx
+
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        from repro.graph.validation import to_networkx
+
+        assert core_decomposition(g).core_numbers == dict(nx.core_number(to_networkx(g)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    def test_degeneracy_definition_on_small_graphs(self, raw_edges):
+        # Definition 1.1 verified directly: kappa >= min-degree of the
+        # peeled suffix subgraphs, and the ordering witnesses the upper bound.
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        kappa = degeneracy(g)
+        order = degeneracy_ordering(g)
+        counts = later_neighbor_counts(g, order)
+        assert max(counts.values(), default=0) <= kappa
+        # The k-core with k = kappa is a subgraph of min degree >= kappa.
+        core = core_decomposition(g)
+        core_vertices = core.k_core_vertices(kappa)
+        if kappa > 0:
+            sub = g.induced_subgraph(core_vertices)
+            assert min(sub.degree(v) for v in sub.vertices()) >= kappa

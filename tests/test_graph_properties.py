@@ -1,0 +1,111 @@
+"""Tests for repro.graph.properties, incl. the Lemma 3.1 / Cor 3.2 checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import book_graph, complete_graph, wheel_graph
+from repro.graph import (
+    Graph,
+    clustering_coefficients,
+    count_triangles,
+    degeneracy,
+    degree_histogram,
+    edge_degree,
+    edge_degree_sum,
+    global_clustering_coefficient,
+    wedge_count,
+)
+from repro.graph.properties import edge_neighborhood_owner, summary
+
+
+class TestEdgeDegree:
+    def test_min_of_endpoint_degrees(self, wheel10):
+        # hub degree 9, rim degree 3 -> spoke edge degree 3
+        assert edge_degree(wheel10, (0, 1)) == 3
+
+    def test_symmetric_clique(self, k4):
+        for e in k4.edges():
+            assert edge_degree(k4, e) == 3
+
+    def test_owner_is_lower_degree_endpoint(self, wheel10):
+        assert edge_neighborhood_owner(wheel10, (0, 1)) == 1
+
+    def test_owner_tie_goes_to_second(self, triangle):
+        # Equal degrees: N(e) = N(v) per Section 3's "otherwise" branch.
+        assert edge_neighborhood_owner(triangle, (0, 1)) == 1
+
+    def test_owner_rejects_non_edge(self, c6):
+        with pytest.raises(GraphError):
+            edge_neighborhood_owner(c6, (0, 3))
+
+
+class TestLemma31:
+    """d_E <= 2 m kappa (Chiba-Nishizeki) and T <= 2 m kappa (Cor 3.2)."""
+
+    def test_d_e_bound_all_fixtures(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            if g.num_edges == 0:
+                continue
+            d_e = edge_degree_sum(g)
+            assert d_e <= 2 * g.num_edges * degeneracy(g), name
+
+    def test_triangle_bound_all_fixtures(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            assert count_triangles(g) <= 2 * g.num_edges * max(1, degeneracy(g)), name
+
+    def test_clique_near_tightness(self):
+        # For K_n the bound is within a factor ~2: d_E = m(n-1), 2m*kappa = 2m(n-1).
+        g = complete_graph(12)
+        assert edge_degree_sum(g) == g.num_edges * 11
+        assert edge_degree_sum(g) <= 2 * g.num_edges * degeneracy(g)
+
+
+class TestWedges:
+    def test_wedge_count_closed_form_star(self):
+        from repro.generators import star_graph
+
+        # Star with n-1 leaves: C(n-1, 2) wedges at the center.
+        g = star_graph(10)
+        assert wedge_count(g) == 9 * 8 // 2
+
+    def test_wedge_count_triangle(self, triangle):
+        assert wedge_count(triangle) == 3
+
+    def test_degree_histogram(self, wheel10):
+        hist = degree_histogram(wheel10)
+        assert hist == {9: 1, 3: 9}
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle):
+        assert global_clustering_coefficient(triangle) == 1.0
+        assert clustering_coefficients(triangle) == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_triangle_free_graph(self, c6):
+        assert global_clustering_coefficient(c6) == 0.0
+
+    def test_wedge_free_graph(self):
+        assert global_clustering_coefficient(Graph(edges=[(0, 1)])) == 0.0
+
+    def test_local_coefficients_in_unit_interval(self, ba_small):
+        coeffs = clustering_coefficients(ba_small)
+        assert all(0.0 <= c <= 1.0 for c in coeffs.values())
+
+    def test_transitivity_identity(self, grid4):
+        # 3T / W computed two ways must agree.
+        assert global_clustering_coefficient(grid4) == pytest.approx(
+            3 * count_triangles(grid4) / wedge_count(grid4)
+        )
+
+
+class TestSummary:
+    def test_summary_keys_and_values(self, book8):
+        s = summary(book8)
+        assert s["n"] == 10
+        assert s["m"] == 17
+        assert s["T"] == 8
+        assert s["kappa"] == 2
+        assert s["max_degree"] == 9
+        assert s["d_E"] <= 2 * s["m"] * s["kappa"]

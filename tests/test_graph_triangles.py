@@ -1,0 +1,180 @@
+"""Tests for repro.graph.triangles: exact counters and the assignment rule."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    book_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    friendship_graph,
+    triangulated_grid_graph,
+    wheel_graph,
+)
+from repro.graph import (
+    Graph,
+    count_triangles,
+    count_triangles_node_iterator,
+    enumerate_triangles,
+    min_te_assignment,
+    per_edge_triangle_counts,
+    per_vertex_triangle_counts,
+    triangle_statistics,
+    triangles_through_edge,
+)
+from repro.graph.validation import crosscheck_triangles
+from repro.types import triangle_edges
+
+
+def _comb3(n: int) -> int:
+    return n * (n - 1) * (n - 2) // 6
+
+
+class TestClosedForms:
+    def test_empty(self):
+        assert count_triangles(Graph()) == 0
+
+    def test_triangle_free_cycle(self, c6):
+        assert count_triangles(c6) == 0
+
+    @pytest.mark.parametrize("n", [3, 4, 6, 9])
+    def test_clique(self, n):
+        assert count_triangles(complete_graph(n)) == _comb3(n)
+
+    @pytest.mark.parametrize("n", [5, 10, 40])
+    def test_wheel(self, n):
+        assert count_triangles(wheel_graph(n)) == n - 1
+
+    def test_wheel4_is_k4(self):
+        assert count_triangles(wheel_graph(4)) == 4
+
+    @pytest.mark.parametrize("pages", [1, 5, 20])
+    def test_book(self, pages):
+        assert count_triangles(book_graph(pages)) == pages
+
+    @pytest.mark.parametrize("blades", [1, 4, 12])
+    def test_friendship(self, blades):
+        assert count_triangles(friendship_graph(blades)) == blades
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 5), (6, 6)])
+    def test_triangulated_grid(self, rows, cols):
+        assert count_triangles(triangulated_grid_graph(rows, cols)) == 2 * (rows - 1) * (cols - 1)
+
+
+class TestCrossChecks:
+    def test_three_counters_agree(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            a = count_triangles(g)
+            b = count_triangles_node_iterator(g)
+            c = sum(1 for _ in enumerate_triangles(g))
+            assert a == b == c, name
+
+    def test_against_networkx(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            ours, theirs = crosscheck_triangles(g)
+            assert ours == theirs, name
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_against_networkx(self, seed):
+        g = erdos_renyi_gnm(50, 220, random.Random(seed))
+        ours, theirs = crosscheck_triangles(g)
+        assert ours == theirs
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda p: p[0] != p[1]),
+            max_size=40,
+        )
+    )
+    def test_hypothesis_counters_agree(self, raw_edges):
+        edges = list({(min(u, v), max(u, v)) for u, v in raw_edges})
+        g = Graph(edges=edges)
+        assert count_triangles(g) == count_triangles_node_iterator(g)
+        assert count_triangles(g) == sum(1 for _ in enumerate_triangles(g))
+
+
+class TestEnumeration:
+    def test_yields_canonical_distinct(self, wheel10):
+        triangles = list(enumerate_triangles(wheel10))
+        assert len(triangles) == len(set(triangles))
+        for a, b, c in triangles:
+            assert a < b < c
+
+    def test_all_enumerated_are_real(self, grid4):
+        for t in enumerate_triangles(grid4):
+            for u, v in triangle_edges(t):
+                assert grid4.has_edge(u, v)
+
+
+class TestPerElementCounts:
+    def test_te_on_book(self, book8):
+        te = per_edge_triangle_counts(book8)
+        assert te[(0, 1)] == 8  # spine
+        page_edges = [e for e in te if e != (0, 1)]
+        assert all(te[e] == 1 for e in page_edges)
+
+    def test_te_sums_to_3T(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            te = per_edge_triangle_counts(g)
+            assert sum(te.values()) == 3 * count_triangles(g), name
+
+    def test_te_matches_single_edge_query(self, grid4):
+        te = per_edge_triangle_counts(grid4)
+        for e in grid4.edges():
+            assert te[e] == triangles_through_edge(grid4, e)
+
+    def test_per_vertex_sums_to_3T(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            tv = per_vertex_triangle_counts(g)
+            assert sum(tv.values()) == 3 * count_triangles(g), name
+
+    def test_per_vertex_on_friendship(self, friendship6):
+        tv = per_vertex_triangle_counts(friendship6)
+        assert tv[0] == 6  # the shared center
+        assert all(tv[v] == 1 for v in friendship6.vertices() if v != 0)
+
+
+class TestAssignmentRule:
+    def test_every_triangle_assigned_to_own_edge(self, wheel10):
+        assignment = min_te_assignment(wheel10)
+        assert len(assignment) == count_triangles(wheel10)
+        for t, e in assignment.items():
+            assert e in triangle_edges(t)
+
+    def test_book_assigns_to_page_edges(self, book8):
+        # The spine has t_e = 8, pages have t_e = 1: the rule must avoid the
+        # spine entirely - the exact property that tames the variance.
+        assignment = min_te_assignment(book8)
+        assert all(e != (0, 1) for e in assignment.values())
+
+    def test_assignment_deterministic(self, grid4):
+        assert min_te_assignment(grid4) == min_te_assignment(grid4)
+
+    def test_statistics_consistency(self, all_fixture_graphs):
+        for name, g in all_fixture_graphs.items():
+            stats = triangle_statistics(g)
+            assert stats.triangle_count == count_triangles(g), name
+            assert stats.total_assigned == stats.triangle_count, name
+            assert stats.max_te == max(stats.per_edge.values(), default=0), name
+            assert stats.max_assigned <= stats.max_te, name
+
+    def test_book_max_assigned_is_one(self, book8):
+        # Pages absorb one triangle each; tau_max = 1 despite max t_e = 8.
+        stats = triangle_statistics(book8)
+        assert stats.max_te == 8
+        assert stats.max_assigned == 1
+
+    def test_assigned_tau_max_bounded_by_kappa_like_quantity(self, ba_small):
+        # Eden et al. / paper Section 1.2: the min-t_e rule keeps tau_max
+        # O(kappa).  Empirically check a generous 3*kappa + 3 envelope.
+        from repro.graph import degeneracy
+
+        stats = triangle_statistics(ba_small)
+        assert stats.max_assigned <= 3 * degeneracy(ba_small) + 3

@@ -1,0 +1,101 @@
+"""Tests for the experiment harness: runner, sweep, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EstimatorConfig
+from repro.errors import ParameterError
+from repro.generators import cycle_graph, wheel_graph
+from repro.harness import (
+    aggregate,
+    print_report_table,
+    run_baseline_on_graph,
+    run_paper_estimator_on_graph,
+    sweep_seeds,
+)
+
+
+@pytest.fixture(scope="module")
+def wheel():
+    return wheel_graph(120)
+
+
+class TestRunner:
+    def test_paper_run_report(self, wheel):
+        report = run_paper_estimator_on_graph(wheel, kappa=3, seed=1, workload="w")
+        assert report.algorithm == "paper"
+        assert report.workload == "w"
+        assert report.exact == 119
+        assert report.passes_used > 0
+        assert report.space_words_peak > 0
+        assert report.wall_seconds >= 0
+        assert abs(report.relative_error) < 1.0
+
+    def test_baseline_run_report(self, wheel):
+        report = run_baseline_on_graph("doulion", wheel, seed=1, workload="w")
+        assert report.algorithm == "doulion"
+        assert report.exact == 119
+
+    def test_exact_override_skips_recount(self, wheel):
+        report = run_paper_estimator_on_graph(
+            wheel, kappa=3, seed=1, exact=119, config=EstimatorConfig(seed=1, repetitions=1)
+        )
+        assert report.exact == 119
+
+    def test_relative_error_zero_truth(self):
+        graph = cycle_graph(20)
+        report = run_baseline_on_graph("doulion", graph, seed=0, t_hint=5.0)
+        assert report.exact == 0
+        assert report.relative_error == 0.0  # estimate is also 0
+
+    def test_deterministic_given_seed(self, wheel):
+        a = run_paper_estimator_on_graph(wheel, kappa=3, seed=9)
+        b = run_paper_estimator_on_graph(wheel, kappa=3, seed=9)
+        assert a.estimate == b.estimate
+
+
+class TestSweepAndAggregate:
+    def test_sweep_runs_all_seeds(self, wheel):
+        reports = sweep_seeds(
+            lambda s: run_baseline_on_graph("doulion", wheel, seed=s, workload="w"),
+            range(4),
+        )
+        assert len(reports) == 4
+
+    def test_sweep_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            sweep_seeds(lambda s: None, [])
+
+    def test_aggregate_statistics(self, wheel):
+        reports = sweep_seeds(
+            lambda s: run_baseline_on_graph("doulion", wheel, seed=s, workload="w"),
+            range(5),
+        )
+        agg = aggregate(reports)
+        assert agg.runs == 5
+        assert agg.exact == 119
+        assert agg.median_abs_error <= agg.max_abs_error
+        assert agg.mean_space_words <= agg.max_space_words
+
+    def test_aggregate_rejects_mixed_algorithms(self, wheel):
+        a = run_baseline_on_graph("doulion", wheel, seed=0, workload="w")
+        b = run_baseline_on_graph("pavan", wheel, seed=0, workload="w")
+        with pytest.raises(ParameterError, match="one algorithm"):
+            aggregate([a, b])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            aggregate([])
+
+
+class TestReporting:
+    def test_table_contains_rows(self, wheel, capsys):
+        reports = sweep_seeds(
+            lambda s: run_baseline_on_graph("doulion", wheel, seed=s, workload="w"),
+            range(3),
+        )
+        text = print_report_table([aggregate(reports)], caption="cap")
+        captured = capsys.readouterr().out
+        assert "doulion" in text
+        assert "cap" in captured

@@ -1,0 +1,70 @@
+"""Tests for the workload characterization harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators import book_graph, cycle_graph, wheel_graph
+from repro.harness.characterization import characterize, characterize_suite
+
+
+class TestCharacterize:
+    def test_wheel_row(self):
+        c = characterize(wheel_graph(50), name="wheel", kappa_promise=3)
+        assert c.num_vertices == 50
+        assert c.num_edges == 98
+        assert c.triangles == 49
+        assert c.kappa == 3
+        assert c.max_degree == 49
+        assert c.paper_bound == pytest.approx(98 * 3 / 49)
+        assert c.crossover_ratio == pytest.approx(49 / 9)
+
+    def test_book_skew_statistics(self):
+        c = characterize(book_graph(30), name="book")
+        assert c.max_te == 30
+        assert c.kappa == 2
+        assert c.transitivity > 0
+
+    def test_triangle_free_bound_is_inf(self):
+        c = characterize(cycle_graph(12), name="cycle")
+        assert c.paper_bound == float("inf")
+        assert c.crossover_ratio == 0.0
+
+    def test_kappa_zero_crossover(self):
+        from repro.graph import Graph
+
+        c = characterize(Graph(vertices=[0, 1]), name="edgeless")
+        assert c.crossover_ratio == 0.0
+
+
+class TestCharacterizeSuite:
+    def test_covers_whole_suite(self):
+        rows = characterize_suite("tiny")
+        assert len(rows) == 10
+        assert {r.name for r in rows} == {
+            "wheel",
+            "book",
+            "friendship",
+            "triangulated-grid",
+            "ba",
+            "chung-lu",
+            "watts-strogatz",
+            "er-sparse",
+            "planted",
+            "rmat",
+        }
+
+    def test_promises_hold(self):
+        for row in characterize_suite("tiny"):
+            assert row.kappa <= row.kappa_promise, row.name
+
+    def test_regime_coverage(self):
+        # The suite must cover the paper's narrative: several families far
+        # past the T = kappa^2 crossover (ratio >> 1, where the paper's
+        # bound is the best known) and at least one near-crossover control
+        # (ratio < 10, where m/sqrt(T) is competitive).
+        rows = characterize_suite("tiny")
+        far_past = [r for r in rows if r.triangles and r.crossover_ratio > 30]
+        near = [r for r in rows if r.triangles == 0 or r.crossover_ratio < 10]
+        assert len(far_past) >= 5
+        assert len(near) >= 1

@@ -1,0 +1,84 @@
+"""Tests for harness reporting internals not covered elsewhere."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import _HEADERS, report_rows
+from repro.harness.sweep import AggregateReport
+
+
+def make_aggregate(**overrides):
+    defaults = dict(
+        algorithm="paper",
+        workload="wheel",
+        runs=3,
+        exact=100,
+        median_estimate=98.0,
+        median_abs_error=0.02,
+        max_abs_error=0.05,
+        mean_space_words=1234.0,
+        max_space_words=2000,
+        mean_passes=6.0,
+        mean_wall_seconds=0.1,
+    )
+    defaults.update(overrides)
+    return AggregateReport(**defaults)
+
+
+class TestReportRows:
+    def test_row_width_matches_headers(self):
+        rows = report_rows([make_aggregate()])
+        assert len(rows) == 1
+        assert len(rows[0]) == len(_HEADERS)
+
+    def test_row_values_in_order(self):
+        row = report_rows([make_aggregate()])[0]
+        assert row[0] == "paper"
+        assert row[1] == "wheel"
+        assert row[2] == 3
+        assert row[3] == 100
+        assert row[4] == 98.0
+
+    def test_multiple_rows_preserve_order(self):
+        rows = report_rows(
+            [make_aggregate(algorithm="a"), make_aggregate(algorithm="b")]
+        )
+        assert [r[0] for r in rows] == ["a", "b"]
+
+    def test_empty_aggregates(self):
+        assert report_rows([]) == []
+
+
+class TestRunReportProperties:
+    def test_infinite_error_when_truth_zero(self):
+        from repro.harness.runner import RunReport
+
+        report = RunReport(
+            algorithm="x",
+            workload="w",
+            estimate=5.0,
+            exact=0,
+            passes_used=1,
+            space_words_peak=10,
+            wall_seconds=0.0,
+            extras={},
+        )
+        assert report.relative_error == float("inf")
+        assert report.abs_relative_error == float("inf")
+
+    def test_signed_error(self):
+        from repro.harness.runner import RunReport
+
+        report = RunReport(
+            algorithm="x",
+            workload="w",
+            estimate=80.0,
+            exact=100,
+            passes_used=1,
+            space_words_peak=10,
+            wall_seconds=0.0,
+            extras={},
+        )
+        assert report.relative_error == pytest.approx(-0.2)
+        assert report.abs_relative_error == pytest.approx(0.2)

@@ -1,0 +1,154 @@
+"""Tests for the Theorem 6.3 construction and the distinguishing harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import count_triangles, degeneracy
+from repro.lowerbound import (
+    build_reduction_graph,
+    instance_parameters,
+    run_distinguishing_experiment,
+    sample_disjointness,
+)
+from repro.lowerbound.reduction import expected_shape, reduction_edges
+
+
+class TestDisjointness:
+    def test_promise_weights(self):
+        inst = sample_disjointness(12, 4, intersecting=False, rng=random.Random(0))
+        assert inst.ones == 4
+        assert len(inst.alice) == len(inst.bob) == 4
+
+    def test_disjoint_case(self):
+        inst = sample_disjointness(12, 4, intersecting=False, rng=random.Random(0))
+        assert inst.disjoint
+
+    def test_intersecting_case(self):
+        inst = sample_disjointness(12, 4, intersecting=True, rng=random.Random(0))
+        assert not inst.disjoint
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ParameterError):
+            sample_disjointness(10, 0, False, rng)
+        with pytest.raises(ParameterError):
+            sample_disjointness(10, 11, True, rng)
+        with pytest.raises(ParameterError):
+            sample_disjointness(10, 6, False, rng)  # 2*6 > 10
+
+    def test_indices_in_universe(self):
+        inst = sample_disjointness(9, 3, intersecting=True, rng=random.Random(1))
+        assert all(0 <= i < 9 for i in inst.alice | inst.bob)
+
+
+class TestInstanceParameters:
+    def test_p_q_formulas(self):
+        inst = instance_parameters(kappa=4, exponent_r=3, universe=9)
+        assert inst.p == 4
+        assert inst.q == 4
+        assert inst.planted_triangles == 64  # kappa^r
+
+    def test_r2_gives_unit_blocks(self):
+        inst = instance_parameters(kappa=5, exponent_r=2, universe=9)
+        assert inst.q == 1
+        assert inst.planted_triangles == 25
+
+    def test_num_vertices(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=6)
+        assert inst.num_vertices == 2 * 3 + 6 * 3
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            instance_parameters(0, 3, 9)
+        with pytest.raises(ParameterError):
+            instance_parameters(3, 1, 9)
+        with pytest.raises(ParameterError):
+            instance_parameters(3, 3, 2)
+
+    def test_block_ranges_disjoint(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=5)
+        seen = set()
+        for i in range(5):
+            block = set(inst.block_range(i))
+            assert not (block & seen)
+            seen |= block
+        assert not (seen & set(inst.side_a))
+        assert not (seen & set(inst.side_b))
+
+    def test_block_range_validation(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=5)
+        with pytest.raises(ParameterError):
+            inst.block_range(5)
+
+
+class TestReductionGraph:
+    @pytest.fixture
+    def inst(self):
+        return instance_parameters(kappa=3, exponent_r=3, universe=9)
+
+    def test_yes_case_triangle_free(self, inst):
+        disj = sample_disjointness(9, 3, intersecting=False, rng=random.Random(2))
+        g = build_reduction_graph(inst, disj)
+        assert count_triangles(g) == 0
+
+    def test_no_case_triangle_count(self, inst):
+        disj = sample_disjointness(9, 3, intersecting=True, rng=random.Random(2))
+        g = build_reduction_graph(inst, disj)
+        intersections = len(disj.alice & disj.bob)
+        assert count_triangles(g) == intersections * inst.planted_triangles
+
+    def test_yes_case_degeneracy_is_p(self, inst):
+        disj = sample_disjointness(9, 3, intersecting=False, rng=random.Random(2))
+        assert degeneracy(build_reduction_graph(inst, disj)) == inst.p
+
+    def test_no_case_degeneracy_at_most_2p(self, inst):
+        disj = sample_disjointness(9, 3, intersecting=True, rng=random.Random(2))
+        kappa = degeneracy(build_reduction_graph(inst, disj))
+        assert inst.p <= kappa <= 2 * inst.p
+
+    def test_edge_count_formula(self, inst):
+        for intersecting in (False, True):
+            disj = sample_disjointness(9, 3, intersecting=intersecting, rng=random.Random(4))
+            g = build_reduction_graph(inst, disj)
+            m_expected, t_floor = expected_shape(inst, disj)
+            assert g.num_edges == m_expected
+            assert count_triangles(g) >= t_floor
+
+    def test_vertex_set_identical_across_cases(self, inst):
+        rng = random.Random(5)
+        g_yes = build_reduction_graph(inst, sample_disjointness(9, 3, False, rng))
+        g_no = build_reduction_graph(inst, sample_disjointness(9, 3, True, rng))
+        assert g_yes.num_vertices == g_no.num_vertices == inst.num_vertices
+
+    def test_universe_mismatch_rejected(self, inst):
+        disj = sample_disjointness(12, 4, intersecting=False, rng=random.Random(0))
+        with pytest.raises(ParameterError, match="universe"):
+            list(reduction_edges(inst, disj))
+
+
+class TestDistinguishingExperiment:
+    def test_full_budget_separates(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=9)
+        outcome = run_distinguishing_experiment(inst, budget_factor=1.0, trials=3, seed=5)
+        assert outcome.success_rate == 1.0
+        assert all(e == 0.0 for e in outcome.yes_estimates)
+
+    def test_validation(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=9)
+        with pytest.raises(ParameterError):
+            run_distinguishing_experiment(inst, budget_factor=0.0, trials=2)
+        with pytest.raises(ParameterError):
+            run_distinguishing_experiment(inst, budget_factor=1.0, trials=0)
+
+    def test_outcome_bookkeeping(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=9)
+        outcome = run_distinguishing_experiment(inst, budget_factor=0.5, trials=2, seed=1)
+        assert outcome.trials == 2
+        assert len(outcome.yes_estimates) == 2
+        assert len(outcome.no_estimates) == 2
+        assert 0.0 <= outcome.success_rate <= 1.0
+        assert outcome.space_words_peak > 0

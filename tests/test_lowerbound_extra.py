@@ -1,0 +1,72 @@
+"""Additional Theorem 6.3 checks: parameter ranges and stream behaviour."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import count_triangles, degeneracy
+from repro.lowerbound import (
+    build_reduction_graph,
+    instance_parameters,
+    sample_disjointness,
+)
+from repro.lowerbound.reduction import reduction_edges
+from repro.streams import InMemoryEdgeStream
+
+
+class TestParameterSpectrum:
+    @pytest.mark.parametrize("kappa,r", [(2, 2), (2, 4), (3, 2), (5, 3), (4, 4)])
+    def test_planted_count_is_kappa_to_r(self, kappa, r):
+        inst = instance_parameters(kappa=kappa, exponent_r=r, universe=9)
+        assert inst.planted_triangles == kappa ** r
+
+    @pytest.mark.parametrize("kappa,r", [(2, 3), (3, 3), (4, 2)])
+    def test_single_intersection_exact_triangle_count(self, kappa, r):
+        # Build an instance with exactly one intersecting index by hand.
+        from repro.lowerbound.disjointness import DisjointnessInstance
+
+        inst = instance_parameters(kappa=kappa, exponent_r=r, universe=6)
+        disj = DisjointnessInstance(
+            universe=6, alice=frozenset({0, 1}), bob=frozenset({1, 2})
+        )
+        graph = build_reduction_graph(inst, disj)
+        assert count_triangles(graph) == kappa ** r
+
+    def test_triangles_scale_with_intersections(self):
+        from repro.lowerbound.disjointness import DisjointnessInstance
+
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=6)
+        two_hits = DisjointnessInstance(
+            universe=6, alice=frozenset({0, 1}), bob=frozenset({0, 1})
+        )
+        graph = build_reduction_graph(inst, two_hits)
+        assert count_triangles(graph) == 2 * 27
+
+
+class TestStreamIntegration:
+    def test_reduction_edges_form_valid_stream(self):
+        inst = instance_parameters(kappa=3, exponent_r=3, universe=9)
+        disj = sample_disjointness(9, 3, intersecting=True, rng=random.Random(1))
+        edges = list(reduction_edges(inst, disj))
+        stream = InMemoryEdgeStream(edges)  # validates: simple, no dupes
+        assert len(stream) == len(edges)
+
+    def test_exact_counter_agrees_on_stream(self):
+        from repro.core.exact_reference import ExactStreamingCounter
+
+        inst = instance_parameters(kappa=3, exponent_r=2, universe=9)
+        disj = sample_disjointness(9, 3, intersecting=True, rng=random.Random(2))
+        graph = build_reduction_graph(inst, disj)
+        stream = InMemoryEdgeStream(list(reduction_edges(inst, disj)))
+        assert ExactStreamingCounter().count(stream).triangles == count_triangles(graph)
+
+    def test_degeneracy_promise_2p_always_valid(self):
+        # The game hands the estimator kappa = 2p; verify across samples.
+        inst = instance_parameters(kappa=4, exponent_r=3, universe=9)
+        for seed in range(4):
+            for intersecting in (False, True):
+                disj = sample_disjointness(9, 3, intersecting, random.Random(seed))
+                graph = build_reduction_graph(inst, disj)
+                assert degeneracy(graph) <= 2 * inst.p

@@ -1,0 +1,48 @@
+"""Tests for the report-generation script."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+import make_report  # noqa: E402
+
+
+class TestLoadRunFunction:
+    def test_loads_known_function(self):
+        run = make_report.load_run_function("bench_chiba_nishizeki.py", "run_chiba_nishizeki")
+        assert callable(run)
+
+    def test_missing_function_raises(self):
+        with pytest.raises(AttributeError):
+            make_report.load_run_function("bench_chiba_nishizeki.py", "run_nope")
+
+    def test_experiment_index_is_complete(self):
+        # Every bench file must appear in the report index, and every index
+        # entry must resolve.
+        bench_files = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        indexed = {filename for _, filename, _ in make_report.EXPERIMENTS}
+        assert indexed == bench_files
+        for _, filename, function in make_report.EXPERIMENTS:
+            assert callable(make_report.load_run_function(filename, function))
+
+
+class TestMain:
+    def test_writes_report(self, tmp_path):
+        out = tmp_path / "report.md"
+        code = make_report.main(["--scale", "tiny", "--only", "E5", "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "E5" in text
+        assert "Lemma 3.1" in text
+
+    def test_only_filter(self, tmp_path):
+        out = tmp_path / "report.md"
+        make_report.main(["--scale", "tiny", "--only", "E5", "--out", str(out)])
+        text = out.read_text()
+        assert "E1 (" not in text

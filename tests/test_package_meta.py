@@ -1,0 +1,66 @@
+"""Package metadata and error-hierarchy tests."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.errors import (
+    EstimationError,
+    GraphError,
+    ParameterError,
+    PassBudgetExceeded,
+    ReproError,
+    SpaceBudgetExceeded,
+    StreamError,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        pyproject = (REPO / "pyproject.toml").read_text(encoding="utf-8")
+        assert f'version = "{repro.__version__}"' in pyproject
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [GraphError, StreamError, ParameterError, EstimationError, SpaceBudgetExceeded],
+    )
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_pass_budget_is_stream_error(self):
+        assert issubclass(PassBudgetExceeded, StreamError)
+
+    def test_single_except_catches_everything(self):
+        for error in (GraphError, StreamError, ParameterError, PassBudgetExceeded):
+            with pytest.raises(ReproError):
+                raise error("boom")
+
+
+class TestMainModule:
+    def test_python_dash_m_version(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert repro.__version__ in result.stdout
+
+    def test_python_dash_m_usage_error(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode != 0

@@ -1,0 +1,131 @@
+"""Cross-cutting property-based invariants (hypothesis).
+
+Each property here spans multiple subsystems - the kind of invariant unit
+tests cannot see: stream counters vs offline counters, sketch linearity
+under churn, sampler-distribution equivalences, and estimator totality.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact_reference import ExactStreamingCounter
+from repro.core.estimator import run_single_estimate
+from repro.core.params import ParameterPlan
+from repro.graph import Graph, count_triangles, degeneracy
+from repro.sampling.discrete import CumulativeSampler
+from repro.sampling.weighted import WeightedReservoir
+from repro.sketches import TriangleSketch
+from repro.streams import InMemoryEdgeStream
+from repro.streams.dynamic import churn_stream
+
+
+def small_graphs():
+    """Strategy: simple graphs on <= 14 vertices as canonical edge sets."""
+    pairs = st.tuples(st.integers(0, 13), st.integers(0, 13)).filter(lambda p: p[0] != p[1])
+    return st.lists(pairs, max_size=45).map(
+        lambda edges: sorted({(min(u, v), max(u, v)) for u, v in edges})
+    )
+
+
+class TestCounterAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(small_graphs())
+    def test_streaming_exact_equals_offline(self, edges):
+        graph = Graph(edges=edges)
+        stream = InMemoryEdgeStream(edges, validate=False)
+        assert ExactStreamingCounter().count(stream).triangles == count_triangles(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), st.integers(0, 2**31))
+    def test_exact_count_order_invariant(self, edges, seed):
+        if not edges:
+            return
+        shuffled_edges = list(edges)
+        random.Random(seed).shuffle(shuffled_edges)
+        a = ExactStreamingCounter().count(InMemoryEdgeStream(edges, validate=False))
+        b = ExactStreamingCounter().count(InMemoryEdgeStream(shuffled_edges, validate=False))
+        assert a.triangles == b.triangles
+
+
+class TestSketchLinearity:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), st.integers(0, 2**31), st.integers(0, 2**31))
+    def test_churn_invariance(self, edges, hash_seed, churn_seed):
+        graph = Graph(edges=edges)
+        clean = TriangleSketch(random.Random(hash_seed))
+        churned = TriangleSketch(random.Random(hash_seed))
+        for u, v in graph.edges():
+            clean.update(u, v, 1)
+        stream = churn_stream(graph, 1.0, random.Random(churn_seed), num_vertices=30)
+        for (u, v), delta in stream:
+            churned.update(u, v, delta)
+        assert clean.z == churned.z
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs(), st.integers(0, 2**31))
+    def test_z_bounded_by_m(self, edges, hash_seed):
+        # |Z| <= m always (each edge contributes +-1).
+        sketch = TriangleSketch(random.Random(hash_seed))
+        for u, v in edges:
+            sketch.update(u, v, 1)
+        assert abs(sketch.z) <= len(edges)
+
+
+class TestSamplerEquivalence:
+    def test_cumulative_matches_weighted_reservoir(self):
+        # Two implementations of "sample index ~ w_i / sum w": their
+        # empirical distributions must agree.
+        weights = [1.0, 4.0, 2.0, 3.0]
+        trials = 8000
+        rng = random.Random(3)
+        cumulative = Counter(
+            CumulativeSampler(weights).draw(rng) for _ in range(trials)
+        )
+        reservoir_counts: Counter = Counter()
+        for _ in range(trials):
+            res = WeightedReservoir(rng)
+            for i, w in enumerate(weights):
+                res.offer(i, w)
+            reservoir_counts[res.sample()] += 1
+        for i in range(len(weights)):
+            assert abs(cumulative[i] - reservoir_counts[i]) / trials < 0.04, i
+
+
+class TestEstimatorTotality:
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(), st.integers(0, 2**31))
+    def test_estimator_returns_finite_nonnegative(self, edges, seed):
+        if len(edges) < 1:
+            return
+        graph = Graph(edges=edges)
+        kappa = max(1, degeneracy(graph))
+        plan = ParameterPlan.build(
+            num_vertices=14,
+            num_edges=len(edges),
+            kappa=kappa,
+            t_guess=float(max(1, count_triangles(graph))),
+            epsilon=0.3,
+        )
+        stream = InMemoryEdgeStream(edges, validate=False)
+        result = run_single_estimate(stream, plan, random.Random(seed))
+        assert result.estimate >= 0.0
+        assert result.estimate == result.estimate  # not NaN
+        assert result.passes_used <= 6
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs(), st.integers(0, 2**31))
+    def test_triangle_free_estimates_exactly_zero(self, edges, seed):
+        if len(edges) < 1:
+            return
+        graph = Graph(edges=edges)
+        if count_triangles(graph) != 0:
+            return
+        plan = ParameterPlan.build(14, len(edges), max(1, degeneracy(graph)), 5.0, 0.3)
+        stream = InMemoryEdgeStream(edges, validate=False)
+        result = run_single_estimate(stream, plan, random.Random(seed))
+        assert result.estimate == 0.0

@@ -1,0 +1,94 @@
+"""Tests for repro.sampling.combine: mean/median/median-of-means."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sampling import mean, median, median_of_means
+from repro.sampling.combine import groups_for_failure_probability, samples_per_group
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_even_length_averages(self):
+        assert median([1.0, 2.0, 3.0, 10.0]) == 2.5
+
+    def test_single_value(self):
+        assert median([7.0]) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_median_between_min_and_max(self, values):
+        m = median(values)
+        assert min(values) <= m <= max(values)
+
+
+class TestMedianOfMeans:
+    def test_single_group_is_mean(self):
+        assert median_of_means([1.0, 2.0, 3.0, 4.0], 1) == 2.5
+
+    def test_groups_equal_len_is_median(self):
+        assert median_of_means([5.0, 1.0, 3.0], 3) == 3.0
+
+    def test_robust_to_one_outlier_group(self):
+        # Three groups of two; one group polluted by a huge outlier.
+        values = [1.0, 1.0, 1.0, 1.0, 1000.0, 1000.0]
+        assert median_of_means(values, 3) == 1.0
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError, match="evenly"):
+            median_of_means([1.0, 2.0, 3.0], 2)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ValueError):
+            median_of_means([1.0], 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_of_means([], 1)
+
+
+class TestSizingHelpers:
+    def test_groups_odd(self):
+        for delta in (0.3, 0.1, 0.01):
+            g = groups_for_failure_probability(delta)
+            assert g % 2 == 1
+            assert g >= 1
+
+    def test_groups_monotone_in_delta(self):
+        assert groups_for_failure_probability(0.01) >= groups_for_failure_probability(0.3)
+
+    def test_groups_invalid_delta(self):
+        with pytest.raises(ValueError):
+            groups_for_failure_probability(0.0)
+        with pytest.raises(ValueError):
+            groups_for_failure_probability(1.0)
+
+    def test_samples_per_group_scaling(self):
+        # Quadrupling accuracy demand quadruples... no: halving epsilon
+        # quadruples the sample count.
+        base = samples_per_group(relative_variance=10.0, epsilon=0.2)
+        finer = samples_per_group(relative_variance=10.0, epsilon=0.1)
+        assert finer == pytest.approx(4 * base, rel=0.01)
+
+    def test_samples_per_group_validation(self):
+        with pytest.raises(ValueError):
+            samples_per_group(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            samples_per_group(1.0, 1.5)

@@ -1,0 +1,68 @@
+"""Tests for repro.sampling.discrete.CumulativeSampler."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling import CumulativeSampler
+
+
+class TestValidation:
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            CumulativeSampler([])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CumulativeSampler([1.0, -0.5])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            CumulativeSampler([0.0, 0.0])
+
+    def test_total_weight(self):
+        assert CumulativeSampler([1.0, 2.0, 3.0]).total_weight == 6.0
+
+    def test_draw_many_negative_count(self):
+        with pytest.raises(ValueError):
+            CumulativeSampler([1.0]).draw_many(random.Random(0), -1)
+
+
+class TestDraws:
+    def test_single_positive_weight_always_drawn(self):
+        sampler = CumulativeSampler([0.0, 5.0, 0.0])
+        rng = random.Random(0)
+        assert all(sampler.draw(rng) == 1 for _ in range(50))
+
+    def test_draw_many_length(self):
+        out = CumulativeSampler([1.0, 1.0]).draw_many(random.Random(0), 17)
+        assert len(out) == 17
+        assert set(out) <= {0, 1}
+
+    def test_proportional_frequencies(self):
+        sampler = CumulativeSampler([1.0, 3.0, 6.0])
+        rng = random.Random(5)
+        hits = Counter(sampler.draw(rng) for _ in range(10000))
+        assert abs(hits[0] / 10000 - 0.1) < 0.02
+        assert abs(hits[1] / 10000 - 0.3) < 0.02
+        assert abs(hits[2] / 10000 - 0.6) < 0.02
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30).filter(
+            lambda ws: sum(ws) > 0
+        ),
+        st.integers(0, 2**31),
+    )
+    def test_draws_never_hit_zero_weight(self, weights, seed):
+        sampler = CumulativeSampler(weights)
+        rng = random.Random(seed)
+        for _ in range(20):
+            index = sampler.draw(rng)
+            assert 0 <= index < len(weights)
+            assert weights[index] > 0

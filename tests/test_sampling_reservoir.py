@@ -1,0 +1,89 @@
+"""Tests for repro.sampling.reservoir: uniformity and accounting."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sampling import Reservoir, SingleItemReservoir
+from repro.streams import SpaceMeter
+
+
+class TestReservoirBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Reservoir(0, random.Random(0))
+
+    def test_holds_everything_below_capacity(self):
+        r = Reservoir(5, random.Random(0))
+        for x in range(3):
+            r.offer(x)
+        assert sorted(r.sample()) == [0, 1, 2]
+
+    def test_never_exceeds_capacity(self):
+        r = Reservoir(4, random.Random(0))
+        for x in range(100):
+            r.offer(x)
+        assert len(r.sample()) == 4
+        assert r.offers == 100
+
+    def test_sample_is_subset_of_offers(self):
+        r = Reservoir(4, random.Random(1))
+        for x in range(50):
+            r.offer(x)
+        assert set(r.sample()) <= set(range(50))
+
+    def test_meter_charged_once_per_slot(self):
+        meter = SpaceMeter()
+        r = Reservoir(3, random.Random(0), meter=meter, words_per_item=2)
+        for x in range(20):
+            r.offer(x)
+        assert meter.peak_words == 6
+
+
+class TestReservoirUniformity:
+    def test_inclusion_probability_close_to_k_over_n(self):
+        # Offer 0..19 to a k=5 reservoir many times; each item should be
+        # retained with probability 1/4.
+        hits = Counter()
+        trials = 4000
+        rng = random.Random(42)
+        for _ in range(trials):
+            r = Reservoir(5, rng)
+            for x in range(20):
+                r.offer(x)
+            hits.update(r.sample())
+        for x in range(20):
+            assert abs(hits[x] / trials - 0.25) < 0.05, f"item {x}"
+
+
+class TestSingleItemReservoir:
+    def test_empty_returns_none(self):
+        assert SingleItemReservoir(random.Random(0)).sample() is None
+
+    def test_single_offer_kept(self):
+        r = SingleItemReservoir(random.Random(0))
+        r.offer("a")
+        assert r.sample() == "a"
+        assert r.offers == 1
+
+    def test_uniform_over_offers(self):
+        rng = random.Random(7)
+        hits = Counter()
+        trials = 6000
+        for _ in range(trials):
+            r = SingleItemReservoir(rng)
+            for x in range(8):
+                r.offer(x)
+            hits[r.sample()] += 1
+        for x in range(8):
+            assert abs(hits[x] / trials - 1 / 8) < 0.03, f"item {x}"
+
+    def test_meter_charged_once(self):
+        meter = SpaceMeter()
+        r = SingleItemReservoir(random.Random(0), meter=meter, words_per_item=1)
+        for x in range(10):
+            r.offer(x)
+        assert meter.peak_words == 1

@@ -1,0 +1,82 @@
+"""Additional distributional checks on the sampling substrate.
+
+These complement the per-module tests with the *joint* statistical facts
+the estimators rely on: i.i.d. position sampling equals reservoir
+semantics, weighted draws compose with uniform draws the way the Section 4
+derivation assumes, and median-of-means actually achieves its configured
+robustness on heavy-tailed inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.sampling import CumulativeSampler, median_of_means
+from repro.sampling.combine import groups_for_failure_probability
+
+
+class TestPositionSamplingEquivalence:
+    def test_iid_positions_are_uniform_with_replacement(self):
+        # The estimators draw r i.i.d. positions instead of running r
+        # reservoirs; verify the marginal is uniform and repeats occur at
+        # the birthday rate.
+        rng = random.Random(0)
+        m, r, trials = 20, 5, 3000
+        marginal = Counter()
+        repeat_count = 0
+        for _ in range(trials):
+            draws = [rng.randrange(m) for _ in range(r)]
+            marginal.update(draws)
+            if len(set(draws)) < r:
+                repeat_count += 1
+        total = trials * r
+        for position in range(m):
+            assert abs(marginal[position] / total - 1 / m) < 0.02
+        # P(some repeat) = 1 - prod (1 - i/m) for i < r ~ 0.42 for m=20, r=5.
+        expected_repeat = 1.0
+        for i in range(r):
+            expected_repeat *= (m - i) / m
+        expected_repeat = 1 - expected_repeat
+        assert abs(repeat_count / trials - expected_repeat) < 0.05
+
+
+class TestTwoStageSampling:
+    def test_degree_weighted_then_uniform_neighbor_hits_wedges_uniformly(self):
+        # Section 4's core identity: picking an edge ~ d_e then a uniform
+        # member of N(e) makes every (edge, neighbor) wedge equally likely.
+        # Simulate on a toy weight profile.
+        degrees = {0: 4, 1: 2, 2: 2}  # "edges" with d_e values
+        sampler = CumulativeSampler([float(d) for d in degrees.values()])
+        rng = random.Random(1)
+        trials = 12000
+        wedge_hits = Counter()
+        keys = list(degrees)
+        for _ in range(trials):
+            e = keys[sampler.draw(rng)]
+            neighbor = rng.randrange(degrees[e])
+            wedge_hits[(e, neighbor)] += 1
+        total_wedges = sum(degrees.values())
+        for wedge, hits in wedge_hits.items():
+            assert abs(hits / trials - 1 / total_wedges) < 0.02, wedge
+        assert len(wedge_hits) == total_wedges
+
+
+class TestMedianOfMeansRobustness:
+    def test_heavy_tail_robustness(self):
+        # Inputs: mostly 1.0, occasionally 1000 (a 1% heavy tail).  The
+        # plain mean is wrecked; median-of-means with enough groups is not.
+        rng = random.Random(2)
+        groups = groups_for_failure_probability(0.1)
+        per_group = 40
+        failures = 0
+        trials = 200
+        for _ in range(trials):
+            values = [
+                1000.0 if rng.random() < 0.01 else 1.0
+                for _ in range(groups * per_group)
+            ]
+            estimate = median_of_means(values, groups)
+            if abs(estimate - 1.0) > 15.0:
+                failures += 1
+        assert failures / trials <= 0.1 + 0.08

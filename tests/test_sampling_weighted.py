@@ -1,0 +1,76 @@
+"""Tests for repro.sampling.weighted.WeightedReservoir (Chao's scheme)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sampling import WeightedReservoir
+from repro.streams import SpaceMeter
+
+
+class TestBasics:
+    def test_empty_returns_none(self):
+        assert WeightedReservoir(random.Random(0)).sample() is None
+
+    def test_negative_weight_rejected(self):
+        r = WeightedReservoir(random.Random(0))
+        with pytest.raises(ValueError):
+            r.offer("a", -1.0)
+
+    def test_zero_weight_never_sampled(self):
+        r = WeightedReservoir(random.Random(0))
+        r.offer("heavy", 1.0)
+        for _ in range(50):
+            r.offer("zero", 0.0)
+        assert r.sample() == "heavy"
+
+    def test_all_zero_weights_returns_none(self):
+        r = WeightedReservoir(random.Random(0))
+        r.offer("a", 0.0)
+        assert r.sample() is None
+
+    def test_total_weight_accumulates(self):
+        r = WeightedReservoir(random.Random(0))
+        r.offer("a", 2.0)
+        r.offer("b", 3.0)
+        assert r.total_weight == 5.0
+        assert r.offers == 2
+
+    def test_meter_charged_once(self):
+        meter = SpaceMeter()
+        r = WeightedReservoir(random.Random(0), meter=meter, words_per_item=2)
+        r.offer("a", 1.0)
+        r.offer("b", 1.0)
+        assert meter.peak_words == 2
+
+
+class TestProportionality:
+    def test_sampling_proportional_to_weight(self):
+        # Items with weights 1..4: inclusion prob must approach w / 10.
+        weights = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        rng = random.Random(99)
+        hits = Counter()
+        trials = 8000
+        for _ in range(trials):
+            r = WeightedReservoir(rng)
+            for item, w in weights.items():
+                r.offer(item, w)
+            hits[r.sample()] += 1
+        for item, w in weights.items():
+            assert abs(hits[item] / trials - w / 10.0) < 0.03, item
+
+    def test_proportionality_invariant_under_order(self):
+        # Offering heavy-first vs heavy-last must not bias the sample.
+        rng = random.Random(3)
+        trials = 6000
+        for order in (["h", "l"], ["l", "h"]):
+            hits = Counter()
+            for _ in range(trials):
+                r = WeightedReservoir(rng)
+                for item in order:
+                    r.offer(item, 9.0 if item == "h" else 1.0)
+                hits[r.sample()] += 1
+            assert abs(hits["h"] / trials - 0.9) < 0.03, order

@@ -1,0 +1,226 @@
+"""Tests for k-wise hashing, the triangle sketch, and dynamic streams."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.analysis.variance import empirical_moments
+from repro.errors import ParameterError, StreamError
+from repro.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    wheel_graph,
+)
+from repro.graph import count_triangles
+from repro.sketches import KWiseHash, TriangleSketch, TriangleSketchEstimator
+from repro.sketches.kwise import MERSENNE_P
+from repro.streams.dynamic import DynamicEdgeStream, churn_stream
+
+
+class TestKWiseHash:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            KWiseHash(0, random.Random(0))
+        with pytest.raises(ParameterError):
+            KWiseHash(2, random.Random(0)).value(-1)
+
+    def test_deterministic_per_instance(self):
+        h = KWiseHash(4, random.Random(1))
+        assert h.value(42) == h.value(42)
+        assert h.sign(42) == h.sign(42)
+
+    def test_different_seeds_differ(self):
+        a = KWiseHash(4, random.Random(1))
+        b = KWiseHash(4, random.Random(2))
+        values_a = [a.value(x) for x in range(20)]
+        values_b = [b.value(x) for x in range(20)]
+        assert values_a != values_b
+
+    def test_values_in_field(self):
+        h = KWiseHash(6, random.Random(3))
+        for x in range(100):
+            assert 0 <= h.value(x) < MERSENNE_P
+            assert 0.0 <= h.unit_interval(x) < 1.0
+
+    def test_signs_balanced(self):
+        # Over many independent hashes, sign(x) must be a fair coin.
+        rng = random.Random(5)
+        counts = Counter()
+        trials = 4000
+        for _ in range(trials):
+            h = KWiseHash(2, rng)
+            counts[h.sign(7)] += 1
+        assert abs(counts[1] / trials - 0.5) < 0.03
+
+    def test_pairwise_sign_independence(self):
+        # E[sign(x) * sign(y)] ~ 0 for x != y across independent hashes.
+        rng = random.Random(6)
+        total = 0
+        trials = 4000
+        for _ in range(trials):
+            h = KWiseHash(2, rng)
+            total += h.sign(3) * h.sign(11)
+        assert abs(total / trials) < 0.05
+
+    def test_independence_property(self):
+        assert KWiseHash(6, random.Random(0)).independence == 6
+
+
+class TestDynamicEdgeStream:
+    def test_insert_only_roundtrip(self, wheel10):
+        stream = DynamicEdgeStream.insert_only(wheel10.edge_list())
+        assert len(stream) == wheel10.num_edges
+        assert stream.net_graph() == wheel10
+
+    def test_insert_delete_cancels(self):
+        stream = DynamicEdgeStream([((0, 1), 1), ((0, 1), -1)])
+        assert stream.net_edge_count == 0
+        assert stream.net_graph().num_edges == 0
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(StreamError, match="delete"):
+            DynamicEdgeStream([((0, 1), -1)])
+
+    def test_double_insert_rejected(self):
+        with pytest.raises(StreamError, match="insert"):
+            DynamicEdgeStream([((0, 1), 1), ((1, 0), 1)])
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(StreamError, match="delta"):
+            DynamicEdgeStream([((0, 1), 2)])
+
+    def test_reinsert_after_delete_allowed(self):
+        stream = DynamicEdgeStream([((0, 1), 1), ((0, 1), -1), ((0, 1), 1)])
+        assert stream.net_edge_count == 1
+
+    def test_replayable(self, triangle):
+        stream = DynamicEdgeStream.insert_only(triangle.edge_list())
+        assert list(stream) == list(stream)
+
+
+class TestChurnStream:
+    def test_net_graph_is_target(self):
+        graph = wheel_graph(30)
+        stream = churn_stream(graph, churn_factor=1.5, rng=random.Random(4))
+        assert stream.net_graph() == graph
+        assert len(stream) > graph.num_edges  # churn made it longer
+
+    def test_zero_churn_is_permuted_inserts(self):
+        graph = wheel_graph(20)
+        stream = churn_stream(graph, churn_factor=0.0, rng=random.Random(1))
+        assert len(stream) == graph.num_edges
+        assert stream.net_graph() == graph
+
+    def test_negative_churn_rejected(self):
+        with pytest.raises(StreamError):
+            churn_stream(wheel_graph(10), churn_factor=-1.0, rng=random.Random(0))
+
+    def test_churn_deterministic(self):
+        graph = wheel_graph(15)
+        a = churn_stream(graph, 1.0, random.Random(9))
+        b = churn_stream(graph, 1.0, random.Random(9))
+        assert list(a) == list(b)
+
+
+class TestTriangleSketch:
+    def test_expected_moment_is_6t(self):
+        # E[Z^3] = 6T: check empirically on K7 with many sketches.
+        graph = complete_graph(7)
+        t = count_triangles(graph)
+        rng = random.Random(10)
+        samples = []
+        for _ in range(4000):
+            sketch = TriangleSketch(rng)
+            for u, v in graph.edges():
+                sketch.update(u, v, 1)
+            samples.append(sketch.triangle_moment())
+        moments = empirical_moments(samples)
+        se = moments.std / (len(samples) ** 0.5)
+        assert abs(moments.mean - t) <= 4 * se
+
+    def test_triangle_free_moment_zero_mean(self):
+        graph = cycle_graph(12)
+        rng = random.Random(11)
+        samples = []
+        for _ in range(3000):
+            sketch = TriangleSketch(rng)
+            for u, v in graph.edges():
+                sketch.update(u, v, 1)
+            samples.append(sketch.triangle_moment())
+        moments = empirical_moments(samples)
+        se = moments.std / (len(samples) ** 0.5)
+        assert abs(moments.mean) <= 4 * se + 0.05
+
+    def test_linearity_deletion_cancels_exactly(self):
+        # The sketch of (insert all, churn in/out) equals the sketch of the
+        # clean inserts with the same hash - bit-for-bit.
+        graph = wheel_graph(25)
+        clean = TriangleSketch(random.Random(3))
+        churned = TriangleSketch(random.Random(3))  # same seed -> same hash
+        for u, v in graph.edges():
+            clean.update(u, v, 1)
+        for (u, v), delta in churn_stream(graph, 2.0, random.Random(8)):
+            churned.update(u, v, delta)
+        assert clean.z == churned.z
+
+    def test_merge(self):
+        graph = complete_graph(6)
+        edges = graph.edge_list()
+        whole = TriangleSketch(random.Random(5))
+        part_a = TriangleSketch(random.Random(5))
+        part_b = TriangleSketch(random.Random(5))
+        # Same seed -> identical hash; drain the rng identically first.
+        for u, v in edges:
+            whole.update(u, v, 1)
+        for u, v in edges[:7]:
+            part_a.update(u, v, 1)
+        for u, v in edges[7:]:
+            part_b.update(u, v, 1)
+        part_a.merge(part_b)
+        assert part_a.z == whole.z
+
+
+class TestTriangleSketchEstimator:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TriangleSketchEstimator(0, random.Random(0))
+        with pytest.raises(ParameterError):
+            TriangleSketchEstimator(10, random.Random(0), median_groups=3)
+
+    def test_one_pass_and_constant_space_per_copy(self):
+        graph = complete_graph(10)
+        stream = DynamicEdgeStream.insert_only(graph.edge_list())
+        est = TriangleSketchEstimator(50, random.Random(1))
+        result = est.estimate(stream)
+        assert result.passes_used == 1
+        assert result.space_words_peak == 7 * 50
+
+    def test_accuracy_on_dense_graph(self):
+        # K12: m^3/T^2 = 66^3/220^2 ~ 6 -> a few thousand copies suffice.
+        graph = complete_graph(12)
+        t = count_triangles(graph)
+        stream = DynamicEdgeStream.insert_only(graph.edge_list())
+        est = TriangleSketchEstimator(3000, random.Random(2), median_groups=5)
+        result = est.estimate(stream)
+        assert abs(result.estimate - t) / t < 0.35
+
+    def test_churn_invariance(self):
+        # Same seed => same hashes => identical estimate on clean vs
+        # churned streams with the same net graph.
+        graph = barabasi_albert_graph(40, 4, random.Random(3))
+        clean = DynamicEdgeStream.insert_only(graph.edge_list())
+        churned = churn_stream(graph, 2.0, random.Random(7))
+        a = TriangleSketchEstimator(40, random.Random(5)).estimate(clean)
+        b = TriangleSketchEstimator(40, random.Random(5)).estimate(churned)
+        assert a.estimate == b.estimate
+
+    def test_deterministic(self):
+        graph = complete_graph(8)
+        stream = DynamicEdgeStream.insert_only(graph.edge_list())
+        a = TriangleSketchEstimator(30, random.Random(6)).estimate(stream)
+        b = TriangleSketchEstimator(30, random.Random(6)).estimate(stream)
+        assert a.estimate == b.estimate

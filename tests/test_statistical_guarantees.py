@@ -1,0 +1,154 @@
+"""Deep statistical validation: the (eps, delta)-style guarantees, measured.
+
+These tests repeat entire estimator runs across many independent seeds and
+check the *distributional* claims of the paper - empirical failure rates
+against the configured confidence, unbiasedness of each baseline's basic
+estimator, and the variance ordering the assignment rule is supposed to
+enforce.  They are slower than unit tests (seconds each) but still fit in
+the default suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.analysis.variance import empirical_moments
+from repro.baselines.registry import InstanceParameters, make_baseline
+from repro.core.params import PlanConstants
+from repro.generators import book_graph, triangulated_grid_graph, wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream
+from repro.streams.transforms import shuffled
+
+
+class TestDriverFailureRate:
+    def test_wheel_failure_rate_within_budget(self):
+        # 20 independent full runs at eps=0.3; count how many land outside
+        # a 1.5*eps band (practical constants trade the formal union bound
+        # for repetition, so the generous band is the honest check).
+        graph = wheel_graph(250)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(0)))
+        epsilon = 0.3
+        failures = 0
+        runs = 20
+        for seed in range(runs):
+            cfg = EstimatorConfig(epsilon=epsilon, repetitions=5, seed=seed)
+            estimate = TriangleCountEstimator(cfg).estimate(stream, kappa=3).estimate
+            if abs(estimate - t) > 1.5 * epsilon * t:
+                failures += 1
+        assert failures <= 3, f"{failures}/{runs} runs outside the 1.5*eps band"
+
+    def test_grid_failure_rate_within_budget(self):
+        graph = triangulated_grid_graph(12, 12)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(1)))
+        failures = 0
+        runs = 15
+        for seed in range(runs):
+            cfg = EstimatorConfig(epsilon=0.3, repetitions=5, seed=seed)
+            estimate = TriangleCountEstimator(cfg).estimate(stream, kappa=3).estimate
+            if abs(estimate - t) > 0.45 * t:
+                failures += 1
+        assert failures <= 3
+
+    def test_larger_constants_tighten_estimates(self):
+        # Doubling every plan constant must not worsen the median error
+        # by more than noise - and typically improves it.
+        graph = wheel_graph(250)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(0)))
+        errors = {}
+        for label, constants in (
+            ("base", PlanConstants.PRACTICAL),
+            ("double", PlanConstants(c_r=6.0, c_ell=6.0, c_s=6.0)),
+        ):
+            per_seed = []
+            for seed in range(8):
+                cfg = EstimatorConfig(
+                    epsilon=0.3, repetitions=3, seed=seed, constants=constants,
+                    t_hint=float(t),
+                )
+                estimate = TriangleCountEstimator(cfg).estimate(stream, kappa=3).estimate
+                per_seed.append(abs(estimate - t) / t)
+            per_seed.sort()
+            errors[label] = per_seed[len(per_seed) // 2]
+        assert errors["double"] <= errors["base"] + 0.1
+
+
+class TestBaselineUnbiasedness:
+    """Each baseline's mean over many runs approaches T (its estimator is
+    unbiased by construction; this is the empirical counterpart)."""
+
+    @pytest.fixture(scope="class")
+    def instance(self):
+        graph = triangulated_grid_graph(10, 10)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(2)))
+        return graph, stream, count_triangles(graph)
+
+    @pytest.mark.parametrize(
+        "name,runs", [("buriol", 25), ("doulion", 25), ("pavan", 25), ("mvv-neighbor", 25)]
+    )
+    def test_mean_tracks_truth(self, instance, name, runs):
+        graph, stream, t = instance
+        params = InstanceParameters(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            t_hint=float(t),
+            epsilon=0.3,
+        )
+        estimates = [
+            make_baseline(name, params, random.Random(seed)).estimate(stream).estimate
+            for seed in range(runs)
+        ]
+        moments = empirical_moments(estimates)
+        se = moments.std / (runs ** 0.5)
+        assert abs(moments.mean - t) <= 4 * se + 0.1 * t, name
+
+
+class TestVarianceOrdering:
+    def test_book_graph_rule_beats_no_rule(self):
+        # The distributional form of E11: over 20 runs, the assigned
+        # variant's spread is materially below the 1/3-split's.
+        from repro.core.ablation import (
+            run_single_estimate_exact_assigner,
+            run_single_estimate_third_split,
+        )
+        from repro.core.params import ParameterPlan
+
+        graph = book_graph(300)
+        t = count_triangles(graph)
+        plan = ParameterPlan.build(
+            graph.num_vertices, graph.num_edges, 2, float(t), 0.25
+        )
+        stream = InMemoryEdgeStream.from_graph(graph)
+        split = empirical_moments(
+            [
+                run_single_estimate_third_split(stream, plan, random.Random(s)).estimate
+                for s in range(20)
+            ]
+        )
+        ruled = empirical_moments(
+            [
+                run_single_estimate_exact_assigner(
+                    stream, plan, random.Random(s), graph
+                ).estimate
+                for s in range(20)
+            ]
+        )
+        assert ruled.relative_std < split.relative_std
+
+    def test_theory_mode_runs_and_concentrates(self):
+        # The theory regime's constants are huge; on a tiny instance the
+        # caps keep it tractable and the estimate should be excellent.
+        graph = wheel_graph(60)
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph)
+        cfg = EstimatorConfig(
+            epsilon=0.3, repetitions=3, seed=2, mode="theory", t_hint=float(t)
+        )
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=3)
+        assert abs(result.estimate - t) / t < 0.2

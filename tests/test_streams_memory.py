@@ -1,0 +1,79 @@
+"""Tests for repro.streams.memory.InMemoryEdgeStream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, StreamError
+from repro.generators import wheel_graph
+from repro.streams import InMemoryEdgeStream
+
+
+class TestConstruction:
+    def test_validates_and_canonicalizes(self):
+        s = InMemoryEdgeStream([(3, 1), (0, 2)])
+        assert list(s) == [(1, 3), (0, 2)]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            InMemoryEdgeStream([(1, 2), (2, 1)])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            InMemoryEdgeStream([(4, 4)])
+
+    def test_validate_false_trusts_input(self):
+        s = InMemoryEdgeStream([(1, 3)], validate=False)
+        assert list(s) == [(1, 3)]
+
+    def test_len(self):
+        assert len(InMemoryEdgeStream([(0, 1), (1, 2)])) == 2
+
+    def test_empty_stream(self):
+        s = InMemoryEdgeStream([])
+        assert len(s) == 0
+        assert list(s) == []
+
+
+class TestReplay:
+    def test_multiple_passes_identical(self):
+        s = InMemoryEdgeStream([(0, 1), (1, 2), (0, 2)])
+        assert list(s) == list(s) == list(s)
+
+    def test_stats(self):
+        s = InMemoryEdgeStream([(0, 5), (2, 3)])
+        stats = s.stats()
+        assert stats.num_edges == 2
+        assert stats.max_vertex_id == 5
+        assert stats.num_vertices_upper == 6
+
+
+class TestRandomAccessGuard:
+    def test_edge_at_in_range(self):
+        s = InMemoryEdgeStream([(0, 1), (1, 2)])
+        assert s.edge_at(1) == (1, 2)
+
+    @pytest.mark.parametrize("index", [-1, 2, 100])
+    def test_edge_at_out_of_range(self, index):
+        s = InMemoryEdgeStream([(0, 1), (1, 2)])
+        with pytest.raises(StreamError, match="out of range"):
+            s.edge_at(index)
+
+
+class TestFromGraph:
+    def test_default_sorted_order(self, wheel10):
+        s = InMemoryEdgeStream.from_graph(wheel10)
+        assert list(s) == wheel10.edge_list()
+
+    def test_explicit_order(self, triangle):
+        order = [(1, 2), (0, 2), (0, 1)]
+        s = InMemoryEdgeStream.from_graph(triangle, order)
+        assert list(s) == order
+
+    def test_rejects_non_permutation(self, triangle):
+        with pytest.raises(StreamError, match="permutation"):
+            InMemoryEdgeStream.from_graph(triangle, [(0, 1), (0, 2)])
+
+    def test_rejects_foreign_edges(self, triangle):
+        with pytest.raises(StreamError, match="permutation"):
+            InMemoryEdgeStream.from_graph(triangle, [(0, 1), (0, 2), (5, 6)])

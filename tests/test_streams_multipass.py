@@ -1,0 +1,104 @@
+"""Tests for repro.streams.multipass.PassScheduler and transforms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import PassBudgetExceeded, StreamError
+from repro.generators import book_graph, wheel_graph
+from repro.streams import InMemoryEdgeStream, PassScheduler
+from repro.streams.transforms import (
+    adversarial_heavy_edge_last_order,
+    shuffled,
+    sorted_order,
+)
+
+
+@pytest.fixture
+def stream():
+    return InMemoryEdgeStream([(0, 1), (1, 2), (0, 2)])
+
+
+class TestPassScheduler:
+    def test_counts_passes(self, stream):
+        sched = PassScheduler(stream)
+        assert sched.passes_used == 0
+        list(sched.new_pass())
+        assert sched.passes_used == 1
+        list(sched.new_pass())
+        assert sched.passes_used == 2
+
+    def test_num_edges(self, stream):
+        assert PassScheduler(stream).num_edges == 3
+
+    def test_pass_content_matches_stream(self, stream):
+        sched = PassScheduler(stream)
+        assert list(sched.new_pass()) == list(stream)
+
+    def test_budget_enforced(self, stream):
+        sched = PassScheduler(stream, max_passes=2)
+        list(sched.new_pass())
+        list(sched.new_pass())
+        with pytest.raises(PassBudgetExceeded, match="budget of 2"):
+            sched.new_pass()
+
+    def test_budget_must_be_positive(self, stream):
+        with pytest.raises(StreamError):
+            PassScheduler(stream, max_passes=0)
+
+    def test_interleaved_passes_rejected(self, stream):
+        sched = PassScheduler(stream)
+        it = sched.new_pass()
+        next(it)  # pass is open now
+        with pytest.raises(StreamError, match="still open"):
+            sched.new_pass()
+
+    def test_closing_iterator_ends_pass(self, stream):
+        sched = PassScheduler(stream)
+        it = sched.new_pass()
+        next(it)
+        it.close()
+        list(sched.new_pass())  # must not raise
+        assert sched.passes_used == 2
+
+    def test_exception_inside_pass_ends_it(self, stream):
+        sched = PassScheduler(stream)
+
+        def consume_and_fail():
+            for _ in sched.new_pass():
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            consume_and_fail()
+        list(sched.new_pass())
+        assert sched.passes_used == 2
+
+
+class TestTransforms:
+    def test_shuffled_is_permutation(self, wheel10):
+        order = shuffled(wheel10, random.Random(5))
+        assert sorted(order) == wheel10.edge_list()
+
+    def test_shuffled_deterministic_given_seed(self, wheel10):
+        a = shuffled(wheel10, random.Random(5))
+        b = shuffled(wheel10, random.Random(5))
+        assert a == b
+
+    def test_shuffled_varies_with_seed(self, wheel10):
+        a = shuffled(wheel10, random.Random(5))
+        b = shuffled(wheel10, random.Random(6))
+        assert a != b  # 18 edges: astronomically unlikely to coincide
+
+    def test_sorted_order(self, wheel10):
+        assert sorted_order(wheel10) == wheel10.edge_list()
+
+    def test_adversarial_order_puts_heavy_last(self):
+        g = book_graph(5)
+        order = adversarial_heavy_edge_last_order(g)
+        assert sorted(order) == g.edge_list()
+        assert order[-1] == (0, 1)  # the spine has the largest t_e
+
+    def test_adversarial_order_deterministic(self, grid4):
+        assert adversarial_heavy_edge_last_order(grid4) == adversarial_heavy_edge_last_order(grid4)

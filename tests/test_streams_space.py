@@ -1,0 +1,87 @@
+"""Tests for repro.streams.space.SpaceMeter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpaceBudgetExceeded
+from repro.streams import SpaceMeter
+
+
+class TestAllocation:
+    def test_tracks_current_and_peak(self):
+        meter = SpaceMeter()
+        meter.allocate(10)
+        meter.allocate(5)
+        assert meter.current_words == 15
+        assert meter.peak_words == 15
+        meter.release(12)
+        assert meter.current_words == 3
+        assert meter.peak_words == 15
+
+    def test_negative_allocate_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().allocate(-1)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter().release(-1)
+
+    def test_over_release_rejected(self):
+        meter = SpaceMeter()
+        meter.allocate(3, "a")
+        with pytest.raises(ValueError, match="holding"):
+            meter.release(4, "a")
+
+    def test_release_wrong_category_rejected(self):
+        meter = SpaceMeter()
+        meter.allocate(3, "a")
+        with pytest.raises(ValueError):
+            meter.release(1, "b")
+
+    def test_zero_allocation_is_noop(self):
+        meter = SpaceMeter()
+        meter.allocate(0)
+        assert meter.peak_words == 0
+
+
+class TestCategories:
+    def test_peak_breakdown(self):
+        meter = SpaceMeter()
+        meter.allocate(10, "reservoir")
+        meter.allocate(4, "degrees")
+        meter.release(6, "reservoir")
+        meter.allocate(1, "reservoir")
+        assert meter.peak_breakdown() == {"reservoir": 10, "degrees": 4}
+
+    def test_set_category_charges_delta(self):
+        meter = SpaceMeter()
+        meter.set_category(7, "table")
+        assert meter.current_words == 7
+        meter.set_category(3, "table")
+        assert meter.current_words == 3
+        meter.set_category(9, "table")
+        assert meter.peak_words == 9
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        meter = SpaceMeter(budget_words=10)
+        meter.allocate(10)
+        with pytest.raises(SpaceBudgetExceeded, match="11 > 10"):
+            meter.allocate(1)
+
+    def test_budget_respects_release(self):
+        meter = SpaceMeter(budget_words=10)
+        meter.allocate(10)
+        meter.release(5)
+        meter.allocate(5)  # back at the cap: fine
+        assert meter.current_words == 10
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceMeter(budget_words=-1)
+
+    def test_budget_property(self):
+        assert SpaceMeter(budget_words=42).budget_words == 42
+        assert SpaceMeter().budget_words is None

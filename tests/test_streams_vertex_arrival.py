@@ -1,0 +1,105 @@
+"""Tests for the vertex-arrival stream and the adjacency-list estimator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.variance import empirical_moments
+from repro.baselines.adjlist_mvv import AdjListMVVEstimator
+from repro.errors import ParameterError, StreamError
+from repro.generators import barabasi_albert_graph, cycle_graph, wheel_graph
+from repro.graph import count_triangles
+from repro.streams import InMemoryEdgeStream
+from repro.streams.vertex_arrival import VertexArrivalStream
+
+
+class TestVertexArrivalStream:
+    def test_is_edge_stream(self, wheel10):
+        stream = VertexArrivalStream.from_graph(wheel10)
+        assert len(stream) == wheel10.num_edges
+        assert sorted(stream) == wheel10.edge_list()
+
+    def test_rejects_bad_order(self, triangle):
+        with pytest.raises(StreamError, match="permutation"):
+            VertexArrivalStream(triangle, [0, 1])
+
+    def test_each_edge_once(self, grid4):
+        stream = VertexArrivalStream.from_graph(grid4, rng=random.Random(1))
+        edges = list(stream)
+        assert len(edges) == len(set(edges)) == grid4.num_edges
+
+    def test_batches_group_by_later_endpoint(self, triangle):
+        stream = VertexArrivalStream(triangle, [2, 0, 1])
+        batches = list(stream.batches())
+        assert batches[0] == (2, [])
+        assert batches[1] == (0, [2])
+        assert sorted(batches[2][1]) == [0, 2]
+
+    def test_batches_replayable(self, wheel10):
+        stream = VertexArrivalStream.from_graph(wheel10, rng=random.Random(2))
+        assert list(stream.batches()) == list(stream.batches())
+
+    def test_arrival_order_copy(self, triangle):
+        stream = VertexArrivalStream(triangle, [2, 0, 1])
+        order = stream.arrival_order
+        order.append(99)
+        assert stream.arrival_order == [2, 0, 1]
+
+    def test_edges_reveal_at_later_arrival(self, wheel10):
+        stream = VertexArrivalStream.from_graph(wheel10, rng=random.Random(3))
+        position = {v: i for i, v in enumerate(stream.arrival_order)}
+        for v, earlier in stream.batches():
+            for u in earlier:
+                assert position[u] < position[v]
+
+
+class TestAdjListMVV:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AdjListMVVEstimator(reservoir_edges=0, rng=random.Random(0))
+
+    def test_requires_vertex_arrival_stream(self, triangle):
+        est = AdjListMVVEstimator(5, random.Random(0))
+        with pytest.raises(StreamError, match="VertexArrivalStream"):
+            est.estimate(InMemoryEdgeStream.from_graph(triangle))
+
+    def test_full_reservoir_is_exact(self):
+        # k >= m: every edge is retained, every triangle witnessed at p=1.
+        graph = wheel_graph(30)
+        stream = VertexArrivalStream.from_graph(graph, rng=random.Random(1))
+        est = AdjListMVVEstimator(reservoir_edges=graph.num_edges, rng=random.Random(2))
+        assert est.estimate(stream).estimate == count_triangles(graph)
+
+    def test_triangle_free(self):
+        graph = cycle_graph(30)
+        stream = VertexArrivalStream.from_graph(graph, rng=random.Random(1))
+        est = AdjListMVVEstimator(10, random.Random(2))
+        assert est.estimate(stream).estimate == 0.0
+
+    def test_one_pass_and_space(self):
+        graph = wheel_graph(50)
+        stream = VertexArrivalStream.from_graph(graph, rng=random.Random(1))
+        result = AdjListMVVEstimator(20, random.Random(2)).estimate(stream)
+        assert result.passes_used == 1
+        assert result.space_words_peak == 2 * 20
+
+    def test_unbiased(self):
+        graph = barabasi_albert_graph(120, 5, random.Random(4))
+        t = count_triangles(graph)
+        stream = VertexArrivalStream.from_graph(graph, rng=random.Random(5))
+        estimates = [
+            AdjListMVVEstimator(60, random.Random(seed)).estimate(stream).estimate
+            for seed in range(40)
+        ]
+        moments = empirical_moments(estimates)
+        se = moments.std / (len(estimates) ** 0.5)
+        assert abs(moments.mean - t) <= 4 * se + 0.05 * t
+
+    def test_deterministic(self):
+        graph = wheel_graph(40)
+        stream = VertexArrivalStream.from_graph(graph, rng=random.Random(1))
+        a = AdjListMVVEstimator(15, random.Random(7)).estimate(stream)
+        b = AdjListMVVEstimator(15, random.Random(7)).estimate(stream)
+        assert a.estimate == b.estimate

@@ -1,0 +1,124 @@
+"""Tests for repro.types: canonical forms and triangle/edge helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.types import (
+    canonical_edge,
+    canonical_triangle,
+    closes_triangle,
+    normalize_edges,
+    third_vertex,
+    triangle_edges,
+)
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+
+    def test_preserves_ordered_pair(self):
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            canonical_edge(3, 3)
+
+    def test_rejects_negative_first(self):
+        with pytest.raises(GraphError, match="negative"):
+            canonical_edge(-1, 3)
+
+    def test_rejects_negative_second(self):
+        with pytest.raises(GraphError, match="negative"):
+            canonical_edge(3, -1)
+
+    def test_zero_is_valid_vertex(self):
+        assert canonical_edge(0, 1) == (0, 1)
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_symmetric_and_sorted(self, u, v):
+        if u == v:
+            with pytest.raises(GraphError):
+                canonical_edge(u, v)
+        else:
+            e1 = canonical_edge(u, v)
+            e2 = canonical_edge(v, u)
+            assert e1 == e2
+            assert e1[0] < e1[1]
+
+
+class TestCanonicalTriangle:
+    def test_sorts_vertices(self):
+        assert canonical_triangle(7, 1, 4) == (1, 4, 7)
+
+    @pytest.mark.parametrize("a,b,c", [(1, 1, 2), (1, 2, 2), (3, 2, 3)])
+    def test_rejects_repeated_vertices(self, a, b, c):
+        with pytest.raises(GraphError, match="distinct"):
+            canonical_triangle(a, b, c)
+
+    @given(st.sets(st.integers(0, 1000), min_size=3, max_size=3))
+    def test_permutation_invariant(self, vertices):
+        a, b, c = sorted(vertices)
+        import itertools
+
+        results = {canonical_triangle(*p) for p in itertools.permutations((a, b, c))}
+        assert results == {(a, b, c)}
+
+
+class TestTriangleEdges:
+    def test_three_canonical_edges(self):
+        assert triangle_edges((1, 4, 7)) == ((1, 4), (1, 7), (4, 7))
+
+    def test_edges_cover_all_pairs(self):
+        edges = triangle_edges((0, 2, 5))
+        assert len(set(edges)) == 3
+        for u, v in edges:
+            assert u < v
+
+
+class TestThirdVertex:
+    def test_finds_apex(self):
+        assert third_vertex((1, 4), (1, 4, 7)) == 7
+
+    def test_each_edge_yields_other_vertex(self):
+        t = (2, 5, 9)
+        apexes = {third_vertex(e, t) for e in triangle_edges(t)}
+        assert apexes == {2, 5, 9}
+
+    def test_rejects_foreign_edge(self):
+        with pytest.raises(GraphError, match="not part of"):
+            third_vertex((1, 2), (3, 4, 5))
+
+
+class TestClosesTriangle:
+    def test_builds_canonical_triangle(self):
+        assert closes_triangle((4, 7), 1) == (1, 4, 7)
+
+    def test_apex_equal_to_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            closes_triangle((4, 7), 4)
+
+
+class TestNormalizeEdges:
+    def test_canonicalizes_and_keeps_order(self):
+        assert normalize_edges([(3, 1), (0, 2)]) == [(1, 3), (0, 2)]
+
+    def test_rejects_duplicates_across_orientations(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            normalize_edges([(1, 2), (2, 1)])
+
+    def test_empty_input(self):
+        assert normalize_edges([]) == []
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50))))
+    def test_output_edges_are_canonical_or_raises(self, edges):
+        try:
+            out = normalize_edges(edges)
+        except GraphError:
+            return
+        assert all(u < v for u, v in out)
+        assert len(set(out)) == len(out)
