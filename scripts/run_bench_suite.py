@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record the engine perf trajectory.
+
+Two stages:
+
+1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
+   (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
+2. a chunked-vs-pure-Python engine comparison on the E9 BA-family sweep,
+   asserting seed-for-seed identical estimates while timing both engines.
+
+The results are *appended* to ``BENCH_engine.json`` at the repo root (a
+JSON array, one record per run), so successive PRs accumulate the speedup
+trajectory instead of overwriting it.
+
+Usage::
+
+    python scripts/run_bench_suite.py             # tiny benchmarks + engine compare
+    python scripts/run_bench_suite.py --scale small
+    python scripts/run_bench_suite.py --skip-pytest   # engine compare only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import random
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.core import engine_overrides  # noqa: E402
+from repro.core.engine import HAVE_NUMPY  # noqa: E402
+from repro.core.estimator import run_single_estimate  # noqa: E402
+from repro.core.params import ParameterPlan  # noqa: E402
+from repro.generators import barabasi_albert_graph  # noqa: E402
+from repro.graph import count_triangles  # noqa: E402
+from repro.streams import InMemoryEdgeStream  # noqa: E402
+from repro.streams.transforms import shuffled  # noqa: E402
+
+
+def _bench_sizes() -> dict:
+    """The E9 size table, loaded from the benchmark itself (single source)."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_passes_runtime", REPO / "benchmarks" / "bench_passes_runtime.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.SIZES
+
+
+ENGINE_SIZES = _bench_sizes()
+
+
+def run_pytest_benchmarks(scale: str) -> dict:
+    """Run the experiment regenerators; return a summary dict."""
+    env = dict(os.environ, REPRO_BENCH_SCALE=scale)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only", "-q"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - start
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    print(f"[bench-suite] pytest benchmarks ({scale}): {tail} in {elapsed:.1f}s")
+    return {
+        "scale": scale,
+        "returncode": proc.returncode,
+        "summary": tail,
+        "seconds": round(elapsed, 3),
+    }
+
+
+def run_engine_comparison(scale: str, repeats: int = 3) -> dict:
+    """Time both engines on the E9 sweep; identical results are asserted."""
+    rows = []
+    totals = {"python": 0.0, "chunked": 0.0}
+    for n in ENGINE_SIZES[scale]:
+        graph = barabasi_albert_graph(n, 5, random.Random(1))
+        t = count_triangles(graph)
+        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(2)))
+        plan = ParameterPlan.build(
+            graph.num_vertices, graph.num_edges, 5, float(max(1, t)), 0.25
+        )
+        times = {}
+        results = {}
+        for mode in ("python", "chunked") if HAVE_NUMPY else ("python",):
+            with engine_overrides(mode):
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    results[mode] = run_single_estimate(stream, plan, random.Random(3))
+                    best = min(best, time.perf_counter() - start)
+            times[mode] = best
+            totals[mode] += best
+        if HAVE_NUMPY:
+            assert results["python"] == results["chunked"], "engine parity violated"
+        speedup = times["python"] / times["chunked"] if HAVE_NUMPY else None
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "triangles": t,
+                "python_sec": round(times["python"], 5),
+                "chunked_sec": round(times.get("chunked", float("nan")), 5) if HAVE_NUMPY else None,
+                "speedup": round(speedup, 2) if speedup else None,
+            }
+        )
+        print(f"[bench-suite] n={n}: {rows[-1]}")
+    total_speedup = (
+        round(totals["python"] / totals["chunked"], 2) if HAVE_NUMPY and totals["chunked"] else None
+    )
+    print(f"[bench-suite] engine sweep total speedup: {total_speedup}x")
+    return {
+        "scale": scale,
+        "have_numpy": HAVE_NUMPY,
+        "rows": rows,
+        "total_python_sec": round(totals["python"], 4),
+        "total_chunked_sec": round(totals["chunked"], 4) if HAVE_NUMPY else None,
+        "total_speedup": total_speedup,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default=os.environ.get("REPRO_BENCH_SCALE", "tiny"),
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--skip-pytest", action="store_true",
+                        help="only run the engine comparison")
+    parser.add_argument("--output", default=str(REPO / "BENCH_engine.json"))
+    args = parser.parse_args()
+
+    record = {
+        "version": __version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    if not args.skip_pytest:
+        record["benchmarks"] = run_pytest_benchmarks(args.scale)
+    record["engine_comparison"] = run_engine_comparison(args.scale)
+
+    out = pathlib.Path(args.output)
+    history = []
+    if out.exists():
+        existing = json.loads(out.read_text(encoding="utf-8"))
+        # Earlier revisions wrote a single record; fold it into the array.
+        history = existing if isinstance(existing, list) else [existing]
+    history.append(record)
+    out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench-suite] appended run {len(history)} to {out}")
+    failed = record.get("benchmarks", {}).get("returncode", 0) != 0
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,14 @@ Layout follows the paper:
   geometric guessing, median-of-repetitions, diagnostics;
 * :mod:`~repro.core.exact_reference` - a store-everything exact one-pass
   counter used as ground truth and as the "no space bound" reference row.
+
+Two execution engines back every pass: the pure-Python reference loops and
+the chunked NumPy kernels of :mod:`~repro.core.kernels`, selected per
+stream by :mod:`~repro.core.engine` (seed-for-seed identical results; see
+the engine module for the policy knobs).
 """
 
+from .engine import engine_mode, engine_overrides, set_engine
 from .params import ParameterPlan, PlanConstants
 from .oracle_model import DegreeOracle, IdealEstimator, IdealEstimatorResult
 from .assignment import ExactAssigner, StreamingAssigner
@@ -39,4 +45,7 @@ __all__ = [
     "EstimatorConfig",
     "EstimateResult",
     "ExactStreamingCounter",
+    "engine_mode",
+    "engine_overrides",
+    "set_engine",
 ]

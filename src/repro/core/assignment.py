@@ -60,6 +60,7 @@ from ..graph.triangles import per_edge_triangle_counts
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from ..types import Edge, Triangle, Vertex, canonical_edge, triangle_edges
+from . import engine
 from .params import ParameterPlan
 
 
@@ -80,28 +81,76 @@ class Assigner(Protocol):
         ...  # pragma: no cover - protocol body
 
 
+if engine.HAVE_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - the CI image bakes NumPy in
+    _np = None
+
+
 class _Bundle:
     """``s`` independent single-item neighbor reservoirs for one vertex.
 
-    ``slots[j]`` holds slot ``j``'s current sample.  On the ``k``-th
-    incident edge every slot independently adopts the new neighbor with
-    probability ``1/k``; the adopting subset is drawn with geometric skips.
+    The defining invariant: after ``k`` offers, the ``s`` slots are i.i.d.
+    uniform samples of the ``k`` offered neighbors.  Only the *multiset* of
+    slot values is ever observed (pass 6 counts closing wedges), so with
+    NumPy available the bundle stores the compressed form - distinct
+    ``values`` with slot ``counts`` summing to ``s`` - and updates it in
+    batches:
+
+    * offers buffer up; a flush resolves the whole batch at once.  If the
+      state is a multiset of ``s`` uniform samples over ``k0`` offers and
+      ``c`` more arrive, each slot independently re-samples from the new
+      batch with probability ``c/(k0+c)``; in counts form that is one
+      vectorized ``Binomial(count_i, k0/(k0+c))`` thinning of the existing
+      entries plus one ``Multinomial`` spread of the re-sampled slots over
+      the ``c`` new neighbors - exactly the slot-level distribution, at
+      ``O(entries + c)`` cost instead of ``O(s)``;
+    * flush thresholds double with the offer count (capped so the buffer
+      never exceeds ``max(s, 1024)`` scratch words), so a degree-``d``
+      neighborhood costs ``O(min(d, s) log d)`` total work however large
+      ``s`` is.
+
+    Without NumPy the bundle keeps explicit slots and draws the adopting
+    subset per offer with geometric skips from the caller's stdlib RNG -
+    the same distribution, different random bits.
+
+    Callers must :meth:`flush` (in a deterministic bundle order) after the
+    pass ends and before reading samples.
     """
 
-    __slots__ = ("slots",)
+    __slots__ = ("capacity", "values", "counts", "_buffer", "_seen", "slots")
 
     def __init__(self, s: int) -> None:
-        self.slots: List[Optional[Vertex]] = [None] * s
+        self.capacity = s
+        if _np is not None:
+            self.values = _np.empty(0, dtype=_np.int64)
+            self.counts = _np.empty(0, dtype=_np.int64)
+            self._buffer: List[Vertex] = []
+            self._seen = 0
+        else:  # pragma: no cover - the CI image bakes NumPy in
+            self.slots = [None] * s
 
-    def offer(self, neighbor: Vertex, k: int, rng: random.Random) -> None:
-        """Offer the ``k``-th neighbor (1-based) to every slot independently."""
-        slots = self.slots
-        if k == 1:
+    def offer(self, neighbor: Vertex, k: int, rng) -> None:
+        """Offer the ``k``-th neighbor (1-based) to every slot independently.
+
+        ``rng`` is a :class:`SampleSource` on the NumPy path and a
+        :class:`random.Random` on the fallback path.
+        """
+        if _np is not None:
+            buffer = self._buffer
+            buffer.append(neighbor)
+            # Threshold doubles with the offer count, starting at 32 (small
+            # neighborhoods resolve in a single end-of-pass flush).
+            if len(buffer) >= max(32, min(self._seen, max(self.capacity, 1024))):
+                self.flush(rng)
+            return
+        slots = self.slots  # pragma: no cover - exercised only without NumPy
+        if k == 1:  # pragma: no cover
             for j in range(len(slots)):
                 slots[j] = neighbor
             return
         # Geometric skips over the slot indices with success prob 1/k.
-        log_fail = math.log1p(-1.0 / k)
+        log_fail = math.log1p(-1.0 / k)  # pragma: no cover
         j = -1
         s = len(slots)
         while True:
@@ -109,6 +158,199 @@ class _Bundle:
             if j >= s:
                 return
             slots[j] = neighbor
+
+    def flush(self, rng) -> None:
+        """Resolve all buffered offers with one batched thinning + spread."""
+        if _np is None:
+            return  # pragma: no cover - sequential path has no buffer
+        buffer = self._buffer
+        c = len(buffer)
+        if c == 0:
+            return
+        k0 = self._seen
+        new_values = _np.asarray(buffer, dtype=_np.int64)
+        spread = _np.full(c, 1.0 / c)
+        generator = rng.generator
+        if k0 == 0:
+            self.values = new_values
+            self.counts = generator.multinomial(self.capacity, spread)
+        else:
+            kept = generator.binomial(self.counts, k0 / (k0 + c))
+            adopted = int(self.capacity - kept.sum())
+            new_counts = generator.multinomial(adopted, spread)
+            values = _np.concatenate((self.values, new_values))
+            counts = _np.concatenate((kept, new_counts))
+            occupied = counts > 0
+            self.values = values[occupied]
+            self.counts = counts[occupied]
+        self._seen = k0 + c
+        buffer.clear()
+
+    def sample_values(self) -> List[Optional[Vertex]]:
+        """The slot multiset as plain ints (all ``None`` if never offered)."""
+        if _np is not None:
+            assert not self._buffer, "bundle read before final flush"
+            if self._seen == 0:
+                return [None] * self.capacity
+            return _np.repeat(self.values, self.counts).tolist()
+        return list(self.slots)  # pragma: no cover - exercised only without NumPy
+
+
+def closure_hit_counts(
+    scheduler: PassScheduler,
+    bundle_rows: List[_Bundle],
+    others: List[Vertex],
+    meter: SpaceMeter,
+    chunked: bool,
+) -> List[int]:
+    """Pass-6 closure counting, shared by the single and parallel runners.
+
+    Row ``i`` pairs one light candidate edge's owner bundle with the edge's
+    far endpoint ``others[i]``; the return value counts, per row, how many
+    of the bundle's sampled wedges close on the tape.  Always consumes
+    exactly one pass, even with no rows (the pass budget accounting of the
+    six-pass layout does not depend on the candidate set).
+
+    The chunked engine builds every watched key in one packed-key
+    expression and resolves per-key *occurrence counts* with a single
+    vectorized scan (:func:`~repro.core.kernels.scan_packed_keys`) -
+    occurrence-weighted, not presence-based, so the engines stay
+    bit-identical even on unvalidated tapes with repeated edges.  The
+    reference watch-table path below is also the fallback when vertex ids
+    overflow the 32-bit packing (it scans via a plain Python pass; a pass
+    is a pass either way).
+    """
+    if chunked and bundle_rows:
+        counts = _closure_hits_vectorized(scheduler, bundle_rows, others, meter)
+        if counts is not None:
+            return counts
+    watch: Dict[Edge, List[int]] = {}
+    for row, (bundle, other) in enumerate(zip(bundle_rows, others)):
+        for w in bundle.sample_values():
+            if w is None or w == other:
+                # No sample (impossible for a real edge) or the sample is
+                # the edge's own far endpoint: counts as a miss.
+                continue
+            watch.setdefault(canonical_edge(other, w), []).append(row)
+    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch")
+    hits = [0] * len(bundle_rows)
+    for edge in scheduler.new_pass():
+        watchers = watch.get(edge)
+        if watchers:
+            for row in watchers:
+                hits[row] += 1
+    return hits
+
+
+def _closure_hits_vectorized(
+    scheduler: PassScheduler,
+    bundle_rows: List[_Bundle],
+    others: List[Vertex],
+    meter: SpaceMeter,
+) -> Optional[List[int]]:
+    """One ragged packed-key expression + one chunked scan; ``None`` on overflow.
+
+    The bundles store the slot multiset compressed (distinct values with
+    counts), so the watched keys are built entry-wise over the ragged
+    concatenation of all bundles - ``O(sum_f min(d_f, s))`` work - and hit
+    counts weight each fired key by its slot multiplicity, exactly like
+    the reference watch table over the expanded slots.
+    """
+    import numpy as np
+
+    from . import kernels
+
+    lengths = np.fromiter(
+        (len(bundle.values) for bundle in bundle_rows), np.int64, count=len(bundle_rows)
+    )
+    entry_values = (
+        np.concatenate([bundle.values for bundle in bundle_rows])
+        if len(bundle_rows)
+        else np.empty(0, dtype=np.int64)
+    )
+    entry_counts = (
+        np.concatenate([bundle.counts for bundle in bundle_rows])
+        if len(bundle_rows)
+        else np.empty(0, dtype=np.int64)
+    )
+    entry_rows = np.repeat(np.arange(len(bundle_rows), dtype=np.int64), lengths)
+    entry_others = np.repeat(np.asarray(others, dtype=np.int64), lengths)
+    if len(entry_values) and (
+        max(int(entry_values.max()), int(entry_others.max())) >= kernels.PACK_LIMIT
+    ):
+        return None  # ids beyond 32 bits cannot use packed keys
+    valid = entry_values != entry_others  # the sample is the edge's own far endpoint
+    entry_values = entry_values[valid]
+    entry_others = entry_others[valid]
+    entry_rows = entry_rows[valid]
+    entry_counts = entry_counts[valid]
+    packed = kernels.pack_canonical_rows(
+        np.column_stack(
+            (np.minimum(entry_values, entry_others), np.maximum(entry_values, entry_others))
+        )
+    )
+    assert packed is not None  # overflow excluded by the PACK_LIMIT check above
+    unique_keys, inverse = np.unique(packed, return_inverse=True)
+    # Same accounting as the watch table: 2 words per distinct watched edge
+    # plus 1 per watcher entry (slot multiplicities included).
+    meter.allocate(2 * len(unique_keys) + int(entry_counts.sum()), "assignment-watch")
+    occurrences = kernels.scan_packed_keys(scheduler, unique_keys, engine.chunk_size())
+    hits = np.bincount(
+        entry_rows, weights=entry_counts * occurrences[inverse], minlength=len(bundle_rows)
+    )
+    return hits.astype(np.int64).tolist()
+
+
+class SampleSource:
+    """Blocked uniform variates over one :class:`numpy.random.Generator`.
+
+    Bundle flushes need a few hundred uniforms at unpredictable moments;
+    drawing them through per-call ``Generator`` methods costs microseconds
+    of call overhead each.  This source draws 16k at a time and hands out
+    zero-copy slices, so a flush pays one slice plus the arithmetic.
+    Consumption order is deterministic given the flush sequence, which both
+    execution engines replay identically.
+    """
+
+    __slots__ = ("_gen", "_block", "_pos")
+
+    BLOCK = 1 << 14
+
+    def __init__(self, gen) -> None:
+        self._gen = gen
+        self._block = None
+        self._pos = 0
+
+    def uniforms(self, n: int):
+        """Return the next ``n`` uniform [0, 1) variates as an array view."""
+        block = self._block
+        if block is None or self._pos + n > len(block):
+            self._block = block = self._gen.random(max(self.BLOCK, n))
+            self._pos = 0
+        out = block[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    @property
+    def generator(self):
+        """The backing generator, for non-uniform draws (binomial etc.)."""
+        return self._gen
+
+
+def derive_sample_generator(rng: random.Random):
+    """Derive the vectorized sample source for one run's bundles.
+
+    Draws exactly one 64-bit value from ``rng`` (keeping the stdlib RNG
+    stream aligned across engines) and seeds a :class:`SampleSource` from
+    it; returns ``rng`` itself when NumPy is unavailable.  Both execution
+    engines call this at the same point and then consume the source on the
+    same matched edges in the same order, so results stay seed-for-seed
+    identical between them.
+    """
+    seed = rng.getrandbits(64)
+    if engine.HAVE_NUMPY:
+        return SampleSource(_np.random.default_rng(seed))
+    return rng  # pragma: no cover - the CI image bakes NumPy in
 
 
 class StreamingAssigner:
@@ -134,21 +376,25 @@ class StreamingAssigner:
         if not distinct:
             return {}
         edges = sorted({f for t in distinct for f in triangle_edges(t)})
+        chunked = engine.use_chunks(scheduler.stream)
 
-        degree, bundles = self._pass5_degrees_and_samples(scheduler, edges)
-        estimates = self._pass6_estimate_te(scheduler, edges, degree, bundles)
+        degree, bundles = self._pass5_degrees_and_samples(scheduler, edges, chunked)
+        estimates = self._pass6_estimate_te(scheduler, edges, degree, bundles, chunked)
         return self._resolve(distinct, estimates)
 
     # -- pass 5 --------------------------------------------------------------
 
     def _pass5_degrees_and_samples(
-        self, scheduler: PassScheduler, edges: List[Edge]
+        self, scheduler: PassScheduler, edges: List[Edge], chunked: bool = False
     ) -> Tuple[Dict[Vertex, int], Dict[Vertex, _Bundle]]:
         """Count degrees of all candidate-edge endpoints and sample neighbors.
 
         One bundle of ``s`` reservoirs per *vertex* (shared by every
         candidate edge that vertex may end up owning; see module docstring
-        for why sharing is sound).
+        for why sharing is sound).  The heavy-edge degree counters and the
+        reservoir bundles only react to edges incident to a candidate
+        endpoint, so the chunked engine pre-filters the tape to exactly
+        those edges and replays the identical update sequence on them.
         """
         s = self._plan.s
         bundles: Dict[Vertex, _Bundle] = {}
@@ -160,8 +406,14 @@ class StreamingAssigner:
         self._meter.allocate(s * len(bundles), "assignment-reservoirs")
         self._meter.allocate(len(degree), "assignment-degrees")
 
-        rng = self._rng
-        for a, b in scheduler.new_pass():
+        rng = derive_sample_generator(self._rng)
+        if chunked:
+            from . import kernels
+
+            edge_source = kernels.iter_incident_edges(scheduler, degree, engine.chunk_size())
+        else:
+            edge_source = scheduler.new_pass()
+        for a, b in edge_source:
             if a in degree:
                 k = degree[a] + 1
                 degree[a] = k
@@ -170,6 +422,8 @@ class StreamingAssigner:
                 k = degree[b] + 1
                 degree[b] = k
                 bundles[b].offer(a, k, rng)
+        for bundle in bundles.values():  # deterministic construction order
+            bundle.flush(rng)
         return degree, bundles
 
     # -- pass 6 --------------------------------------------------------------
@@ -180,11 +434,12 @@ class StreamingAssigner:
         edges: List[Edge],
         degree: Dict[Vertex, int],
         bundles: Dict[Vertex, _Bundle],
+        chunked: bool = False,
     ) -> Dict[Edge, float]:
         """Check wedge closures and return ``Y_f`` per candidate edge."""
-        s = self._plan.s
-        watch: Dict[Edge, List[Edge]] = {}
         estimates: Dict[Edge, float] = {}
+        light: List[Edge] = []
+        light_others: List[Vertex] = []
         for f in edges:
             u, v = f
             d_f = min(degree[u], degree[v])
@@ -195,27 +450,14 @@ class StreamingAssigner:
             # Section 3 convention: N(e) is the lower-degree endpoint's
             # neighborhood, ties to the second endpoint.
             owner = u if degree[u] < degree[v] else v
-            other = v if owner == u else u
-            for w in bundles[owner].slots:
-                if w is None or w == other:
-                    # No sample (impossible for a real edge) or the sample is
-                    # the edge's own far endpoint: counts as a miss.
-                    continue
-                watch.setdefault(canonical_edge(other, w), []).append(f)
-        self._meter.allocate(
-            2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch"
-        )
-
-        hits: Dict[Edge, int] = {f: 0 for f in edges}
-        for edge in scheduler.new_pass():
-            watchers = watch.get(edge)
-            if watchers:
-                for f in watchers:
-                    hits[f] += 1
-        for f in edges:
-            if estimates[f] != float("inf"):
-                u, v = f
-                estimates[f] = min(degree[u], degree[v]) * hits[f] / s
+            light.append(f)
+            light_others.append(v if owner == u else u)
+        bundle_rows = [bundles[u if other == v else v] for (u, v), other in zip(light, light_others)]
+        hits = closure_hit_counts(scheduler, bundle_rows, light_others, self._meter, chunked)
+        s = self._plan.s
+        for f, hit_count in zip(light, hits):
+            u, v = f
+            estimates[f] = min(degree[u], degree[v]) * hit_count / s
         return estimates
 
     # -- resolution ------------------------------------------------------------

@@ -1,0 +1,104 @@
+"""Execution-engine selection: chunked NumPy kernels vs. pure Python.
+
+Every pass of the estimator stack exists in two seed-for-seed equivalent
+implementations:
+
+* the **pure-Python path** - one interpreter iteration per stream edge,
+  exactly as written in the original modules.  Always available, easy to
+  audit against the paper's pseudocode, and the reference the parity suite
+  checks against;
+* the **chunked path** (:mod:`repro.core.kernels`) - edges arrive in
+  ``(k, 2)`` int64 NumPy blocks via
+  :meth:`~repro.streams.multipass.PassScheduler.new_pass_chunks` and each
+  pass does its heavy scanning with vectorized array operations, consuming
+  randomness in exactly the same order as the Python path so results are
+  bit-identical.
+
+This module is the single switchboard deciding which path runs.  The policy
+(``"auto"`` by default) uses the chunked path whenever NumPy is importable
+and the stream advertises a native chunk producer
+(:attr:`~repro.streams.base.EdgeStream.supports_native_chunks`); iterator-only
+streams stay on the Python path, where the generic batching fallback would
+add overhead without removing the per-edge interpreter cost.
+
+The mode can be forced globally (:func:`set_engine`), per block
+(:func:`engine_overrides` - what the parity suite and benchmarks use), or at
+process start via the ``REPRO_ENGINE`` environment variable
+(``auto`` | ``chunked`` | ``python``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import ParameterError
+from ..streams.base import DEFAULT_CHUNK_EDGES, EdgeStream
+
+_MODES = ("auto", "chunked", "python")
+
+try:  # NumPy is an optional accelerator, never a hard dependency.
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image bakes NumPy in
+    HAVE_NUMPY = False
+
+
+def _initial_mode() -> str:
+    mode = os.environ.get("REPRO_ENGINE", "auto").strip().lower()
+    return mode if mode in _MODES else "auto"
+
+
+_mode: str = _initial_mode()
+_chunk_size: int = DEFAULT_CHUNK_EDGES
+
+
+def engine_mode() -> str:
+    """The engine policy in force: ``auto``, ``chunked``, or ``python``."""
+    return _mode
+
+
+def chunk_size() -> int:
+    """Edges per chunk used by the chunked path."""
+    return _chunk_size
+
+
+def set_engine(mode: str, chunk: Optional[int] = None) -> None:
+    """Set the global engine policy (and optionally the chunk size).
+
+    ``"chunked"`` forces the kernels even for iterator-only streams (their
+    generic batching fallback feeds the kernels); ``"python"`` forces the
+    reference path; ``"auto"`` picks per stream.
+    """
+    global _mode, _chunk_size
+    if mode not in _MODES:
+        raise ParameterError(f"engine mode must be one of {_MODES}, got {mode!r}")
+    if mode == "chunked" and not HAVE_NUMPY:
+        raise ParameterError("engine mode 'chunked' requires NumPy, which is not installed")
+    if chunk is not None:
+        if chunk < 1:
+            raise ParameterError(f"chunk size must be >= 1, got {chunk}")
+        _chunk_size = chunk
+    _mode = mode
+
+
+@contextmanager
+def engine_overrides(mode: Optional[str] = None, chunk: Optional[int] = None) -> Iterator[None]:
+    """Temporarily override the engine policy and/or chunk size."""
+    saved_mode, saved_chunk = _mode, _chunk_size
+    try:
+        set_engine(mode if mode is not None else _mode, chunk)
+        yield
+    finally:
+        set_engine(saved_mode, saved_chunk)
+
+
+def use_chunks(stream: EdgeStream) -> bool:
+    """Decide whether the chunked kernels should run for ``stream``."""
+    if _mode == "python" or not HAVE_NUMPY:
+        return False
+    if _mode == "chunked":
+        return True
+    return stream.supports_native_chunks

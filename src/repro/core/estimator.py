@@ -35,12 +35,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sampling.discrete import CumulativeSampler
-from ..sampling.reservoir import SingleItemReservoir
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle
-from .assignment import Assigner, StreamingAssigner
+from . import engine
+from .assignment import Assigner, SampleSource, StreamingAssigner, derive_sample_generator
 from .params import ParameterPlan
 
 AssignerFactory = Callable[[ParameterPlan, random.Random, SpaceMeter], Assigner]
@@ -96,13 +96,19 @@ def run_single_estimate(
     if m != plan.num_edges:
         raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
     scheduler = PassScheduler(stream, max_passes=6)
+    chunked = engine.use_chunks(stream)
     if assigner_factory is None:
         assigner: Assigner = StreamingAssigner(plan, rng, meter)
     else:
         assigner = assigner_factory(plan, rng, meter)
+    # All of the run's own sampling variates flow through one derived
+    # source (vectorized block draws when NumPy is present); the assigner
+    # derives its own at pass 5.  Both engines share this code, so the
+    # variate stream is identical between them.
+    source = derive_sample_generator(rng)
 
-    sampled_edges = _pass1_uniform_sample(scheduler, plan.r, m, rng, meter)
-    vertex_degree = _pass2_degrees(scheduler, sampled_edges, meter)
+    sampled_edges = _pass1_uniform_sample(scheduler, plan.r, m, source, meter, chunked)
+    vertex_degree = _pass2_degrees(scheduler, sampled_edges, meter, chunked)
     edge_degree = {
         e: min(vertex_degree[e[0]], vertex_degree[e[1]]) for e in set(sampled_edges)
     }
@@ -111,13 +117,16 @@ def run_single_estimate(
     d_r = sum(weights)
     ell = plan.ell(d_r)
     sampler = CumulativeSampler(weights)
-    draw_slots = sampler.draw_many(rng, ell)
+    if isinstance(source, SampleSource):
+        draw_slots = sampler.draw_many_from_uniforms(source.uniforms(ell))
+    else:  # pragma: no cover - exercised only without NumPy
+        draw_slots = sampler.draw_many(source, ell)
     draws = [sampled_edges[slot] for slot in draw_slots]
     meter.allocate(2 * ell, "draws")
 
     owners = [_neighborhood_owner(e, vertex_degree) for e in draws]
-    apexes = _pass3_neighbor_samples(scheduler, owners, rng, meter)
-    candidates = _pass4_closure_check(scheduler, draws, owners, apexes, meter)
+    apexes = _pass3_neighbor_samples(scheduler, owners, vertex_degree, source, meter, chunked)
+    candidates = _pass4_closure_check(scheduler, draws, owners, apexes, meter, chunked)
 
     distinct = {t for t in candidates if t is not None}
     assignment: Dict[Triangle, Optional[Edge]] = (
@@ -155,24 +164,69 @@ def _neighborhood_owner(e: Edge, vertex_degree: Dict[Vertex, int]) -> Vertex:
 
 
 def _pass1_uniform_sample(
-    scheduler: PassScheduler, r: int, m: int, rng: random.Random, meter: SpaceMeter
+    scheduler: PassScheduler,
+    r: int,
+    m: int,
+    source,
+    meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[Edge]:
-    """Pass 1: collect ``r`` i.i.d. uniform stream positions (with replacement)."""
-    slots_by_position: Dict[int, List[int]] = {}
-    for slot in range(r):
-        position = rng.randrange(m)
-        slots_by_position.setdefault(position, []).append(slot)
-    sampled: List[Optional[Edge]] = [None] * r
+    """Pass 1: collect ``r`` i.i.d. uniform stream positions (with replacement).
+
+    Both engines pre-draw the ``r`` positions from the shared sample source
+    and abandon the pass as soon as every slot is served (the scheduler
+    counts abandoned passes exactly like consumed ones).
+    """
     meter.allocate(2 * r, "R")
-    for position, edge in enumerate(scheduler.new_pass()):
-        for slot in slots_by_position.get(position, ()):
-            sampled[slot] = edge
-    assert all(e is not None for e in sampled)
-    return sampled  # type: ignore[return-value]
+    if isinstance(source, SampleSource):
+        import numpy as np
+
+        positions = (source.uniforms(r) * m).astype(np.int64)
+        if chunked:
+            from . import kernels
+
+            return kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
+        position_list = positions.tolist()
+    else:  # pragma: no cover - exercised only without NumPy
+        position_list = [source.randrange(m) for _ in range(r)]
+    slots_by_position: Dict[int, List[int]] = {}
+    for slot, position in enumerate(position_list):
+        slots_by_position.setdefault(position, []).append(slot)
+    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r)
+    sampled = [filled[slot] for slot in range(r)]
+    return sampled
+
+
+def collect_position_slots(pass_iter, slots_by_position: Dict[int, list], total: int) -> dict:
+    """Shared pass-1 scan: serve pre-drawn stream positions (Python engine).
+
+    ``slots_by_position`` maps stream position -> list of opaque slot keys
+    (plain slot indices for the single runner, ``(instance, slot)`` pairs
+    for the parallel one); returns ``{slot key: edge}``.  The pass is
+    abandoned once all ``total`` slots are filled.
+    """
+    filled: dict = {}
+    remaining = total
+    try:
+        for position, edge in enumerate(pass_iter):
+            slots = slots_by_position.get(position)
+            if slots:
+                for key in slots:
+                    filled[key] = edge
+                remaining -= len(slots)
+                if remaining == 0:
+                    break  # every slot filled: the rest of the pass is dead tape
+    finally:
+        pass_iter.close()
+    assert remaining == 0, "stream ended with unserved sample positions"
+    return filled
 
 
 def _pass2_degrees(
-    scheduler: PassScheduler, sampled_edges: List[Edge], meter: SpaceMeter
+    scheduler: PassScheduler,
+    sampled_edges: List[Edge],
+    meter: SpaceMeter,
+    chunked: bool = False,
 ) -> Dict[Vertex, int]:
     """Pass 2: stream-count degrees of all endpoints of ``R``."""
     tracked: Dict[Vertex, int] = {}
@@ -180,6 +234,14 @@ def _pass2_degrees(
         tracked[u] = 0
         tracked[v] = 0
     meter.allocate(len(tracked), "degrees")
+    if chunked:
+        import numpy as np
+
+        from . import kernels
+
+        ids = np.array(sorted(tracked), dtype=np.int64)
+        counts = kernels.count_tracked_degrees(scheduler, ids, engine.chunk_size())
+        return dict(zip(ids.tolist(), counts.tolist()))
     for a, b in scheduler.new_pass():
         if a in tracked:
             tracked[a] += 1
@@ -191,21 +253,84 @@ def _pass2_degrees(
 def _pass3_neighbor_samples(
     scheduler: PassScheduler,
     owners: List[Vertex],
-    rng: random.Random,
+    vertex_degree: Dict[Vertex, int],
+    source,
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[Optional[Vertex]]:
-    """Pass 3: per draw, a uniform member of the owner's neighborhood."""
-    reservoirs = [SingleItemReservoir(rng) for _ in owners]
-    by_owner: Dict[Vertex, List[int]] = {}
+    """Pass 3: per draw, a uniform member of the owner's neighborhood.
+
+    Every owner is an endpoint of a pass-1 edge, so its exact degree is
+    already on hand from pass 2 - a uniform neighbor therefore needs no
+    reservoir: pre-draw a uniform *position* in the owner's incident
+    sub-stream per draw, then capture the neighbor at that position during
+    the scan.  No randomness is consumed mid-pass, and the pass is
+    abandoned once every draw is served.  The chunked engine resolves the
+    (owner, occurrence) events entirely vectorized
+    (:func:`~repro.core.kernels.collect_neighbor_positions`); results are
+    identical across engines by construction.
+    """
+    meter.allocate(len(owners) + len(set(owners)), "neighbor-reservoirs")
+    if isinstance(source, SampleSource):
+        import numpy as np
+
+        degrees = np.fromiter(
+            (vertex_degree[o] for o in owners), np.int64, count=len(owners)
+        )
+        positions = (source.uniforms(len(owners)) * degrees).astype(np.int64)
+        if chunked:
+            from . import kernels
+
+            owner_ids = np.asarray(sorted(set(owners)), dtype=np.int64)
+            owner_index = np.searchsorted(owner_ids, np.asarray(owners, dtype=np.int64))
+            found = kernels.collect_neighbor_positions(
+                scheduler, owner_ids, owner_index, positions, engine.chunk_size()
+            )
+            return [None if w < 0 else int(w) for w in found.tolist()]
+        position_list = positions.tolist()
+    else:  # pragma: no cover - exercised only without NumPy
+        position_list = [source.randrange(vertex_degree[o]) for o in owners]
+    pending: Dict[Vertex, List[Tuple[int, int]]] = {}
     for i, owner in enumerate(owners):
-        by_owner.setdefault(owner, []).append(i)
-    meter.allocate(len(owners) + len(by_owner), "neighbor-reservoirs")
-    for a, b in scheduler.new_pass():
-        for i in by_owner.get(a, ()):
-            reservoirs[i].offer(b)
-        for i in by_owner.get(b, ()):
-            reservoirs[i].offer(a)
-    return [res.sample() for res in reservoirs]
+        pending.setdefault(owner, []).append((position_list[i], i))
+    served = serve_neighbor_positions(scheduler.new_pass(), pending)
+    return [served.get(i) for i in range(len(owners))]
+
+
+def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
+    """Shared pass-3 scan: serve per-owner incident-stream positions.
+
+    ``pending`` maps owner -> list of ``(position, payload)`` pairs, where
+    the payload is an opaque draw key (a draw index for the single runner,
+    an ``(instance, draw)`` pair for the parallel one); positions index the
+    owner's incident sub-stream, 0-based.  Returns ``{payload: neighbor}``.
+    The pass is abandoned once every request is served.
+    """
+    for entries in pending.values():
+        entries.sort()
+    served: dict = {}
+    seen: Dict[Vertex, int] = {owner: 0 for owner in pending}
+    cursor: Dict[Vertex, int] = {owner: 0 for owner in pending}
+    unserved = sum(len(entries) for entries in pending.values())
+    try:
+        for a, b in pass_iter:
+            for owner, neighbor in ((a, b), (b, a)):
+                entries = pending.get(owner)
+                if entries is None:
+                    continue
+                occurrence = seen[owner]
+                seen[owner] = occurrence + 1
+                at = cursor[owner]
+                while at < len(entries) and entries[at][0] == occurrence:
+                    served[entries[at][1]] = neighbor
+                    at += 1
+                    unserved -= 1
+                cursor[owner] = at
+            if unserved == 0:
+                break  # every draw served: the rest of the pass is dead tape
+    finally:
+        pass_iter.close()
+    return served
 
 
 def _pass4_closure_check(
@@ -214,6 +339,7 @@ def _pass4_closure_check(
     owners: List[Vertex],
     apexes: List[Optional[Vertex]],
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[Optional[Triangle]]:
     """Pass 4: resolve which wedges ``{e, w}`` close into triangles.
 
@@ -234,7 +360,14 @@ def _pass4_closure_check(
         watch.setdefault(canonical_edge(other, w), []).append(i)
     meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
     closed = [False] * len(draws)
-    for edge in scheduler.new_pass():
-        for i in watch.get(edge, ()):
-            closed[i] = True
+    if chunked:
+        from . import kernels
+
+        for key in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
+            for i in watch[key]:
+                closed[i] = True
+    else:
+        for edge in scheduler.new_pass():
+            for i in watch.get(edge, ()):
+                closed[i] = True
     return [wedges[i] if closed[i] else None for i in range(len(draws))]

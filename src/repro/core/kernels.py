@@ -1,0 +1,326 @@
+"""Vectorized pass kernels for the chunked stream engine.
+
+The six passes of Algorithm 2 (plus Algorithm 3's two assignment passes)
+share a common shape: a tiny amount of per-run state (samples, watch
+tables, counters) is updated by a full scan of the edge tape.  The pure
+Python implementations pay one interpreter iteration *per edge* for that
+scan; at a million edges the interpreter, not the algorithm, dominates.
+The kernels below do the same scans over ``(k, 2)`` int64 NumPy chunks from
+:meth:`~repro.streams.multipass.PassScheduler.new_pass_chunks`, touching
+Python only for the (rare) edges that actually interact with the run's
+state.
+
+Kernel-to-pass map (Algorithm 2 / Algorithm 3 of the paper):
+
+====================================  =====================================
+kernel                                pass it accelerates
+====================================  =====================================
+:func:`collect_stream_positions`      pass 1 - collect the ``r`` pre-drawn
+                                      uniform positions of the sample ``R``
+                                      (sorted positions + ``searchsorted``
+                                      per chunk; abandons the pass once all
+                                      slots are filled)
+:func:`count_tracked_degrees`         pass 2 - degrees of the endpoints of
+                                      ``R`` (id remap via ``searchsorted``
+                                      + ``bincount``); also Algorithm 3's
+                                      heavy-edge degree counters when the
+                                      caller tracks candidate endpoints
+:func:`iter_incident_edges`           passes 3 and 5 - reservoir updates
+                                      only fire on edges incident to a
+                                      tracked owner, so the kernel yields
+                                      exactly those edges (vectorized
+                                      membership filter per chunk) and the
+                                      caller's reservoir logic - with its
+                                      sequential RNG consumption - runs
+                                      unchanged on the matches
+:func:`scan_watch_keys`               passes 4 and 6 - closure watches:
+                                      which of the wedges' missing edges
+                                      appear anywhere on the tape (packed
+                                      64-bit edge keys + ``searchsorted``
+                                      per chunk; abandons the pass once
+                                      every watched key was seen)
+====================================  =====================================
+
+Seed-for-seed parity with the Python path is a hard invariant, enforced by
+``tests/test_kernels_parity.py``: the kernels consume randomness in exactly
+the same order (all RNG draws happen either before the scan or on the same
+matched edges in the same stream order), so estimates, diagnostics, pass
+counts, and space accounting are bit-identical between engines.
+
+Vertex ids must fit in unsigned 32 bits for the packed-key scans; streams
+with larger ids transparently fall back to per-row set membership inside
+the affected chunk (correct, just slower).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..streams.multipass import PassScheduler
+from ..types import Edge, Vertex
+
+#: Vertex ids must stay below this for the packed-key scans; larger ids
+#: take the per-row set-membership fallback.
+PACK_LIMIT = 1 << 32
+
+
+def _membership(sorted_ids: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean mask of which ``values`` occur in ``sorted_ids`` (sorted)."""
+    if len(sorted_ids) == 0:
+        return np.zeros(len(values), dtype=bool)
+    idx = np.searchsorted(sorted_ids, values)
+    np.minimum(idx, len(sorted_ids) - 1, out=idx)
+    return sorted_ids[idx] == values
+
+
+def _lookup(sorted_ids: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(indices, found)`` of ``values`` in ``sorted_ids`` (sorted)."""
+    idx = np.searchsorted(sorted_ids, values)
+    np.minimum(idx, max(len(sorted_ids) - 1, 0), out=idx)
+    found = sorted_ids[idx] == values if len(sorted_ids) else np.zeros(len(values), dtype=bool)
+    return idx, found
+
+
+def pack_canonical_rows(rows: np.ndarray) -> Optional[np.ndarray]:
+    """Pack canonical ``(u, v)`` rows into uint64 keys, or ``None`` on overflow."""
+    if len(rows) and int(rows.max()) >= PACK_LIMIT:
+        return None
+    packed = rows[:, 0].astype(np.uint64)
+    packed <<= np.uint64(32)
+    packed |= rows[:, 1].astype(np.uint64)
+    return packed
+
+
+def collect_stream_positions(
+    scheduler: PassScheduler, positions: np.ndarray, chunk_size: int
+) -> List[Edge]:
+    """Pass-1 kernel: fetch the edge at each requested stream position.
+
+    ``positions`` holds the pre-drawn uniform positions (duplicates allowed,
+    order preserved in the result).  One chunked pass; the pass is abandoned
+    as soon as the largest requested position has been served.
+    """
+    r = len(positions)
+    order = np.argsort(positions, kind="stable")
+    sorted_positions = positions[order]
+    collected: List[Optional[Edge]] = [None] * r
+    offset = 0
+    served = 0
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            end = offset + len(block)
+            hi = int(np.searchsorted(sorted_positions, end, side="left"))
+            if hi > served:
+                local = sorted_positions[served:hi] - offset
+                slots = order[served:hi]
+                rows = block[local]
+                for slot, (u, v) in zip(slots.tolist(), rows.tolist()):
+                    collected[slot] = (u, v)
+                served = hi
+            offset = end
+            if served >= r:
+                break  # every slot filled: the rest of the pass is dead tape
+    finally:
+        pass_chunks.close()
+    if any(e is None for e in collected):
+        raise ValueError(
+            f"stream ended at position {offset} with unserved sample positions "
+            f"(max requested {int(sorted_positions[-1]) if r else -1})"
+        )
+    return collected  # type: ignore[return-value]
+
+
+def count_tracked_degrees(
+    scheduler: PassScheduler, tracked_ids: np.ndarray, chunk_size: int
+) -> np.ndarray:
+    """Pass-2 kernel: degree of every tracked vertex id, in one chunked pass.
+
+    ``tracked_ids`` must be sorted and unique; returns the aligned int64
+    count vector.  Also serves Algorithm 3's pass-5 heavy-edge degree
+    counters when given the candidate-triangle endpoints.
+    """
+    counts = np.zeros(len(tracked_ids), dtype=np.int64)
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            if len(tracked_ids) == 0:
+                break
+            endpoints = block.reshape(-1)
+            idx, found = _lookup(tracked_ids, endpoints)
+            counts += np.bincount(idx[found], minlength=len(tracked_ids))
+    finally:
+        pass_chunks.close()
+    return counts
+
+
+def iter_incident_edges(
+    scheduler: PassScheduler, tracked_ids: Sequence[Vertex], chunk_size: int
+) -> Iterator[Edge]:
+    """Pass-3/5 kernel: yield only the edges with a tracked endpoint, in order.
+
+    The caller runs its per-edge logic (reservoir offers, degree bumps -
+    anything that consumes RNG sequentially) on the yielded edges exactly as
+    it would on a full Python pass; since untracked edges are no-ops there,
+    filtering them out vectorized preserves behaviour bit for bit.
+    """
+    ids = np.asarray(sorted(set(tracked_ids)), dtype=np.int64)
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            if len(ids) == 0:
+                break
+            hit = _membership(ids, block[:, 0])
+            hit |= _membership(ids, block[:, 1])
+            rows = np.flatnonzero(hit)
+            if len(rows):
+                for u, v in block[rows].tolist():
+                    yield (u, v)
+    finally:
+        pass_chunks.close()
+
+
+def collect_neighbor_positions(
+    scheduler: PassScheduler,
+    owner_ids: np.ndarray,
+    request_owner_index: np.ndarray,
+    request_positions: np.ndarray,
+    chunk_size: int,
+) -> np.ndarray:
+    """Pass-3 kernel: the neighbor at each requested incident-stream position.
+
+    Request ``i`` asks for the ``request_positions[i]``-th (0-based) edge
+    incident to ``owner_ids[request_owner_index[i]]``, in stream order, and
+    receives that edge's far endpoint.  ``owner_ids`` must be sorted and
+    unique.  Per chunk, every (owner, occurrence-number) event is computed
+    with a grouped cumulative count and matched against the packed request
+    keys - duplicate requests for the same position are all served.  The
+    pass is abandoned once every request is served; unserved requests (a
+    position beyond the owner's degree) come back as ``-1``.
+    """
+    total_requests = len(request_positions)
+    request_keys = request_owner_index.astype(np.uint64)
+    request_keys <<= np.uint64(32)
+    request_keys |= request_positions.astype(np.uint64)
+    request_order = np.argsort(request_keys, kind="stable")
+    sorted_request_keys = request_keys[request_order]
+    out = np.full(total_requests, -1, dtype=np.int64)
+    base = np.zeros(len(owner_ids), dtype=np.int64)
+    served = 0
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            if total_requests == 0:
+                break
+            endpoints = block.reshape(-1)
+            neighbors = block[:, ::-1].reshape(-1)
+            idx, tracked = _lookup(owner_ids, endpoints)
+            event_owner = idx[tracked]
+            if len(event_owner) == 0:
+                continue
+            event_neighbor = neighbors[tracked]
+            event_order = np.argsort(event_owner, kind="stable")
+            grouped_owner = event_owner[event_order]
+            counts = np.bincount(grouped_owner, minlength=len(owner_ids))
+            starts = np.zeros(len(owner_ids) + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            occurrence = base[grouped_owner] + (
+                np.arange(len(grouped_owner), dtype=np.int64) - starts[grouped_owner]
+            )
+            event_keys = grouped_owner.astype(np.uint64)
+            event_keys <<= np.uint64(32)
+            event_keys |= occurrence.astype(np.uint64)
+            lo = np.searchsorted(sorted_request_keys, event_keys, side="left")
+            hi = np.searchsorted(sorted_request_keys, event_keys, side="right")
+            matched = np.flatnonzero(hi > lo)
+            if len(matched):
+                grouped_neighbor = event_neighbor[event_order]
+                for event in matched.tolist():
+                    neighbor = grouped_neighbor[event]
+                    for at in range(lo[event], hi[event]):
+                        out[request_order[at]] = neighbor
+                        served += 1
+            base += counts
+            if served >= total_requests:
+                break  # every request served: the rest of the pass is dead tape
+    finally:
+        pass_chunks.close()
+    return out
+
+
+def scan_watch_keys(
+    scheduler: PassScheduler, keys: Sequence[Edge], chunk_size: int
+) -> Set[Edge]:
+    """Pass-4/6 kernel: which watched edges appear anywhere on the tape.
+
+    Edges on the tape are distinct (the paper's model), so presence is all
+    the closure passes need; the pass is abandoned early once every watched
+    key has been seen.  Chunks whose vertex ids overflow the 32-bit packing
+    fall back to per-row set membership.
+    """
+    found: Set[Edge] = set()
+    key_list = sorted(keys)
+    packed_keys = pack_canonical_rows(np.asarray(key_list, dtype=np.int64).reshape(-1, 2)) if key_list else None
+    key_set = set(key_list) if (key_list and packed_keys is None) else None
+    seen = np.zeros(len(key_list), dtype=bool)
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            if not key_list:
+                break
+            packed_block = pack_canonical_rows(block) if packed_keys is not None else None
+            if packed_keys is not None and packed_block is not None:
+                idx, hit = _lookup(packed_keys, packed_block)
+                if hit.any():
+                    seen[idx[hit]] = True
+                    if seen.all():
+                        break
+            else:
+                # Overflowing ids (> 32 bits) in this chunk or in the keys:
+                # per-row membership against a plain set, still chunk-paced.
+                if key_set is None:
+                    key_set = set(key_list)
+                for u, v in block.tolist():
+                    if (u, v) in key_set:
+                        found.add((u, v))
+                if len(found) == len(key_list):
+                    break
+    finally:
+        pass_chunks.close()
+    if len(key_list):
+        found.update(key for key, ok in zip(key_list, seen.tolist()) if ok)
+    return found
+
+
+def scan_packed_keys(
+    scheduler: PassScheduler, packed_keys: np.ndarray, chunk_size: int
+) -> np.ndarray:
+    """Pass-6 kernel: occurrence counts of pre-packed uint64 edge keys.
+
+    ``packed_keys`` must be sorted, unique, and built from ids below
+    :data:`PACK_LIMIT` (the caller checks); returns the aligned int64
+    occurrence-count vector.  The model's tape has unrepeated edges, but
+    unvalidated streams may not - counting per occurrence (rather than
+    presence) keeps the chunked engine bit-identical to the Python watch
+    loop either way, so no early abandon is possible here.  Stream rows
+    whose ids overflow the packing cannot match any key and are skipped.
+    Always consumes exactly one pass, even with no keys.
+    """
+    counts = np.zeros(len(packed_keys), dtype=np.int64)
+    pass_chunks = scheduler.new_pass_chunks(chunk_size)
+    try:
+        for block in pass_chunks:
+            if len(packed_keys) == 0:
+                break
+            packed_block = pack_canonical_rows(block)
+            if packed_block is None:
+                small = block[(block < PACK_LIMIT).all(axis=1)]
+                packed_block = pack_canonical_rows(small)
+            idx, hit = _lookup(packed_keys, packed_block)
+            if hit.any():
+                counts += np.bincount(idx[hit], minlength=len(packed_keys))
+    finally:
+        pass_chunks.close()
+    return counts

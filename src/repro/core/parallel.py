@@ -29,13 +29,23 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..sampling.discrete import CumulativeSampler
-from ..sampling.reservoir import SingleItemReservoir
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle, triangle_edges
-from .assignment import _Bundle
-from .estimator import SinglePassStackResult, _neighborhood_owner
+from . import engine
+from .assignment import (
+    SampleSource,
+    _Bundle,
+    closure_hit_counts,
+    derive_sample_generator,
+)
+from .estimator import (
+    SinglePassStackResult,
+    _neighborhood_owner,
+    collect_position_slots,
+    serve_neighbor_positions,
+)
 from .params import ParameterPlan
 
 _DrawKey = Tuple[int, int]  # (instance, draw index)
@@ -61,9 +71,14 @@ def run_parallel_estimates(
     if m != plan.num_edges:
         raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
     scheduler = PassScheduler(stream, max_passes=6)
+    chunked = engine.use_chunks(stream)
+    # One derived sample source per instance, consumed in instance order at
+    # every stage - cross-instance independence and engine parity both hold
+    # (see derive_sample_generator).
+    sources = [derive_sample_generator(rngs[j]) for j in range(k)]
 
-    sampled = _pass1(scheduler, plan.r, m, rngs, meter)
-    degree = _pass2(scheduler, sampled, meter)
+    sampled = _pass1(scheduler, plan.r, m, sources, meter, chunked)
+    degree = _pass2(scheduler, sampled, meter, chunked)
 
     draws: List[List[Edge]] = []
     owners: List[List[Vertex]] = []
@@ -74,7 +89,10 @@ def run_parallel_estimates(
         d_r = sum(weights)
         ell = plan.ell(d_r)
         sampler = CumulativeSampler(weights)
-        slots = sampler.draw_many(rngs[j], ell)
+        if isinstance(sources[j], SampleSource):
+            slots = sampler.draw_many_from_uniforms(sources[j].uniforms(ell))
+        else:  # pragma: no cover - exercised only without NumPy
+            slots = sampler.draw_many(sources[j], ell)
         instance_draws = [sampled[j][slot] for slot in slots]
         draws.append(instance_draws)
         owners.append([_neighborhood_owner(e, degree) for e in instance_draws])
@@ -82,14 +100,14 @@ def run_parallel_estimates(
         d_rs.append(d_r)
         meter.allocate(2 * ell, "draws")
 
-    apexes = _pass3(scheduler, owners, rngs, meter)
-    candidates = _pass4(scheduler, draws, owners, apexes, meter)
+    apexes = _pass3(scheduler, owners, degree, sources, meter, chunked)
+    candidates = _pass4(scheduler, draws, owners, apexes, meter, chunked)
 
     distinct_by_instance: List[set] = [
         {t for t in candidates[j] if t is not None} for j in range(k)
     ]
     assignments = _passes5and6_assign(
-        scheduler, plan, rngs, distinct_by_instance, meter
+        scheduler, plan, rngs, distinct_by_instance, meter, chunked
     )
 
     results: List[SinglePassStackResult] = []
@@ -120,29 +138,43 @@ def _pass1(
     scheduler: PassScheduler,
     r: int,
     m: int,
-    rngs: List[random.Random],
+    sources: List,
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[List[Edge]]:
-    """Pass 1: r i.i.d. uniform edges per instance, one shared sweep."""
-    k = len(rngs)
-    slots_by_position: Dict[int, List[_DrawKey]] = {}
-    for j in range(k):
-        for slot in range(r):
-            position = rngs[j].randrange(m)
-            slots_by_position.setdefault(position, []).append((j, slot))
-    sampled: List[List[Optional[Edge]]] = [[None] * r for _ in range(k)]
+    """Pass 1: r i.i.d. uniform edges per instance, one shared sweep.
+
+    Positions are pre-drawn in instance-then-slot order on both engines, so
+    the per-instance variate streams stay aligned.
+    """
+    k = len(sources)
     meter.allocate(2 * r * k, "R")
-    for position, edge in enumerate(scheduler.new_pass()):
-        for j, slot in slots_by_position.get(position, ()):
-            sampled[j][slot] = edge
-    assert all(e is not None for inst in sampled for e in inst)
-    return sampled  # type: ignore[return-value]
+    if isinstance(sources[0], SampleSource):
+        import numpy as np
+
+        positions = np.concatenate(
+            [(sources[j].uniforms(r) * m).astype(np.int64) for j in range(k)]
+        )
+        if chunked:
+            from . import kernels
+
+            flat = kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
+            return [flat[j * r : (j + 1) * r] for j in range(k)]
+        position_list = positions.tolist()
+    else:  # pragma: no cover - exercised only without NumPy
+        position_list = [sources[j].randrange(m) for j in range(k) for _ in range(r)]
+    slots_by_position: Dict[int, List[_DrawKey]] = {}
+    for flat_slot, position in enumerate(position_list):
+        slots_by_position.setdefault(position, []).append(divmod(flat_slot, r))
+    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r * k)
+    return [[filled[(j, slot)] for slot in range(r)] for j in range(k)]
 
 
 def _pass2(
     scheduler: PassScheduler,
     sampled: List[List[Edge]],
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> Dict[Vertex, int]:
     """Pass 2: one shared degree table for all endpoints of all instances."""
     tracked: Dict[Vertex, int] = {}
@@ -151,6 +183,14 @@ def _pass2(
             tracked[u] = 0
             tracked[v] = 0
     meter.allocate(len(tracked), "degrees")
+    if chunked:
+        import numpy as np
+
+        from . import kernels
+
+        ids = np.array(sorted(tracked), dtype=np.int64)
+        counts = kernels.count_tracked_degrees(scheduler, ids, engine.chunk_size())
+        return dict(zip(ids.tolist(), counts.tolist()))
     for a, b in scheduler.new_pass():
         if a in tracked:
             tracked[a] += 1
@@ -162,25 +202,70 @@ def _pass2(
 def _pass3(
     scheduler: PassScheduler,
     owners: List[List[Vertex]],
-    rngs: List[random.Random],
+    degree: Dict[Vertex, int],
+    sources: List,
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[List[Optional[Vertex]]]:
-    """Pass 3: per-draw uniform neighbor reservoirs, all instances at once."""
-    reservoirs: Dict[_DrawKey, SingleItemReservoir] = {}
-    by_owner: Dict[Vertex, List[_DrawKey]] = {}
+    """Pass 3: per-draw uniform neighbor samples, all instances at once.
+
+    Owner degrees are known from the shared pass-2 table, so each draw
+    pre-draws a uniform *position* in its owner's incident sub-stream from
+    its instance's own sample source (preserving cross-instance
+    independence) and the scan just captures the neighbors at the requested
+    positions - see :func:`repro.core.estimator._pass3_neighbor_samples`.
+    """
+    k = len(sources)
+    total_draws = sum(len(instance_owners) for instance_owners in owners)
+    distinct_owners = {owner for instance_owners in owners for owner in instance_owners}
+    meter.allocate(total_draws + len(distinct_owners), "neighbor-reservoirs")
+    vectorized = isinstance(sources[0], SampleSource) if sources else False
+    if vectorized:
+        import numpy as np
+
+        position_lists = []
+        for j in range(k):
+            degrees = np.fromiter(
+                (degree[o] for o in owners[j]), np.int64, count=len(owners[j])
+            )
+            position_lists.append(
+                (sources[j].uniforms(len(owners[j])) * degrees).astype(np.int64)
+            )
+        if chunked:
+            from . import kernels
+
+            owner_ids = np.asarray(sorted(distinct_owners), dtype=np.int64)
+            flat_owners = np.asarray(
+                [owner for instance_owners in owners for owner in instance_owners],
+                dtype=np.int64,
+            )
+            owner_index = np.searchsorted(owner_ids, flat_owners)
+            found = kernels.collect_neighbor_positions(
+                scheduler,
+                owner_ids,
+                owner_index,
+                np.concatenate(position_lists),
+                engine.chunk_size(),
+            )
+            apexes = []
+            at = 0
+            for j in range(k):
+                row = found[at : at + len(owners[j])].tolist()
+                apexes.append([None if w < 0 else int(w) for w in row])
+                at += len(owners[j])
+            return apexes
+        positions = [p.tolist() for p in position_lists]
+    else:  # pragma: no cover - exercised only without NumPy
+        positions = [
+            [sources[j].randrange(degree[o]) for o in owners[j]] for j in range(k)
+        ]
+    pending: Dict[Vertex, List[Tuple[int, _DrawKey]]] = {}
     for j, instance_owners in enumerate(owners):
         for i, owner in enumerate(instance_owners):
-            reservoirs[(j, i)] = SingleItemReservoir(rngs[j])
-            by_owner.setdefault(owner, []).append((j, i))
-    meter.allocate(len(reservoirs) + len(by_owner), "neighbor-reservoirs")
-    for a, b in scheduler.new_pass():
-        for key in by_owner.get(a, ()):
-            reservoirs[key].offer(b)
-        for key in by_owner.get(b, ()):
-            reservoirs[key].offer(a)
+            pending.setdefault(owner, []).append((positions[j][i], (j, i)))
+    served = serve_neighbor_positions(scheduler.new_pass(), pending)
     return [
-        [reservoirs[(j, i)].sample() for i in range(len(owners[j]))]
-        for j in range(len(owners))
+        [served.get((j, i)) for i in range(len(owners[j]))] for j in range(len(owners))
     ]
 
 
@@ -190,6 +275,7 @@ def _pass4(
     owners: List[List[Vertex]],
     apexes: List[List[Optional[Vertex]]],
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[List[Optional[Triangle]]]:
     """Pass 4: shared closure watch across all instances."""
     watch: Dict[Edge, List[_DrawKey]] = {}
@@ -207,9 +293,16 @@ def _pass4(
             watch.setdefault(canonical_edge(other, w), []).append((j, i))
     meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
     closed: Dict[_DrawKey, bool] = {}
-    for edge in scheduler.new_pass():
-        for key in watch.get(edge, ()):
-            closed[key] = True
+    if chunked:
+        from . import kernels
+
+        for found in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
+            for key in watch[found]:
+                closed[key] = True
+    else:
+        for edge in scheduler.new_pass():
+            for key in watch.get(edge, ()):
+                closed[key] = True
     return [
         [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
         for j in range(len(draws))
@@ -222,6 +315,7 @@ def _passes5and6_assign(
     rngs: List[random.Random],
     distinct_by_instance: List[set],
     meter: SpaceMeter,
+    chunked: bool = False,
 ) -> List[Dict[Triangle, Optional[Edge]]]:
     """Passes 5-6: Algorithm 3 for every instance, sharing the two passes.
 
@@ -254,21 +348,37 @@ def _passes5and6_assign(
                     by_vertex.setdefault(endpoint, []).append((j, bundle))
     meter.allocate(s * len(bundles), "assignment-reservoirs")
     meter.allocate(len(degree), "assignment-degrees")
-    for a, b in scheduler.new_pass():
+    # One vectorized sample generator per instance, derived in instance
+    # order at this fixed point so both engines consume the stdlib RNGs
+    # identically (see derive_sample_generator).
+    sample_rngs = [derive_sample_generator(rngs[j]) for j in range(k)]
+    if chunked:
+        from . import kernels
+
+        edge_source = kernels.iter_incident_edges(scheduler, degree, engine.chunk_size())
+    else:
+        edge_source = scheduler.new_pass()
+    for a, b in edge_source:
         if a in degree:
             degree[a] += 1
             count = degree[a]
             for j, bundle in by_vertex[a]:
-                bundle.offer(b, count, rngs[j])
+                bundle.offer(b, count, sample_rngs[j])
         if b in degree:
             degree[b] += 1
             count = degree[b]
             for j, bundle in by_vertex[b]:
-                bundle.offer(a, count, rngs[j])
+                bundle.offer(a, count, sample_rngs[j])
+    for (j, _), bundle in bundles.items():  # deterministic construction order
+        bundle.flush(sample_rngs[j])
 
-    # Pass 6: closure watch per (instance, edge).
-    watch: Dict[Edge, List[Tuple[int, Edge]]] = {}
+    # Pass 6: closure watch per (instance, edge).  Heavy edges (degree over
+    # the cutoff) get infinite estimates up front; the remaining light rows
+    # are resolved by the engine-appropriate closure counter.
     estimates: List[Dict[Edge, float]] = [dict() for _ in range(k)]
+    light: List[Tuple[int, Edge]] = []
+    light_others: List[Vertex] = []
+    light_owners: List[Vertex] = []
     for j in range(k):
         for f in edges_by_instance[j]:
             u, v = f
@@ -278,21 +388,14 @@ def _passes5and6_assign(
                 continue
             estimates[j][f] = 0.0
             owner = u if degree[u] < degree[v] else v
-            other = v if owner == u else u
-            for w in bundles[(j, owner)].slots:
-                if w is None or w == other:
-                    continue
-                watch.setdefault(canonical_edge(other, w), []).append((j, f))
-    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch")
-    hits: Dict[Tuple[int, Edge], int] = {}
-    for edge in scheduler.new_pass():
-        for key in watch.get(edge, ()):
-            hits[key] = hits.get(key, 0) + 1
-    for j in range(k):
-        for f in edges_by_instance[j]:
-            if estimates[j][f] != float("inf"):
-                u, v = f
-                estimates[j][f] = min(degree[u], degree[v]) * hits.get((j, f), 0) / s
+            light.append((j, f))
+            light_owners.append(owner)
+            light_others.append(v if owner == u else u)
+    bundle_rows = [bundles[(j, owner)] for (j, _), owner in zip(light, light_owners)]
+    hit_counts = closure_hit_counts(scheduler, bundle_rows, light_others, meter, chunked)
+    for (j, f), hit_count in zip(light, hit_counts):
+        u, v = f
+        estimates[j][f] = min(degree[u], degree[v]) * hit_count / s
 
     # Resolve per instance with the canonical tie-break.
     out: List[Dict[Triangle, Optional[Edge]]] = []

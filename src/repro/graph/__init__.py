@@ -11,7 +11,7 @@ a :class:`~repro.graph.adjacency.Graph`; they consume
 * validate the estimators in tests and benchmarks.
 """
 
-from .adjacency import Graph
+from .adjacency import CSRAdjacency, Graph
 from .builder import GraphBuilder
 from .degeneracy import CoreDecomposition, core_decomposition, degeneracy, degeneracy_ordering
 from .properties import (
@@ -42,6 +42,7 @@ from .connectivity import (
 )
 
 __all__ = [
+    "CSRAdjacency",
     "Graph",
     "GraphBuilder",
     "CoreDecomposition",

@@ -1,17 +1,28 @@
-"""Adjacency-set graph representation.
+"""Adjacency-set graph representation and its CSR companion.
 
 :class:`Graph` is an immutable-after-construction simple undirected graph
 backed by one hash set per vertex.  It is the reference representation used
 by generators, exact counters, and validation; streaming algorithms never
 hold a full :class:`Graph`.
+
+:class:`CSRAdjacency` is the vectorized view of the same graph: vertices
+remapped to dense indices, neighbors in one flat sorted int64 array with
+the standard compressed-sparse-row ``indptr`` offsets.  The exact counters
+(:mod:`repro.graph.triangles`) and the core decomposition
+(:mod:`repro.graph.degeneracy`) run over it with NumPy array operations
+instead of per-edge dict/set work.  Built lazily via :meth:`Graph.csr` and
+cached until the edge count changes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import GraphError
 from ..types import Edge, Vertex, canonical_edge
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
 
 
 class Graph:
@@ -31,7 +42,7 @@ class Graph:
     membership tests are O(1) expected.
     """
 
-    __slots__ = ("_adj", "_m")
+    __slots__ = ("_adj", "_m", "_csr_cache")
 
     def __init__(
         self,
@@ -40,6 +51,7 @@ class Graph:
     ) -> None:
         self._adj: Dict[Vertex, Set[Vertex]] = {}
         self._m = 0
+        self._csr_cache: Optional[Tuple[Tuple[int, int], "CSRAdjacency"]] = None
         for v in vertices:
             if v < 0:
                 raise GraphError(f"negative vertex id {v}")
@@ -130,6 +142,17 @@ class Graph:
             return 0
         return max(len(nbrs) for nbrs in self._adj.values())
 
+    def csr(self) -> "CSRAdjacency":
+        """Return the CSR view of this graph (built lazily, cached).
+
+        The cache is invalidated whenever the vertex or edge count changes,
+        so the usual build-then-query lifecycle pays the conversion once.
+        """
+        key = (self._m, len(self._adj))
+        if self._csr_cache is None or self._csr_cache[0] != key:
+            self._csr_cache = (key, CSRAdjacency.from_graph(self))
+        return self._csr_cache[1]
+
     # -- derived graphs ----------------------------------------------------
 
     def induced_subgraph(self, keep: Iterable[int]) -> "Graph":
@@ -193,3 +216,98 @@ class Graph:
 
     def __hash__(self) -> int:  # Graphs are mutable during construction.
         raise TypeError("Graph objects are unhashable")
+
+
+class CSRAdjacency:
+    """Compressed-sparse-row view of a :class:`Graph` for vectorized kernels.
+
+    Vertices are remapped to dense indices ``0..n-1`` in ascending id order;
+    ``indices[indptr[i]:indptr[i+1]]`` are the (sorted, dense) neighbor
+    indices of the ``i``-th vertex.  Undirected edges appear in both rows.
+
+    Attributes
+    ----------
+    vertex_ids:
+        Sorted int64 array mapping dense index -> original vertex id.
+    indptr, indices:
+        The CSR offsets and flat neighbor array (both int64).
+    degrees:
+        Per-vertex degree, aligned with ``vertex_ids``.
+    """
+
+    __slots__ = ("vertex_ids", "indptr", "indices", "degrees")
+
+    def __init__(
+        self,
+        vertex_ids: "numpy.ndarray",
+        indptr: "numpy.ndarray",
+        indices: "numpy.ndarray",
+    ) -> None:
+        self.vertex_ids = vertex_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = indptr[1:] - indptr[:-1]
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRAdjacency":
+        """Build the CSR view of ``graph`` (isolated vertices included).
+
+        Reads the adjacency sets wholesale (one ``fromiter`` per vertex, the
+        id remap and per-row sort fully vectorized), so the build costs
+        O(n) interpreter steps rather than O(m).
+        """
+        import numpy as np
+
+        adj = graph._adj
+        n = len(adj)
+        ids = np.fromiter(adj.keys(), dtype=np.int64, count=n)
+        vertex_ids = np.sort(ids)
+        total = 2 * graph.num_edges
+        if total == 0:
+            return cls(vertex_ids, np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        counts = np.fromiter((len(nbrs) for nbrs in adj.values()), dtype=np.int64, count=n)
+        flat = np.empty(total, dtype=np.int64)
+        at = 0
+        for nbrs in adj.values():
+            c = len(nbrs)
+            flat[at : at + c] = np.fromiter(nbrs, dtype=np.int64, count=c)
+            at += c
+        if int(vertex_ids[-1]) == n - 1:  # dense ids 0..n-1: remap is identity
+            src = np.repeat(ids, counts)
+            dst = flat
+        else:
+            src = np.searchsorted(vertex_ids, np.repeat(ids, counts))
+            dst = np.searchsorted(vertex_ids, flat)
+        # One radix-friendly packed-key sort orders rows and sorts each
+        # row's neighbor block in a single pass (dense indices fit 32 bits).
+        key = src.astype(np.uint64)
+        key <<= np.uint64(32)
+        key |= dst.astype(np.uint64)
+        order = np.argsort(key)
+        src, dst = src[order], dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return cls(vertex_ids, indptr, dst)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self.vertex_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return len(self.indices) // 2
+
+    def neighbors_of(self, dense_index: int) -> "numpy.ndarray":
+        """Sorted dense neighbor indices of the ``dense_index``-th vertex."""
+        return self.indices[self.indptr[dense_index] : self.indptr[dense_index + 1]]
+
+    def dense_index(self, vertex_id: int) -> int:
+        """Dense index of an original vertex id (raises if absent)."""
+        import numpy as np
+
+        i = int(np.searchsorted(self.vertex_ids, vertex_id))
+        if i >= len(self.vertex_ids) or int(self.vertex_ids[i]) != vertex_id:
+            raise GraphError(f"vertex {vertex_id} not in graph")
+        return i

@@ -28,14 +28,76 @@ from .adjacency import Graph
 from .degeneracy import degeneracy_ordering
 
 
-def count_triangles(graph: Graph) -> int:
-    """Exact triangle count via the edge-iterator (Chiba-Nishizeki) method.
+#: Flush wedge batches to the membership test once they reach this many
+#: candidate pairs; bounds peak memory of the vectorized counter at a few
+#: hundred MB-independent of graph size.
+_WEDGE_BATCH = 1 << 22
 
-    For each edge ``(u, v)``, the triangles through it are
-    ``|N(u) ∩ N(v)|``; summing over edges counts each triangle three times.
-    The intersection is computed by scanning the smaller neighborhood, giving
-    the ``O(sum_e min(d_u, d_v)) = O(m * kappa)`` bound of Lemma 3.1.
+
+def count_triangles(graph: Graph) -> int:
+    """Exact triangle count via degree-oriented wedge checking (vectorized).
+
+    Orients every edge from its lower-``(degree, id)`` endpoint to the
+    higher one - the same orientation behind the Chiba-Nishizeki
+    ``O(sum_e min(d_u, d_v)) = O(m * kappa)`` bound of Lemma 3.1 - so each
+    triangle becomes exactly one out-wedge at its lowest-ranked vertex.
+    The wedges are enumerated per out-degree class with NumPy (one
+    ``triu_indices`` expansion per class) and closed by a packed-key
+    membership test against the sorted edge array, replacing the
+    per-edge Python set intersections of the reference implementation
+    (kept below as the no-NumPy fallback).
     """
+    if graph.num_edges == 0:
+        return 0
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - the CI image bakes NumPy in
+        return _count_triangles_setintersect(graph)
+
+    csr = graph.csr()
+    n = csr.num_vertices
+    deg = csr.degrees
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.lexsort((np.arange(n), deg))] = np.arange(n)
+
+    src = np.repeat(np.arange(n, dtype=np.int64), deg)
+    dst = csr.indices
+    # CSR rows are sorted, so every undirected edge appears once with
+    # src < dst; pack those canonical pairs as lo*n + hi (fits int64).
+    undirected = src < dst
+    edge_keys = src[undirected] * n + dst[undirected]
+    edge_keys.sort()
+
+    forward = rank[dst] > rank[src]
+    out_src, out_dst = src[forward], dst[forward]
+    out_counts = np.bincount(out_src, minlength=n)
+    out_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(out_counts, out=out_indptr[1:])
+
+    total = 0
+    for d in np.unique(out_counts):
+        d = int(d)
+        if d < 2:
+            continue
+        centers = np.flatnonzero(out_counts == d)
+        pairs_per_center = d * (d - 1) // 2
+        step = max(1, _WEDGE_BATCH // pairs_per_center)
+        ii, jj = np.triu_indices(d, k=1)
+        for at in range(0, len(centers), step):
+            block = centers[at : at + step]
+            gather = out_indptr[block][:, None] + np.arange(d)[None, :]
+            mat = out_dst[gather]
+            # Row blocks inherit the CSR sort, so mat[:, ii] < mat[:, jj]
+            # elementwise - the wedge keys are already canonical.
+            keys = (mat[:, ii] * n + mat[:, jj]).ravel()
+            idx = np.searchsorted(edge_keys, keys)
+            np.minimum(idx, len(edge_keys) - 1, out=idx)
+            total += int(np.count_nonzero(edge_keys[idx] == keys))
+    return total
+
+
+def _count_triangles_setintersect(graph: Graph) -> int:
+    """Reference edge-iterator counter (per-edge set intersections)."""
     total = 0
     for u, v in graph.edges():
         nu, nv = graph.neighbors(u), graph.neighbors(v)

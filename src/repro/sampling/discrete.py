@@ -56,3 +56,17 @@ class CumulativeSampler:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         return [self.draw(rng) for _ in range(count)]
+
+    def draw_many_from_uniforms(self, uniforms) -> list[int]:
+        """Vectorized :meth:`draw_many` over pre-drawn uniform variates.
+
+        ``uniforms`` is a NumPy array of [0, 1) variates, one per draw;
+        each is mapped through the same cumulative-weight inversion as
+        :meth:`draw` (``searchsorted`` right-bisection with the identical
+        measure-zero guard).
+        """
+        import numpy as np
+
+        cumulative = np.asarray(self._cumulative)
+        index = np.searchsorted(cumulative, uniforms * self._total, side="right")
+        return np.minimum(index, len(cumulative) - 1).tolist()

@@ -12,7 +12,7 @@ package makes that model executable and auditable:
   algorithm cannot silently exceed its space bound either.
 """
 
-from .base import EdgeStream, StreamStats
+from .base import DEFAULT_CHUNK_EDGES, EdgeStream, StreamStats
 from .memory import InMemoryEdgeStream
 from .file import FileEdgeStream
 from .multipass import PassScheduler
@@ -26,6 +26,7 @@ from .vertex_arrival import VertexArrivalStream
 from .dynamic import DynamicEdgeStream, churn_stream
 
 __all__ = [
+    "DEFAULT_CHUNK_EDGES",
     "EdgeStream",
     "StreamStats",
     "InMemoryEdgeStream",

@@ -12,9 +12,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..types import Edge
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
+
+#: Default number of edges per chunk for :meth:`EdgeStream.iter_chunks`.
+#: 64k edges = 1 MiB of int64 pairs - large enough to amortize NumPy call
+#: overhead, small enough to stay cache- and allocator-friendly.
+DEFAULT_CHUNK_EDGES = 65536
 
 
 class EdgeStream(ABC):
@@ -24,7 +32,20 @@ class EdgeStream(ABC):
     :meth:`__len__` (the stream length ``m``, which is also learnable in one
     pass; exposing it directly avoids a bookkeeping pass in every algorithm
     and matches the standard convention in the streaming literature).
+
+    Streams may additionally support *chunked* passes (:meth:`iter_chunks`),
+    which deliver the same sequence as ``(k, 2)`` int64 NumPy arrays so that
+    pass kernels can process blocks of edges with vectorized operations
+    instead of one Python-level iteration per edge.  The base class provides
+    a generic batching fallback over :meth:`__iter__`; implementations that
+    can do better (contiguous array backing, bulk file parsing) override it
+    and set :attr:`supports_native_chunks` so engines know the chunked path
+    actually pays off.
     """
+
+    #: True when :meth:`iter_chunks` is backed by a vectorized producer
+    #: rather than the generic per-edge batching fallback.
+    supports_native_chunks: bool = False
 
     @abstractmethod
     def __iter__(self) -> Iterator[Edge]:
@@ -33,6 +54,29 @@ class EdgeStream(ABC):
     @abstractmethod
     def __len__(self) -> int:
         """Return the number of edges ``m`` in the stream."""
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_EDGES) -> Iterator["numpy.ndarray"]:
+        """Start a fresh pass delivered as ``(k, 2)`` int64 arrays.
+
+        Concatenating the yielded chunks reproduces exactly one
+        :meth:`__iter__` pass; every chunk has ``1 <= k <= chunk_size`` rows
+        (the final chunk may be short) and an empty stream yields nothing.
+        This generic fallback batches the Python iterator, so it adds no
+        speed by itself - it exists so every stream, including iterator-only
+        ones, can feed the chunked pass kernels.
+        """
+        import numpy as np
+
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        buffer: list[Edge] = []
+        for edge in self:
+            buffer.append(edge)
+            if len(buffer) == chunk_size:
+                yield np.array(buffer, dtype=np.int64).reshape(-1, 2)
+                buffer.clear()
+        if buffer:
+            yield np.array(buffer, dtype=np.int64).reshape(-1, 2)
 
     def stats(self) -> "StreamStats":
         """Compute single-pass stream statistics (n, m, max vertex id).

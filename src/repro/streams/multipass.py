@@ -13,11 +13,14 @@ discipline of the paper's model:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..errors import PassBudgetExceeded, StreamError
 from ..types import Edge
-from .base import EdgeStream
+from .base import DEFAULT_CHUNK_EDGES, EdgeStream
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
 
 
 class PassScheduler:
@@ -50,6 +53,11 @@ class PassScheduler:
         """The stream length ``m``."""
         return len(self._stream)
 
+    @property
+    def stream(self) -> EdgeStream:
+        """The underlying stream (read-only; for engine capability checks)."""
+        return self._stream
+
     def new_pass(self) -> Iterator[Edge]:
         """Open the next sequential pass.
 
@@ -57,6 +65,25 @@ class PassScheduler:
         call to :meth:`new_pass`; interleaved passes violate the streaming
         model and raise :class:`~repro.errors.StreamError`.
         """
+        self._open_pass()
+        return self._run_pass()
+
+    def new_pass_chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_EDGES
+    ) -> Iterator["numpy.ndarray"]:
+        """Open the next sequential pass, delivered as ``(k, 2)`` chunks.
+
+        Identical pass accounting to :meth:`new_pass` - a chunked pass is
+        still exactly one pass over the tape, it merely hands the edges to
+        the caller in vectorized blocks (see
+        :meth:`~repro.streams.base.EdgeStream.iter_chunks`).  The same
+        sequencing rules apply: consume or abandon the iterator before
+        opening another pass.
+        """
+        self._open_pass()
+        return self._run_pass_chunks(chunk_size)
+
+    def _open_pass(self) -> None:
         if self._pass_open:
             raise StreamError("previous pass still open; streams cannot be read concurrently")
         if self._max_passes is not None and self._passes_used >= self._max_passes:
@@ -66,7 +93,6 @@ class PassScheduler:
             )
         self._passes_used += 1
         self._pass_open = True
-        return self._run_pass()
 
     def _run_pass(self) -> Iterator[Edge]:
         try:
@@ -75,4 +101,11 @@ class PassScheduler:
         finally:
             # Mark the pass closed whether it was fully consumed, abandoned,
             # or aborted by an exception - any of these ends the pass.
+            self._pass_open = False
+
+    def _run_pass_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
+        try:
+            for chunk in self._stream.iter_chunks(chunk_size):
+                yield chunk
+        finally:
             self._pass_open = False
