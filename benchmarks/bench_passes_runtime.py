@@ -3,18 +3,24 @@
 Confirms the constant-pass discipline measured end to end (6 passes per
 Algorithm 2 run, 3 with the degree oracle, 1 for the exact counter) and
 times the estimator across a size sweep of the BA family - once per
-execution engine, so the table doubles as the chunked-vs-pure-Python
-speedup report (the two engines produce bit-identical estimates; see
-``tests/test_kernels_parity.py``).
+execution engine (pure Python, chunked NumPy, and the sharded pass
+executor), so the table doubles as the engine speedup report.  All
+engines produce bit-identical estimates (``tests/test_kernels_parity.py``
+and ``tests/test_executor_sharded.py``), so the columns differ only in
+speed.
 
 Reproduction target: per-run passes never exceed their stated constants;
 wall time grows near-linearly in m (each pass is one sweep; sample sizes at
 fixed T/m ratio stay bounded); the chunked engine beats the pure-Python
-path by >= 5x on the sweep total.
+path by >= 5x on the sweep total.  The sharded column reports the
+worker-pool win over serial chunked - process fan-out only pays off on a
+multi-core box and at sizes where kernel work dominates task shipping, so
+at small scales (or one core) expect ratios at or below 1x.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -32,10 +38,18 @@ from repro.streams.transforms import shuffled
 
 SIZES = {"tiny": [250, 500], "small": [500, 1000, 2000, 4000], "medium": [1000, 2000, 4000, 8000, 16000]}
 
+#: Worker processes for the sharded engine column.
+SHARD_WORKERS = min(4, os.cpu_count() or 1)
+
 
 def run_passes_runtime(scale: str, seeds: range) -> None:
     rows = []
-    totals = {"python": 0.0, "chunked": 0.0}
+    totals = {"python": 0.0, "chunked": 0.0, "sharded": 0.0}
+    # (label, engine mode, worker count); sharded = chunked kernels fanned
+    # across the process pool by the shared executor.
+    engines = [("python", "python", None), ("chunked", "chunked", 1)]
+    if HAVE_NUMPY:
+        engines.append(("sharded", "chunked", SHARD_WORKERS))
     for n in SIZES[scale]:
         graph = barabasi_albert_graph(n, 5, random.Random(1))
         t = count_triangles(graph)
@@ -46,23 +60,23 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
         )
         engine_times = {}
         results = {}
-        modes = ("python", "chunked") if HAVE_NUMPY else ("python",)
-        for mode in modes:
-            with engine_overrides(mode):
+        for label, mode, workers in engines if HAVE_NUMPY else engines[:1]:
+            with engine_overrides(mode, None, workers):
                 best = float("inf")
                 for _ in seeds:
                     start = time.perf_counter()
-                    results[mode] = run_single_estimate(stream, plan, random.Random(3))
+                    results[label] = run_single_estimate(stream, plan, random.Random(3))
                     best = min(best, time.perf_counter() - start)
-            engine_times[mode] = best
-            totals[mode] += best
+            engine_times[label] = best
+            totals[label] += best
         if HAVE_NUMPY:
             # Same seed, same answer: the engines differ only in speed.
-            assert results["python"] == results["chunked"]
+            assert results["python"] == results["chunked"] == results["sharded"]
         else:  # pragma: no cover - degrade to a single-engine table
-            engine_times["chunked"] = engine_times["python"]
-            totals["chunked"] += engine_times["python"]
-        single = results[modes[-1]]
+            for label in ("chunked", "sharded"):
+                engine_times[label] = engine_times["python"]
+                totals[label] += engine_times["python"]
+        single = results["python" if not HAVE_NUMPY else "sharded"]
 
         oracle_result = IdealEstimator(
             DegreeOracle(graph), copies=200, rng=random.Random(4)
@@ -79,7 +93,9 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
                 exact_result.passes_used,
                 engine_times["python"],
                 engine_times["chunked"],
+                engine_times["sharded"],
                 engine_times["python"] / max(engine_times["chunked"], 1e-9),
+                engine_times["chunked"] / max(engine_times["sharded"], 1e-9),
                 graph.num_edges / max(engine_times["chunked"], 1e-9),
             ]
         )
@@ -98,7 +114,9 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
                 "exact passes",
                 "python sec",
                 "chunked sec",
-                "speedup",
+                f"sharded sec (w={SHARD_WORKERS})",
+                "chunk speedup",
+                "shard speedup",
                 "edges/sec",
             ],
             rows,
@@ -110,7 +128,9 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
     )
     print(
         f"sweep total: python {totals['python']:.3f}s, chunked {totals['chunked']:.3f}s, "
-        f"speedup {totals['python'] / max(totals['chunked'], 1e-9):.1f}x"
+        f"sharded {totals['sharded']:.3f}s (workers={SHARD_WORKERS}), "
+        f"chunk speedup {totals['python'] / max(totals['chunked'], 1e-9):.1f}x, "
+        f"shard speedup {totals['chunked'] / max(totals['sharded'], 1e-9):.2f}x"
     )
 
 

@@ -1,22 +1,33 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Two stages:
+Three stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
 2. a chunked-vs-pure-Python engine comparison on the E9 BA-family sweep,
-   asserting seed-for-seed identical estimates while timing both engines.
+   asserting seed-for-seed identical estimates while timing both engines;
+3. a sharded-vs-serial comparison of the pass executor: the E9 sweep's
+   largest sizes end to end plus a synthetic single-pass degree scan,
+   serial chunked against a worker pool (results asserted identical).
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
 trajectory instead of overwriting it.
+
+``--smoke`` is the CI regression gate: it reruns stages 2-3 at tiny scale,
+appends nothing, and exits non-zero if the measured chunked speedup (or
+the sharded speedup, when the box has the cores for it) regressed to
+below half of the last committed ``BENCH_engine.json`` entry - wired into
+the tier-1 flow as an opt-in pytest (``tests/test_bench_smoke.py``,
+``REPRO_SMOKE=1``).
 
 Usage::
 
     python scripts/run_bench_suite.py             # tiny benchmarks + engine compare
     python scripts/run_bench_suite.py --scale small
     python scripts/run_bench_suite.py --skip-pytest   # engine compare only
+    python scripts/run_bench_suite.py --smoke         # regression gate, no append
 """
 
 from __future__ import annotations
@@ -59,6 +70,9 @@ def _bench_sizes() -> dict:
 
 ENGINE_SIZES = _bench_sizes()
 
+#: Synthetic tape length for the sharded single-pass scan benchmark.
+SCAN_EDGES = {"tiny": 200_000, "small": 600_000, "medium": 2_000_000}
+
 
 def run_pytest_benchmarks(scale: str) -> dict:
     """Run the experiment regenerators; return a summary dict."""
@@ -83,21 +97,28 @@ def run_pytest_benchmarks(scale: str) -> dict:
     }
 
 
+def _e9_instance(n: int):
+    graph = barabasi_albert_graph(n, 5, random.Random(1))
+    t = count_triangles(graph)
+    stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(2)))
+    plan = ParameterPlan.build(
+        graph.num_vertices, graph.num_edges, 5, float(max(1, t)), 0.25
+    )
+    return graph, t, stream, plan
+
+
 def run_engine_comparison(scale: str, repeats: int = 3) -> dict:
     """Time both engines on the E9 sweep; identical results are asserted."""
     rows = []
     totals = {"python": 0.0, "chunked": 0.0}
     for n in ENGINE_SIZES[scale]:
-        graph = barabasi_albert_graph(n, 5, random.Random(1))
-        t = count_triangles(graph)
-        stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(2)))
-        plan = ParameterPlan.build(
-            graph.num_vertices, graph.num_edges, 5, float(max(1, t)), 0.25
-        )
+        graph, t, stream, plan = _e9_instance(n)
         times = {}
         results = {}
         for mode in ("python", "chunked") if HAVE_NUMPY else ("python",):
-            with engine_overrides(mode):
+            # Pin workers=1: a REPRO_WORKERS environment must not silently
+            # turn the serial-chunked baseline into a sharded run.
+            with engine_overrides(mode, None, 1):
                 best = float("inf")
                 for _ in range(repeats):
                     start = time.perf_counter()
@@ -133,14 +154,167 @@ def run_engine_comparison(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def _sharded_scan_bench(scale: str, workers: int, repeats: int = 3) -> dict:
+    """One heavy degree-count pass, serial vs sharded (results asserted equal).
+
+    This isolates the executor itself: a synthetic tape long enough that
+    per-chunk kernel work dominates, scanned by the pass-2 plan with a
+    large tracked-id table.
+    """
+    import numpy as np
+
+    from repro.core.executor import run_plan
+    from repro.core.kernels import DegreeCountPlan
+    from repro.streams.multipass import PassScheduler
+
+    m = SCAN_EDGES[scale]
+    rng = np.random.default_rng(0)
+    raw = rng.integers(0, 1 << 20, size=(m, 2), dtype=np.int64)
+    raw[:, 1] += 1 + raw[:, 0]  # u < v, no self-loops
+    stream = InMemoryEdgeStream([tuple(row) for row in raw.tolist()], validate=False)
+    tracked = np.unique(rng.integers(0, 1 << 20, size=50_000, dtype=np.int64))
+
+    times = {}
+    results = {}
+    for label, w in (("serial", 1), ("sharded", workers)):
+        best = float("inf")
+        for _ in range(repeats):
+            scheduler = PassScheduler(stream)
+            start = time.perf_counter()
+            results[label] = run_plan(
+                scheduler, DegreeCountPlan(tracked), chunk_size=65536, workers=w
+            )
+            best = min(best, time.perf_counter() - start)
+        times[label] = best
+    assert results["serial"].tolist() == results["sharded"].tolist(), "shard merge parity violated"
+    return {
+        "edges": m,
+        "tracked_ids": int(len(tracked)),
+        "serial_sec": round(times["serial"], 5),
+        "sharded_sec": round(times["sharded"], 5),
+        "speedup": round(times["serial"] / times["sharded"], 2),
+    }
+
+
+def run_sharded_comparison(scale: str, repeats: int = 3) -> dict:
+    """Serial-chunked vs sharded executor: E9 end-to-end plus a scan bench."""
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    # Always exercise a real pool (>= 2 workers), even on a single-core box
+    # where that can only show overhead - the recorded cpu_count says which
+    # regime the numbers came from, and the smoke gate only arms the
+    # sharded regression check on multi-core machines.
+    workers = max(2, min(4, os.cpu_count() or 1))
+    rows = []
+    totals = {"serial": 0.0, "sharded": 0.0}
+    for n in ENGINE_SIZES[scale][-2:]:  # the two largest sweep sizes
+        graph, t, stream, plan = _e9_instance(n)
+        times = {}
+        results = {}
+        for label, w in (("serial", 1), ("sharded", workers)):
+            with engine_overrides("chunked", None, w):
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    results[label] = run_single_estimate(stream, plan, random.Random(3))
+                    best = min(best, time.perf_counter() - start)
+            times[label] = best
+            totals[label] += best
+        assert results["serial"] == results["sharded"], "sharded parity violated"
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "serial_sec": round(times["serial"], 5),
+                "sharded_sec": round(times["sharded"], 5),
+                "speedup": round(times["serial"] / times["sharded"], 2),
+            }
+        )
+        print(f"[bench-suite] sharded n={n}: {rows[-1]}")
+    scan = _sharded_scan_bench(scale, workers, repeats)
+    print(f"[bench-suite] sharded scan bench: {scan}")
+    return {
+        "scale": scale,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "total_serial_sec": round(totals["serial"], 4),
+        "total_sharded_sec": round(totals["sharded"], 4),
+        "total_speedup": round(totals["serial"] / totals["sharded"], 2),
+        "scan": scan,
+    }
+
+
+def _last_speedup(path: pathlib.Path, section: str, scale: str):
+    """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
+
+    Speedups are only comparable between runs of the same sweep sizes, so
+    the gate baselines against the most recent record whose comparison was
+    taken at the same scale (records from other scales are skipped).
+    """
+    if not path.exists():
+        return None
+    existing = json.loads(path.read_text(encoding="utf-8"))
+    history = existing if isinstance(existing, list) else [existing]
+    for record in reversed(history):
+        comparison = record.get(section) or {}
+        if comparison.get("scale") == scale:
+            return comparison.get("total_speedup")
+    return None
+
+
+def run_smoke(output: pathlib.Path) -> int:
+    """Tiny-scale regression gate against the last ``BENCH_engine.json`` entry.
+
+    Parity is asserted unconditionally (any drift fails loudly).  Speedups
+    are compared - at matching scale only - with a 2x slack factor
+    (machine noise and shared CI boxes make tighter gates flaky), and the
+    sharded gate only arms on multi-core machines where fan-out can win
+    at all.
+    """
+    current_engine = run_engine_comparison("tiny")
+    current_sharded = run_sharded_comparison("tiny")
+    failures = []
+    baseline = _last_speedup(output, "engine_comparison", "tiny")
+    measured = current_engine.get("total_speedup")
+    # `is not None` (not truthiness): a measured speedup of 0.0 is the
+    # *largest* regression and must trip the gate, not disable it.
+    if baseline is not None and measured is not None and measured < 0.5 * baseline:
+        failures.append(
+            f"chunked speedup regressed: {measured}x vs last recorded {baseline}x"
+        )
+    last_sharded = _last_speedup(output, "sharded_comparison", "tiny")
+    measured_sharded = current_sharded.get("total_speedup")
+    multicore = (os.cpu_count() or 1) > 1
+    if (
+        multicore
+        and last_sharded is not None
+        and measured_sharded is not None
+        and measured_sharded < 0.5 * last_sharded
+    ):
+        failures.append(
+            f"sharded speedup regressed: {measured_sharded}x vs last recorded {last_sharded}x"
+        )
+    for failure in failures:
+        print(f"[bench-suite] SMOKE FAIL: {failure}")
+    if not failures:
+        print("[bench-suite] smoke gate passed")
+    return 1 if failures else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default=os.environ.get("REPRO_BENCH_SCALE", "tiny"),
                         choices=("tiny", "small", "medium"))
     parser.add_argument("--skip-pytest", action="store_true",
-                        help="only run the engine comparison")
+                        help="only run the engine comparisons")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-scale regression gate vs the last recorded entry; appends nothing")
     parser.add_argument("--output", default=str(REPO / "BENCH_engine.json"))
     args = parser.parse_args()
+
+    if args.smoke:
+        return run_smoke(pathlib.Path(args.output))
 
     record = {
         "version": __version__,
@@ -151,6 +325,7 @@ def main() -> int:
     if not args.skip_pytest:
         record["benchmarks"] = run_pytest_benchmarks(args.scale)
     record["engine_comparison"] = run_engine_comparison(args.scale)
+    record["sharded_comparison"] = run_sharded_comparison(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

@@ -7,8 +7,11 @@ Commands
     max degree, wedges, transitivity.
 ``exact <edgelist>``
     One-pass exact triangle count with space/pass accounting.
-``estimate <edgelist> --kappa K [--epsilon E] [--seed S] [--repetitions R]``
-    The paper's estimator on the file's stream.
+``estimate <edgelist> --kappa K [--epsilon E] [--seed S] [--repetitions R]
+[--engine auto|chunked|python|sharded] [--chunk-size C] [--workers W]``
+    The paper's estimator on the file's stream; ``--engine``/``--workers``
+    select the execution engine (sharded = chunked kernels fanned across
+    worker processes, seed-for-seed identical to the serial engines).
 ``bounds <edgelist>``
     Table 1 predicted space bounds evaluated on the instance.
 ``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
@@ -54,6 +57,21 @@ def _build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--epsilon", type=float, default=0.25)
     p_est.add_argument("--seed", type=int, default=0)
     p_est.add_argument("--repetitions", type=int, default=5)
+    p_est.add_argument(
+        "--engine",
+        default=None,
+        choices=["auto", "chunked", "python", "sharded"],
+        help="execution engine (default: global REPRO_ENGINE policy)",
+    )
+    p_est.add_argument(
+        "--chunk-size", type=int, default=None, help="edges per chunk for the chunked engines"
+    )
+    p_est.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded pass executor (1 = in-process)",
+    )
 
     p_bounds = sub.add_parser("bounds", help="Table 1 predicted bounds for an instance")
     p_bounds.add_argument("edgelist")
@@ -87,7 +105,12 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 def _cmd_estimate(args: argparse.Namespace) -> int:
     stream = FileEdgeStream(args.edgelist)
     config = EstimatorConfig(
-        epsilon=args.epsilon, seed=args.seed, repetitions=args.repetitions
+        epsilon=args.epsilon,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        engine_mode=args.engine,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
     )
     result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
     print(f"estimate:  {result.estimate:.1f}")

@@ -17,10 +17,12 @@ Layout follows the paper:
 * :mod:`~repro.core.exact_reference` - a store-everything exact one-pass
   counter used as ground truth and as the "no space bound" reference row.
 
-Two execution engines back every pass: the pure-Python reference loops and
-the chunked NumPy kernels of :mod:`~repro.core.kernels`, selected per
-stream by :mod:`~repro.core.engine` (seed-for-seed identical results; see
-the engine module for the policy knobs).
+Three execution engines back every pass: the pure-Python reference loops,
+the chunked NumPy kernels of :mod:`~repro.core.kernels`, and the sharded
+pass executor of :mod:`~repro.core.executor` that fans those kernels
+across worker processes - selected per stream by :mod:`~repro.core.engine`
+(seed-for-seed identical results; see the engine module for the policy
+knobs: mode, chunk size, workers).
 """
 
 from .engine import engine_mode, engine_overrides, set_engine

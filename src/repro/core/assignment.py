@@ -407,13 +407,8 @@ class StreamingAssigner:
         self._meter.allocate(len(degree), "assignment-degrees")
 
         rng = derive_sample_generator(self._rng)
-        if chunked:
-            from . import kernels
 
-            edge_source = kernels.iter_incident_edges(scheduler, degree, engine.chunk_size())
-        else:
-            edge_source = scheduler.new_pass()
-        for a, b in edge_source:
+        def offer(a: Vertex, b: Vertex) -> None:
             if a in degree:
                 k = degree[a] + 1
                 degree[a] = k
@@ -422,6 +417,14 @@ class StreamingAssigner:
                 k = degree[b] + 1
                 degree[b] = k
                 bundles[b].offer(a, k, rng)
+
+        if chunked:
+            from . import kernels
+
+            kernels.scan_incident_edges(scheduler, degree, engine.chunk_size(), offer)
+        else:
+            for a, b in scheduler.new_pass():
+                offer(a, b)
         for bundle in bundles.values():  # deterministic construction order
             bundle.flush(rng)
         return degree, bundles

@@ -29,6 +29,8 @@ from ..rng import make_rng, spawn
 from ..sampling.combine import median
 from ..streams.base import EdgeStream
 from ..streams.space import SpaceMeter
+from . import engine
+from .engine import engine_overrides
 from .estimator import AssignerFactory, SinglePassStackResult, run_single_estimate
 from .params import ParameterPlan, PlanConstants
 
@@ -66,6 +68,16 @@ class EstimatorConfig:
         the ensemble total).  ``False`` runs repetitions sequentially (6
         passes each, per-run space); also the fallback whenever a custom
         ``assigner_factory`` is injected.
+    engine_mode:
+        Optional execution-engine override for this estimator's runs:
+        ``"auto"`` | ``"chunked"`` | ``"python"`` | ``"sharded"`` (see
+        :mod:`repro.core.engine`).  ``None`` (default) keeps the global
+        policy.  Results are seed-for-seed identical across engines.
+    chunk_size:
+        Optional edges-per-chunk override for the chunked/sharded engines.
+    workers:
+        Optional worker-process count for the sharded pass executor
+        (``1`` = in-process).  ``None`` keeps the global setting.
     """
 
     epsilon: float = 0.25
@@ -77,12 +89,23 @@ class EstimatorConfig:
     space_budget_words: Optional[int] = None
     max_rounds: Optional[int] = None
     share_passes: bool = True
+    engine_mode: Optional[str] = None
+    chunk_size: Optional[int] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
             raise ParameterError(f"epsilon must be in (0, 1), got {self.epsilon}")
         if self.repetitions < 1:
             raise ParameterError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.workers is not None and self.workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {self.workers}")
+        if self.engine_mode is not None and self.engine_mode not in engine._MODES:
+            raise ParameterError(
+                f"engine_mode must be one of {engine._MODES}, got {self.engine_mode!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -165,6 +188,19 @@ class TriangleCountEstimator:
         assigner_factory:
             Optional override of the ``IsAssigned`` implementation.
         """
+        cfg = self._config
+        # Engine selection travels with the config: every pass of every
+        # round runs under the requested mode / chunk size / worker count
+        # (results are seed-for-seed identical across all of them).
+        with engine_overrides(cfg.engine_mode, cfg.chunk_size, cfg.workers):
+            return self._estimate(stream, kappa, assigner_factory)
+
+    def _estimate(
+        self,
+        stream: EdgeStream,
+        kappa: int,
+        assigner_factory: Optional[AssignerFactory] = None,
+    ) -> EstimateResult:
         cfg = self._config
         if kappa < 1:
             raise ParameterError(f"kappa must be >= 1, got {kappa}")

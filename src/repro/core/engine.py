@@ -1,6 +1,6 @@
-"""Execution-engine selection: chunked NumPy kernels vs. pure Python.
+"""Execution-engine selection: pure Python, chunked NumPy, or sharded.
 
-Every pass of the estimator stack exists in two seed-for-seed equivalent
+Every pass of the estimator stack exists in seed-for-seed equivalent
 implementations:
 
 * the **pure-Python path** - one interpreter iteration per stream edge,
@@ -12,7 +12,13 @@ implementations:
   :meth:`~repro.streams.multipass.PassScheduler.new_pass_chunks` and each
   pass does its heavy scanning with vectorized array operations, consuming
   randomness in exactly the same order as the Python path so results are
-  bit-identical.
+  bit-identical;
+* the **sharded path** (:mod:`repro.core.executor`) - the same chunked
+  pass plans, fanned out across a process pool and merged deterministically,
+  still bit-identical for the same seeds.  Sharding engages whenever the
+  chunked path runs with ``workers > 1``; the ``"sharded"`` mode forces
+  the chunked path and defaults the worker count to the machine's cores
+  when none was set explicitly.
 
 This module is the single switchboard deciding which path runs.  The policy
 (``"auto"`` by default) uses the chunked path whenever NumPy is importable
@@ -21,10 +27,17 @@ and the stream advertises a native chunk producer
 streams stay on the Python path, where the generic batching fallback would
 add overhead without removing the per-edge interpreter cost.
 
-The mode can be forced globally (:func:`set_engine`), per block
-(:func:`engine_overrides` - what the parity suite and benchmarks use), or at
-process start via the ``REPRO_ENGINE`` environment variable
-(``auto`` | ``chunked`` | ``python``).
+The mode, chunk size, and worker count can be forced globally
+(:func:`set_engine`), per block (:func:`engine_overrides` - what the parity
+suite and benchmarks use), or at process start via the environment:
+``REPRO_ENGINE`` (``auto`` | ``chunked`` | ``python`` | ``sharded``) and
+``REPRO_WORKERS`` (a positive integer; ``1`` means in-process).
+
+The policy is **process-global, not thread-local**: ``engine_overrides``
+(and therefore per-config engine selection on
+:class:`~repro.core.driver.EstimatorConfig`) mutates shared module state,
+so concurrently running estimators in one process must use the same
+engine settings - run differing configurations in separate processes.
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ from typing import Iterator, Optional
 from ..errors import ParameterError
 from ..streams.base import DEFAULT_CHUNK_EDGES, EdgeStream
 
-_MODES = ("auto", "chunked", "python")
+_MODES = ("auto", "chunked", "python", "sharded")
 
 try:  # NumPy is an optional accelerator, never a hard dependency.
     import numpy  # noqa: F401
@@ -51,12 +64,22 @@ def _initial_mode() -> str:
     return mode if mode in _MODES else "auto"
 
 
+def _initial_workers() -> Optional[int]:
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw.isdigit() and int(raw) >= 1:
+        return int(raw)
+    return None
+
+
 _mode: str = _initial_mode()
 _chunk_size: int = DEFAULT_CHUNK_EDGES
+#: ``None`` = never set explicitly (mode ``"sharded"`` may then default it
+#: to the core count); an explicit ``1`` always means in-process.
+_workers: Optional[int] = _initial_workers()
 
 
 def engine_mode() -> str:
-    """The engine policy in force: ``auto``, ``chunked``, or ``python``."""
+    """The engine policy in force: ``auto``, ``chunked``, ``python``, or ``sharded``."""
     return _mode
 
 
@@ -65,40 +88,96 @@ def chunk_size() -> int:
     return _chunk_size
 
 
-def set_engine(mode: str, chunk: Optional[int] = None) -> None:
-    """Set the global engine policy (and optionally the chunk size).
+def workers() -> int:
+    """The configured worker-process count (``1`` means in-process)."""
+    return _workers if _workers is not None else 1
+
+
+def effective_workers() -> int:
+    """The worker count the executor should actually use.
+
+    An explicitly configured count always wins (``1`` = serial in-process
+    execution, even under mode ``"sharded"``); with no explicit count,
+    mode ``"sharded"`` defaults to the machine's CPU count and every other
+    mode stays in-process.
+    """
+    if _workers is not None:
+        return _workers
+    if _mode == "sharded":
+        return os.cpu_count() or 1
+    return 1
+
+
+def _check_chunk(chunk: Optional[int]) -> None:
+    if chunk is not None and chunk < 1:
+        raise ParameterError(f"chunk size must be >= 1, got {chunk}")
+
+
+def _check_workers(num_workers: Optional[int]) -> None:
+    if num_workers is not None and num_workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {num_workers}")
+
+
+def _apply(chunk: Optional[int], num_workers: Optional[int]) -> None:
+    """Validate *both* settings before committing either (no partial writes)."""
+    global _chunk_size, _workers
+    _check_chunk(chunk)
+    _check_workers(num_workers)
+    if chunk is not None:
+        _chunk_size = chunk
+    if num_workers is not None:
+        _workers = num_workers
+
+
+def set_engine(mode: str, chunk: Optional[int] = None, num_workers: Optional[int] = None) -> None:
+    """Set the global engine policy (and optionally chunk size / workers).
 
     ``"chunked"`` forces the kernels even for iterator-only streams (their
-    generic batching fallback feeds the kernels); ``"python"`` forces the
-    reference path; ``"auto"`` picks per stream.
+    generic batching fallback feeds the kernels); ``"sharded"`` does the
+    same and additionally fans passes across worker processes;
+    ``"python"`` forces the reference path; ``"auto"`` picks per stream.
+    All arguments are validated before any global state changes, so a
+    rejected call leaves the policy untouched.
     """
-    global _mode, _chunk_size
+    global _mode
     if mode not in _MODES:
         raise ParameterError(f"engine mode must be one of {_MODES}, got {mode!r}")
-    if mode == "chunked" and not HAVE_NUMPY:
-        raise ParameterError("engine mode 'chunked' requires NumPy, which is not installed")
-    if chunk is not None:
-        if chunk < 1:
-            raise ParameterError(f"chunk size must be >= 1, got {chunk}")
-        _chunk_size = chunk
+    if mode in ("chunked", "sharded") and not HAVE_NUMPY:
+        raise ParameterError(f"engine mode {mode!r} requires NumPy, which is not installed")
+    _apply(chunk, num_workers)
     _mode = mode
 
 
 @contextmanager
-def engine_overrides(mode: Optional[str] = None, chunk: Optional[int] = None) -> Iterator[None]:
-    """Temporarily override the engine policy and/or chunk size."""
-    saved_mode, saved_chunk = _mode, _chunk_size
+def engine_overrides(
+    mode: Optional[str] = None,
+    chunk: Optional[int] = None,
+    num_workers: Optional[int] = None,
+) -> Iterator[None]:
+    """Temporarily override the engine policy, chunk size, and/or workers.
+
+    Only *explicit* arguments are validated and applied; ``None`` leaves
+    the corresponding setting untouched (in particular, an environment-
+    forced ``chunked``/``sharded`` mode on a NumPy-less box is tolerated
+    here - it degrades at :func:`use_chunks` - rather than rejected on
+    every entry).  Restoration is unconditional.
+    """
+    global _mode, _chunk_size, _workers
+    saved = (_mode, _chunk_size, _workers)
     try:
-        set_engine(mode if mode is not None else _mode, chunk)
+        if mode is not None:
+            set_engine(mode, chunk, num_workers)
+        else:
+            _apply(chunk, num_workers)
         yield
     finally:
-        set_engine(saved_mode, saved_chunk)
+        _mode, _chunk_size, _workers = saved
 
 
 def use_chunks(stream: EdgeStream) -> bool:
     """Decide whether the chunked kernels should run for ``stream``."""
     if _mode == "python" or not HAVE_NUMPY:
         return False
-    if _mode == "chunked":
+    if _mode in ("chunked", "sharded"):
         return True
     return stream.supports_native_chunks

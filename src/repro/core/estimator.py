@@ -26,6 +26,16 @@ pass  work
 
 The estimate is ``X = (m / r) * d_R * Y`` with ``Y`` the fraction of draws
 whose triangle was assigned to the drawn edge (Algorithm 2 line 13).
+
+Every pass is implemented once, *multi-instance*: ``k`` independent
+Algorithm 2 instances share each sweep of the tape (the paper's parallel
+accounting - see :mod:`repro.core.parallel`, which drives these same
+functions with ``k > 1``), while :func:`run_single_estimate` is simply the
+``k = 1`` case.  On the chunked engines each pass is a
+:class:`~repro.core.executor.PassPlan` executed - serially or sharded
+across worker processes - by the shared executor spine; on the pure-Python
+engine the reference per-edge scans below run instead.  All three are
+seed-for-seed bit-identical.
 """
 
 from __future__ import annotations
@@ -44,6 +54,9 @@ from .assignment import Assigner, SampleSource, StreamingAssigner, derive_sample
 from .params import ParameterPlan
 
 AssignerFactory = Callable[[ParameterPlan, random.Random, SpaceMeter], Assigner]
+
+#: Opaque per-draw key used by the shared passes: ``(instance, slot)``.
+DrawKey = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -105,47 +118,32 @@ def run_single_estimate(
     # source (vectorized block draws when NumPy is present); the assigner
     # derives its own at pass 5.  Both engines share this code, so the
     # variate stream is identical between them.
-    source = derive_sample_generator(rng)
+    sources = [derive_sample_generator(rng)]
 
-    sampled_edges = _pass1_uniform_sample(scheduler, plan.r, m, source, meter, chunked)
-    vertex_degree = _pass2_degrees(scheduler, sampled_edges, meter, chunked)
-    edge_degree = {
-        e: min(vertex_degree[e[0]], vertex_degree[e[1]]) for e in set(sampled_edges)
-    }
+    sampled = pass1_uniform_samples(scheduler, plan.r, m, sources, meter, chunked)
+    vertex_degree = pass2_degree_table(scheduler, sampled, meter, chunked)
+    draws, owners, ells, d_rs = draw_weighted_edges(sampled, vertex_degree, plan, sources, meter)
+    apexes = pass3_neighbor_apexes(scheduler, owners, vertex_degree, sources, meter, chunked)
+    candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
 
-    weights = [float(edge_degree[e]) for e in sampled_edges]
-    d_r = sum(weights)
-    ell = plan.ell(d_r)
-    sampler = CumulativeSampler(weights)
-    if isinstance(source, SampleSource):
-        draw_slots = sampler.draw_many_from_uniforms(source.uniforms(ell))
-    else:  # pragma: no cover - exercised only without NumPy
-        draw_slots = sampler.draw_many(source, ell)
-    draws = [sampled_edges[slot] for slot in draw_slots]
-    meter.allocate(2 * ell, "draws")
-
-    owners = [_neighborhood_owner(e, vertex_degree) for e in draws]
-    apexes = _pass3_neighbor_samples(scheduler, owners, vertex_degree, source, meter, chunked)
-    candidates = _pass4_closure_check(scheduler, draws, owners, apexes, meter, chunked)
-
-    distinct = {t for t in candidates if t is not None}
+    distinct = {t for t in candidates[0] if t is not None}
     assignment: Dict[Triangle, Optional[Edge]] = (
         assigner.assign(scheduler, distinct) if distinct else {}
     )
 
     hits = 0
-    for edge, triangle in zip(draws, candidates):
+    for edge, triangle in zip(draws[0], candidates[0]):
         if triangle is not None and assignment.get(triangle) == edge:
             hits += 1
-    y = hits / ell
-    estimate = (m / plan.r) * d_r * y
+    y = hits / ells[0]
+    estimate = (m / plan.r) * d_rs[0] * y
 
     return SinglePassStackResult(
         estimate=estimate,
         r=plan.r,
-        ell=ell,
-        d_r=d_r,
-        wedges_closed=sum(1 for t in candidates if t is not None),
+        ell=ells[0],
+        d_r=d_rs[0],
+        wedges_closed=sum(1 for t in candidates[0] if t is not None),
         assigned_hits=hits,
         distinct_candidate_triangles=len(distinct),
         passes_used=scheduler.passes_used,
@@ -163,47 +161,55 @@ def _neighborhood_owner(e: Edge, vertex_degree: Dict[Vertex, int]) -> Vertex:
     return u if vertex_degree[u] < vertex_degree[v] else v
 
 
-def _pass1_uniform_sample(
+# ---------------------------------------------------------------------------
+# the shared multi-instance passes (k instances, one sweep each)
+
+
+def pass1_uniform_samples(
     scheduler: PassScheduler,
     r: int,
     m: int,
-    source,
+    sources: List,
     meter: SpaceMeter,
     chunked: bool = False,
-) -> List[Edge]:
-    """Pass 1: collect ``r`` i.i.d. uniform stream positions (with replacement).
+) -> List[List[Edge]]:
+    """Pass 1: ``r`` i.i.d. uniform edges per instance, one shared sweep.
 
-    Both engines pre-draw the ``r`` positions from the shared sample source
-    and abandon the pass as soon as every slot is served (the scheduler
-    counts abandoned passes exactly like consumed ones).
+    Positions are pre-drawn in instance-then-slot order on every engine, so
+    the per-instance variate streams stay aligned; the sweep abandons once
+    every slot is served (the scheduler counts abandoned passes exactly
+    like consumed ones).
     """
-    meter.allocate(2 * r, "R")
-    if isinstance(source, SampleSource):
+    k = len(sources)
+    meter.allocate(2 * r * k, "R")
+    if isinstance(sources[0], SampleSource):
         import numpy as np
 
-        positions = (source.uniforms(r) * m).astype(np.int64)
+        positions = np.concatenate(
+            [(sources[j].uniforms(r) * m).astype(np.int64) for j in range(k)]
+        )
         if chunked:
             from . import kernels
 
-            return kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
+            flat = kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
+            return [flat[j * r : (j + 1) * r] for j in range(k)]
         position_list = positions.tolist()
     else:  # pragma: no cover - exercised only without NumPy
-        position_list = [source.randrange(m) for _ in range(r)]
-    slots_by_position: Dict[int, List[int]] = {}
-    for slot, position in enumerate(position_list):
-        slots_by_position.setdefault(position, []).append(slot)
-    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r)
-    sampled = [filled[slot] for slot in range(r)]
-    return sampled
+        position_list = [sources[j].randrange(m) for j in range(k) for _ in range(r)]
+    slots_by_position: Dict[int, List[DrawKey]] = {}
+    for flat_slot, position in enumerate(position_list):
+        slots_by_position.setdefault(position, []).append(divmod(flat_slot, r))
+    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r * k)
+    return [[filled[(j, slot)] for slot in range(r)] for j in range(k)]
 
 
 def collect_position_slots(pass_iter, slots_by_position: Dict[int, list], total: int) -> dict:
     """Shared pass-1 scan: serve pre-drawn stream positions (Python engine).
 
     ``slots_by_position`` maps stream position -> list of opaque slot keys
-    (plain slot indices for the single runner, ``(instance, slot)`` pairs
-    for the parallel one); returns ``{slot key: edge}``.  The pass is
-    abandoned once all ``total`` slots are filled.
+    (``(instance, slot)`` pairs in the shared passes); returns
+    ``{slot key: edge}``.  The pass is abandoned once all ``total`` slots
+    are filled.
     """
     filled: dict = {}
     remaining = total
@@ -222,17 +228,22 @@ def collect_position_slots(pass_iter, slots_by_position: Dict[int, list], total:
     return filled
 
 
-def _pass2_degrees(
+def pass2_degree_table(
     scheduler: PassScheduler,
-    sampled_edges: List[Edge],
+    sampled: List[List[Edge]],
     meter: SpaceMeter,
     chunked: bool = False,
 ) -> Dict[Vertex, int]:
-    """Pass 2: stream-count degrees of all endpoints of ``R``."""
+    """Pass 2: one shared degree table for all endpoints of all instances.
+
+    Degrees are deterministic functions of the stream, so every instance
+    reading the same table is exact, not a statistical shortcut.
+    """
     tracked: Dict[Vertex, int] = {}
-    for u, v in sampled_edges:
-        tracked[u] = 0
-        tracked[v] = 0
+    for instance in sampled:
+        for u, v in instance:
+            tracked[u] = 0
+            tracked[v] = 0
     meter.allocate(len(tracked), "degrees")
     if chunked:
         import numpy as np
@@ -250,61 +261,125 @@ def _pass2_degrees(
     return tracked
 
 
-def _pass3_neighbor_samples(
+def draw_weighted_edges(
+    sampled: List[List[Edge]],
+    degree: Dict[Vertex, int],
+    plan: ParameterPlan,
+    sources: List,
+    meter: SpaceMeter,
+) -> Tuple[List[List[Edge]], List[List[Vertex]], List[int], List[float]]:
+    """Offline step between passes 2 and 3: the ``d_e``-proportional draws.
+
+    Per instance: resolve ``ell`` from the realized ``d_R`` (Lemma 5.7),
+    draw ``ell`` indices of ``R`` proportional to ``d_e``, and precompute
+    each draw's neighborhood owner.  Returns ``(draws, owners, ells, d_rs)``
+    indexed by instance.
+    """
+    draws: List[List[Edge]] = []
+    owners: List[List[Vertex]] = []
+    ells: List[int] = []
+    d_rs: List[float] = []
+    for j, instance in enumerate(sampled):
+        weights = [float(min(degree[u], degree[v])) for u, v in instance]
+        d_r = sum(weights)
+        ell = plan.ell(d_r)
+        sampler = CumulativeSampler(weights)
+        if isinstance(sources[j], SampleSource):
+            slots = sampler.draw_many_from_uniforms(sources[j].uniforms(ell))
+        else:  # pragma: no cover - exercised only without NumPy
+            slots = sampler.draw_many(sources[j], ell)
+        instance_draws = [instance[slot] for slot in slots]
+        draws.append(instance_draws)
+        owners.append([_neighborhood_owner(e, degree) for e in instance_draws])
+        ells.append(ell)
+        d_rs.append(d_r)
+        meter.allocate(2 * ell, "draws")
+    return draws, owners, ells, d_rs
+
+
+def pass3_neighbor_apexes(
     scheduler: PassScheduler,
-    owners: List[Vertex],
-    vertex_degree: Dict[Vertex, int],
-    source,
+    owners: List[List[Vertex]],
+    degree: Dict[Vertex, int],
+    sources: List,
     meter: SpaceMeter,
     chunked: bool = False,
-) -> List[Optional[Vertex]]:
-    """Pass 3: per draw, a uniform member of the owner's neighborhood.
+) -> List[List[Optional[Vertex]]]:
+    """Pass 3: per-draw uniform neighbor samples, all instances at once.
 
     Every owner is an endpoint of a pass-1 edge, so its exact degree is
     already on hand from pass 2 - a uniform neighbor therefore needs no
-    reservoir: pre-draw a uniform *position* in the owner's incident
-    sub-stream per draw, then capture the neighbor at that position during
-    the scan.  No randomness is consumed mid-pass, and the pass is
-    abandoned once every draw is served.  The chunked engine resolves the
-    (owner, occurrence) events entirely vectorized
-    (:func:`~repro.core.kernels.collect_neighbor_positions`); results are
+    reservoir: each draw pre-draws a uniform *position* in its owner's
+    incident sub-stream from its instance's own sample source (preserving
+    cross-instance independence) and the scan just captures the neighbors
+    at the requested positions.  No randomness is consumed mid-pass, and
+    the pass is abandoned once every draw is served.  The chunked engines
+    resolve the (owner, occurrence) events entirely vectorized
+    (:class:`~repro.core.kernels.NeighborPositionPlan`); results are
     identical across engines by construction.
     """
-    meter.allocate(len(owners) + len(set(owners)), "neighbor-reservoirs")
-    if isinstance(source, SampleSource):
+    k = len(sources)
+    total_draws = sum(len(instance_owners) for instance_owners in owners)
+    distinct_owners = {owner for instance_owners in owners for owner in instance_owners}
+    meter.allocate(total_draws + len(distinct_owners), "neighbor-reservoirs")
+    vectorized = isinstance(sources[0], SampleSource) if sources else False
+    if vectorized:
         import numpy as np
 
-        degrees = np.fromiter(
-            (vertex_degree[o] for o in owners), np.int64, count=len(owners)
-        )
-        positions = (source.uniforms(len(owners)) * degrees).astype(np.int64)
+        position_lists = []
+        for j in range(k):
+            degrees = np.fromiter(
+                (degree[o] for o in owners[j]), np.int64, count=len(owners[j])
+            )
+            position_lists.append(
+                (sources[j].uniforms(len(owners[j])) * degrees).astype(np.int64)
+            )
         if chunked:
             from . import kernels
 
-            owner_ids = np.asarray(sorted(set(owners)), dtype=np.int64)
-            owner_index = np.searchsorted(owner_ids, np.asarray(owners, dtype=np.int64))
-            found = kernels.collect_neighbor_positions(
-                scheduler, owner_ids, owner_index, positions, engine.chunk_size()
+            owner_ids = np.asarray(sorted(distinct_owners), dtype=np.int64)
+            flat_owners = np.asarray(
+                [owner for instance_owners in owners for owner in instance_owners],
+                dtype=np.int64,
             )
-            return [None if w < 0 else int(w) for w in found.tolist()]
-        position_list = positions.tolist()
+            owner_index = np.searchsorted(owner_ids, flat_owners)
+            found = kernels.collect_neighbor_positions(
+                scheduler,
+                owner_ids,
+                owner_index,
+                np.concatenate(position_lists),
+                engine.chunk_size(),
+            )
+            apexes = []
+            at = 0
+            for j in range(k):
+                row = found[at : at + len(owners[j])].tolist()
+                apexes.append([None if w < 0 else int(w) for w in row])
+                at += len(owners[j])
+            return apexes
+        positions = [p.tolist() for p in position_lists]
     else:  # pragma: no cover - exercised only without NumPy
-        position_list = [source.randrange(vertex_degree[o]) for o in owners]
-    pending: Dict[Vertex, List[Tuple[int, int]]] = {}
-    for i, owner in enumerate(owners):
-        pending.setdefault(owner, []).append((position_list[i], i))
+        positions = [
+            [sources[j].randrange(degree[o]) for o in owners[j]] for j in range(k)
+        ]
+    pending: Dict[Vertex, List[Tuple[int, DrawKey]]] = {}
+    for j, instance_owners in enumerate(owners):
+        for i, owner in enumerate(instance_owners):
+            pending.setdefault(owner, []).append((positions[j][i], (j, i)))
     served = serve_neighbor_positions(scheduler.new_pass(), pending)
-    return [served.get(i) for i in range(len(owners))]
+    return [
+        [served.get((j, i)) for i in range(len(owners[j]))] for j in range(len(owners))
+    ]
 
 
 def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
     """Shared pass-3 scan: serve per-owner incident-stream positions.
 
     ``pending`` maps owner -> list of ``(position, payload)`` pairs, where
-    the payload is an opaque draw key (a draw index for the single runner,
-    an ``(instance, draw)`` pair for the parallel one); positions index the
-    owner's incident sub-stream, 0-based.  Returns ``{payload: neighbor}``.
-    The pass is abandoned once every request is served.
+    the payload is an opaque draw key (an ``(instance, draw)`` pair in the
+    shared passes); positions index the owner's incident sub-stream,
+    0-based.  Returns ``{payload: neighbor}``.  The pass is abandoned once
+    every request is served.
     """
     for entries in pending.values():
         entries.sort()
@@ -333,41 +408,49 @@ def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
     return served
 
 
-def _pass4_closure_check(
+def pass4_closure_triangles(
     scheduler: PassScheduler,
-    draws: List[Edge],
-    owners: List[Vertex],
-    apexes: List[Optional[Vertex]],
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
     meter: SpaceMeter,
     chunked: bool = False,
-) -> List[Optional[Triangle]]:
-    """Pass 4: resolve which wedges ``{e, w}`` close into triangles.
+) -> List[List[Optional[Triangle]]]:
+    """Pass 4: resolve which wedges ``{e, w}`` close, all instances at once.
 
-    For draw ``i`` with edge ``(u, v)`` and apex ``w`` sampled from the
-    owner's neighborhood, the only missing edge is (other endpoint, ``w``);
-    a watch table detects it in one pass.  Returns the closed triangle per
-    draw, or ``None``.
+    For a draw with edge ``(u, v)`` and apex ``w`` sampled from the owner's
+    neighborhood, the only missing edge is (other endpoint, ``w``).  The
+    watch table is keyed by that missing edge, so overlapping watches
+    across instances collapse to *one* unique-key scan; hits fan back out
+    to every ``(instance, draw)`` watcher.  Returns the closed triangle
+    per draw, or ``None``.
     """
-    watch: Dict[Edge, List[int]] = {}
-    wedges: List[Optional[Triangle]] = [None] * len(draws)
-    for i, ((u, v), owner, w) in enumerate(zip(draws, owners, apexes)):
-        if w is None:
-            continue
-        other = v if owner == u else u
-        if w == other:
-            continue  # sampled the edge's own endpoint; not a wedge
-        wedges[i] = canonical_triangle(u, v, w)
-        watch.setdefault(canonical_edge(other, w), []).append(i)
+    watch: Dict[Edge, List[DrawKey]] = {}
+    wedges: List[List[Optional[Triangle]]] = [
+        [None] * len(draws[j]) for j in range(len(draws))
+    ]
+    for j in range(len(draws)):
+        for i, ((u, v), owner, w) in enumerate(zip(draws[j], owners[j], apexes[j])):
+            if w is None:
+                continue
+            other = v if owner == u else u
+            if w == other:
+                continue  # sampled the edge's own endpoint; not a wedge
+            wedges[j][i] = canonical_triangle(u, v, w)
+            watch.setdefault(canonical_edge(other, w), []).append((j, i))
     meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
-    closed = [False] * len(draws)
+    closed: Dict[DrawKey, bool] = {}
     if chunked:
         from . import kernels
 
-        for key in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
-            for i in watch[key]:
-                closed[i] = True
+        for found in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
+            for key in watch[found]:
+                closed[key] = True
     else:
         for edge in scheduler.new_pass():
-            for i in watch.get(edge, ()):
-                closed[i] = True
-    return [wedges[i] if closed[i] else None for i in range(len(draws))]
+            for key in watch.get(edge, ()):
+                closed[key] = True
+    return [
+        [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
+        for j in range(len(draws))
+    ]

@@ -1,0 +1,297 @@
+"""The sharded pass executor: one execution spine for every chunked pass.
+
+Every pass of the estimator stack is a fold with three separable parts:
+
+* a tiny **spec** - the pass's read-only state (sorted position arrays,
+  tracked-id tables, packed watch keys), cheap to pickle;
+* a pure **kernel** - a function of ``(spec, start_row, rows)`` mapping one
+  contiguous block of tape rows (with its global row offset) to a small
+  *partial* result, touching no shared state and consuming no randomness;
+* an ordered **absorb** step - folding partials back into the pass's
+  mutable state *in stream order*, which is where anything sequential
+  (RNG replay on matched edges, occurrence numbering) lives.
+
+:class:`PassPlan` is the declarative description of one such pass and
+:func:`run_plan` is the single executor both runners use.  It has two
+strategies:
+
+* **serial** (``workers <= 1``) - one :meth:`PassScheduler.new_pass_chunks`
+  sweep in-process, kernel per chunk, absorb immediately, honoring the
+  plan's early-abandon hints (``finished`` / ``stop_row``) exactly like
+  the pre-executor kernels did;
+* **sharded** (``workers > 1``) - the same chunk stream is split into
+  batches of consecutive chunks and dealt round-robin to a process pool
+  (one kernel invocation per batch - the kernels being pure functions of
+  ``(rows, spec)`` is what makes this safe); the parent absorbs the
+  returned partials strictly in submission order, so the fold sees the
+  identical sequence it would have seen serially and results are
+  bit-identical for the same seeds, whatever the worker count.
+
+The merge discipline per partial type (summed ``bincount`` degree tables,
+position/occurrence hits applied in stream-offset order, unioned
+packed-key watch hits) lives in the concrete plans in
+:mod:`repro.core.kernels`; this module only guarantees the ordering and
+the process plumbing.
+
+Pass accounting is unchanged: the parent drives the one sanctioned
+``new_pass_chunks`` iterator per plan, so a sharded pass is still exactly
+one pass against the :class:`~repro.streams.multipass.PassScheduler`
+budget.  Worker pools are created lazily per worker count, reused across
+passes and runs, and torn down at interpreter exit (or explicitly via
+:func:`shutdown_pools`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from . import engine
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
+
+    from ..streams.multipass import PassScheduler
+
+#: Batches dealt to the pool are padded with consecutive chunks until they
+#: reach at least this many rows, so tiny chunk sizes do not drown the pool
+#: in per-task overhead.  Tests shrink it to force multi-batch merges.
+TASK_ROWS_FLOOR = 16384
+
+#: Upper bound on in-flight pool tasks, as a multiple of the worker count.
+#: Bounds parent-side memory while keeping every worker busy.
+INFLIGHT_PER_WORKER = 2
+
+
+class PassPlan(ABC):
+    """Declarative description of one chunked pass (see module docstring).
+
+    Concrete plans set :attr:`kernel` to a *module-level* function (it is
+    pickled by reference into worker processes) and implement the
+    parent-side fold.  ``absorb`` is always called in stream order; plans
+    whose partials are commutative (summed counts, unioned hits) simply
+    don't depend on that, while order-sensitive plans (occurrence
+    numbering, RNG replay) rely on it.
+    """
+
+    #: Human-readable pass label, for diagnostics.
+    name: str = "pass"
+
+    #: ``kernel(spec, start_row, rows) -> partial | None``; must be a
+    #: module-level function (picklable by reference) and pure: no shared
+    #: state, no randomness, output a function of its arguments only.
+    kernel: Callable[[Any, int, "numpy.ndarray"], Any]
+
+    @abstractmethod
+    def spec(self) -> Any:
+        """The small picklable read-only state shipped to every kernel call."""
+
+    @abstractmethod
+    def absorb(self, partial: Any) -> None:
+        """Fold one non-``None`` partial into the plan state (stream order)."""
+
+    def finished(self) -> bool:
+        """True once the rest of the tape is dead for this pass (early stop)."""
+        return False
+
+    def stop_row(self) -> Optional[int]:
+        """Static row bound past which the tape is dead, or ``None``."""
+        return None
+
+    @abstractmethod
+    def result(self) -> Any:
+        """The pass result, read after the scan completes or abandons."""
+
+
+#: Worker-side cache of decoded specs, keyed by the parent's pass token.
+#: Every task ships the pre-pickled spec bytes (a memcpy, not a fresh
+#: serialization), but each worker decodes them only once per pass.
+_SPEC_CACHE_SLOTS = 8
+_worker_specs: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Parent-side pass-token source (unique per process + pass).
+_pass_tokens = itertools.count()
+
+
+def _decode_spec(token: str, spec_bytes: bytes) -> Any:
+    spec = _worker_specs.get(token)
+    if token not in _worker_specs:
+        spec = pickle.loads(spec_bytes)
+        _worker_specs[token] = spec
+        while len(_worker_specs) > _SPEC_CACHE_SLOTS:
+            _worker_specs.popitem(last=False)
+    return spec
+
+
+def _run_shard(kernel: Callable, token: str, spec_bytes: bytes, start_row: int, blocks: List) -> Any:
+    """Pool task: one kernel invocation over a batch of consecutive chunks."""
+    import numpy as np
+
+    spec = _decode_spec(token, spec_bytes)
+    rows = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    return kernel(spec, start_row, rows)
+
+
+_POOLS: Dict[int, Any] = {}
+
+
+def _get_pool(workers: int):
+    """The shared process pool for ``workers``, created on first use.
+
+    Workers use the ``spawn`` start method: passes may have a prefetch
+    reader thread live (:class:`~repro.streams.file.FileEdgeStream`), and
+    forking a multi-threaded parent can hand a child a lock frozen in the
+    held state.  Spawned workers cost a fresh interpreter each, but pools
+    are cached for the life of the process, so the cost is paid once per
+    worker count.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every lazily-created worker pool (idempotent)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def run_plan(
+    scheduler: "PassScheduler",
+    plan: PassPlan,
+    chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Any:
+    """Execute ``plan`` as exactly one pass of ``scheduler``.
+
+    ``chunk_size`` and ``workers`` default to the global engine policy
+    (:func:`repro.core.engine.chunk_size` /
+    :func:`repro.core.engine.effective_workers`).  With ``workers > 1``
+    the pass is sharded across the process pool; results are bit-identical
+    to the serial strategy either way.
+    """
+    chunk = chunk_size if chunk_size is not None else engine.chunk_size()
+    shard_count = workers if workers is not None else engine.effective_workers()
+    if shard_count > 1:
+        return _run_sharded(scheduler, plan, chunk, shard_count)
+    return _run_serial(scheduler, plan, chunk)
+
+
+def _run_serial(scheduler: "PassScheduler", plan: PassPlan, chunk: int) -> Any:
+    spec = plan.spec()
+    kernel = plan.kernel
+    stop = plan.stop_row()
+    offset = 0
+    chunks = scheduler.new_pass_chunks(chunk)
+    try:
+        for block in chunks:
+            partial = kernel(spec, offset, block)
+            offset += len(block)
+            if partial is not None:
+                plan.absorb(partial)
+            if plan.finished():
+                break  # the rest of the pass is dead tape
+            if stop is not None and offset >= stop:
+                break
+    finally:
+        chunks.close()
+    return plan.result()
+
+
+def _run_sharded(scheduler: "PassScheduler", plan: PassPlan, chunk: int, workers: int) -> Any:
+    if plan.finished():
+        # Nothing to scan (e.g. an empty tracked set): the serial strategy
+        # already implements the one-chunk open-and-abandon semantics.
+        return _run_serial(scheduler, plan, chunk)
+    pool = _get_pool(workers)
+    token = f"{os.getpid()}:{next(_pass_tokens)}"
+    spec_bytes = pickle.dumps(plan.spec(), protocol=pickle.HIGHEST_PROTOCOL)
+    kernel = plan.kernel
+    stop = plan.stop_row()
+    task_rows = max(chunk, TASK_ROWS_FLOOR)
+    max_inflight = max(2, INFLIGHT_PER_WORKER * workers)
+
+    window: deque = deque()  # in-flight futures, strictly FIFO = stream order
+    batch: List = []
+    batch_rows = 0
+    batch_start = 0
+    offset = 0
+    done = False
+
+    def submit_batch() -> None:
+        nonlocal batch, batch_rows
+        window.append(pool.submit(_run_shard, kernel, token, spec_bytes, batch_start, batch))
+        batch = []
+        batch_rows = 0
+
+    def absorb_next() -> None:
+        nonlocal done
+        partial = window.popleft().result()
+        if done:
+            return  # already finished: discard results past the stop point
+        if partial is not None:
+            plan.absorb(partial)
+        if plan.finished():
+            done = True
+
+    chunks = scheduler.new_pass_chunks(chunk)
+    try:
+        try:
+            for block in chunks:
+                if not batch:
+                    batch_start = offset
+                batch.append(block)
+                batch_rows += len(block)
+                offset += len(block)
+                if batch_rows >= task_rows:
+                    submit_batch()
+                    while len(window) >= max_inflight:
+                        absorb_next()
+                    # Opportunistic drain: fold whatever already completed
+                    # so early-abandon can trigger before the window fills.
+                    while window and not done and window[0].done():
+                        absorb_next()
+                if done:
+                    break
+                if stop is not None and offset >= stop:
+                    break
+            if batch and not done:
+                submit_batch()
+        finally:
+            chunks.close()
+        while window:
+            if done:
+                # The remaining tasks scan dead tape the serial path would
+                # never have read: cancel what hasn't started and discard
+                # results *and failures* of what has - a dead-tape worker
+                # error must not fail a pass whose result is complete.
+                future = window.popleft()
+                if not future.cancel():
+                    try:
+                        future.result()
+                    except Exception:
+                        pass
+                continue
+            absorb_next()
+    except BaseException:
+        for future in window:  # abort: drop whatever is still in flight
+            future.cancel()
+        window.clear()
+        raise
+    return plan.result()

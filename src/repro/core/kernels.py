@@ -1,51 +1,61 @@
-"""Vectorized pass kernels for the chunked stream engine.
+"""Vectorized pass kernels for the chunked stream engine, as executor plans.
 
 The six passes of Algorithm 2 (plus Algorithm 3's two assignment passes)
 share a common shape: a tiny amount of per-run state (samples, watch
 tables, counters) is updated by a full scan of the edge tape.  The pure
 Python implementations pay one interpreter iteration *per edge* for that
 scan; at a million edges the interpreter, not the algorithm, dominates.
-The kernels below do the same scans over ``(k, 2)`` int64 NumPy chunks from
-:meth:`~repro.streams.multipass.PassScheduler.new_pass_chunks`, touching
-Python only for the (rare) edges that actually interact with the run's
-state.
 
-Kernel-to-pass map (Algorithm 2 / Algorithm 3 of the paper):
+Each pass here is a :class:`~repro.core.executor.PassPlan`: a picklable
+*spec*, a pure module-level *kernel* over ``(spec, start_row, rows)``
+blocks, and an ordered *absorb* fold - which is exactly the decomposition
+the sharded executor needs to fan one pass out across worker processes
+while staying bit-identical to the serial scan (see
+:mod:`repro.core.executor`).  The public functions at the bottom keep the
+original call signatures and simply run the matching plan through
+:func:`~repro.core.executor.run_plan`, so every caller - serial or
+sharded - goes through one execution spine.
+
+Plan-to-pass map (Algorithm 2 / Algorithm 3 of the paper):
 
 ====================================  =====================================
-kernel                                pass it accelerates
+plan                                  pass it accelerates
 ====================================  =====================================
-:func:`collect_stream_positions`      pass 1 - collect the ``r`` pre-drawn
+:class:`PositionCollectPlan`          pass 1 - collect the ``r`` pre-drawn
                                       uniform positions of the sample ``R``
-                                      (sorted positions + ``searchsorted``
-                                      per chunk; abandons the pass once all
-                                      slots are filled)
-:func:`count_tracked_degrees`         pass 2 - degrees of the endpoints of
+                                      (sorted positions + ``searchsorted``;
+                                      merge fills slots keyed by the sorted
+                                      rank, so shard order is irrelevant)
+:class:`DegreeCountPlan`              pass 2 - degrees of the endpoints of
                                       ``R`` (id remap via ``searchsorted``
-                                      + ``bincount``); also Algorithm 3's
-                                      heavy-edge degree counters when the
-                                      caller tracks candidate endpoints
-:func:`iter_incident_edges`           passes 3 and 5 - reservoir updates
-                                      only fire on edges incident to a
-                                      tracked owner, so the kernel yields
-                                      exactly those edges (vectorized
-                                      membership filter per chunk) and the
-                                      caller's reservoir logic - with its
-                                      sequential RNG consumption - runs
+                                      + ``bincount``; merge sums the
+                                      per-shard count tables)
+:class:`IncidentEdgePlan`             passes 3 and 5 - only edges incident
+                                      to a tracked owner matter; matched
+                                      edges are replayed to a callback in
+                                      stream order, so the caller's
+                                      sequential RNG consumption runs
                                       unchanged on the matches
-:func:`scan_watch_keys`               passes 4 and 6 - closure watches:
+:class:`NeighborPositionPlan`         pass 3 - the neighbor at each
+                                      requested (owner, occurrence) event;
+                                      shards report per-batch occurrence
+                                      counts and hits, merged in stream-
+                                      offset order
+:class:`WatchKeyPlan`                 passes 4 and 6 - closure watches:
                                       which of the wedges' missing edges
                                       appear anywhere on the tape (packed
-                                      64-bit edge keys + ``searchsorted``
-                                      per chunk; abandons the pass once
-                                      every watched key was seen)
+                                      64-bit keys; merge unions the hit
+                                      sets)
+:class:`PackedKeyCountPlan`           pass 6 - occurrence counts of packed
+                                      watch keys (merge sums)
 ====================================  =====================================
 
 Seed-for-seed parity with the Python path is a hard invariant, enforced by
-``tests/test_kernels_parity.py``: the kernels consume randomness in exactly
-the same order (all RNG draws happen either before the scan or on the same
-matched edges in the same stream order), so estimates, diagnostics, pass
-counts, and space accounting are bit-identical between engines.
+``tests/test_kernels_parity.py`` and ``tests/test_executor_sharded.py``:
+the kernels consume no randomness at all (all RNG draws happen either
+before the scan or in the parent on the same matched edges in the same
+stream order), so estimates, diagnostics, pass counts, and space
+accounting are bit-identical between engines and across worker counts.
 
 Vertex ids must fit in unsigned 32 bits for the packed-key scans; streams
 with larger ids transparently fall back to per-row set membership inside
@@ -54,12 +64,13 @@ the affected chunk (correct, just slower).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..streams.multipass import PassScheduler
 from ..types import Edge, Vertex
+from .executor import PassPlan, run_plan
 
 #: Vertex ids must stay below this for the packed-key scans; larger ids
 #: take the per-row set-membership fallback.
@@ -93,93 +104,403 @@ def pack_canonical_rows(rows: np.ndarray) -> Optional[np.ndarray]:
     return packed
 
 
+# ---------------------------------------------------------------------------
+# pass 1 - pre-drawn uniform stream positions
+
+
+def _positions_kernel(spec: np.ndarray, start_row: int, rows: np.ndarray):
+    """Rows at the requested (sorted) stream positions inside this block."""
+    sorted_positions = spec
+    lo = int(np.searchsorted(sorted_positions, start_row, side="left"))
+    hi = int(np.searchsorted(sorted_positions, start_row + len(rows), side="left"))
+    if hi == lo:
+        return None
+    return lo, rows[sorted_positions[lo:hi] - start_row]
+
+
+class PositionCollectPlan(PassPlan):
+    """Pass-1 plan: fetch the edge at each requested stream position.
+
+    ``positions`` holds the pre-drawn uniform positions (duplicates allowed,
+    order preserved in the result); the pass is abandoned as soon as the
+    largest requested position has been served.  Merge is order-free: each
+    partial carries its rank range into the sorted position array, and a
+    stream position lives in exactly one block.
+    """
+
+    name = "pass1/positions"
+    kernel = staticmethod(_positions_kernel)
+
+    def __init__(self, positions: np.ndarray) -> None:
+        self._r = len(positions)
+        self._order = np.argsort(positions, kind="stable")
+        self._sorted = positions[self._order]
+        self._collected: List[Optional[Edge]] = [None] * self._r
+        self._served = 0
+
+    def spec(self) -> np.ndarray:
+        return self._sorted
+
+    def absorb(self, partial) -> None:
+        lo, rows = partial
+        slots = self._order[lo : lo + len(rows)]
+        for slot, (u, v) in zip(slots.tolist(), rows.tolist()):
+            self._collected[slot] = (u, v)
+        self._served = max(self._served, lo + len(rows))
+
+    def finished(self) -> bool:
+        return self._served >= self._r
+
+    def stop_row(self) -> Optional[int]:
+        return int(self._sorted[-1]) + 1 if self._r else 0
+
+    def result(self) -> List[Edge]:
+        if self._served < self._r:
+            raise ValueError(
+                f"stream ended with unserved sample positions "
+                f"(max requested {int(self._sorted[-1]) if self._r else -1})"
+            )
+        return self._collected  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# pass 2 - tracked-vertex degree counting
+
+
+def _degree_kernel(spec: np.ndarray, start_row: int, rows: np.ndarray):
+    """Per-block ``bincount`` of tracked-endpoint occurrences."""
+    tracked_ids = spec
+    if len(tracked_ids) == 0:
+        return None
+    idx, found = _lookup(tracked_ids, rows.reshape(-1))
+    if not found.any():
+        return None
+    return np.bincount(idx[found], minlength=len(tracked_ids))
+
+
+class DegreeCountPlan(PassPlan):
+    """Pass-2 plan: degree of every tracked vertex id (merge: summed tables).
+
+    ``tracked_ids`` must be sorted and unique; the result is the aligned
+    int64 count vector.  Also serves Algorithm 3's heavy-edge degree
+    counters when given the candidate-triangle endpoints.
+    """
+
+    name = "pass2/degrees"
+    kernel = staticmethod(_degree_kernel)
+
+    def __init__(self, tracked_ids: np.ndarray) -> None:
+        self._ids = tracked_ids
+        self._counts = np.zeros(len(tracked_ids), dtype=np.int64)
+
+    def spec(self) -> np.ndarray:
+        return self._ids
+
+    def absorb(self, partial) -> None:
+        self._counts += partial
+
+    def finished(self) -> bool:
+        return len(self._ids) == 0
+
+    def result(self) -> np.ndarray:
+        return self._counts
+
+
+# ---------------------------------------------------------------------------
+# passes 3 and 5 - edges incident to a tracked owner, replayed in order
+
+
+def _incident_kernel(spec: np.ndarray, start_row: int, rows: np.ndarray):
+    """The block's rows with a tracked endpoint, in stream order."""
+    tracked_ids = spec
+    if len(tracked_ids) == 0:
+        return None
+    hit = _membership(tracked_ids, rows[:, 0])
+    hit |= _membership(tracked_ids, rows[:, 1])
+    sel = np.flatnonzero(hit)
+    if not len(sel):
+        return None
+    return rows[sel]
+
+
+class IncidentEdgePlan(PassPlan):
+    """Pass-3/5 plan: replay edges with a tracked endpoint to a callback.
+
+    The caller's per-edge logic (reservoir offers, degree bumps - anything
+    that consumes RNG sequentially) runs in the parent on the matched
+    edges exactly as it would on a full Python pass; since untracked edges
+    are no-ops there, filtering them out in the kernels preserves
+    behaviour bit for bit, sharded or not (absorb order is stream order).
+    """
+
+    name = "pass5/incident"
+    kernel = staticmethod(_incident_kernel)
+
+    def __init__(self, tracked_ids: Sequence[Vertex], visit: Callable[[Vertex, Vertex], None]) -> None:
+        self._ids = np.asarray(sorted(set(tracked_ids)), dtype=np.int64)
+        self._visit = visit
+
+    def spec(self) -> np.ndarray:
+        return self._ids
+
+    def absorb(self, partial) -> None:
+        visit = self._visit
+        for u, v in partial.tolist():
+            visit(u, v)
+
+    def finished(self) -> bool:
+        return len(self._ids) == 0
+
+    def result(self) -> None:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# pass 3 - neighbor at a requested (owner, occurrence) event
+
+
+def _neighbor_kernel(spec, start_row: int, rows: np.ndarray):
+    """Per-block incident events: occurrence counts plus prunable hits.
+
+    Returns ``(counts, owners, local_occurrences, neighbors)`` where
+    ``counts`` is the per-owner incidence count of this block (always
+    needed by the merge to maintain global occurrence bases) and the
+    remaining arrays list the block's events whose *local* occurrence
+    rank could still match a request (global occurrence = base + local
+    rank >= local rank, so ranks beyond the largest requested position of
+    an owner can never match and are dropped in the worker).
+    """
+    owner_ids, max_position = spec
+    endpoints = rows.reshape(-1)
+    neighbors = rows[:, ::-1].reshape(-1)
+    idx, tracked = _lookup(owner_ids, endpoints)
+    if not tracked.any():
+        return None
+    event_owner = idx[tracked]
+    event_neighbor = neighbors[tracked]
+    order = np.argsort(event_owner, kind="stable")
+    grouped_owner = event_owner[order]
+    counts = np.bincount(grouped_owner, minlength=len(owner_ids))
+    starts = np.zeros(len(owner_ids) + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    local = np.arange(len(grouped_owner), dtype=np.int64) - starts[grouped_owner]
+    keep = local <= max_position[grouped_owner]
+    return counts, grouped_owner[keep], local[keep], event_neighbor[order][keep]
+
+
+class NeighborPositionPlan(PassPlan):
+    """Pass-3 plan: the neighbor at each requested incident-stream position.
+
+    Request ``i`` asks for the ``request_positions[i]``-th (0-based) edge
+    incident to ``owner_ids[request_owner_index[i]]``, in stream order, and
+    receives that edge's far endpoint.  ``owner_ids`` must be sorted and
+    unique.  The merge folds per-batch occurrence counts into a running
+    per-owner base (in stream-offset order - the one order-sensitive part)
+    and matches the offset events against the packed request keys;
+    duplicate requests for the same position are all served.  The pass is
+    abandoned once every request is served; unserved requests (a position
+    beyond the owner's degree) come back as ``-1``.
+    """
+
+    name = "pass3/neighbors"
+    kernel = staticmethod(_neighbor_kernel)
+
+    def __init__(
+        self,
+        owner_ids: np.ndarray,
+        request_owner_index: np.ndarray,
+        request_positions: np.ndarray,
+    ) -> None:
+        self._owner_ids = owner_ids
+        self._total = len(request_positions)
+        request_keys = request_owner_index.astype(np.uint64)
+        request_keys <<= np.uint64(32)
+        request_keys |= request_positions.astype(np.uint64)
+        self._request_order = np.argsort(request_keys, kind="stable")
+        self._sorted_request_keys = request_keys[self._request_order]
+        max_position = np.full(len(owner_ids), -1, dtype=np.int64)
+        if self._total:
+            np.maximum.at(max_position, request_owner_index, request_positions)
+        self._max_position = max_position
+        self._base = np.zeros(len(owner_ids), dtype=np.int64)
+        self._out = np.full(self._total, -1, dtype=np.int64)
+        self._served = 0
+
+    def spec(self):
+        return self._owner_ids, self._max_position
+
+    def absorb(self, partial) -> None:
+        counts, owners, local, neighbors = partial
+        if len(owners):
+            occurrence = self._base[owners] + local
+            event_keys = owners.astype(np.uint64)
+            event_keys <<= np.uint64(32)
+            event_keys |= occurrence.astype(np.uint64)
+            lo = np.searchsorted(self._sorted_request_keys, event_keys, side="left")
+            hi = np.searchsorted(self._sorted_request_keys, event_keys, side="right")
+            matched = np.flatnonzero(hi > lo)
+            if len(matched):
+                neighbor_list = neighbors[matched].tolist()
+                for event, neighbor in zip(matched.tolist(), neighbor_list):
+                    for at in range(lo[event], hi[event]):
+                        self._out[self._request_order[at]] = neighbor
+                        self._served += 1
+        self._base += counts
+
+    def finished(self) -> bool:
+        return self._served >= self._total
+
+    def result(self) -> np.ndarray:
+        return self._out
+
+
+# ---------------------------------------------------------------------------
+# passes 4 and 6 - packed-key closure watches
+
+
+def _watch_kernel(spec, start_row: int, rows: np.ndarray):
+    """Indices (into the sorted key list) of watched keys seen in the block."""
+    packed_keys, key_index = spec
+    if packed_keys is not None:
+        packed_block = pack_canonical_rows(rows)
+        if packed_block is None:
+            # Overflowing ids (> 32 bits) in this block cannot match any
+            # packed key; scan only the rows that still could.
+            small = rows[(rows < PACK_LIMIT).all(axis=1)]
+            packed_block = pack_canonical_rows(small)
+        idx, hit = _lookup(packed_keys, packed_block)
+        if not hit.any():
+            return None
+        return np.unique(idx[hit])
+    if key_index is None:
+        return None  # no watched keys at all
+    # Keys beyond the 32-bit packing: per-row membership against the
+    # prebuilt index, still chunk-paced.
+    found = {key_index[(u, v)] for u, v in rows.tolist() if (u, v) in key_index}
+    if not found:
+        return None
+    return np.asarray(sorted(found), dtype=np.int64)
+
+
+class WatchKeyPlan(PassPlan):
+    """Pass-4/6 plan: which watched edges appear anywhere on the tape.
+
+    Edges on the tape are distinct (the paper's model), so presence is all
+    the closure passes need; the merge unions the per-shard hit sets and
+    the pass is abandoned early once every watched key has been seen.
+    When several estimator instances watch overlapping keys the caller
+    passes the *union* once - the scan cost is per unique key, and the
+    per-instance fan-out happens on the caller's side of the result.
+    The spec ships the packed key array alone when the keys fit the 32-bit
+    packing; only overflowing key sets ship the key -> rank index for the
+    per-row fallback.
+    """
+
+    name = "pass4/watch"
+    kernel = staticmethod(_watch_kernel)
+
+    def __init__(self, keys: Sequence[Edge]) -> None:
+        self._key_list = sorted(keys)
+        self._packed = (
+            pack_canonical_rows(np.asarray(self._key_list, dtype=np.int64).reshape(-1, 2))
+            if self._key_list
+            else None
+        )
+        self._key_index = (
+            {key: i for i, key in enumerate(self._key_list)}
+            if self._key_list and self._packed is None
+            else None
+        )
+        self._seen = np.zeros(len(self._key_list), dtype=bool)
+
+    def spec(self):
+        return self._packed, self._key_index
+
+    def absorb(self, partial) -> None:
+        self._seen[partial] = True
+
+    def finished(self) -> bool:
+        return bool(self._seen.all())
+
+    def result(self) -> Set[Edge]:
+        return {key for key, ok in zip(self._key_list, self._seen.tolist()) if ok}
+
+
+def _packed_count_kernel(spec: np.ndarray, start_row: int, rows: np.ndarray):
+    """Per-block occurrence ``bincount`` of the packed watch keys."""
+    packed_keys = spec
+    if len(packed_keys) == 0:
+        return None
+    packed_block = pack_canonical_rows(rows)
+    if packed_block is None:
+        small = rows[(rows < PACK_LIMIT).all(axis=1)]
+        packed_block = pack_canonical_rows(small)
+    idx, hit = _lookup(packed_keys, packed_block)
+    if not hit.any():
+        return None
+    return np.bincount(idx[hit], minlength=len(packed_keys))
+
+
+class PackedKeyCountPlan(PassPlan):
+    """Pass-6 plan: occurrence counts of pre-packed uint64 edge keys.
+
+    ``packed_keys`` must be sorted, unique, and built from ids below
+    :data:`PACK_LIMIT` (the caller checks); the result is the aligned
+    int64 occurrence-count vector (merge: summed).  The model's tape has
+    unrepeated edges, but unvalidated streams may not - counting per
+    occurrence (rather than presence) keeps the chunked engine
+    bit-identical to the Python watch loop either way, so no early
+    abandon is possible here.  Stream rows whose ids overflow the packing
+    cannot match any key and are skipped.  Always consumes exactly one
+    pass, even with no keys.
+    """
+
+    name = "pass6/packed-counts"
+    kernel = staticmethod(_packed_count_kernel)
+
+    def __init__(self, packed_keys: np.ndarray) -> None:
+        self._keys = packed_keys
+        self._counts = np.zeros(len(packed_keys), dtype=np.int64)
+
+    def spec(self) -> np.ndarray:
+        return self._keys
+
+    def absorb(self, partial) -> None:
+        self._counts += partial
+
+    def finished(self) -> bool:
+        return len(self._keys) == 0
+
+    def result(self) -> np.ndarray:
+        return self._counts
+
+
+# ---------------------------------------------------------------------------
+# public entry points (original signatures, now routed through the executor)
+
+
 def collect_stream_positions(
     scheduler: PassScheduler, positions: np.ndarray, chunk_size: int
 ) -> List[Edge]:
-    """Pass-1 kernel: fetch the edge at each requested stream position.
-
-    ``positions`` holds the pre-drawn uniform positions (duplicates allowed,
-    order preserved in the result).  One chunked pass; the pass is abandoned
-    as soon as the largest requested position has been served.
-    """
-    r = len(positions)
-    order = np.argsort(positions, kind="stable")
-    sorted_positions = positions[order]
-    collected: List[Optional[Edge]] = [None] * r
-    offset = 0
-    served = 0
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            end = offset + len(block)
-            hi = int(np.searchsorted(sorted_positions, end, side="left"))
-            if hi > served:
-                local = sorted_positions[served:hi] - offset
-                slots = order[served:hi]
-                rows = block[local]
-                for slot, (u, v) in zip(slots.tolist(), rows.tolist()):
-                    collected[slot] = (u, v)
-                served = hi
-            offset = end
-            if served >= r:
-                break  # every slot filled: the rest of the pass is dead tape
-    finally:
-        pass_chunks.close()
-    if any(e is None for e in collected):
-        raise ValueError(
-            f"stream ended at position {offset} with unserved sample positions "
-            f"(max requested {int(sorted_positions[-1]) if r else -1})"
-        )
-    return collected  # type: ignore[return-value]
+    """Pass-1 scan: fetch the edge at each requested stream position."""
+    return run_plan(scheduler, PositionCollectPlan(positions), chunk_size=chunk_size)
 
 
 def count_tracked_degrees(
     scheduler: PassScheduler, tracked_ids: np.ndarray, chunk_size: int
 ) -> np.ndarray:
-    """Pass-2 kernel: degree of every tracked vertex id, in one chunked pass.
-
-    ``tracked_ids`` must be sorted and unique; returns the aligned int64
-    count vector.  Also serves Algorithm 3's pass-5 heavy-edge degree
-    counters when given the candidate-triangle endpoints.
-    """
-    counts = np.zeros(len(tracked_ids), dtype=np.int64)
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            if len(tracked_ids) == 0:
-                break
-            endpoints = block.reshape(-1)
-            idx, found = _lookup(tracked_ids, endpoints)
-            counts += np.bincount(idx[found], minlength=len(tracked_ids))
-    finally:
-        pass_chunks.close()
-    return counts
+    """Pass-2 scan: degree of every tracked vertex id, in one chunked pass."""
+    return run_plan(scheduler, DegreeCountPlan(tracked_ids), chunk_size=chunk_size)
 
 
-def iter_incident_edges(
-    scheduler: PassScheduler, tracked_ids: Sequence[Vertex], chunk_size: int
-) -> Iterator[Edge]:
-    """Pass-3/5 kernel: yield only the edges with a tracked endpoint, in order.
-
-    The caller runs its per-edge logic (reservoir offers, degree bumps -
-    anything that consumes RNG sequentially) on the yielded edges exactly as
-    it would on a full Python pass; since untracked edges are no-ops there,
-    filtering them out vectorized preserves behaviour bit for bit.
-    """
-    ids = np.asarray(sorted(set(tracked_ids)), dtype=np.int64)
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            if len(ids) == 0:
-                break
-            hit = _membership(ids, block[:, 0])
-            hit |= _membership(ids, block[:, 1])
-            rows = np.flatnonzero(hit)
-            if len(rows):
-                for u, v in block[rows].tolist():
-                    yield (u, v)
-    finally:
-        pass_chunks.close()
+def scan_incident_edges(
+    scheduler: PassScheduler,
+    tracked_ids: Sequence[Vertex],
+    chunk_size: int,
+    visit: Callable[[Vertex, Vertex], None],
+) -> None:
+    """Pass-3/5 scan: replay edges with a tracked endpoint to ``visit``."""
+    run_plan(scheduler, IncidentEdgePlan(tracked_ids, visit), chunk_size=chunk_size)
 
 
 def collect_neighbor_positions(
@@ -189,138 +510,20 @@ def collect_neighbor_positions(
     request_positions: np.ndarray,
     chunk_size: int,
 ) -> np.ndarray:
-    """Pass-3 kernel: the neighbor at each requested incident-stream position.
-
-    Request ``i`` asks for the ``request_positions[i]``-th (0-based) edge
-    incident to ``owner_ids[request_owner_index[i]]``, in stream order, and
-    receives that edge's far endpoint.  ``owner_ids`` must be sorted and
-    unique.  Per chunk, every (owner, occurrence-number) event is computed
-    with a grouped cumulative count and matched against the packed request
-    keys - duplicate requests for the same position are all served.  The
-    pass is abandoned once every request is served; unserved requests (a
-    position beyond the owner's degree) come back as ``-1``.
-    """
-    total_requests = len(request_positions)
-    request_keys = request_owner_index.astype(np.uint64)
-    request_keys <<= np.uint64(32)
-    request_keys |= request_positions.astype(np.uint64)
-    request_order = np.argsort(request_keys, kind="stable")
-    sorted_request_keys = request_keys[request_order]
-    out = np.full(total_requests, -1, dtype=np.int64)
-    base = np.zeros(len(owner_ids), dtype=np.int64)
-    served = 0
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            if total_requests == 0:
-                break
-            endpoints = block.reshape(-1)
-            neighbors = block[:, ::-1].reshape(-1)
-            idx, tracked = _lookup(owner_ids, endpoints)
-            event_owner = idx[tracked]
-            if len(event_owner) == 0:
-                continue
-            event_neighbor = neighbors[tracked]
-            event_order = np.argsort(event_owner, kind="stable")
-            grouped_owner = event_owner[event_order]
-            counts = np.bincount(grouped_owner, minlength=len(owner_ids))
-            starts = np.zeros(len(owner_ids) + 1, dtype=np.int64)
-            np.cumsum(counts, out=starts[1:])
-            occurrence = base[grouped_owner] + (
-                np.arange(len(grouped_owner), dtype=np.int64) - starts[grouped_owner]
-            )
-            event_keys = grouped_owner.astype(np.uint64)
-            event_keys <<= np.uint64(32)
-            event_keys |= occurrence.astype(np.uint64)
-            lo = np.searchsorted(sorted_request_keys, event_keys, side="left")
-            hi = np.searchsorted(sorted_request_keys, event_keys, side="right")
-            matched = np.flatnonzero(hi > lo)
-            if len(matched):
-                grouped_neighbor = event_neighbor[event_order]
-                for event in matched.tolist():
-                    neighbor = grouped_neighbor[event]
-                    for at in range(lo[event], hi[event]):
-                        out[request_order[at]] = neighbor
-                        served += 1
-            base += counts
-            if served >= total_requests:
-                break  # every request served: the rest of the pass is dead tape
-    finally:
-        pass_chunks.close()
-    return out
+    """Pass-3 scan: the neighbor at each requested incident-stream position."""
+    plan = NeighborPositionPlan(owner_ids, request_owner_index, request_positions)
+    return run_plan(scheduler, plan, chunk_size=chunk_size)
 
 
 def scan_watch_keys(
     scheduler: PassScheduler, keys: Sequence[Edge], chunk_size: int
 ) -> Set[Edge]:
-    """Pass-4/6 kernel: which watched edges appear anywhere on the tape.
-
-    Edges on the tape are distinct (the paper's model), so presence is all
-    the closure passes need; the pass is abandoned early once every watched
-    key has been seen.  Chunks whose vertex ids overflow the 32-bit packing
-    fall back to per-row set membership.
-    """
-    found: Set[Edge] = set()
-    key_list = sorted(keys)
-    packed_keys = pack_canonical_rows(np.asarray(key_list, dtype=np.int64).reshape(-1, 2)) if key_list else None
-    key_set = set(key_list) if (key_list and packed_keys is None) else None
-    seen = np.zeros(len(key_list), dtype=bool)
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            if not key_list:
-                break
-            packed_block = pack_canonical_rows(block) if packed_keys is not None else None
-            if packed_keys is not None and packed_block is not None:
-                idx, hit = _lookup(packed_keys, packed_block)
-                if hit.any():
-                    seen[idx[hit]] = True
-                    if seen.all():
-                        break
-            else:
-                # Overflowing ids (> 32 bits) in this chunk or in the keys:
-                # per-row membership against a plain set, still chunk-paced.
-                if key_set is None:
-                    key_set = set(key_list)
-                for u, v in block.tolist():
-                    if (u, v) in key_set:
-                        found.add((u, v))
-                if len(found) == len(key_list):
-                    break
-    finally:
-        pass_chunks.close()
-    if len(key_list):
-        found.update(key for key, ok in zip(key_list, seen.tolist()) if ok)
-    return found
+    """Pass-4/6 scan: which watched edges appear anywhere on the tape."""
+    return run_plan(scheduler, WatchKeyPlan(keys), chunk_size=chunk_size)
 
 
 def scan_packed_keys(
     scheduler: PassScheduler, packed_keys: np.ndarray, chunk_size: int
 ) -> np.ndarray:
-    """Pass-6 kernel: occurrence counts of pre-packed uint64 edge keys.
-
-    ``packed_keys`` must be sorted, unique, and built from ids below
-    :data:`PACK_LIMIT` (the caller checks); returns the aligned int64
-    occurrence-count vector.  The model's tape has unrepeated edges, but
-    unvalidated streams may not - counting per occurrence (rather than
-    presence) keeps the chunked engine bit-identical to the Python watch
-    loop either way, so no early abandon is possible here.  Stream rows
-    whose ids overflow the packing cannot match any key and are skipped.
-    Always consumes exactly one pass, even with no keys.
-    """
-    counts = np.zeros(len(packed_keys), dtype=np.int64)
-    pass_chunks = scheduler.new_pass_chunks(chunk_size)
-    try:
-        for block in pass_chunks:
-            if len(packed_keys) == 0:
-                break
-            packed_block = pack_canonical_rows(block)
-            if packed_block is None:
-                small = block[(block < PACK_LIMIT).all(axis=1)]
-                packed_block = pack_canonical_rows(small)
-            idx, hit = _lookup(packed_keys, packed_block)
-            if hit.any():
-                counts += np.bincount(idx[hit], minlength=len(packed_keys))
-    finally:
-        pass_chunks.close()
-    return counts
+    """Pass-6 scan: occurrence counts of pre-packed uint64 edge keys."""
+    return run_plan(scheduler, PackedKeyCountPlan(packed_keys), chunk_size=chunk_size)

@@ -8,11 +8,21 @@ count by the repetition factor; this module restores the paper's
 accounting: :func:`run_parallel_estimates` executes ``k`` independent
 instances over exactly six shared passes.
 
+The pass implementations themselves live in :mod:`repro.core.estimator`
+(``pass1_uniform_samples`` ... ``pass4_closure_triangles``) - they are
+multi-instance by construction and the single runner is their ``k = 1``
+case, so both runners ride the same executor spine (serial, chunked, or
+sharded across worker processes) with no duplicated pass loops.
+
 Sharing rules (what may be shared without breaking independence):
 
 * **the degree table** (pass 2) is shared - degrees are deterministic
   functions of the stream, so every instance reading the same table is
   exact, not a statistical shortcut;
+* **the scans** (passes 4 and 6) are shared per *unique watched key*:
+  instances watch overlapping closure edges, so the tape is scanned once
+  against the deduplicated key set and hits fan back out per instance -
+  the packed-key scan cost is per unique key, not per instance;
 * **everything random** (pass-1 positions, the ``d_e``-proportional draws,
   neighbor reservoirs, assignment sample bundles) is kept strictly
   per-instance, driven by that instance's own RNG - instances remain
@@ -28,27 +38,25 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from ..sampling.discrete import CumulativeSampler
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
-from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle, triangle_edges
+from ..types import Edge, Triangle, Vertex, triangle_edges
 from . import engine
 from .assignment import (
-    SampleSource,
     _Bundle,
     closure_hit_counts,
     derive_sample_generator,
 )
 from .estimator import (
     SinglePassStackResult,
-    _neighborhood_owner,
-    collect_position_slots,
-    serve_neighbor_positions,
+    draw_weighted_edges,
+    pass1_uniform_samples,
+    pass2_degree_table,
+    pass3_neighbor_apexes,
+    pass4_closure_triangles,
 )
 from .params import ParameterPlan
-
-_DrawKey = Tuple[int, int]  # (instance, draw index)
 
 
 def run_parallel_estimates(
@@ -77,31 +85,11 @@ def run_parallel_estimates(
     # (see derive_sample_generator).
     sources = [derive_sample_generator(rngs[j]) for j in range(k)]
 
-    sampled = _pass1(scheduler, plan.r, m, sources, meter, chunked)
-    degree = _pass2(scheduler, sampled, meter, chunked)
-
-    draws: List[List[Edge]] = []
-    owners: List[List[Vertex]] = []
-    ells: List[int] = []
-    d_rs: List[float] = []
-    for j in range(k):
-        weights = [float(min(degree[u], degree[v])) for u, v in sampled[j]]
-        d_r = sum(weights)
-        ell = plan.ell(d_r)
-        sampler = CumulativeSampler(weights)
-        if isinstance(sources[j], SampleSource):
-            slots = sampler.draw_many_from_uniforms(sources[j].uniforms(ell))
-        else:  # pragma: no cover - exercised only without NumPy
-            slots = sampler.draw_many(sources[j], ell)
-        instance_draws = [sampled[j][slot] for slot in slots]
-        draws.append(instance_draws)
-        owners.append([_neighborhood_owner(e, degree) for e in instance_draws])
-        ells.append(ell)
-        d_rs.append(d_r)
-        meter.allocate(2 * ell, "draws")
-
-    apexes = _pass3(scheduler, owners, degree, sources, meter, chunked)
-    candidates = _pass4(scheduler, draws, owners, apexes, meter, chunked)
+    sampled = pass1_uniform_samples(scheduler, plan.r, m, sources, meter, chunked)
+    degree = pass2_degree_table(scheduler, sampled, meter, chunked)
+    draws, owners, ells, d_rs = draw_weighted_edges(sampled, degree, plan, sources, meter)
+    apexes = pass3_neighbor_apexes(scheduler, owners, degree, sources, meter, chunked)
+    candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
 
     distinct_by_instance: List[set] = [
         {t for t in candidates[j] if t is not None} for j in range(k)
@@ -134,181 +122,6 @@ def run_parallel_estimates(
     return results
 
 
-def _pass1(
-    scheduler: PassScheduler,
-    r: int,
-    m: int,
-    sources: List,
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Edge]]:
-    """Pass 1: r i.i.d. uniform edges per instance, one shared sweep.
-
-    Positions are pre-drawn in instance-then-slot order on both engines, so
-    the per-instance variate streams stay aligned.
-    """
-    k = len(sources)
-    meter.allocate(2 * r * k, "R")
-    if isinstance(sources[0], SampleSource):
-        import numpy as np
-
-        positions = np.concatenate(
-            [(sources[j].uniforms(r) * m).astype(np.int64) for j in range(k)]
-        )
-        if chunked:
-            from . import kernels
-
-            flat = kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
-            return [flat[j * r : (j + 1) * r] for j in range(k)]
-        position_list = positions.tolist()
-    else:  # pragma: no cover - exercised only without NumPy
-        position_list = [sources[j].randrange(m) for j in range(k) for _ in range(r)]
-    slots_by_position: Dict[int, List[_DrawKey]] = {}
-    for flat_slot, position in enumerate(position_list):
-        slots_by_position.setdefault(position, []).append(divmod(flat_slot, r))
-    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r * k)
-    return [[filled[(j, slot)] for slot in range(r)] for j in range(k)]
-
-
-def _pass2(
-    scheduler: PassScheduler,
-    sampled: List[List[Edge]],
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> Dict[Vertex, int]:
-    """Pass 2: one shared degree table for all endpoints of all instances."""
-    tracked: Dict[Vertex, int] = {}
-    for instance in sampled:
-        for u, v in instance:
-            tracked[u] = 0
-            tracked[v] = 0
-    meter.allocate(len(tracked), "degrees")
-    if chunked:
-        import numpy as np
-
-        from . import kernels
-
-        ids = np.array(sorted(tracked), dtype=np.int64)
-        counts = kernels.count_tracked_degrees(scheduler, ids, engine.chunk_size())
-        return dict(zip(ids.tolist(), counts.tolist()))
-    for a, b in scheduler.new_pass():
-        if a in tracked:
-            tracked[a] += 1
-        if b in tracked:
-            tracked[b] += 1
-    return tracked
-
-
-def _pass3(
-    scheduler: PassScheduler,
-    owners: List[List[Vertex]],
-    degree: Dict[Vertex, int],
-    sources: List,
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Optional[Vertex]]]:
-    """Pass 3: per-draw uniform neighbor samples, all instances at once.
-
-    Owner degrees are known from the shared pass-2 table, so each draw
-    pre-draws a uniform *position* in its owner's incident sub-stream from
-    its instance's own sample source (preserving cross-instance
-    independence) and the scan just captures the neighbors at the requested
-    positions - see :func:`repro.core.estimator._pass3_neighbor_samples`.
-    """
-    k = len(sources)
-    total_draws = sum(len(instance_owners) for instance_owners in owners)
-    distinct_owners = {owner for instance_owners in owners for owner in instance_owners}
-    meter.allocate(total_draws + len(distinct_owners), "neighbor-reservoirs")
-    vectorized = isinstance(sources[0], SampleSource) if sources else False
-    if vectorized:
-        import numpy as np
-
-        position_lists = []
-        for j in range(k):
-            degrees = np.fromiter(
-                (degree[o] for o in owners[j]), np.int64, count=len(owners[j])
-            )
-            position_lists.append(
-                (sources[j].uniforms(len(owners[j])) * degrees).astype(np.int64)
-            )
-        if chunked:
-            from . import kernels
-
-            owner_ids = np.asarray(sorted(distinct_owners), dtype=np.int64)
-            flat_owners = np.asarray(
-                [owner for instance_owners in owners for owner in instance_owners],
-                dtype=np.int64,
-            )
-            owner_index = np.searchsorted(owner_ids, flat_owners)
-            found = kernels.collect_neighbor_positions(
-                scheduler,
-                owner_ids,
-                owner_index,
-                np.concatenate(position_lists),
-                engine.chunk_size(),
-            )
-            apexes = []
-            at = 0
-            for j in range(k):
-                row = found[at : at + len(owners[j])].tolist()
-                apexes.append([None if w < 0 else int(w) for w in row])
-                at += len(owners[j])
-            return apexes
-        positions = [p.tolist() for p in position_lists]
-    else:  # pragma: no cover - exercised only without NumPy
-        positions = [
-            [sources[j].randrange(degree[o]) for o in owners[j]] for j in range(k)
-        ]
-    pending: Dict[Vertex, List[Tuple[int, _DrawKey]]] = {}
-    for j, instance_owners in enumerate(owners):
-        for i, owner in enumerate(instance_owners):
-            pending.setdefault(owner, []).append((positions[j][i], (j, i)))
-    served = serve_neighbor_positions(scheduler.new_pass(), pending)
-    return [
-        [served.get((j, i)) for i in range(len(owners[j]))] for j in range(len(owners))
-    ]
-
-
-def _pass4(
-    scheduler: PassScheduler,
-    draws: List[List[Edge]],
-    owners: List[List[Vertex]],
-    apexes: List[List[Optional[Vertex]]],
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Optional[Triangle]]]:
-    """Pass 4: shared closure watch across all instances."""
-    watch: Dict[Edge, List[_DrawKey]] = {}
-    wedges: List[List[Optional[Triangle]]] = [
-        [None] * len(draws[j]) for j in range(len(draws))
-    ]
-    for j in range(len(draws)):
-        for i, ((u, v), owner, w) in enumerate(zip(draws[j], owners[j], apexes[j])):
-            if w is None:
-                continue
-            other = v if owner == u else u
-            if w == other:
-                continue
-            wedges[j][i] = canonical_triangle(u, v, w)
-            watch.setdefault(canonical_edge(other, w), []).append((j, i))
-    meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
-    closed: Dict[_DrawKey, bool] = {}
-    if chunked:
-        from . import kernels
-
-        for found in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
-            for key in watch[found]:
-                closed[key] = True
-    else:
-        for edge in scheduler.new_pass():
-            for key in watch.get(edge, ()):
-                closed[key] = True
-    return [
-        [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
-        for j in range(len(draws))
-    ]
-
-
 def _passes5and6_assign(
     scheduler: PassScheduler,
     plan: ParameterPlan,
@@ -320,8 +133,12 @@ def _passes5and6_assign(
     """Passes 5-6: Algorithm 3 for every instance, sharing the two passes.
 
     Bundles and estimates are per (instance, vertex/edge) - instances stay
-    independent; only the passes are shared.  Skipped entirely (0 passes)
-    when no instance found any triangle.
+    independent; only the passes are shared.  Pass 6's watched keys are
+    deduplicated *across* instances before the scan (two instances probing
+    the same missing edge share one packed key; the hit count fans back
+    out per (instance, edge) row - see
+    :func:`~repro.core.assignment.closure_hit_counts`).  Skipped entirely
+    (0 passes) when no instance found any triangle.
     """
     k = len(rngs)
     if not any(distinct_by_instance):
@@ -352,13 +169,8 @@ def _passes5and6_assign(
     # order at this fixed point so both engines consume the stdlib RNGs
     # identically (see derive_sample_generator).
     sample_rngs = [derive_sample_generator(rngs[j]) for j in range(k)]
-    if chunked:
-        from . import kernels
 
-        edge_source = kernels.iter_incident_edges(scheduler, degree, engine.chunk_size())
-    else:
-        edge_source = scheduler.new_pass()
-    for a, b in edge_source:
+    def offer(a: Vertex, b: Vertex) -> None:
         if a in degree:
             degree[a] += 1
             count = degree[a]
@@ -369,6 +181,14 @@ def _passes5and6_assign(
             count = degree[b]
             for j, bundle in by_vertex[b]:
                 bundle.offer(a, count, sample_rngs[j])
+
+    if chunked:
+        from . import kernels
+
+        kernels.scan_incident_edges(scheduler, degree, engine.chunk_size(), offer)
+    else:
+        for a, b in scheduler.new_pass():
+            offer(a, b)
     for (j, _), bundle in bundles.items():  # deterministic construction order
         bundle.flush(sample_rngs[j])
 

@@ -63,15 +63,23 @@ def run_paper_estimator_on_graph(
     workload: str = "",
     config: Optional[EstimatorConfig] = None,
     exact: Optional[int] = None,
+    engine_mode: Optional[str] = None,
+    chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> RunReport:
     """Run the paper's estimator on ``graph`` with the promise ``kappa``.
 
     ``config`` defaults to a fresh :class:`EstimatorConfig` carrying the
-    seed; pass ``exact`` to skip the (possibly expensive) ground-truth count
-    when the caller already knows it.
+    seed and any engine selection (``engine_mode`` / ``chunk_size`` /
+    ``workers`` - ignored when an explicit ``config`` is supplied, since
+    the config already carries its own engine fields); pass ``exact`` to
+    skip the (possibly expensive) ground-truth count when the caller
+    already knows it.
     """
     if config is None:
-        config = EstimatorConfig(seed=seed)
+        config = EstimatorConfig(
+            seed=seed, engine_mode=engine_mode, chunk_size=chunk_size, workers=workers
+        )
     stream = _stream_for(graph, seed)
     truth = exact if exact is not None else count_triangles(graph)
     start = time.perf_counter()

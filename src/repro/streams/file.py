@@ -9,7 +9,10 @@ by SNAP and most public graph repositories).
 Chunked passes parse the file in ``chunk_size``-line batches through
 ``numpy.loadtxt`` and canonicalize each batch with vectorized min/max, so
 the per-line Python interpreter cost of :meth:`__iter__` is paid only on
-the pure-Python fallback path.
+the pure-Python fallback path.  Batch parsing runs on a double-buffered
+reader thread (:data:`PREFETCH_CHUNKS` ahead of the consumer), so parse
+and pass-kernel scan overlap; ``REPRO_FILE_PREFETCH=0`` forces inline
+parsing.
 """
 
 from __future__ import annotations
@@ -24,6 +27,10 @@ from .base import DEFAULT_CHUNK_EDGES, EdgeStream
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     import numpy
+
+#: Chunks the reader thread may parse ahead of the consumer (double
+#: buffering: one chunk being scanned, up to this many already parsed).
+PREFETCH_CHUNKS = 2
 
 
 class FileEdgeStream(EdgeStream):
@@ -82,11 +89,26 @@ class FileEdgeStream(EdgeStream):
         canonicalization when ``validate`` is set), but parses whole batches
         through ``numpy.loadtxt`` - comments and blank lines are skipped
         without counting toward the batch size.
-        """
-        import numpy as np
 
+        Parsing runs on a **double-buffered reader thread**: while the
+        caller scans chunk ``i``, the thread is already parsing chunk
+        ``i + 1`` (a bounded queue of :data:`PREFETCH_CHUNKS` keeps it one
+        step ahead), so file parse and pass kernels overlap instead of
+        alternating.  The chunk sequence is exactly that of the synchronous
+        parser; set ``REPRO_FILE_PREFETCH=0`` to disable the thread and
+        parse inline.
+        """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if os.environ.get("REPRO_FILE_PREFETCH", "1") == "0":
+            yield from self._parse_chunks(chunk_size)
+            return
+        yield from self._prefetched_chunks(chunk_size)
+
+    def _parse_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
+        """The synchronous batch parser (one ``loadtxt`` call per chunk)."""
+        import numpy as np
+
         with open(self._path, "r", encoding="utf-8") as handle:
             while True:
                 try:
@@ -112,6 +134,56 @@ class FileEdgeStream(EdgeStream):
                 yield block
                 if len(block) < chunk_size:
                     return
+
+    def _prefetched_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
+        """Run :meth:`_parse_chunks` on a reader thread, double-buffered.
+
+        The producer parses ahead into a bounded queue and checks a stop
+        event between puts, so an abandoned pass (generator ``close()``)
+        releases the thread promptly; parser exceptions are re-raised in
+        the consumer at the point the failing chunk would have appeared.
+        """
+        import queue as queue_module
+        import threading
+
+        chunks: "queue_module.Queue" = queue_module.Queue(maxsize=PREFETCH_CHUNKS)
+        stop = threading.Event()
+        end = object()  # sentinel: clean end of file
+
+        def reader() -> None:
+            try:
+                for block in self._parse_chunks(chunk_size):
+                    while not stop.is_set():
+                        try:
+                            chunks.put(block, timeout=0.05)
+                            break
+                        except queue_module.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                payload = end
+            except BaseException as exc:  # forwarded, not swallowed
+                payload = exc
+            while not stop.is_set():
+                try:
+                    chunks.put(payload, timeout=0.05)
+                    return
+                except queue_module.Full:
+                    continue
+
+        thread = threading.Thread(target=reader, name="repro-file-prefetch", daemon=True)
+        thread.start()
+        try:
+            while True:
+                item = chunks.get()
+                if item is end:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            thread.join()
 
     def _canonicalize(self, np, block: "numpy.ndarray") -> "numpy.ndarray":
         """Vectorized ``canonical_edge`` over one parsed batch."""

@@ -21,7 +21,7 @@ from repro.core.estimator import run_single_estimate
 from repro.core.kernels import (
     collect_stream_positions,
     count_tracked_degrees,
-    iter_incident_edges,
+    scan_incident_edges,
     scan_watch_keys,
 )
 from repro.core.parallel import run_parallel_estimates
@@ -149,10 +149,11 @@ class TestKernelPrimitives:
         assert counts.tolist() == []
         assert scheduler.passes_used == 2
 
-    def test_iter_incident_edges_filters_in_order(self):
+    def test_scan_incident_edges_filters_in_order(self):
         edges = [(0, 1), (2, 3), (1, 4), (5, 6), (4, 7)]
         scheduler = PassScheduler(InMemoryEdgeStream(edges))
-        got = list(iter_incident_edges(scheduler, [4], chunk_size=2))
+        got = []
+        scan_incident_edges(scheduler, [4], 2, lambda u, v: got.append((u, v)))
         assert got == [(1, 4), (4, 7)]
 
     def test_scan_watch_keys_subset(self):
