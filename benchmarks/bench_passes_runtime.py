@@ -3,11 +3,13 @@
 Confirms the constant-pass discipline measured end to end (6 passes per
 Algorithm 2 run, 3 with the degree oracle, 1 for the exact counter) and
 times the estimator across a size sweep of the BA family - once per
-execution engine (pure Python, chunked NumPy, and the sharded pass
-executor), so the table doubles as the engine speedup report.  All
-engines produce bit-identical estimates (``tests/test_kernels_parity.py``
-and ``tests/test_executor_sharded.py``), so the columns differ only in
-speed.
+execution engine (pure Python, chunked NumPy, the sharded pass executor,
+and the fused sweep engine on top of sharding), so the table doubles as
+the engine speedup report.  All engines produce bit-identical estimates
+(``tests/test_kernels_parity.py``, ``tests/test_executor_sharded.py``,
+and ``tests/test_executor_fused.py``), so the columns differ only in
+speed - the fused column additionally performs strictly fewer physical
+tape sweeps (pass 4 and pass 5 share one traversal).
 
 Reproduction target: per-run passes never exceed their stated constants;
 wall time grows near-linearly in m (each pass is one sweep; sample sizes at
@@ -44,12 +46,15 @@ SHARD_WORKERS = min(4, os.cpu_count() or 1)
 
 def run_passes_runtime(scale: str, seeds: range) -> None:
     rows = []
-    totals = {"python": 0.0, "chunked": 0.0, "sharded": 0.0}
-    # (label, engine mode, worker count); sharded = chunked kernels fanned
-    # across the process pool by the shared executor.
-    engines = [("python", "python", None), ("chunked", "chunked", 1)]
+    totals = {"python": 0.0, "chunked": 0.0, "sharded": 0.0, "fused": 0.0}
+    # (label, engine mode, worker count, fused); sharded = chunked kernels
+    # fanned across the process pool by the shared executor, fused = the
+    # same sharded engine with each round's independent plans grouped into
+    # shared tape sweeps (identical estimates, fewer sweeps).
+    engines = [("python", "python", None, False), ("chunked", "chunked", 1, False)]
     if HAVE_NUMPY:
-        engines.append(("sharded", "chunked", SHARD_WORKERS))
+        engines.append(("sharded", "chunked", SHARD_WORKERS, False))
+        engines.append(("fused", "chunked", SHARD_WORKERS, True))
     for n in SIZES[scale]:
         graph = barabasi_albert_graph(n, 5, random.Random(1))
         t = count_triangles(graph)
@@ -60,8 +65,8 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
         )
         engine_times = {}
         results = {}
-        for label, mode, workers in engines if HAVE_NUMPY else engines[:1]:
-            with engine_overrides(mode, None, workers):
+        for label, mode, workers, fused in engines if HAVE_NUMPY else engines[:1]:
+            with engine_overrides(mode, None, workers, fused):
                 best = float("inf")
                 for _ in seeds:
                     start = time.perf_counter()
@@ -72,8 +77,14 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
         if HAVE_NUMPY:
             # Same seed, same answer: the engines differ only in speed.
             assert results["python"] == results["chunked"] == results["sharded"]
+            # The fused engine differs only in sweep/space accounting.
+            assert results["fused"].estimate == results["sharded"].estimate
+            assert results["fused"].sweeps_used <= results["sharded"].sweeps_used
+            if results["fused"].distinct_candidate_triangles:
+                # A round with candidates is where fusing saves its sweep.
+                assert results["fused"].sweeps_used < results["sharded"].sweeps_used
         else:  # pragma: no cover - degrade to a single-engine table
-            for label in ("chunked", "sharded"):
+            for label in ("chunked", "sharded", "fused"):
                 engine_times[label] = engine_times["python"]
                 totals[label] += engine_times["python"]
         single = results["python" if not HAVE_NUMPY else "sharded"]
@@ -94,8 +105,10 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
                 engine_times["python"],
                 engine_times["chunked"],
                 engine_times["sharded"],
+                engine_times["fused"],
                 engine_times["python"] / max(engine_times["chunked"], 1e-9),
                 engine_times["chunked"] / max(engine_times["sharded"], 1e-9),
+                engine_times["sharded"] / max(engine_times["fused"], 1e-9),
                 graph.num_edges / max(engine_times["chunked"], 1e-9),
             ]
         )
@@ -115,8 +128,10 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
                 "python sec",
                 "chunked sec",
                 f"sharded sec (w={SHARD_WORKERS})",
+                f"fused sec (w={SHARD_WORKERS})",
                 "chunk speedup",
                 "shard speedup",
+                "fuse speedup",
                 "edges/sec",
             ],
             rows,
@@ -128,9 +143,11 @@ def run_passes_runtime(scale: str, seeds: range) -> None:
     )
     print(
         f"sweep total: python {totals['python']:.3f}s, chunked {totals['chunked']:.3f}s, "
-        f"sharded {totals['sharded']:.3f}s (workers={SHARD_WORKERS}), "
+        f"sharded {totals['sharded']:.3f}s, fused {totals['fused']:.3f}s "
+        f"(workers={SHARD_WORKERS}), "
         f"chunk speedup {totals['python'] / max(totals['chunked'], 1e-9):.1f}x, "
-        f"shard speedup {totals['chunked'] / max(totals['sharded'], 1e-9):.2f}x"
+        f"shard speedup {totals['chunked'] / max(totals['sharded'], 1e-9):.2f}x, "
+        f"fuse speedup {totals['sharded'] / max(totals['fused'], 1e-9):.2f}x"
     )
 
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Three stages:
+Four stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -9,18 +9,22 @@ Three stages:
    asserting seed-for-seed identical estimates while timing both engines;
 3. a sharded-vs-serial comparison of the pass executor: the E9 sweep's
    largest sizes end to end plus a synthetic single-pass degree scan,
-   serial chunked against a worker pool (results asserted identical).
+   serial chunked against a worker pool (results asserted identical);
+4. a fused-vs-per-plan comparison of the sweep engine at matched worker
+   count: identical estimates asserted, strictly fewer physical tape
+   sweeps asserted, wall-clock speedup recorded.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
 trajectory instead of overwriting it.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-3 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-4 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
-below half of the last committed ``BENCH_engine.json`` entry - wired into
-the tier-1 flow as an opt-in pytest (``tests/test_bench_smoke.py``,
-``REPRO_SMOKE=1``).
+below half of the last committed ``BENCH_engine.json`` entry, or if the
+fused engine came out slower than the unfused sharded engine on the same
+sweep - wired into the tier-1 flow as an opt-in pytest
+(``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
 
@@ -245,6 +249,75 @@ def run_sharded_comparison(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_fused_comparison(scale: str, repeats: int = 3) -> dict:
+    """Unfused vs fused sweep engine at matched worker count (E9 sweep).
+
+    Both columns run the sharded executor; the fused column additionally
+    groups each round's independent pass plans (closure watch + assignment
+    incident collection) into shared tape sweeps.  Estimates are asserted
+    bit-identical and the fused runs are asserted to perform strictly
+    fewer physical sweeps; the speedup is per-plan (unfused) time over
+    fused time, so >= 1.0 means fusing paid for its bookkeeping.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    workers = max(2, min(4, os.cpu_count() or 1))
+    rows = []
+    totals = {"per_plan": 0.0, "fused": 0.0}
+    sweep_counts = {}
+    for n in ENGINE_SIZES[scale][-2:]:  # the two largest sweep sizes
+        graph, t, stream, plan = _e9_instance(n)
+        times = {}
+        results = {}
+        for label, fused in (("per_plan", False), ("fused", True)):
+            with engine_overrides("chunked", None, workers, fused):
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    results[label] = run_single_estimate(stream, plan, random.Random(3))
+                    best = min(best, time.perf_counter() - start)
+            times[label] = best
+            totals[label] += best
+        assert results["per_plan"].estimate == results["fused"].estimate, (
+            "fused parity violated"
+        )
+        assert results["fused"].sweeps_used <= results["per_plan"].sweeps_used, (
+            "fused mode increased stream sweeps"
+        )
+        if results["fused"].distinct_candidate_triangles:
+            # Rounds that find candidate triangles are where the fused
+            # pass-4/5 group saves its sweep; candidate-free runs tie.
+            assert results["fused"].sweeps_used < results["per_plan"].sweeps_used, (
+                "fused mode did not reduce stream sweeps"
+            )
+        sweep_counts = {
+            "per_plan": results["per_plan"].sweeps_used,
+            "fused": results["fused"].sweeps_used,
+        }
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "per_plan_sec": round(times["per_plan"], 5),
+                "fused_sec": round(times["fused"], 5),
+                "speedup": round(times["per_plan"] / times["fused"], 2),
+                "sweeps_per_plan": results["per_plan"].sweeps_used,
+                "sweeps_fused": results["fused"].sweeps_used,
+            }
+        )
+        print(f"[bench-suite] fused n={n}: {rows[-1]}")
+    return {
+        "scale": scale,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "sweeps": sweep_counts,
+        "total_per_plan_sec": round(totals["per_plan"], 4),
+        "total_fused_sec": round(totals["fused"], 4),
+        "total_speedup": round(totals["per_plan"] / totals["fused"], 2),
+    }
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -274,6 +347,7 @@ def run_smoke(output: pathlib.Path) -> int:
     """
     current_engine = run_engine_comparison("tiny")
     current_sharded = run_sharded_comparison("tiny")
+    current_fused = run_fused_comparison("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -294,6 +368,16 @@ def run_smoke(output: pathlib.Path) -> int:
     ):
         failures.append(
             f"sharded speedup regressed: {measured_sharded}x vs last recorded {last_sharded}x"
+        )
+    # The fused engine must not lose to unfused sharded execution on the
+    # same sweep: it runs the identical kernels on strictly fewer tape
+    # traversals, so any deficit beyond measurement noise (10% slack on a
+    # shared box) is a regression in the fused executor itself.  Parity
+    # and the sweep-count reduction are asserted inside the comparison.
+    measured_fused = current_fused.get("total_speedup")
+    if measured_fused is not None and measured_fused < 0.9:
+        failures.append(
+            f"fused engine slower than unfused sharded: {measured_fused}x (< 0.9x floor)"
         )
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
@@ -326,6 +410,7 @@ def main() -> int:
         record["benchmarks"] = run_pytest_benchmarks(args.scale)
     record["engine_comparison"] = run_engine_comparison(args.scale)
     record["sharded_comparison"] = run_sharded_comparison(args.scale)
+    record["fused_comparison"] = run_fused_comparison(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

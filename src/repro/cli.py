@@ -8,10 +8,14 @@ Commands
 ``exact <edgelist>``
     One-pass exact triangle count with space/pass accounting.
 ``estimate <edgelist> --kappa K [--epsilon E] [--seed S] [--repetitions R]
-[--engine auto|chunked|python|sharded] [--chunk-size C] [--workers W]``
+[--engine auto|chunked|python|sharded] [--chunk-size C] [--workers W]
+[--fuse | --no-fuse]``
     The paper's estimator on the file's stream; ``--engine``/``--workers``
     select the execution engine (sharded = chunked kernels fanned across
-    worker processes, seed-for-seed identical to the serial engines).
+    worker processes, seed-for-seed identical to the serial engines) and
+    ``--fuse`` turns on the fused sweep engine (independent pass plans of
+    each round share physical tape sweeps; identical estimates, fewer
+    stream traversals).
 ``bounds <edgelist>``
     Table 1 predicted space bounds evaluated on the instance.
 ``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
@@ -72,6 +76,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for the sharded pass executor (1 = in-process)",
     )
+    p_est.add_argument(
+        "--fuse",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "fuse each round's independent pass plans into shared tape sweeps "
+            "(fewer stream traversals, identical estimates; default: REPRO_FUSE policy)"
+        ),
+    )
 
     p_bounds = sub.add_parser("bounds", help="Table 1 predicted bounds for an instance")
     p_bounds.add_argument("edgelist")
@@ -111,11 +124,13 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         engine_mode=args.engine,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        fuse=args.fuse,
     )
     result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
     print(f"estimate:  {result.estimate:.1f}")
     print(f"rounds:    {len(result.rounds)}")
     print(f"passes:    {result.passes_total} total ({6 * args.repetitions} max per round)")
+    print(f"sweeps:    {result.sweeps_total} tape sweeps")
     print(f"space:     {result.space_words_peak} words peak per run")
     if result.final_plan is not None:
         plan = result.final_plan

@@ -82,6 +82,7 @@ def run_single_estimate_third_split(
         distinct_candidate_triangles=result.distinct_candidate_triangles,
         passes_used=result.passes_used,
         space_words_peak=result.space_words_peak,
+        sweeps_used=result.sweeps_used,
     )
 
 

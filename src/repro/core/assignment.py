@@ -196,6 +196,26 @@ class _Bundle:
         return list(self.slots)  # pragma: no cover - exercised only without NumPy
 
 
+def replay_incident_rows(incident_rows: list, offer) -> None:
+    """Replay a fused-sweep incident buffer through a per-edge callback.
+
+    The buffer is what :func:`repro.core.estimator.pass45_closure_and_collect`
+    collected during the fused pass-4/5 sweep: every tape edge incident to
+    a *superset* of the assignment stage's tracked vertices, in stream
+    order (``(k, 2)`` blocks on the chunked engines, edge tuples on the
+    Python path).  ``offer`` must ignore untracked endpoints - exactly the
+    contract of the pass-5 fold - so replaying the superset produces the
+    identical update (and RNG-consumption) sequence a live incident scan
+    would have, without consuming a pass.
+    """
+    for batch in incident_rows:
+        if isinstance(batch, tuple):  # Python engine: one edge per entry
+            offer(batch[0], batch[1])
+        else:  # chunked engines: (k, 2) blocks
+            for u, v in batch.tolist():
+                offer(u, v)
+
+
 def closure_hit_counts(
     scheduler: PassScheduler,
     bundle_rows: List[_Bundle],
@@ -369,23 +389,39 @@ class StreamingAssigner:
         self._meter = meter if meter is not None else SpaceMeter()
 
     def assign(
-        self, scheduler: PassScheduler, triangles: Iterable[Triangle]
+        self,
+        scheduler: PassScheduler,
+        triangles: Iterable[Triangle],
+        incident_rows: Optional[list] = None,
     ) -> Dict[Triangle, Optional[Edge]]:
-        """Resolve assignments for all distinct triangles in two passes."""
+        """Resolve assignments for all distinct triangles in two passes.
+
+        When the fused sweep engine already collected the incident edges
+        during pass 4, ``incident_rows`` carries that buffer and pass 5
+        replays it instead of opening a pass of its own (the pass was
+        charged by the fused group) - results are bit-identical either
+        way.
+        """
         distinct = sorted(set(triangles))
         if not distinct:
             return {}
         edges = sorted({f for t in distinct for f in triangle_edges(t)})
         chunked = engine.use_chunks(scheduler.stream)
 
-        degree, bundles = self._pass5_degrees_and_samples(scheduler, edges, chunked)
+        degree, bundles = self._pass5_degrees_and_samples(
+            scheduler, edges, chunked, incident_rows
+        )
         estimates = self._pass6_estimate_te(scheduler, edges, degree, bundles, chunked)
         return self._resolve(distinct, estimates)
 
     # -- pass 5 --------------------------------------------------------------
 
     def _pass5_degrees_and_samples(
-        self, scheduler: PassScheduler, edges: List[Edge], chunked: bool = False
+        self,
+        scheduler: PassScheduler,
+        edges: List[Edge],
+        chunked: bool = False,
+        incident_rows: Optional[list] = None,
     ) -> Tuple[Dict[Vertex, int], Dict[Vertex, _Bundle]]:
         """Count degrees of all candidate-edge endpoints and sample neighbors.
 
@@ -418,7 +454,11 @@ class StreamingAssigner:
                 degree[b] = k
                 bundles[b].offer(a, k, rng)
 
-        if chunked:
+        if incident_rows is not None:
+            # Fused sweep: pass 5's tape reads already happened during the
+            # pass-4 sweep; replay the buffered superset (no pass opened).
+            replay_incident_rows(incident_rows, offer)
+        elif chunked:
             from . import kernels
 
             kernels.scan_incident_edges(scheduler, degree, engine.chunk_size(), offer)

@@ -78,6 +78,16 @@ class EstimatorConfig:
     workers:
         Optional worker-process count for the sharded pass executor
         (``1`` = in-process).  ``None`` keeps the global setting.
+    fuse:
+        Optional override of the fused sweep engine: each round's closure
+        watch (pass 4) and assignment sampling (pass 5) share one physical
+        tape sweep (:func:`repro.core.executor.run_plans`).  Estimates are
+        seed-for-seed identical with fusing on or off; fusing trades a
+        speculative incident buffer (extra space) for strictly fewer
+        stream sweeps on rounds that find candidate triangles (a round
+        whose wedges all stay open ties - unfused execution skips the
+        assignment passes there).  ``None`` keeps the global
+        ``REPRO_FUSE`` policy (off by default).
     """
 
     epsilon: float = 0.25
@@ -92,6 +102,7 @@ class EstimatorConfig:
     engine_mode: Optional[str] = None
     chunk_size: Optional[int] = None
     workers: Optional[int] = None
+    fuse: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -127,7 +138,10 @@ class EstimateResult:
     by any single run (the model's per-instance space); ``passes_total``
     sums passes over all runs and rounds (each run alone stays within the
     constant six-pass budget - the total reflects the driver's repetition
-    and search factors, both ``O(log)``).
+    and search factors, both ``O(log)``).  ``sweeps_total`` sums the
+    *physical tape sweeps* the same runs performed - equal to
+    ``passes_total`` unfused, strictly smaller when the fused sweep engine
+    grouped passes.
     """
 
     estimate: float
@@ -135,6 +149,7 @@ class EstimateResult:
     space_words_peak: int
     passes_total: int
     final_plan: Optional[ParameterPlan]
+    sweeps_total: int = 0
 
     @property
     def accepted_round(self) -> Optional[GuessRound]:
@@ -192,7 +207,7 @@ class TriangleCountEstimator:
         # Engine selection travels with the config: every pass of every
         # round runs under the requested mode / chunk size / worker count
         # (results are seed-for-seed identical across all of them).
-        with engine_overrides(cfg.engine_mode, cfg.chunk_size, cfg.workers):
+        with engine_overrides(cfg.engine_mode, cfg.chunk_size, cfg.workers, cfg.fuse):
             return self._estimate(stream, kappa, assigner_factory)
 
     def _estimate(
@@ -207,7 +222,12 @@ class TriangleCountEstimator:
         m = len(stream)
         if m == 0:
             return EstimateResult(
-                estimate=0.0, rounds=[], space_words_peak=0, passes_total=0, final_plan=None
+                estimate=0.0,
+                rounds=[],
+                space_words_peak=0,
+                passes_total=0,
+                final_plan=None,
+                sweeps_total=0,
             )
         # The model assumes n is known a priori (Table 1 notes this is the
         # standard assumption); one statistics pass recovers an upper bound.
@@ -228,6 +248,7 @@ class TriangleCountEstimator:
         rounds: List[GuessRound] = []
         space_peak = 0
         passes_total = 0
+        sweeps_total = 0
         final_plan: Optional[ParameterPlan] = None
         estimate = 0.0
 
@@ -257,6 +278,7 @@ class TriangleCountEstimator:
                 runs = run_parallel_estimates(stream, plan, rngs, meter=meter)
                 space_peak = max(space_peak, meter.peak_words)
                 passes_total += runs[0].passes_used if runs else 0
+                sweeps_total += runs[0].sweeps_used if runs else 0
             else:
                 for rep in range(cfg.repetitions):
                     rng = spawn(root, f"round{round_index}/rep{rep}")
@@ -267,6 +289,7 @@ class TriangleCountEstimator:
                     runs.append(run)
                     space_peak = max(space_peak, run.space_words_peak)
                     passes_total += run.passes_used
+                    sweeps_total += run.sweeps_used
             med = median([run.estimate for run in runs])
             accepted = cfg.t_hint is not None or med >= t_guess / 2.0
             rounds.append(
@@ -281,6 +304,7 @@ class TriangleCountEstimator:
                     space_words_peak=space_peak,
                     passes_total=passes_total,
                     final_plan=final_plan,
+                    sweeps_total=sweeps_total,
                 )
 
         if cfg.t_hint is not None:  # pragma: no cover - hint rounds always accept
@@ -292,4 +316,5 @@ class TriangleCountEstimator:
             space_words_peak=space_peak,
             passes_total=passes_total,
             final_plan=final_plan,
+            sweeps_total=sweeps_total,
         )

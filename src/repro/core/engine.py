@@ -71,11 +71,20 @@ def _initial_workers() -> Optional[int]:
     return None
 
 
+def _initial_fuse() -> bool:
+    return os.environ.get("REPRO_FUSE", "").strip().lower() in ("1", "true", "on")
+
+
 _mode: str = _initial_mode()
 _chunk_size: int = DEFAULT_CHUNK_EDGES
 #: ``None`` = never set explicitly (mode ``"sharded"`` may then default it
 #: to the core count); an explicit ``1`` always means in-process.
 _workers: Optional[int] = _initial_workers()
+#: Fused sweeps: independent pass plans of one round share a physical tape
+#: sweep (see :func:`repro.core.executor.run_plans`).  Estimates are
+#: seed-for-seed identical either way; fusing trades a little extra
+#: speculative space for strictly fewer stream sweeps.
+_fuse: bool = _initial_fuse()
 
 
 def engine_mode() -> str:
@@ -91,6 +100,11 @@ def chunk_size() -> int:
 def workers() -> int:
     """The configured worker-process count (``1`` means in-process)."""
     return _workers if _workers is not None else 1
+
+
+def fuse() -> bool:
+    """Whether rounds should fuse their independent pass plans per sweep."""
+    return _fuse
 
 
 def effective_workers() -> int:
@@ -118,24 +132,35 @@ def _check_workers(num_workers: Optional[int]) -> None:
         raise ParameterError(f"workers must be >= 1, got {num_workers}")
 
 
-def _apply(chunk: Optional[int], num_workers: Optional[int]) -> None:
-    """Validate *both* settings before committing either (no partial writes)."""
-    global _chunk_size, _workers
+def _apply(
+    chunk: Optional[int], num_workers: Optional[int], fused: Optional[bool] = None
+) -> None:
+    """Validate *all* settings before committing any (no partial writes)."""
+    global _chunk_size, _workers, _fuse
     _check_chunk(chunk)
     _check_workers(num_workers)
     if chunk is not None:
         _chunk_size = chunk
     if num_workers is not None:
         _workers = num_workers
+    if fused is not None:
+        _fuse = bool(fused)
 
 
-def set_engine(mode: str, chunk: Optional[int] = None, num_workers: Optional[int] = None) -> None:
-    """Set the global engine policy (and optionally chunk size / workers).
+def set_engine(
+    mode: str,
+    chunk: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    fused: Optional[bool] = None,
+) -> None:
+    """Set the global engine policy (and optionally chunk size / workers / fusing).
 
     ``"chunked"`` forces the kernels even for iterator-only streams (their
     generic batching fallback feeds the kernels); ``"sharded"`` does the
     same and additionally fans passes across worker processes;
     ``"python"`` forces the reference path; ``"auto"`` picks per stream.
+    ``fused`` toggles the fused-sweep execution of each round's independent
+    pass plans (any engine mode; estimates are identical either way).
     All arguments are validated before any global state changes, so a
     rejected call leaves the policy untouched.
     """
@@ -144,7 +169,7 @@ def set_engine(mode: str, chunk: Optional[int] = None, num_workers: Optional[int
         raise ParameterError(f"engine mode must be one of {_MODES}, got {mode!r}")
     if mode in ("chunked", "sharded") and not HAVE_NUMPY:
         raise ParameterError(f"engine mode {mode!r} requires NumPy, which is not installed")
-    _apply(chunk, num_workers)
+    _apply(chunk, num_workers, fused)
     _mode = mode
 
 
@@ -153,8 +178,9 @@ def engine_overrides(
     mode: Optional[str] = None,
     chunk: Optional[int] = None,
     num_workers: Optional[int] = None,
+    fused: Optional[bool] = None,
 ) -> Iterator[None]:
-    """Temporarily override the engine policy, chunk size, and/or workers.
+    """Temporarily override the engine policy, chunk size, workers, and/or fusing.
 
     Only *explicit* arguments are validated and applied; ``None`` leaves
     the corresponding setting untouched (in particular, an environment-
@@ -162,16 +188,16 @@ def engine_overrides(
     here - it degrades at :func:`use_chunks` - rather than rejected on
     every entry).  Restoration is unconditional.
     """
-    global _mode, _chunk_size, _workers
-    saved = (_mode, _chunk_size, _workers)
+    global _mode, _chunk_size, _workers, _fuse
+    saved = (_mode, _chunk_size, _workers, _fuse)
     try:
         if mode is not None:
-            set_engine(mode, chunk, num_workers)
+            set_engine(mode, chunk, num_workers, fused)
         else:
-            _apply(chunk, num_workers)
+            _apply(chunk, num_workers, fused)
         yield
     finally:
-        _mode, _chunk_size, _workers = saved
+        _mode, _chunk_size, _workers, _fuse = saved
 
 
 def use_chunks(stream: EdgeStream) -> bool:

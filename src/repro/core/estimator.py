@@ -78,6 +78,10 @@ class SinglePassStackResult:
     distinct_candidate_triangles: int
     passes_used: int
     space_words_peak: int
+    #: Physical tape sweeps consumed (== ``passes_used`` unfused; strictly
+    #: smaller when the fused sweep engine grouped passes - see
+    #: :func:`repro.core.executor.run_plans`).
+    sweeps_used: int = 0
 
 
 def run_single_estimate(
@@ -124,12 +128,27 @@ def run_single_estimate(
     vertex_degree = pass2_degree_table(scheduler, sampled, meter, chunked)
     draws, owners, ells, d_rs = draw_weighted_edges(sampled, vertex_degree, plan, sources, meter)
     apexes = pass3_neighbor_apexes(scheduler, owners, vertex_degree, sources, meter, chunked)
-    candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
+
+    # The default streaming assigner can replay a pre-collected incident
+    # buffer, which lets pass 4 (closure watch) and pass 5 (assignment
+    # sampling) share one fused tape sweep; injected assigners run their
+    # own passes, so fusing is only engaged for the default.
+    fused = engine.fuse() and assigner_factory is None
+    if fused:
+        candidates, incident = pass45_closure_and_collect(
+            scheduler, draws, owners, apexes, meter, chunked
+        )
+    else:
+        candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
+        incident = None
 
     distinct = {t for t in candidates[0] if t is not None}
-    assignment: Dict[Triangle, Optional[Edge]] = (
-        assigner.assign(scheduler, distinct) if distinct else {}
-    )
+    if not distinct:
+        assignment: Dict[Triangle, Optional[Edge]] = {}
+    elif fused:
+        assignment = assigner.assign(scheduler, distinct, incident_rows=incident)  # type: ignore[call-arg]
+    else:
+        assignment = assigner.assign(scheduler, distinct)
 
     hits = 0
     for edge, triangle in zip(draws[0], candidates[0]):
@@ -148,6 +167,7 @@ def run_single_estimate(
         distinct_candidate_triangles=len(distinct),
         passes_used=scheduler.passes_used,
         space_words_peak=meter.peak_words,
+        sweeps_used=scheduler.sweeps_used,
     )
 
 
@@ -408,22 +428,19 @@ def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
     return served
 
 
-def pass4_closure_triangles(
-    scheduler: PassScheduler,
+def _closure_watch_tables(
     draws: List[List[Edge]],
     owners: List[List[Vertex]],
     apexes: List[List[Optional[Vertex]]],
     meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Optional[Triangle]]]:
-    """Pass 4: resolve which wedges ``{e, w}`` close, all instances at once.
+) -> Tuple[Dict[Edge, List[DrawKey]], List[List[Optional[Triangle]]]]:
+    """The pass-4 watch table and per-draw wedge triangles (no scan yet).
 
     For a draw with edge ``(u, v)`` and apex ``w`` sampled from the owner's
     neighborhood, the only missing edge is (other endpoint, ``w``).  The
     watch table is keyed by that missing edge, so overlapping watches
     across instances collapse to *one* unique-key scan; hits fan back out
-    to every ``(instance, draw)`` watcher.  Returns the closed triangle
-    per draw, or ``None``.
+    to every ``(instance, draw)`` watcher.
     """
     watch: Dict[Edge, List[DrawKey]] = {}
     wedges: List[List[Optional[Triangle]]] = [
@@ -439,6 +456,25 @@ def pass4_closure_triangles(
             wedges[j][i] = canonical_triangle(u, v, w)
             watch.setdefault(canonical_edge(other, w), []).append((j, i))
     meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "closure-watch")
+    return watch, wedges
+
+
+def _fan_out_closure(
+    closed: Dict[DrawKey, bool],
+    wedges: List[List[Optional[Triangle]]],
+    draws: List[List[Edge]],
+) -> List[List[Optional[Triangle]]]:
+    """The closed triangle per draw (``None`` for open wedges)."""
+    return [
+        [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
+        for j in range(len(draws))
+    ]
+
+
+def _scan_closure_watch(
+    scheduler: PassScheduler, watch: Dict[Edge, List[DrawKey]], chunked: bool
+) -> Dict[DrawKey, bool]:
+    """One dedicated pass-4 scan of the watch table (one pass, one sweep)."""
     closed: Dict[DrawKey, bool] = {}
     if chunked:
         from . import kernels
@@ -450,7 +486,106 @@ def pass4_closure_triangles(
         for edge in scheduler.new_pass():
             for key in watch.get(edge, ()):
                 closed[key] = True
-    return [
-        [wedges[j][i] if closed.get((j, i)) else None for i in range(len(draws[j]))]
-        for j in range(len(draws))
-    ]
+    return closed
+
+
+def pass4_closure_triangles(
+    scheduler: PassScheduler,
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> List[List[Optional[Triangle]]]:
+    """Pass 4: resolve which wedges ``{e, w}`` close, all instances at once.
+
+    See :func:`_closure_watch_tables` for the watch-table construction and
+    the cross-instance dedup.  Returns the closed triangle per draw, or
+    ``None``.
+    """
+    watch, wedges = _closure_watch_tables(draws, owners, apexes, meter)
+    return _fan_out_closure(_scan_closure_watch(scheduler, watch, chunked), wedges, draws)
+
+
+def pass45_closure_and_collect(
+    scheduler: PassScheduler,
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> Tuple[List[List[Optional[Triangle]]], Optional[list]]:
+    """Fused passes 4+5: closure watch and incident collection, one sweep.
+
+    The assignment stage (pass 5) replays the edges incident to the
+    candidate triangles' vertices - a set only known once pass 4 resolves
+    which wedges closed.  Fusing the two is still exact because the
+    replayed fold ignores untracked endpoints: this sweep *buffers* the
+    edges incident to every **wedge** vertex (a superset of every possible
+    candidate vertex, fixed before the sweep), and the caller replays the
+    buffer through the pass-5 per-edge logic after closure is known.  The
+    replayed sequence - and therefore every degree counter and every
+    sample bundle's RNG consumption - is identical to what a dedicated
+    pass-5 sweep would have produced, so estimates are bit-identical to
+    unfused execution; the speculative buffer (metered as
+    ``fused-incident-buffer``) is the space this trades for one fewer
+    sweep of the tape.
+
+    Sweep accounting: a round whose wedges close saves exactly one sweep
+    (6 instead of 6 unfused passes over 5 sweeps).  A round with wedges
+    but no closures charges the speculative pass-5 logical pass without
+    saving a sweep (unfused execution would have skipped passes 5-6
+    entirely); a round with no wedges at all falls back to the plain
+    pass-4 scan and speculates nothing.  Fused sweeps per estimate are
+    therefore never more than unfused, and strictly fewer as soon as any
+    round finds a candidate triangle.
+
+    Returns ``(candidates, incident_rows)`` where ``incident_rows`` is the
+    buffered incident sequence in stream order (``(k, 2)`` blocks on the
+    chunked engines, edge tuples on the Python path) for
+    :func:`replay_incident_rows` - or ``None`` when nothing was
+    speculated.
+    """
+    watch, wedges = _closure_watch_tables(draws, owners, apexes, meter)
+    superset = {
+        endpoint for row in wedges for t in row if t is not None for endpoint in t
+    }
+    if not watch:
+        # No wedges at all: there is nothing pass 5 could ever track, so
+        # speculating would charge a logical pass for provably dead work.
+        # Run the plain pass-4 scan (which resolves to "no candidates")
+        # and let the caller skip the assignment stage, exactly like
+        # unfused execution does on such rounds.
+        candidates = _fan_out_closure(
+            _scan_closure_watch(scheduler, watch, chunked), wedges, draws
+        )
+        return candidates, None
+    closed: Dict[DrawKey, bool] = {}
+    incident: list
+    if chunked:
+        from . import kernels
+        from .executor import run_plans
+
+        watch_plan = kernels.WatchKeyPlan(list(watch))
+        collect_plan = kernels.IncidentCollectPlan(superset)
+        found, incident = run_plans(
+            scheduler, [watch_plan, collect_plan], chunk_size=engine.chunk_size()
+        )
+        for key_edge in found:
+            for key in watch[key_edge]:
+                closed[key] = True
+        buffered = sum(len(block) for block in incident)
+    else:
+        incident = []
+        sweep = scheduler.new_fused_pass(2)
+        try:
+            for a, b in sweep:
+                for key in watch.get((a, b), ()):
+                    closed[key] = True
+                if a in superset or b in superset:
+                    incident.append((a, b))
+        finally:
+            sweep.close()
+        buffered = len(incident)
+    meter.allocate(2 * buffered, "fused-incident-buffer")
+    return _fan_out_closure(closed, wedges, draws), incident

@@ -11,21 +11,37 @@ Every pass of the estimator stack is a fold with three separable parts:
   mutable state *in stream order*, which is where anything sequential
   (RNG replay on matched edges, occurrence numbering) lives.
 
-:class:`PassPlan` is the declarative description of one such pass and
-:func:`run_plan` is the single executor both runners use.  It has two
-strategies:
+:class:`PassPlan` is the declarative description of one such pass.
+:func:`run_plans` is the executor: it drives any set of *mutually
+independent* plans through **one** sweep of the tape (a fused pass group
+on the :class:`~repro.streams.multipass.PassScheduler`: one logical pass
+per plan, one physical sweep), and :func:`run_plan` is its single-plan
+case.  Two strategies:
 
-* **serial** (``workers <= 1``) - one :meth:`PassScheduler.new_pass_chunks`
-  sweep in-process, kernel per chunk, absorb immediately, honoring the
-  plan's early-abandon hints (``finished`` / ``stop_row``) exactly like
-  the pre-executor kernels did;
+* **serial** (``workers <= 1``) - one chunk sweep in-process; every still-
+  active plan's kernel runs on the shared chunk and absorbs immediately,
+  honoring each plan's early-abandon hints (``finished`` / ``stop_row``)
+  exactly like the pre-executor kernels did.  The sweep ends as soon as
+  every plan is done;
 * **sharded** (``workers > 1``) - the same chunk stream is split into
-  batches of consecutive chunks and dealt round-robin to a process pool
-  (one kernel invocation per batch - the kernels being pure functions of
-  ``(rows, spec)`` is what makes this safe); the parent absorbs the
-  returned partials strictly in submission order, so the fold sees the
-  identical sequence it would have seen serially and results are
-  bit-identical for the same seeds, whatever the worker count.
+  batches of consecutive chunks and dealt round-robin to a process pool;
+  each task carries the specs of all still-active plans and returns a
+  tuple of partials (the kernels being pure functions of ``(rows, spec)``
+  is what makes this safe).  The parent absorbs returned partials strictly
+  in submission order per plan, so every fold sees the identical sequence
+  it would have seen serially and results are bit-identical to the serial
+  strategy - and to per-plan :func:`run_plan` execution - for the same
+  seeds, whatever the worker count.
+
+Sharded block transport is **zero-copy by default**: chunk *handles* from
+the scheduler either name row ranges of a stream-owned shared-memory
+segment (:class:`~repro.streams.memory.InMemoryEdgeStream` mirrors its
+backing array once, then every task ships ``(name, start, rows)``
+descriptors and workers map the rows directly), or carry parsed blocks
+(:class:`~repro.streams.file.FileEdgeStream`) which the executor spools
+into per-task segments - one memcpy instead of a pickle round trip.
+``REPRO_SHM=0``, or any shared-memory failure, falls back to pickled
+blocks with identical results (see :mod:`repro.streams.shm`).
 
 The merge discipline per partial type (summed ``bincount`` degree tables,
 position/occurrence hits applied in stream-offset order, unioned
@@ -33,9 +49,10 @@ packed-key watch hits) lives in the concrete plans in
 :mod:`repro.core.kernels`; this module only guarantees the ordering and
 the process plumbing.
 
-Pass accounting is unchanged: the parent drives the one sanctioned
-``new_pass_chunks`` iterator per plan, so a sharded pass is still exactly
-one pass against the :class:`~repro.streams.multipass.PassScheduler`
+Pass accounting: the parent drives the one sanctioned scheduler iterator
+per plan group, so a sharded pass is still exactly one logical pass - and
+a fused group of ``n`` plans is ``n`` logical passes on **one** physical
+sweep - against the :class:`~repro.streams.multipass.PassScheduler`
 budget.  Worker pools are created lazily per worker count, reused across
 passes and runs, and torn down at interpreter exit (or explicitly via
 :func:`shutdown_pools`).
@@ -49,8 +66,9 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..streams import shm
 from . import engine
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
@@ -77,6 +95,10 @@ class PassPlan(ABC):
     whose partials are commutative (summed counts, unioned hits) simply
     don't depend on that, while order-sensitive plans (occurrence
     numbering, RNG replay) rely on it.
+
+    ``finished()`` returning ``True`` declares the rest of the tape dead
+    *and* any not-yet-absorbed partials discardable - the executor may
+    skip kernel invocations for a finished plan entirely.
     """
 
     #: Human-readable pass label, for diagnostics.
@@ -108,33 +130,46 @@ class PassPlan(ABC):
         """The pass result, read after the scan completes or abandons."""
 
 
-#: Worker-side cache of decoded specs, keyed by the parent's pass token.
-#: Every task ships the pre-pickled spec bytes (a memcpy, not a fresh
-#: serialization), but each worker decodes them only once per pass.
+#: Worker-side cache of decoded spec tuples, keyed by the parent's group
+#: token.  Every task ships the pre-pickled spec bytes (a memcpy, not a
+#: fresh serialization), but each worker decodes them only once per group.
 _SPEC_CACHE_SLOTS = 8
 _worker_specs: "OrderedDict[str, Any]" = OrderedDict()
 
-#: Parent-side pass-token source (unique per process + pass).
-_pass_tokens = itertools.count()
+#: Parent-side group-token source (unique per process + pass group).
+_group_tokens = itertools.count()
 
 
-def _decode_spec(token: str, spec_bytes: bytes) -> Any:
-    spec = _worker_specs.get(token)
+def _decode_specs(token: str, spec_bytes: bytes) -> Any:
+    specs = _worker_specs.get(token)
     if token not in _worker_specs:
-        spec = pickle.loads(spec_bytes)
-        _worker_specs[token] = spec
+        specs = pickle.loads(spec_bytes)
+        _worker_specs[token] = specs
         while len(_worker_specs) > _SPEC_CACHE_SLOTS:
             _worker_specs.popitem(last=False)
-    return spec
+    return specs
 
 
-def _run_shard(kernel: Callable, token: str, spec_bytes: bytes, start_row: int, blocks: List) -> Any:
-    """Pool task: one kernel invocation over a batch of consecutive chunks."""
+def _run_shard(
+    kernels: Sequence[Callable],
+    token: str,
+    spec_bytes: bytes,
+    active: Sequence[int],
+    start_row: int,
+    blocks: List,
+) -> tuple:
+    """Pool task: one kernel invocation per active plan over a chunk batch.
+
+    ``blocks`` entries are raw ndarrays or shared-memory descriptors (see
+    :func:`repro.streams.shm.resolve_block`); ``active`` indexes into the
+    group's plans and the returned tuple of partials aligns with it.
+    """
     import numpy as np
 
-    spec = _decode_spec(token, spec_bytes)
-    rows = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
-    return kernel(spec, start_row, rows)
+    specs = _decode_specs(token, spec_bytes)
+    arrays = [shm.resolve_block(block) for block in blocks]
+    rows = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+    return tuple(kernels[i](specs[i], start_row, rows) for i in active)
 
 
 _POOLS: Dict[int, Any] = {}
@@ -178,7 +213,7 @@ def run_plan(
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
 ) -> Any:
-    """Execute ``plan`` as exactly one pass of ``scheduler``.
+    """Execute ``plan`` as exactly one pass (and one sweep) of ``scheduler``.
 
     ``chunk_size`` and ``workers`` default to the global engine policy
     (:func:`repro.core.engine.chunk_size` /
@@ -186,112 +221,176 @@ def run_plan(
     the pass is sharded across the process pool; results are bit-identical
     to the serial strategy either way.
     """
+    return run_plans(scheduler, [plan], chunk_size=chunk_size, workers=workers)[0]
+
+
+def run_plans(
+    scheduler: "PassScheduler",
+    plans: Sequence[PassPlan],
+    chunk_size: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Execute independent ``plans`` through **one** sweep of ``scheduler``.
+
+    Opens ``len(plans)`` logical passes served by a single physical sweep
+    (the scheduler's fused pass group), so ``n`` independent scans cost one
+    traversal of the tape instead of ``n``.  The plans must be mutually
+    independent: each receives exactly the kernel-partial fold it would
+    have received from its own :func:`run_plan` sweep, so per-plan results
+    are bit-identical to per-plan execution at any worker count.  Returns
+    the plans' results in order.
+    """
+    if not plans:
+        raise ValueError("run_plans needs at least one plan")
     chunk = chunk_size if chunk_size is not None else engine.chunk_size()
     shard_count = workers if workers is not None else engine.effective_workers()
-    if shard_count > 1:
-        return _run_sharded(scheduler, plan, chunk, shard_count)
-    return _run_serial(scheduler, plan, chunk)
+    if shard_count > 1 and not all(plan.finished() for plan in plans):
+        return _run_sharded(scheduler, plans, chunk, shard_count)
+    return _run_serial(scheduler, plans, chunk)
 
 
-def _run_serial(scheduler: "PassScheduler", plan: PassPlan, chunk: int) -> Any:
-    spec = plan.spec()
-    kernel = plan.kernel
-    stop = plan.stop_row()
+class _PlanState:
+    """Executor-side tracking of one plan inside a sweep."""
+
+    __slots__ = ("plan", "stop", "done")
+
+    def __init__(self, plan: PassPlan) -> None:
+        self.plan = plan
+        self.stop = plan.stop_row()
+        self.done = plan.finished() or self.stop == 0
+
+    def absorb(self, partial: Any, offset_after: int) -> None:
+        """Fold one partial (stream order) and refresh the done flag."""
+        if self.done:
+            return  # finished plans discard any late partials
+        if partial is not None:
+            self.plan.absorb(partial)
+        if self.plan.finished() or (self.stop is not None and offset_after >= self.stop):
+            self.done = True
+
+
+def _run_serial(scheduler: "PassScheduler", plans: Sequence[PassPlan], chunk: int) -> List[Any]:
+    states = [_PlanState(plan) for plan in plans]
+    specs = [plan.spec() for plan in plans]
     offset = 0
-    chunks = scheduler.new_pass_chunks(chunk)
+    chunks = scheduler.new_fused_pass_chunks(chunk, passes=len(plans))
     try:
         for block in chunks:
-            partial = kernel(spec, offset, block)
             offset += len(block)
-            if partial is not None:
-                plan.absorb(partial)
-            if plan.finished():
-                break  # the rest of the pass is dead tape
-            if stop is not None and offset >= stop:
-                break
+            for state, spec in zip(states, specs):
+                if not state.done:
+                    state.absorb(state.plan.kernel(spec, offset - len(block), block), offset)
+            if all(state.done for state in states):
+                break  # the rest of the sweep is dead tape for every plan
     finally:
         chunks.close()
-    return plan.result()
+    return [plan.result() for plan in plans]
 
 
-def _run_sharded(scheduler: "PassScheduler", plan: PassPlan, chunk: int, workers: int) -> Any:
-    if plan.finished():
-        # Nothing to scan (e.g. an empty tracked set): the serial strategy
-        # already implements the one-chunk open-and-abandon semantics.
-        return _run_serial(scheduler, plan, chunk)
+def _run_sharded(
+    scheduler: "PassScheduler", plans: Sequence[PassPlan], chunk: int, workers: int
+) -> List[Any]:
     pool = _get_pool(workers)
-    token = f"{os.getpid()}:{next(_pass_tokens)}"
-    spec_bytes = pickle.dumps(plan.spec(), protocol=pickle.HIGHEST_PROTOCOL)
-    kernel = plan.kernel
-    stop = plan.stop_row()
+    token = f"{os.getpid()}:{next(_group_tokens)}"
+    spec_bytes = pickle.dumps(
+        tuple(plan.spec() for plan in plans), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    kernels = tuple(plan.kernel for plan in plans)
+    states = [_PlanState(plan) for plan in plans]
     task_rows = max(chunk, TASK_ROWS_FLOOR)
     max_inflight = max(2, INFLIGHT_PER_WORKER * workers)
 
-    window: deque = deque()  # in-flight futures, strictly FIFO = stream order
-    batch: List = []
+    # In-flight futures, strictly FIFO = stream order.  Each entry is
+    # ``(future, active, end_offset, segment)``: the plan indices the task
+    # ran, the stream offset after its batch, and the per-task spool
+    # segment to release after absorption (``None`` for zero-copy refs).
+    window: deque = deque()
+    batch_refs: List = []  # shared-memory descriptors (stream-owned segments)
+    batch_blocks: List = []  # raw ndarrays (pickled or spooled per task)
     batch_rows = 0
     batch_start = 0
     offset = 0
-    done = False
 
     def submit_batch() -> None:
-        nonlocal batch, batch_rows
-        window.append(pool.submit(_run_shard, kernel, token, spec_bytes, batch_start, batch))
-        batch = []
+        nonlocal batch_refs, batch_blocks, batch_rows
+        active = tuple(i for i, state in enumerate(states) if not state.done)
+        blocks: List = shm.coalesce_refs(batch_refs)
+        segment = None
+        if batch_blocks:
+            segment = shm.new_segment_from_blocks(batch_blocks)
+            if segment is not None:
+                blocks.append(segment.block_ref(0, segment.rows))
+            else:  # shared memory unavailable: pickle the rows
+                blocks.extend(batch_blocks)
+        future = pool.submit(
+            _run_shard, kernels, token, spec_bytes, active, batch_start, blocks
+        )
+        window.append((future, active, batch_start + batch_rows, segment))
+        batch_refs = []
+        batch_blocks = []
         batch_rows = 0
 
     def absorb_next() -> None:
-        nonlocal done
-        partial = window.popleft().result()
-        if done:
-            return  # already finished: discard results past the stop point
-        if partial is not None:
-            plan.absorb(partial)
-        if plan.finished():
-            done = True
+        future, active, end_offset, segment = window.popleft()
+        try:
+            partials = future.result()
+        finally:
+            if segment is not None:
+                segment.destroy()
+        for i, partial in zip(active, partials):
+            states[i].absorb(partial, end_offset)
 
-    chunks = scheduler.new_pass_chunks(chunk)
+    handles = scheduler.new_pass_chunk_handles(chunk, passes=len(plans))
     try:
         try:
-            for block in chunks:
-                if not batch:
+            for handle in handles:
+                if not batch_rows:
                     batch_start = offset
-                batch.append(block)
-                batch_rows += len(block)
-                offset += len(block)
+                if handle.ref is not None:
+                    batch_refs.append(handle.ref)
+                else:
+                    batch_blocks.append(handle.block)
+                batch_rows += handle.rows
+                offset += handle.rows
                 if batch_rows >= task_rows:
                     submit_batch()
                     while len(window) >= max_inflight:
                         absorb_next()
                     # Opportunistic drain: fold whatever already completed
                     # so early-abandon can trigger before the window fills.
-                    while window and not done and window[0].done():
+                    while window and window[0][0].done():
                         absorb_next()
-                if done:
+                if all(state.done for state in states):
                     break
-                if stop is not None and offset >= stop:
+                stops = [state.stop for state in states if not state.done]
+                if all(stop is not None for stop in stops) and offset >= max(stops):
                     break
-            if batch and not done:
+            if batch_rows and not all(state.done for state in states):
                 submit_batch()
         finally:
-            chunks.close()
+            handles.close()
         while window:
-            if done:
-                # The remaining tasks scan dead tape the serial path would
+            if all(state.done for state in states):
+                # The remaining tasks scan dead tape a per-plan sweep would
                 # never have read: cancel what hasn't started and discard
                 # results *and failures* of what has - a dead-tape worker
-                # error must not fail a pass whose result is complete.
-                future = window.popleft()
+                # error must not fail a pass group whose results are
+                # complete.
+                future, _, _, segment = window.popleft()
                 if not future.cancel():
                     try:
                         future.result()
                     except Exception:
                         pass
+                if segment is not None:
+                    segment.destroy()
                 continue
             absorb_next()
     except BaseException:
-        for future in window:  # abort: drop whatever is still in flight
+        for future, _, _, segment in window:  # abort: drop what's in flight
             future.cancel()
+            if segment is not None:
+                segment.destroy()
         window.clear()
         raise
-    return plan.result()
+    return [plan.result() for plan in plans]

@@ -36,6 +36,13 @@ plan                                  pass it accelerates
                                       stream order, so the caller's
                                       sequential RNG consumption runs
                                       unchanged on the matches
+:class:`IncidentCollectPlan`          fused pass 4+5 - the same incident
+                                      filter, but matched blocks are
+                                      *buffered* in stream order for a
+                                      post-sweep replay (no callback, no
+                                      in-sweep RNG), which is what lets
+                                      the closure watch and the assignment
+                                      stage's sampling share one sweep
 :class:`NeighborPositionPlan`         pass 3 - the neighbor at each
                                       requested (owner, occurrence) event;
                                       shards report per-batch occurrence
@@ -221,6 +228,44 @@ def _incident_kernel(spec: np.ndarray, start_row: int, rows: np.ndarray):
     if not len(sel):
         return None
     return rows[sel]
+
+
+class IncidentCollectPlan(PassPlan):
+    """Buffer (instead of replay) the edges incident to a tracked set.
+
+    Same kernel as :class:`IncidentEdgePlan`, but ``absorb`` stores the
+    matched blocks in stream order rather than invoking a callback - which
+    makes the plan independent of anything computed in the same sweep.
+    The fused pass-4/5 sweep uses it to collect every edge incident to a
+    *superset* of the assignment stage's tracked vertices (all wedge
+    vertices, closed or not) while the closure watch resolves in the same
+    traversal; the caller then replays the buffer through the sequential
+    per-edge logic once the true tracked set is known.  Replaying a
+    superset is exact: untracked endpoints are no-ops in the replayed
+    fold, so the fold sees the identical update (and RNG-consumption)
+    sequence a dedicated incident pass would have produced.
+
+    ``result()`` is the list of matched ``(k, 2)`` blocks in stream order.
+    """
+
+    name = "pass5/incident-collect"
+    kernel = staticmethod(_incident_kernel)
+
+    def __init__(self, tracked_ids: Sequence[Vertex]) -> None:
+        self._ids = np.asarray(sorted(set(tracked_ids)), dtype=np.int64)
+        self._blocks: List[np.ndarray] = []
+
+    def spec(self) -> np.ndarray:
+        return self._ids
+
+    def absorb(self, partial) -> None:
+        self._blocks.append(partial)
+
+    def finished(self) -> bool:
+        return len(self._ids) == 0
+
+    def result(self) -> List[np.ndarray]:
+        return self._blocks
 
 
 class IncidentEdgePlan(PassPlan):

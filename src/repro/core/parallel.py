@@ -47,6 +47,7 @@ from .assignment import (
     _Bundle,
     closure_hit_counts,
     derive_sample_generator,
+    replay_incident_rows,
 )
 from .estimator import (
     SinglePassStackResult,
@@ -55,6 +56,7 @@ from .estimator import (
     pass2_degree_table,
     pass3_neighbor_apexes,
     pass4_closure_triangles,
+    pass45_closure_and_collect,
 )
 from .params import ParameterPlan
 
@@ -89,13 +91,22 @@ def run_parallel_estimates(
     degree = pass2_degree_table(scheduler, sampled, meter, chunked)
     draws, owners, ells, d_rs = draw_weighted_edges(sampled, degree, plan, sources, meter)
     apexes = pass3_neighbor_apexes(scheduler, owners, degree, sources, meter, chunked)
-    candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
+    if engine.fuse():
+        # Fused sweep engine: the closure watch (pass 4) and the
+        # assignment stage's incident reads (pass 5) share one traversal;
+        # the buffered superset is replayed below once closure is known.
+        candidates, incident = pass45_closure_and_collect(
+            scheduler, draws, owners, apexes, meter, chunked
+        )
+    else:
+        candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
+        incident = None
 
     distinct_by_instance: List[set] = [
         {t for t in candidates[j] if t is not None} for j in range(k)
     ]
     assignments = _passes5and6_assign(
-        scheduler, plan, rngs, distinct_by_instance, meter, chunked
+        scheduler, plan, rngs, distinct_by_instance, meter, chunked, incident
     )
 
     results: List[SinglePassStackResult] = []
@@ -117,6 +128,7 @@ def run_parallel_estimates(
                 distinct_candidate_triangles=len(distinct_by_instance[j]),
                 passes_used=scheduler.passes_used,
                 space_words_peak=meter.peak_words,
+                sweeps_used=scheduler.sweeps_used,
             )
         )
     return results
@@ -129,6 +141,7 @@ def _passes5and6_assign(
     distinct_by_instance: List[set],
     meter: SpaceMeter,
     chunked: bool = False,
+    incident_rows: Optional[list] = None,
 ) -> List[Dict[Triangle, Optional[Edge]]]:
     """Passes 5-6: Algorithm 3 for every instance, sharing the two passes.
 
@@ -138,7 +151,9 @@ def _passes5and6_assign(
     the same missing edge share one packed key; the hit count fans back
     out per (instance, edge) row - see
     :func:`~repro.core.assignment.closure_hit_counts`).  Skipped entirely
-    (0 passes) when no instance found any triangle.
+    (0 passes) when no instance found any triangle.  Under the fused sweep
+    engine ``incident_rows`` carries the pass-4 sweep's buffered incident
+    superset and pass 5 replays it instead of opening its own pass.
     """
     k = len(rngs)
     if not any(distinct_by_instance):
@@ -182,7 +197,11 @@ def _passes5and6_assign(
             for j, bundle in by_vertex[b]:
                 bundle.offer(a, count, sample_rngs[j])
 
-    if chunked:
+    if incident_rows is not None:
+        # Fused sweep: the tape reads happened during the pass-4 sweep;
+        # replaying the buffered superset consumes no pass.
+        replay_incident_rows(incident_rows, offer)
+    elif chunked:
         from . import kernels
 
         kernels.scan_incident_edges(scheduler, degree, engine.chunk_size(), offer)

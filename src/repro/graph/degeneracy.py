@@ -173,13 +173,139 @@ def degeneracy(graph: Graph) -> int:
 
 
 def degeneracy_ordering(graph: Graph) -> List[int]:
-    """Return a degeneracy ordering of the vertices.
+    """Return the strict minimum-degree-first degeneracy ordering.
 
     In the returned order, every vertex has at most ``kappa`` neighbors that
     appear after it.  This is the ordering used in the paper's Theorem 6.3
     argument (``kappa <= d^<_max``) and by compact-forward triangle counting.
+
+    Unlike :func:`core_decomposition`'s layered peel (which removes whole
+    frontiers at once), this is the *strict* Matula-Beck removal order -
+    one minimum-residual-degree vertex per step - computed with the
+    Batagelj-Zaversnik bucket arrays over the cached CSR view
+    (:meth:`~repro.graph.adjacency.Graph.csr`): ``vert`` holds the
+    vertices sorted by residual degree, ``pos`` its inverse, and
+    ``bin_start[d]`` the front of each degree bucket, so each removal
+    updates all touched neighbors with a few vectorized moves per distinct
+    neighbor degree instead of one interpreter iteration per edge.  The
+    NumPy path and the pure-Python fallback implement the same abstract
+    peel (same bucket moves, same tie-breaks) and return identical
+    orderings; ``tests/test_graph_degeneracy.py`` pins that parity against
+    the Matula-Beck bucket-queue reference.
     """
-    return core_decomposition(graph).ordering
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - the CI image bakes NumPy in
+        return _strict_ordering_reference(graph)
+
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    csr = graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    deg = csr.degrees.astype(np.int64, copy=True)
+    max_deg = int(deg.max())
+    vert = np.argsort(deg, kind="stable")
+    pos = np.empty(n, dtype=np.int64)
+    pos[vert] = np.arange(n, dtype=np.int64)
+    counts = np.bincount(deg, minlength=max_deg + 1)
+    bin_start = np.zeros(max_deg + 1, dtype=np.int64)
+    np.cumsum(counts[:-1], out=bin_start[1:])
+    for i in range(n):
+        v = vert[i]
+        d = deg[v]
+        # Retire position i: the degree-d bucket now starts past the popped
+        # vertex, so equal-degree neighbors decremented below can land at
+        # the live front (position i+1) and be popped next - the strict
+        # minimum-*residual*-degree semantics of Matula-Beck, not the
+        # frozen-degree k-core variant.
+        bin_start[d] = i + 1
+        neighbors = indices[indptr[v] : indptr[v + 1]]
+        # Liveness is positional: popped vertices stay in the prefix.
+        cand = neighbors[pos[neighbors] > i]
+        if not len(cand):
+            continue
+        cand_deg = deg[cand]
+        for du in np.unique(cand_deg):
+            ws = cand[cand_deg == du]
+            k = len(ws)
+            start = bin_start[du]
+            cur = pos[ws]
+            # Batched front-of-bucket move: the k movers swap with the
+            # first k slots of bucket du (members already inside that
+            # window stay put; out-of-window movers pair with the freed
+            # slots in ascending position order - the deterministic
+            # tie-break the pure-Python reference mirrors).
+            in_window = cur < start + k
+            taken = np.zeros(k, dtype=bool)
+            taken[cur[in_window] - start] = True
+            free_slots = start + np.flatnonzero(~taken)
+            mover_positions = np.sort(cur[~in_window])
+            if len(mover_positions):
+                mover_verts = vert[mover_positions]
+                occupants = vert[free_slots]
+                vert[free_slots] = mover_verts
+                vert[mover_positions] = occupants
+                pos[mover_verts] = free_slots
+                pos[occupants] = mover_positions
+            bin_start[du] += k
+            deg[ws] -= 1
+    return csr.vertex_ids[vert].tolist()
+
+
+def _strict_ordering_reference(graph: Graph) -> List[int]:
+    """Pure-Python mirror of :func:`degeneracy_ordering`'s bucket-array peel.
+
+    Implements the identical abstract algorithm (dense ids in ascending
+    vertex order, sorted adjacency, same batched bucket moves and
+    tie-breaks) with scalar loops, so the two paths return *equal*
+    orderings - this is the parity oracle for the vectorized peel, and the
+    fallback when NumPy is absent.
+    """
+    vertex_ids = sorted(graph.degrees())
+    n = len(vertex_ids)
+    if n == 0:
+        return []
+    dense = {v: i for i, v in enumerate(vertex_ids)}
+    adjacency = [
+        sorted(dense[w] for w in graph.neighbors(v)) for v in vertex_ids
+    ]
+    deg = [len(nbrs) for nbrs in adjacency]
+    vert = sorted(range(n), key=lambda v: deg[v])  # stable, like argsort
+    pos = [0] * n
+    for i, v in enumerate(vert):
+        pos[v] = i
+    max_deg = max(deg)
+    counts = [0] * (max_deg + 1)
+    for d in deg:
+        counts[d] += 1
+    bin_start = [0] * (max_deg + 1)
+    for d in range(1, max_deg + 1):
+        bin_start[d] = bin_start[d - 1] + counts[d - 1]
+    for i in range(n):
+        v = vert[i]
+        d = deg[v]
+        bin_start[d] = i + 1  # retire the popped position (see NumPy path)
+        by_degree: Dict[int, List[int]] = {}
+        for w in adjacency[v]:
+            if pos[w] > i:  # positional liveness, all live neighbors move
+                by_degree.setdefault(deg[w], []).append(w)
+        for du in sorted(by_degree):
+            ws = by_degree[du]
+            k = len(ws)
+            start = bin_start[du]
+            window = set(range(start, start + k))
+            taken = {pos[w] for w in ws if pos[w] in window}
+            free_slots = sorted(window - taken)
+            mover_positions = sorted(pos[w] for w in ws if pos[w] not in window)
+            for slot, at in zip(free_slots, mover_positions):
+                mover, occupant = vert[at], vert[slot]
+                vert[slot], vert[at] = mover, occupant
+                pos[mover], pos[occupant] = slot, at
+            bin_start[du] += k
+            for w in ws:
+                deg[w] -= 1
+    return [vertex_ids[v] for v in vert]
 
 
 def later_neighbor_counts(graph: Graph, ordering: List[int]) -> Dict[int, int]:

@@ -66,19 +66,24 @@ def run_paper_estimator_on_graph(
     engine_mode: Optional[str] = None,
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
+    fuse: Optional[bool] = None,
 ) -> RunReport:
     """Run the paper's estimator on ``graph`` with the promise ``kappa``.
 
     ``config`` defaults to a fresh :class:`EstimatorConfig` carrying the
     seed and any engine selection (``engine_mode`` / ``chunk_size`` /
-    ``workers`` - ignored when an explicit ``config`` is supplied, since
-    the config already carries its own engine fields); pass ``exact`` to
-    skip the (possibly expensive) ground-truth count when the caller
-    already knows it.
+    ``workers`` / ``fuse`` - ignored when an explicit ``config`` is
+    supplied, since the config already carries its own engine fields);
+    pass ``exact`` to skip the (possibly expensive) ground-truth count
+    when the caller already knows it.
     """
     if config is None:
         config = EstimatorConfig(
-            seed=seed, engine_mode=engine_mode, chunk_size=chunk_size, workers=workers
+            seed=seed,
+            engine_mode=engine_mode,
+            chunk_size=chunk_size,
+            workers=workers,
+            fuse=fuse,
         )
     stream = _stream_for(graph, seed)
     truth = exact if exact is not None else count_triangles(graph)
@@ -93,7 +98,10 @@ def run_paper_estimator_on_graph(
         passes_used=result.passes_total,
         space_words_peak=result.space_words_peak,
         wall_seconds=elapsed,
-        extras={"rounds": float(len(result.rounds))},
+        extras={
+            "rounds": float(len(result.rounds)),
+            "sweeps": float(result.sweeps_total),
+        },
     )
 
 

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..errors import StreamError
 from ..types import Edge, canonical_edge
-from .base import DEFAULT_CHUNK_EDGES, EdgeStream
+from .base import DEFAULT_CHUNK_EDGES, EdgeStream, StreamStats
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     import numpy
@@ -57,6 +57,7 @@ class FileEdgeStream(EdgeStream):
         self._path = os.fspath(path)
         self._validate = validate
         self._length: int | None = None
+        self._stats: StreamStats | None = None
         if not os.path.exists(self._path):
             raise StreamError(f"edge-list file not found: {self._path}")
 
@@ -195,7 +196,56 @@ class FileEdgeStream(EdgeStream):
             raise StreamError(f"{self._path}: unreachable")  # pragma: no cover
         return np.column_stack((np.minimum(u, v), np.maximum(u, v)))
 
+    def stats(self) -> StreamStats:
+        """One-pass stream statistics via the batch parser, computed once.
+
+        The file is immutable for the stream's purposes (replayability
+        already demands it), so the statistics are cached like
+        :class:`~repro.streams.memory.InMemoryEdgeStream`'s; the scan
+        itself runs over :meth:`iter_chunks` - one vectorized ``max`` per
+        parsed batch instead of one interpreter iteration per edge - and
+        also settles the cached length for free.  Falls back to the
+        per-edge reference scan without NumPy.
+        """
+        if self._stats is None:
+            try:
+                import numpy as np  # noqa: F401
+            except ImportError:  # pragma: no cover - the CI image bakes NumPy in
+                self._stats = super().stats()
+            else:
+                try:
+                    m = 0
+                    max_vertex = -1
+                    for block in self.iter_chunks():
+                        m += len(block)
+                        max_vertex = max(max_vertex, int(block.max()))
+                    self._stats = StreamStats(num_edges=m, max_vertex_id=max_vertex)
+                except StreamError:
+                    # Re-scan per line so malformed files fail with the
+                    # standard line-numbered diagnostic, not a batch error.
+                    self._stats = super().stats()
+            self._length = self._stats.num_edges
+        return self._stats
+
     def __len__(self) -> int:
+        """The stream length ``m``, computed lazily and cached.
+
+        Reuses the cached :meth:`stats` length when available; otherwise
+        one chunked sweep sums the parsed batch lengths (the Python
+        edge-by-edge count is only the no-NumPy fallback).
+        """
         if self._length is None:
-            self._length = sum(1 for _ in self)
+            if self._stats is not None:
+                self._length = self._stats.num_edges
+            else:
+                try:
+                    import numpy as np  # noqa: F401
+                except ImportError:  # pragma: no cover - NumPy baked into CI
+                    self._length = sum(1 for _ in self)
+                else:
+                    try:
+                        self._length = sum(len(block) for block in self.iter_chunks())
+                    except StreamError:
+                        # Per-line rescan for the line-numbered diagnostic.
+                        self._length = sum(1 for _ in self)
         return self._length

@@ -1,4 +1,4 @@
-"""Multi-pass scheduling with pass budgets.
+"""Multi-pass scheduling with pass budgets and sweep accounting.
 
 :class:`PassScheduler` is the only sanctioned way for an algorithm to read an
 :class:`~repro.streams.base.EdgeStream`.  It enforces the constant-pass
@@ -9,6 +9,15 @@ discipline of the paper's model:
 * an optional pass budget turns "constant number of passes" into a checked
   invariant (:class:`~repro.errors.PassBudgetExceeded`);
 * the number of passes actually used is recorded for benchmark reports.
+
+The scheduler distinguishes *logical passes* (the unit of the paper's
+accounting - what the budget constrains) from *physical tape sweeps* (what
+wall-clock time is made of).  A **fused** pass group
+(:meth:`new_fused_pass` / :meth:`new_fused_pass_chunks`) opens several
+logical passes at once, all served by a single sweep of the tape: the
+budget is charged for every logical pass, while :attr:`sweeps_used` grows
+by one.  Plain passes charge one of each, so for unfused execution the two
+counters coincide.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from .base import DEFAULT_CHUNK_EDGES, EdgeStream
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     import numpy
+
+    from .shm import ChunkHandle
 
 
 class PassScheduler:
@@ -41,12 +52,22 @@ class PassScheduler:
         self._stream = stream
         self._max_passes = max_passes
         self._passes_used = 0
+        self._sweeps_used = 0
         self._pass_open = False
 
     @property
     def passes_used(self) -> int:
-        """Number of passes opened so far."""
+        """Number of logical passes opened so far (the budgeted quantity)."""
         return self._passes_used
+
+    @property
+    def sweeps_used(self) -> int:
+        """Number of physical tape sweeps started so far.
+
+        Equal to :attr:`passes_used` under unfused execution; strictly
+        smaller whenever fused pass groups shared a sweep.
+        """
+        return self._sweeps_used
 
     @property
     def num_edges(self) -> int:
@@ -65,7 +86,18 @@ class PassScheduler:
         call to :meth:`new_pass`; interleaved passes violate the streaming
         model and raise :class:`~repro.errors.StreamError`.
         """
-        self._open_pass()
+        self._open_passes(1)
+        return self._run_pass()
+
+    def new_fused_pass(self, passes: int) -> Iterator[Edge]:
+        """Open ``passes`` logical passes served by one shared sweep.
+
+        The caller is asserting that the fused passes are mutually
+        independent - each one must produce the result it would have
+        produced scanning the tape alone.  Pass accounting charges all
+        ``passes`` against the budget; the sweep counter grows by one.
+        """
+        self._open_passes(passes)
         return self._run_pass()
 
     def new_pass_chunks(
@@ -80,18 +112,41 @@ class PassScheduler:
         sequencing rules apply: consume or abandon the iterator before
         opening another pass.
         """
-        self._open_pass()
+        self._open_passes(1)
         return self._run_pass_chunks(chunk_size)
 
-    def _open_pass(self) -> None:
+    def new_fused_pass_chunks(
+        self, chunk_size: int = DEFAULT_CHUNK_EDGES, passes: int = 1
+    ) -> Iterator["numpy.ndarray"]:
+        """Chunked variant of :meth:`new_fused_pass` (one sweep, ``passes`` passes)."""
+        self._open_passes(passes)
+        return self._run_pass_chunks(chunk_size)
+
+    def new_pass_chunk_handles(
+        self, chunk_size: int = DEFAULT_CHUNK_EDGES, passes: int = 1
+    ) -> Iterator["ChunkHandle"]:
+        """Open ``passes`` logical passes delivered as chunk *handles*.
+
+        Handles are what the sharded executor ships to worker processes:
+        they carry either the rows themselves or a zero-copy shared-memory
+        descriptor (see :meth:`~repro.streams.base.EdgeStream.iter_chunk_handles`).
+        Accounting matches :meth:`new_fused_pass_chunks`.
+        """
+        self._open_passes(passes)
+        return self._run_pass_chunk_handles(chunk_size)
+
+    def _open_passes(self, count: int) -> None:
+        if count < 1:
+            raise StreamError(f"a pass group must contain at least one pass, got {count}")
         if self._pass_open:
             raise StreamError("previous pass still open; streams cannot be read concurrently")
-        if self._max_passes is not None and self._passes_used >= self._max_passes:
+        if self._max_passes is not None and self._passes_used + count > self._max_passes:
             raise PassBudgetExceeded(
                 f"pass budget of {self._max_passes} exhausted "
-                f"(attempted pass {self._passes_used + 1})"
+                f"(attempted pass {self._passes_used + count})"
             )
-        self._passes_used += 1
+        self._passes_used += count
+        self._sweeps_used += 1
         self._pass_open = True
 
     def _run_pass(self) -> Iterator[Edge]:
@@ -107,5 +162,12 @@ class PassScheduler:
         try:
             for chunk in self._stream.iter_chunks(chunk_size):
                 yield chunk
+        finally:
+            self._pass_open = False
+
+    def _run_pass_chunk_handles(self, chunk_size: int) -> Iterator["ChunkHandle"]:
+        try:
+            for handle in self._stream.iter_chunk_handles(chunk_size):
+                yield handle
         finally:
             self._pass_open = False

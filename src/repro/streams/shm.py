@@ -1,0 +1,251 @@
+"""Zero-copy shared-memory chunk transport for the sharded executor.
+
+Sharded passes ship ``(k, 2)`` int64 edge blocks to worker processes.  The
+default transport pickles every block through the pool pipe: one serialize,
+one pipe write, one read, one deserialize per task - for in-memory streams
+that is strictly wasted motion, because the rows already sit in one
+contiguous parent-side array.
+
+This module provides the alternative: blocks live in
+:mod:`multiprocessing.shared_memory` segments and tasks carry tiny
+``("shm", name, start_row, rows)`` descriptors instead of the rows
+themselves.  Two producers exist:
+
+* **stream-owned segments** - :class:`SharedEdgeSegment.from_array` mirrors
+  a stream's backing array into one segment *once*; every sharded pass then
+  slices it by descriptor with no per-sweep copying at all
+  (:class:`~repro.streams.memory.InMemoryEdgeStream` does this lazily on
+  first sharded use);
+* **per-task spooling** - for streams whose chunks are produced on the fly
+  (:class:`~repro.streams.file.FileEdgeStream` parse batches), the executor
+  copies each task's blocks into a fresh segment via :func:`spool_blocks`
+  and unlinks it once the task's partial has been absorbed.  One parent-side
+  memcpy replaces the pickle round trip, and the descriptor through the pipe
+  is a few dozen bytes.
+
+Workers resolve descriptors with :func:`resolve_block`: the segment is
+attached once per worker (a small LRU keeps the most recent attachments
+open) and the block is a zero-copy NumPy view into the mapping.  Attached
+segments are explicitly unregistered from the child's ``resource_tracker``
+- the parent owns every segment's lifetime, and without the unregister step
+each worker exit would try to unlink segments it merely read (bpo-39959).
+
+Shared memory is used only when the platform provides it; any ``OSError``
+at first use (no ``/dev/shm``, exhausted quota) disables the transport for
+the process and the executor falls back to pickled blocks.  ``REPRO_SHM=0``
+forces the fallback.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
+
+#: Bytes per edge row: two int64 endpoints.
+ROW_BYTES = 16
+
+#: Descriptor tag; tasks distinguish descriptors from raw ndarray blocks.
+SHM_TAG = "shm"
+
+#: A picklable block reference: ``(SHM_TAG, segment name, start row, rows)``.
+ShmBlockRef = Tuple[str, str, int, int]
+
+_disabled = os.environ.get("REPRO_SHM", "1") == "0"
+
+
+def shm_enabled() -> bool:
+    """Whether the shared-memory transport may be used in this process."""
+    return not _disabled
+
+
+def disable_shm() -> None:
+    """Turn the transport off for the rest of the process (fallback path)."""
+    global _disabled
+    _disabled = True
+
+
+class SharedEdgeSegment:
+    """One shared-memory segment holding ``rows`` int64 edge pairs.
+
+    The creating process owns the segment: :meth:`destroy` (idempotent,
+    also registered via ``weakref.finalize`` and ``atexit``) closes and
+    unlinks it.  Readers attach by name in worker processes through
+    :func:`resolve_block` and never unlink.
+    """
+
+    __slots__ = ("_shm", "rows", "name", "_finalizer", "__weakref__")
+
+    def __init__(self, rows: int) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, rows * ROW_BYTES))
+        self.rows = rows
+        self.name = self._shm.name
+        self._finalizer = weakref.finalize(self, _destroy_segment, self._shm, self.name)
+        _live_segments[self.name] = self._finalizer
+
+    @classmethod
+    def from_array(cls, array: "numpy.ndarray") -> "SharedEdgeSegment":
+        """Create a segment mirroring one contiguous ``(m, 2)`` int64 array."""
+        segment = cls(len(array))
+        if len(array):
+            segment.view(0, len(array))[:] = array
+        return segment
+
+    def view(self, start_row: int, rows: int) -> "numpy.ndarray":
+        """A zero-copy ``(rows, 2)`` view of the segment (parent side)."""
+        import numpy as np
+
+        return np.ndarray(
+            (rows, 2), dtype=np.int64, buffer=self._shm.buf, offset=start_row * ROW_BYTES
+        )
+
+    def block_ref(self, start_row: int, rows: int) -> ShmBlockRef:
+        """The picklable descriptor of one row range of this segment."""
+        return (SHM_TAG, self.name, start_row, rows)
+
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent; owner side only)."""
+        self._finalizer()
+
+
+def _destroy_segment(shm, name: str) -> None:
+    # Runs via explicit destroy() *and* as the GC finalizer: drop the
+    # registry entry either way so reclaimed segments don't accumulate.
+    _live_segments.pop(name, None)
+    try:
+        shm.close()
+        shm.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+        pass
+
+
+#: Owner-side registry so segments leaked past their stream's lifetime are
+#: still unlinked at interpreter exit (finalizers cover the normal path).
+_live_segments: "OrderedDict[str, weakref.finalize]" = OrderedDict()
+
+
+@atexit.register
+def _unlink_all_segments() -> None:  # pragma: no cover - exit-time safety net
+    while _live_segments:
+        _, finalizer = _live_segments.popitem()
+        finalizer()
+
+
+def new_segment_from_blocks(blocks: Sequence["numpy.ndarray"]) -> Optional[SharedEdgeSegment]:
+    """Spool a task's blocks into one fresh segment, or ``None`` on failure.
+
+    A returned segment is owned by the caller, which must :meth:`destroy`
+    it once the task result has been absorbed.  Any ``OSError`` disables
+    the transport process-wide (the executor then falls back to pickling).
+    """
+    if not shm_enabled():
+        return None
+    rows = sum(len(block) for block in blocks)
+    try:
+        segment = SharedEdgeSegment(rows)
+    except (OSError, ImportError):  # pragma: no cover - no /dev/shm or quota
+        disable_shm()
+        return None
+    at = 0
+    for block in blocks:
+        if len(block):
+            segment.view(at, len(block))[:] = block
+        at += len(block)
+    return segment
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+#: Worker-side cache of attached segments, keyed by name.  Spooled per-task
+#: segments churn through it; stream-owned segments stay hot.
+_ATTACH_SLOTS = 4
+_attached: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _attach(name: str):
+    shm = _attached.get(name)
+    if shm is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        # The parent owns every segment's lifetime: suppress the resource
+        # tracker registration a read-side attach would otherwise perform,
+        # so neither worker exit nor tracker shutdown tries to unlink (or
+        # double-unregister) segments the worker merely read (bpo-39959).
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        _attached[name] = shm
+        while len(_attached) > _ATTACH_SLOTS:
+            _, old = _attached.popitem(last=False)
+            try:
+                old.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass  # a live view pins the mapping; drop the handle instead
+    else:
+        _attached.move_to_end(name)
+    return shm
+
+
+def resolve_block(block) -> "numpy.ndarray":
+    """Turn one task block - raw ndarray or :data:`ShmBlockRef` - into rows."""
+    if isinstance(block, tuple) and len(block) == 4 and block[0] == SHM_TAG:
+        import numpy as np
+
+        _, name, start_row, rows = block
+        shm = _attach(name)
+        return np.ndarray(
+            (rows, 2), dtype=np.int64, buffer=shm.buf, offset=start_row * ROW_BYTES
+        )
+    return block
+
+
+class ChunkHandle:
+    """One chunk of a pass, as handed to the sharded executor.
+
+    Either ``block`` holds the rows as a plain ndarray (pickled transport,
+    or spooled into a per-task segment by the executor), or ``ref`` names a
+    row range of a stream-owned shared segment (zero-copy transport).
+    ``rows`` is always set; the executor needs it for batch sizing and
+    stream offsets without touching the data.
+    """
+
+    __slots__ = ("rows", "block", "ref")
+
+    def __init__(
+        self,
+        rows: int,
+        block: Optional["numpy.ndarray"] = None,
+        ref: Optional[ShmBlockRef] = None,
+    ) -> None:
+        self.rows = rows
+        self.block = block
+        self.ref = ref
+
+
+def coalesce_refs(refs: List[ShmBlockRef]) -> List[ShmBlockRef]:
+    """Merge adjacent descriptors of contiguous ranges of one segment.
+
+    Consecutive chunks of a stream-owned segment are contiguous, so a whole
+    task batch usually collapses to a single descriptor - the worker then
+    runs its kernels on one zero-copy view with no concatenation.
+    """
+    merged: List[ShmBlockRef] = []
+    for ref in refs:
+        if merged:
+            tag, name, start, rows = merged[-1]
+            if name == ref[1] and start + rows == ref[2]:
+                merged[-1] = (tag, name, start, rows + ref[3])
+                continue
+        merged.append(ref)
+    return merged

@@ -50,6 +50,22 @@ class TestEstimate:
         with pytest.raises(SystemExit):
             main(["estimate", wheel_file])
 
+    def test_fuse_flag_same_estimate_fewer_sweeps(self, wheel_file, capsys):
+        base = ["estimate", wheel_file, "--kappa", "3", "--seed", "1",
+                "--repetitions", "3"]
+        assert main(base + ["--no-fuse"]) == 0
+        unfused = capsys.readouterr().out
+        assert main(base + ["--fuse"]) == 0
+        fused = capsys.readouterr().out
+
+        def field(out, key):
+            return next(line for line in out.splitlines() if line.startswith(key))
+
+        assert field(fused, "estimate:") == field(unfused, "estimate:")
+        assert field(fused, "passes:") == field(unfused, "passes:")
+        sweeps = lambda out: int(field(out, "sweeps:").split()[1])  # noqa: E731
+        assert sweeps(fused) < sweeps(unfused)
+
 
 class TestBounds:
     def test_bounds_table(self, wheel_file, capsys):

@@ -24,7 +24,11 @@ from repro.generators import (
     wheel_graph,
 )
 from repro.graph import Graph, core_decomposition, degeneracy, degeneracy_ordering
-from repro.graph.degeneracy import later_neighbor_counts
+from repro.graph.degeneracy import (
+    _core_decomposition_bucketqueue,
+    _strict_ordering_reference,
+    later_neighbor_counts,
+)
 from repro.graph.validation import crosscheck_core_numbers
 
 
@@ -85,6 +89,58 @@ class TestOrderingProperties:
         order = sorted(ba_small.vertices())
         counts = later_neighbor_counts(ba_small, order)
         assert degeneracy(ba_small) <= max(counts.values())
+
+
+class TestStrictPeelParity:
+    """The vectorized bucket-array peel vs the pure-Python Matula-Beck path."""
+
+    def test_vectorized_matches_reference_exactly(self, all_fixture_graphs):
+        # The NumPy peel and its scalar mirror implement the same abstract
+        # algorithm (same bucket moves, same tie-breaks): identical orders.
+        for name, g in all_fixture_graphs.items():
+            assert degeneracy_ordering(g) == _strict_ordering_reference(g), name
+
+    def test_strict_order_is_minimum_degree_first(self, all_fixture_graphs):
+        # Replaying the removals, each removed vertex must have minimum
+        # residual degree - the defining property of Matula-Beck, which the
+        # layered decomposition does not guarantee per step.
+        for name, g in all_fixture_graphs.items():
+            order = degeneracy_ordering(g)
+            residual = g.degrees()
+            removed = set()
+            for v in order:
+                live = {w: d for w, d in residual.items() if w not in removed}
+                assert residual[v] == min(live.values()), name
+                for w in g.neighbors(v):
+                    if w not in removed:
+                        residual[w] -= 1
+                removed.add(v)
+
+    def test_removal_degrees_reproduce_bucketqueue_cores(self, all_fixture_graphs):
+        # Max-so-far of the strict removal degrees = Matula-Beck core
+        # numbers, pinning the peel against the bucket-queue reference.
+        for name, g in all_fixture_graphs.items():
+            reference = _core_decomposition_bucketqueue(g)
+            order = degeneracy_ordering(g)
+            residual = g.degrees()
+            removed = set()
+            kappa = 0
+            cores = {}
+            for v in order:
+                kappa = max(kappa, residual[v])
+                cores[v] = kappa
+                for w in g.neighbors(v):
+                    if w not in removed:
+                        residual[w] -= 1
+                removed.add(v)
+            assert cores == reference.core_numbers, name
+            assert kappa == reference.degeneracy, name
+
+    def test_randomized_crosscheck(self):
+        rng = random.Random(0)
+        for trial in range(20):
+            g = erdos_renyi_gnm(40, rng.randrange(0, 200), rng)
+            assert degeneracy_ordering(g) == _strict_ordering_reference(g), trial
 
 
 class TestCoreNumbers:

@@ -39,6 +39,36 @@ class TestFileEdgeStream:
         s = FileEdgeStream(edge_file)
         assert list(s) == list(s)
 
+    def test_len_counts_via_chunked_parser(self, tmp_path):
+        # Comments and blanks interleaved across chunk boundaries: the
+        # batch-parsed count must equal the per-edge iteration count.
+        path = tmp_path / "sparse.txt"
+        lines = []
+        for i in range(257):
+            lines.append(f"# filler {i}")
+            lines.append(f"{i} {i + 1}")
+            if i % 3 == 0:
+                lines.append("")
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        s = FileEdgeStream(path)
+        assert len(s) == 257 == sum(1 for _ in s)
+
+    def test_stats_cached_and_fills_length(self, edge_file):
+        s = FileEdgeStream(edge_file)
+        stats = s.stats()
+        assert stats.num_edges == 3
+        assert stats.max_vertex_id == 2
+        assert s.stats() is stats  # cached, no second sweep
+        # The stats sweep settles the length too: no extra counting pass.
+        assert s._length == 3
+        assert len(s) == 3
+
+    def test_len_reuses_cached_stats(self, edge_file):
+        s = FileEdgeStream(edge_file)
+        s.stats()
+        s._path = "/nonexistent/after/stats"  # any further sweep would fail
+        assert len(s) == 3
+
     def test_malformed_line(self, tmp_path):
         path = tmp_path / "bad.txt"
         path.write_text("0 1\njust-one-token\n")
