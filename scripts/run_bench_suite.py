@@ -12,19 +12,25 @@ Four stages:
    serial chunked against a worker pool (results asserted identical);
 4. a fused-vs-per-plan comparison of the sweep engine at matched worker
    count: identical estimates asserted, strictly fewer physical tape
-   sweeps asserted, wall-clock speedup recorded.
+   sweeps asserted, wall-clock speedup recorded;
+5. a sequential-vs-speculative comparison of the guessing-loop driver on
+   full multi-round estimates: bit-identical estimates and trajectories
+   asserted, the speculative run's physical sweeps (committed + wasted)
+   asserted to never exceed - and on multi-round estimates to beat - the
+   sequential sweep count, wall-clock speedup recorded.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
 trajectory instead of overwriting it.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-4 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-5 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
-below half of the last committed ``BENCH_engine.json`` entry, or if the
+below half of the last committed ``BENCH_engine.json`` entry, if the
 fused engine came out slower than the unfused sharded engine on the same
-sweep - wired into the tier-1 flow as an opt-in pytest
-(``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
+sweep, or if the speculative driver's multi-round physical sweep count
+failed to come in under the sequential driver's - wired into the tier-1
+flow as an opt-in pytest (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
 
@@ -318,6 +324,106 @@ def run_fused_comparison(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_speculative_comparison(scale: str, repeats: int = 3) -> dict:
+    """Sequential vs speculative guessing loop on multi-round estimates.
+
+    Both columns run the full unknown-``T`` driver (no ``t_hint``), so the
+    geometric guessing loop walks several rounds before accepting - the
+    regime round-pair speculation was built for.  The tape is a
+    **file-backed** stream: every sweep re-parses the edge list, so the
+    sweep count is what wall-clock time is made of (an in-memory tape at
+    tiny scale measures only bookkeeping).  Estimates, trajectories, and
+    logical-pass totals are asserted bit-identical; the speculative run's
+    *physical* sweeps (committed + wasted) are asserted to never exceed
+    the sequential run's, and to be strictly fewer whenever the estimate
+    took more than one round.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import tempfile
+
+    from repro.core.driver import EstimatorConfig, TriangleCountEstimator
+    from repro.io import write_edgelist
+    from repro.streams.file import FileEdgeStream
+
+    rows = []
+    totals = {"sequential": 0.0, "speculative": 0.0}
+    sweep_counts = {}
+    for n in ENGINE_SIZES[scale][-2:]:  # the two largest sweep sizes
+        graph, t, _memory_stream, plan = _e9_instance(n)
+        handle = tempfile.NamedTemporaryFile("w", suffix=".edges", delete=False)
+        handle.close()
+        write_edgelist(graph, handle.name)
+        stream = FileEdgeStream(handle.name)
+        times = {}
+        results = {}
+        for label, speculate in (("sequential", False), ("speculative", True)):
+            config = EstimatorConfig(
+                seed=3,
+                repetitions=3,
+                engine_mode="chunked",
+                workers=1,
+                fuse=True,
+                speculate=speculate,
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results[label] = TriangleCountEstimator(config).estimate(
+                    stream, kappa=5
+                )
+                best = min(best, time.perf_counter() - start)
+            times[label] = best
+            totals[label] += best
+        sequential, speculative = results["sequential"], results["speculative"]
+        assert sequential.estimate == speculative.estimate, "speculative parity violated"
+        assert [
+            (r.t_guess, r.median_estimate, r.accepted) for r in sequential.rounds
+        ] == [
+            (r.t_guess, r.median_estimate, r.accepted) for r in speculative.rounds
+        ], "speculative trajectory drifted"
+        assert sequential.passes_total == speculative.passes_total, (
+            "speculation changed the logical-pass total"
+        )
+        physical = speculative.sweeps_total + speculative.sweeps_wasted
+        assert physical <= sequential.sweeps_total, (
+            "speculative driver performed more sweeps than sequential"
+        )
+        if len(sequential.rounds) > 1:
+            assert physical < sequential.sweeps_total, (
+                "speculation failed to reduce sweeps on a multi-round estimate"
+            )
+        sweep_counts = {
+            "sequential": sequential.sweeps_total,
+            "speculative_committed": speculative.sweeps_total,
+            "speculative_wasted": speculative.sweeps_wasted,
+            "speculative_physical": physical,
+        }
+        rows.append(
+            {
+                "n": n,
+                "m": graph.num_edges,
+                "rounds": len(sequential.rounds),
+                "sequential_sec": round(times["sequential"], 5),
+                "speculative_sec": round(times["speculative"], 5),
+                "speedup": round(times["sequential"] / times["speculative"], 2),
+                **sweep_counts,
+            }
+        )
+        print(f"[bench-suite] speculative n={n}: {rows[-1]}")
+        os.unlink(handle.name)
+    return {
+        "scale": scale,
+        "workers": 1,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "sweeps": sweep_counts,
+        "total_sequential_sec": round(totals["sequential"], 4),
+        "total_speculative_sec": round(totals["speculative"], 4),
+        "total_speedup": round(totals["sequential"] / totals["speculative"], 2),
+    }
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -348,6 +454,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_engine = run_engine_comparison("tiny")
     current_sharded = run_sharded_comparison("tiny")
     current_fused = run_fused_comparison("tiny")
+    current_speculative = run_speculative_comparison("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -379,6 +486,24 @@ def run_smoke(output: pathlib.Path) -> int:
         failures.append(
             f"fused engine slower than unfused sharded: {measured_fused}x (< 0.9x floor)"
         )
+    # The speculation gate is deterministic (sweep counts, not wall clock):
+    # a speculative multi-round run must not exceed the sequential sweep
+    # count even including the physically-performed wasted sweeps.  Parity
+    # and the strict multi-round reduction are asserted inside the
+    # comparison; this re-checks the recorded counts per row so a
+    # silently-empty comparison cannot pass the gate.
+    speculative_rows = current_speculative.get("rows", [])
+    for row in speculative_rows:
+        physical = row["speculative_physical"]
+        sequential_sweeps = row["sequential"]
+        multi_round = row.get("rounds", 1) > 1
+        if physical > sequential_sweeps or (multi_round and physical >= sequential_sweeps):
+            failures.append(
+                f"speculative driver sweeps not under sequential at n={row['n']}: "
+                f"{physical} vs {sequential_sweeps}"
+            )
+    if not speculative_rows and current_speculative.get("have_numpy", True):
+        failures.append("speculative comparison produced no sweep counts")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -411,6 +536,7 @@ def main() -> int:
     record["engine_comparison"] = run_engine_comparison(args.scale)
     record["sharded_comparison"] = run_sharded_comparison(args.scale)
     record["fused_comparison"] = run_fused_comparison(args.scale)
+    record["speculative_comparison"] = run_speculative_comparison(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

@@ -22,7 +22,11 @@ the chunked NumPy kernels of :mod:`~repro.core.kernels`, and the sharded
 pass executor of :mod:`~repro.core.executor` that fans those kernels
 across worker processes - selected per stream by :mod:`~repro.core.engine`
 (seed-for-seed identical results; see the engine module for the policy
-knobs: mode, chunk size, workers).
+knobs: mode, chunk size, workers, fused sweeps, round-pair speculation).
+Passes are expressed as *stages* (:mod:`~repro.core.stages`) and rounds as
+stage *programs* (:mod:`~repro.core.parallel`), which is what lets the
+speculative driver (:mod:`~repro.core.speculate`) run two guessing rounds
+through shared tape sweeps without perturbing a single bit of the result.
 """
 
 from .engine import engine_mode, engine_overrides, set_engine

@@ -216,34 +216,36 @@ def replay_incident_rows(incident_rows: list, offer) -> None:
                 offer(u, v)
 
 
-def closure_hit_counts(
-    scheduler: PassScheduler,
+def stage_closure_hits(
     bundle_rows: List[_Bundle],
     others: List[Vertex],
     meter: SpaceMeter,
     chunked: bool,
-) -> List[int]:
-    """Pass-6 closure counting, shared by the single and parallel runners.
+) -> "RoundStage":
+    """Build the pass-6 closure-counting stage (single and parallel runners).
 
     Row ``i`` pairs one light candidate edge's owner bundle with the edge's
-    far endpoint ``others[i]``; the return value counts, per row, how many
-    of the bundle's sampled wedges close on the tape.  Always consumes
-    exactly one pass, even with no rows (the pass budget accounting of the
+    far endpoint ``others[i]``; ``finish()`` counts, per row, how many of
+    the bundle's sampled wedges close on the tape.  Always charges exactly
+    one pass, even with no rows (the pass budget accounting of the
     six-pass layout does not depend on the candidate set).
 
     The chunked engine builds every watched key in one packed-key
     expression and resolves per-key *occurrence counts* with a single
-    vectorized scan (:func:`~repro.core.kernels.scan_packed_keys`) -
+    vectorized scan (:class:`~repro.core.kernels.PackedKeyCountPlan`) -
     occurrence-weighted, not presence-based, so the engines stay
     bit-identical even on unvalidated tapes with repeated edges.  The
     reference watch-table path below is also the fallback when vertex ids
-    overflow the 32-bit packing (it scans via a plain Python pass; a pass
-    is a pass either way).
+    overflow the 32-bit packing (a per-row replay - chunk-paced via
+    :class:`~repro.core.kernels.EdgeReplayPlan` on the chunked engines, so
+    the stage can still share a fused sweep; a pass is a pass either way).
     """
+    from .stages import CallbackFold, RoundStage
+
     if chunked and bundle_rows:
-        counts = _closure_hits_vectorized(scheduler, bundle_rows, others, meter)
-        if counts is not None:
-            return counts
+        stage = _closure_hits_vectorized_stage(bundle_rows, others, meter)
+        if stage is not None:
+            return stage
     watch: Dict[Edge, List[int]] = {}
     for row, (bundle, other) in enumerate(zip(bundle_rows, others)):
         for w in bundle.sample_values():
@@ -254,20 +256,38 @@ def closure_hit_counts(
             watch.setdefault(canonical_edge(other, w), []).append(row)
     meter.allocate(2 * len(watch) + sum(len(v) for v in watch.values()), "assignment-watch")
     hits = [0] * len(bundle_rows)
-    for edge in scheduler.new_pass():
-        watchers = watch.get(edge)
+
+    def visit(u: Vertex, v: Vertex) -> None:
+        watchers = watch.get((u, v))
         if watchers:
             for row in watchers:
                 hits[row] += 1
-    return hits
+
+    if chunked:
+        from . import kernels
+
+        return RoundStage(plans=[kernels.EdgeReplayPlan(visit)], finish=lambda: hits)
+    return RoundStage(fold=CallbackFold(visit), finish=lambda: hits)
 
 
-def _closure_hits_vectorized(
+def closure_hit_counts(
     scheduler: PassScheduler,
     bundle_rows: List[_Bundle],
     others: List[Vertex],
     meter: SpaceMeter,
-) -> Optional[List[int]]:
+    chunked: bool,
+) -> List[int]:
+    """Pass-6 closure counting as one dedicated sweep (see :func:`stage_closure_hits`)."""
+    from .stages import execute_stage
+
+    return execute_stage(scheduler, stage_closure_hits(bundle_rows, others, meter, chunked))
+
+
+def _closure_hits_vectorized_stage(
+    bundle_rows: List[_Bundle],
+    others: List[Vertex],
+    meter: SpaceMeter,
+) -> Optional["RoundStage"]:
     """One ragged packed-key expression + one chunked scan; ``None`` on overflow.
 
     The bundles store the slot multiset compressed (distinct values with
@@ -279,6 +299,7 @@ def _closure_hits_vectorized(
     import numpy as np
 
     from . import kernels
+    from .stages import RoundStage
 
     lengths = np.fromiter(
         (len(bundle.values) for bundle in bundle_rows), np.int64, count=len(bundle_rows)
@@ -299,7 +320,12 @@ def _closure_hits_vectorized(
         max(int(entry_values.max()), int(entry_others.max())) >= kernels.PACK_LIMIT
     ):
         return None  # ids beyond 32 bits cannot use packed keys
-    valid = entry_values != entry_others  # the sample is the edge's own far endpoint
+    # Drop entries the expanded reference never watches: samples equal to
+    # the edge's own far endpoint, and zero-multiplicity values (a bundle's
+    # first flush multinomial may leave zero-count entries; they carry no
+    # watchers, so keeping them would only inflate the key set and its
+    # space accounting relative to the watch-table path).
+    valid = (entry_values != entry_others) & (entry_counts > 0)
     entry_values = entry_values[valid]
     entry_others = entry_others[valid]
     entry_rows = entry_rows[valid]
@@ -314,11 +340,16 @@ def _closure_hits_vectorized(
     # Same accounting as the watch table: 2 words per distinct watched edge
     # plus 1 per watcher entry (slot multiplicities included).
     meter.allocate(2 * len(unique_keys) + int(entry_counts.sum()), "assignment-watch")
-    occurrences = kernels.scan_packed_keys(scheduler, unique_keys, engine.chunk_size())
-    hits = np.bincount(
-        entry_rows, weights=entry_counts * occurrences[inverse], minlength=len(bundle_rows)
-    )
-    return hits.astype(np.int64).tolist()
+    plan = kernels.PackedKeyCountPlan(unique_keys)
+
+    def finish() -> List[int]:
+        occurrences = plan.result()
+        hits = np.bincount(
+            entry_rows, weights=entry_counts * occurrences[inverse], minlength=len(bundle_rows)
+        )
+        return hits.astype(np.int64).tolist()
+
+    return RoundStage(plans=[plan], finish=finish)
 
 
 class SampleSource:

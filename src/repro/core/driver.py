@@ -88,6 +88,22 @@ class EstimatorConfig:
         whose wedges all stay open ties - unfused execution skips the
         assignment passes there).  ``None`` keeps the global
         ``REPRO_FUSE`` policy (off by default).
+    speculate:
+        Optional override of speculative round-pair fusion: the guessing
+        loop runs round ``i`` and a pre-drawn round ``i+1`` together, each
+        pass-``k`` stage of both rounds served by one shared tape sweep,
+        and commits or discards the speculative round on round ``i``'s
+        verdict (:mod:`repro.core.speculate`).  Estimates, the rounds
+        trajectory, and the logical-pass totals are bit-identical either
+        way; multi-round estimates finish in ~half the committed sweeps,
+        while an acceptance books the speculation-only sweeps as
+        :attr:`EstimateResult.sweeps_wasted`.  ``None`` keeps the global
+        ``REPRO_SPECULATE`` policy (off by default).  Speculation
+        disengages - falling back to the sequential loop - whenever a
+        ``t_hint`` (single round), a custom ``assigner_factory``, plain
+        ``share_passes=False``, or a ``space_budget_words`` cap is in
+        force (a speculative round tripping the Markov abort must not
+        fail a run the sequential driver would have finished).
     """
 
     epsilon: float = 0.25
@@ -103,6 +119,7 @@ class EstimatorConfig:
     chunk_size: Optional[int] = None
     workers: Optional[int] = None
     fuse: Optional[bool] = None
+    speculate: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -139,9 +156,21 @@ class EstimateResult:
     sums passes over all runs and rounds (each run alone stays within the
     constant six-pass budget - the total reflects the driver's repetition
     and search factors, both ``O(log)``).  ``sweeps_total`` sums the
-    *physical tape sweeps* the same runs performed - equal to
+    *physical tape sweeps* serving the committed rounds - equal to
     ``passes_total`` unfused, strictly smaller when the fused sweep engine
-    grouped passes.
+    grouped passes within a round or the speculative driver fused round
+    pairs.  ``sweeps_wasted`` counts the additional physical sweeps that
+    served *only* discarded speculation (a speculative round ``i+1``
+    thrown away because round ``i`` accepted): the tape traversals
+    actually performed are ``sweeps_total + sweeps_wasted``, and
+    ``sweeps_wasted`` is always 0 under the sequential driver.
+    ``passes_wasted`` likewise counts the discarded round's logical
+    passes - the speculative work executed inside shared sweeps and then
+    thrown away.  An accepted round's speculative partner always overlaps
+    it stage for stage (a round that finishes early found no candidates
+    and cannot accept), so discards typically show ``passes_wasted > 0``
+    with ``sweeps_wasted == 0``: speculation wastes in-sweep compute, not
+    extra tape traversals.
     """
 
     estimate: float
@@ -150,6 +179,8 @@ class EstimateResult:
     passes_total: int
     final_plan: Optional[ParameterPlan]
     sweeps_total: int = 0
+    sweeps_wasted: int = 0
+    passes_wasted: int = 0
 
     @property
     def accepted_round(self) -> Optional[GuessRound]:
@@ -207,7 +238,9 @@ class TriangleCountEstimator:
         # Engine selection travels with the config: every pass of every
         # round runs under the requested mode / chunk size / worker count
         # (results are seed-for-seed identical across all of them).
-        with engine_overrides(cfg.engine_mode, cfg.chunk_size, cfg.workers, cfg.fuse):
+        with engine_overrides(
+            cfg.engine_mode, cfg.chunk_size, cfg.workers, cfg.fuse, cfg.speculate
+        ):
             return self._estimate(stream, kappa, assigner_factory)
 
     def _estimate(
@@ -249,13 +282,13 @@ class TriangleCountEstimator:
         space_peak = 0
         passes_total = 0
         sweeps_total = 0
+        sweeps_wasted = 0
+        passes_wasted = 0
         final_plan: Optional[ParameterPlan] = None
         estimate = 0.0
 
-        for round_index, t_guess in enumerate(guesses):
-            if t_guess < 1.0 and cfg.t_hint is None:
-                break  # fewer than one triangle remains plausible: answer 0
-            plan = ParameterPlan.build(
+        def build_plan(t_guess: float) -> ParameterPlan:
+            return ParameterPlan.build(
                 num_vertices=n,
                 num_edges=m,
                 kappa=kappa,
@@ -264,16 +297,132 @@ class TriangleCountEstimator:
                 mode=cfg.mode,
                 constants=cfg.constants,
             )
+
+        def spawn_round(round_index: int) -> List[random.Random]:
+            return [
+                spawn(root, f"round{round_index}/rep{rep}")
+                for rep in range(cfg.repetitions)
+            ]
+
+        def result(final_estimate: float) -> EstimateResult:
+            return EstimateResult(
+                estimate=final_estimate,
+                rounds=rounds,
+                space_words_peak=space_peak,
+                passes_total=passes_total,
+                final_plan=final_plan,
+                sweeps_total=sweeps_total,
+                sweeps_wasted=sweeps_wasted,
+                passes_wasted=passes_wasted,
+            )
+
+        def record_round(
+            t_guess: float, runs: List[SinglePassStackResult], plan: ParameterPlan
+        ) -> Tuple[float, bool]:
+            """Append one committed round and apply the acceptance rule."""
+            nonlocal final_plan, estimate
+            med = median([run.estimate for run in runs])
+            accepted = cfg.t_hint is not None or med >= t_guess / 2.0
+            rounds.append(
+                GuessRound(
+                    t_guess=t_guess, runs=runs, median_estimate=med, accepted=accepted
+                )
+            )
+            final_plan = plan
+            estimate = med
+            return med, accepted
+
+        share = cfg.share_passes and assigner_factory is None
+        # Round-pair speculation preserves the sequential loop's semantics
+        # only where the sequential loop actually has rounds to pair and no
+        # per-run abort can fire mid-pair; everywhere else it disengages.
+        speculative = (
+            engine.speculate()
+            and share
+            and cfg.t_hint is None
+            and cfg.space_budget_words is None
+        )
+
+        round_index = 0
+        while round_index < len(guesses):
+            t_guess = guesses[round_index]
+            if t_guess < 1.0 and cfg.t_hint is None:
+                break  # fewer than one triangle remains plausible: answer 0
+            plan = build_plan(t_guess)
+            next_guess = (
+                guesses[round_index + 1] if round_index + 1 < len(guesses) else None
+            )
+            # Speculation throttle: the waste case is an *accepting* primary
+            # round (its speculative partner - the next, twice-as-provisioned
+            # round - is discarded).  Acceptance is predictable from
+            # committed data alone: medians are roughly stable round to
+            # round while guesses halve, so once the previous round's median
+            # clears the bar the current guess will be judged by, the loop
+            # is about to terminate - run the round solo instead of paying
+            # for a speculative partner that is about to be thrown away.
+            # The committed rounds are identical either way; only the
+            # sweep-sharing layout changes, so bit-identity is unaffected.
+            acceptance_imminent = bool(rounds) and rounds[-1].median_estimate >= t_guess / 2.0
+            if (
+                speculative
+                and next_guess is not None
+                and next_guess >= 1.0
+                and not acceptance_imminent
+            ):
+                from .speculate import run_speculative_pair
+
+                rngs = spawn_round(round_index)
+                # Checkpoint the root generator before the speculative
+                # spawns: if round i accepts, the sequential driver would
+                # never have drawn them, and rewinding keeps the root's
+                # consumption bit-identical to the sequential trajectory.
+                root_checkpoint = root.getstate()
+                speculative_rngs = spawn_round(round_index + 1)
+                speculative_plan = build_plan(next_guess)
+                meter = SpaceMeter()
+                speculative_meter = SpaceMeter()
+                pair = run_speculative_pair(
+                    stream,
+                    plan,
+                    rngs,
+                    meter,
+                    speculative_plan,
+                    speculative_rngs,
+                    speculative_meter,
+                )
+                space_peak = max(space_peak, meter.peak_words)
+                passes_total += pair.primary[0].passes_used
+                med, accepted = record_round(t_guess, pair.primary, plan)
+                if accepted:
+                    # The speculative round is work the sequential driver
+                    # would never have run: drop its results and meter,
+                    # rewind the root RNG past its spawns, and book the
+                    # sweeps that served only it as wasted.
+                    pair.discard_speculative()
+                    root.setstate(root_checkpoint)
+                    sweeps_total += pair.sweeps_committed
+                    sweeps_wasted += pair.sweeps_wasted
+                    passes_wasted += pair.speculative[0].passes_used
+                    return result(med)
+                # Rejection commits both rounds: the speculative round is
+                # exactly the next sequential round, already executed.
+                sweeps_total += pair.sweeps_used
+                space_peak = max(space_peak, speculative_meter.peak_words)
+                passes_total += pair.speculative[0].passes_used
+                med, accepted = record_round(
+                    next_guess, pair.speculative, speculative_plan
+                )
+                if accepted:
+                    return result(med)
+                round_index += 2
+                continue
             runs: List[SinglePassStackResult] = []
-            if cfg.share_passes and assigner_factory is None:
+            if share:
                 # The paper's accounting: all repetitions in parallel over
                 # six shared passes; space is the ensemble total.
                 from .parallel import run_parallel_estimates
 
-                rngs = [
-                    spawn(root, f"round{round_index}/rep{rep}")
-                    for rep in range(cfg.repetitions)
-                ]
+                rngs = spawn_round(round_index)
                 meter = SpaceMeter(budget_words=cfg.space_budget_words)
                 runs = run_parallel_estimates(stream, plan, rngs, meter=meter)
                 space_peak = max(space_peak, meter.peak_words)
@@ -290,31 +439,12 @@ class TriangleCountEstimator:
                     space_peak = max(space_peak, run.space_words_peak)
                     passes_total += run.passes_used
                     sweeps_total += run.sweeps_used
-            med = median([run.estimate for run in runs])
-            accepted = cfg.t_hint is not None or med >= t_guess / 2.0
-            rounds.append(
-                GuessRound(t_guess=t_guess, runs=runs, median_estimate=med, accepted=accepted)
-            )
-            final_plan = plan
-            estimate = med
+            med, accepted = record_round(t_guess, runs, plan)
             if accepted:
-                return EstimateResult(
-                    estimate=med,
-                    rounds=rounds,
-                    space_words_peak=space_peak,
-                    passes_total=passes_total,
-                    final_plan=final_plan,
-                    sweeps_total=sweeps_total,
-                )
+                return result(med)
+            round_index += 1
 
         if cfg.t_hint is not None:  # pragma: no cover - hint rounds always accept
             raise EstimationError("hinted round did not record a result")
         # All guesses rejected: consistent with a (near-)triangle-free graph.
-        return EstimateResult(
-            estimate=0.0 if estimate < 1.0 else estimate,
-            rounds=rounds,
-            space_words_peak=space_peak,
-            passes_total=passes_total,
-            final_plan=final_plan,
-            sweeps_total=sweeps_total,
-        )
+        return result(0.0 if estimate < 1.0 else estimate)

@@ -75,6 +75,10 @@ def _initial_fuse() -> bool:
     return os.environ.get("REPRO_FUSE", "").strip().lower() in ("1", "true", "on")
 
 
+def _initial_speculate() -> bool:
+    return os.environ.get("REPRO_SPECULATE", "").strip().lower() in ("1", "true", "on")
+
+
 _mode: str = _initial_mode()
 _chunk_size: int = DEFAULT_CHUNK_EDGES
 #: ``None`` = never set explicitly (mode ``"sharded"`` may then default it
@@ -85,6 +89,11 @@ _workers: Optional[int] = _initial_workers()
 #: seed-for-seed identical either way; fusing trades a little extra
 #: speculative space for strictly fewer stream sweeps.
 _fuse: bool = _initial_fuse()
+#: Speculative round-pair fusion: the guessing loop runs round ``i`` and a
+#: pre-drawn round ``i+1`` through shared sweeps, committing or discarding
+#: the speculative round on round ``i``'s verdict (see
+#: :mod:`repro.core.speculate`).  Estimates are bit-identical either way.
+_speculate: bool = _initial_speculate()
 
 
 def engine_mode() -> str:
@@ -105,6 +114,11 @@ def workers() -> int:
 def fuse() -> bool:
     """Whether rounds should fuse their independent pass plans per sweep."""
     return _fuse
+
+
+def speculate() -> bool:
+    """Whether the guessing loop should fuse speculative round pairs."""
+    return _speculate
 
 
 def effective_workers() -> int:
@@ -133,10 +147,13 @@ def _check_workers(num_workers: Optional[int]) -> None:
 
 
 def _apply(
-    chunk: Optional[int], num_workers: Optional[int], fused: Optional[bool] = None
+    chunk: Optional[int],
+    num_workers: Optional[int],
+    fused: Optional[bool] = None,
+    speculative: Optional[bool] = None,
 ) -> None:
     """Validate *all* settings before committing any (no partial writes)."""
-    global _chunk_size, _workers, _fuse
+    global _chunk_size, _workers, _fuse, _speculate
     _check_chunk(chunk)
     _check_workers(num_workers)
     if chunk is not None:
@@ -145,6 +162,8 @@ def _apply(
         _workers = num_workers
     if fused is not None:
         _fuse = bool(fused)
+    if speculative is not None:
+        _speculate = bool(speculative)
 
 
 def set_engine(
@@ -152,6 +171,7 @@ def set_engine(
     chunk: Optional[int] = None,
     num_workers: Optional[int] = None,
     fused: Optional[bool] = None,
+    speculative: Optional[bool] = None,
 ) -> None:
     """Set the global engine policy (and optionally chunk size / workers / fusing).
 
@@ -160,7 +180,9 @@ def set_engine(
     same and additionally fans passes across worker processes;
     ``"python"`` forces the reference path; ``"auto"`` picks per stream.
     ``fused`` toggles the fused-sweep execution of each round's independent
-    pass plans (any engine mode; estimates are identical either way).
+    pass plans (any engine mode; estimates are identical either way);
+    ``speculative`` toggles the guessing loop's round-pair fusion (see
+    :mod:`repro.core.speculate` - estimates are identical either way).
     All arguments are validated before any global state changes, so a
     rejected call leaves the policy untouched.
     """
@@ -169,7 +191,7 @@ def set_engine(
         raise ParameterError(f"engine mode must be one of {_MODES}, got {mode!r}")
     if mode in ("chunked", "sharded") and not HAVE_NUMPY:
         raise ParameterError(f"engine mode {mode!r} requires NumPy, which is not installed")
-    _apply(chunk, num_workers, fused)
+    _apply(chunk, num_workers, fused, speculative)
     _mode = mode
 
 
@@ -179,8 +201,10 @@ def engine_overrides(
     chunk: Optional[int] = None,
     num_workers: Optional[int] = None,
     fused: Optional[bool] = None,
+    speculative: Optional[bool] = None,
 ) -> Iterator[None]:
-    """Temporarily override the engine policy, chunk size, workers, and/or fusing.
+    """Temporarily override the engine policy, chunk size, workers, fusing,
+    and/or round-pair speculation.
 
     Only *explicit* arguments are validated and applied; ``None`` leaves
     the corresponding setting untouched (in particular, an environment-
@@ -188,16 +212,16 @@ def engine_overrides(
     here - it degrades at :func:`use_chunks` - rather than rejected on
     every entry).  Restoration is unconditional.
     """
-    global _mode, _chunk_size, _workers, _fuse
-    saved = (_mode, _chunk_size, _workers, _fuse)
+    global _mode, _chunk_size, _workers, _fuse, _speculate
+    saved = (_mode, _chunk_size, _workers, _fuse, _speculate)
     try:
         if mode is not None:
-            set_engine(mode, chunk, num_workers, fused)
+            set_engine(mode, chunk, num_workers, fused, speculative)
         else:
-            _apply(chunk, num_workers, fused)
+            _apply(chunk, num_workers, fused, speculative)
         yield
     finally:
-        _mode, _chunk_size, _workers, _fuse = saved
+        _mode, _chunk_size, _workers, _fuse, _speculate = saved
 
 
 def use_chunks(stream: EdgeStream) -> bool:

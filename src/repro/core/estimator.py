@@ -52,6 +52,14 @@ from ..types import Edge, Triangle, Vertex, canonical_edge, canonical_triangle
 from . import engine
 from .assignment import Assigner, SampleSource, StreamingAssigner, derive_sample_generator
 from .params import ParameterPlan
+from .stages import (  # noqa: F401 - re-exported for stage-builder callers
+    CallbackFold,
+    EdgeFold,
+    RoundStage,
+    drive_folds,
+    execute_stage,
+    sweep_stages,
+)
 
 AssignerFactory = Callable[[ParameterPlan, random.Random, SpaceMeter], Assigner]
 
@@ -182,18 +190,44 @@ def _neighborhood_owner(e: Edge, vertex_degree: Dict[Vertex, int]) -> Vertex:
 
 
 # ---------------------------------------------------------------------------
-# the shared multi-instance passes (k instances, one sweep each)
+# the shared multi-instance passes (k instances, one sweep each), each
+# expressed as a stage builder (build the request, run the sweep, finish)
 
 
-def pass1_uniform_samples(
-    scheduler: PassScheduler,
-    r: int,
-    m: int,
-    sources: List,
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Edge]]:
-    """Pass 1: ``r`` i.i.d. uniform edges per instance, one shared sweep.
+class _PositionSlotsFold(EdgeFold):
+    """Pass-1 fold: serve pre-drawn stream positions (Python engine)."""
+
+    can_finish_early = True
+
+    __slots__ = ("_slots_by_position", "_filled", "_remaining", "_position")
+
+    def __init__(self, slots_by_position: Dict[int, list], total: int) -> None:
+        self._slots_by_position = slots_by_position
+        self._filled: dict = {}
+        self._remaining = total
+        self._position = 0
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        slots = self._slots_by_position.get(self._position)
+        if slots:
+            edge = (u, v)
+            for key in slots:
+                self._filled[key] = edge
+            self._remaining -= len(slots)
+        self._position += 1
+
+    def done(self) -> bool:
+        return self._remaining == 0
+
+    def result(self) -> dict:
+        assert self._remaining == 0, "stream ended with unserved sample positions"
+        return self._filled
+
+
+def stage_pass1(
+    r: int, m: int, sources: List, meter: SpaceMeter, chunked: bool
+) -> RoundStage:
+    """Build the pass-1 stage: ``r`` i.i.d. uniform edges per instance.
 
     Positions are pre-drawn in instance-then-slot order on every engine, so
     the per-instance variate streams stay aligned; the sweep abandons once
@@ -211,16 +245,38 @@ def pass1_uniform_samples(
         if chunked:
             from . import kernels
 
-            flat = kernels.collect_stream_positions(scheduler, positions, engine.chunk_size())
-            return [flat[j * r : (j + 1) * r] for j in range(k)]
+            plan = kernels.PositionCollectPlan(positions)
+
+            def finish_chunked() -> List[List[Edge]]:
+                flat = plan.result()
+                return [flat[j * r : (j + 1) * r] for j in range(k)]
+
+            return RoundStage(plans=[plan], finish=finish_chunked)
         position_list = positions.tolist()
     else:  # pragma: no cover - exercised only without NumPy
         position_list = [sources[j].randrange(m) for j in range(k) for _ in range(r)]
     slots_by_position: Dict[int, List[DrawKey]] = {}
     for flat_slot, position in enumerate(position_list):
         slots_by_position.setdefault(position, []).append(divmod(flat_slot, r))
-    filled = collect_position_slots(scheduler.new_pass(), slots_by_position, r * k)
-    return [[filled[(j, slot)] for slot in range(r)] for j in range(k)]
+    fold = _PositionSlotsFold(slots_by_position, r * k)
+
+    def finish() -> List[List[Edge]]:
+        filled = fold.result()
+        return [[filled[(j, slot)] for slot in range(r)] for j in range(k)]
+
+    return RoundStage(fold=fold, finish=finish)
+
+
+def pass1_uniform_samples(
+    scheduler: PassScheduler,
+    r: int,
+    m: int,
+    sources: List,
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> List[List[Edge]]:
+    """Pass 1: ``r`` i.i.d. uniform edges per instance, one shared sweep."""
+    return execute_stage(scheduler, stage_pass1(r, m, sources, meter, chunked))
 
 
 def collect_position_slots(pass_iter, slots_by_position: Dict[int, list], total: int) -> dict:
@@ -231,30 +287,31 @@ def collect_position_slots(pass_iter, slots_by_position: Dict[int, list], total:
     ``{slot key: edge}``.  The pass is abandoned once all ``total`` slots
     are filled.
     """
-    filled: dict = {}
-    remaining = total
-    try:
-        for position, edge in enumerate(pass_iter):
-            slots = slots_by_position.get(position)
-            if slots:
-                for key in slots:
-                    filled[key] = edge
-                remaining -= len(slots)
-                if remaining == 0:
-                    break  # every slot filled: the rest of the pass is dead tape
-    finally:
-        pass_iter.close()
-    assert remaining == 0, "stream ended with unserved sample positions"
-    return filled
+    fold = _PositionSlotsFold(slots_by_position, total)
+    drive_folds(pass_iter, [fold])
+    return fold.result()
 
 
-def pass2_degree_table(
-    scheduler: PassScheduler,
-    sampled: List[List[Edge]],
-    meter: SpaceMeter,
-    chunked: bool = False,
-) -> Dict[Vertex, int]:
-    """Pass 2: one shared degree table for all endpoints of all instances.
+class _TrackedDegreeFold(EdgeFold):
+    """Pass-2 fold: streaming degree counters for the tracked endpoints."""
+
+    __slots__ = ("tracked",)
+
+    def __init__(self, tracked: Dict[Vertex, int]) -> None:
+        self.tracked = tracked
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        tracked = self.tracked
+        if u in tracked:
+            tracked[u] += 1
+        if v in tracked:
+            tracked[v] += 1
+
+
+def stage_pass2(
+    sampled: List[List[Edge]], meter: SpaceMeter, chunked: bool
+) -> RoundStage:
+    """Build the pass-2 stage: one shared degree table for all endpoints.
 
     Degrees are deterministic functions of the stream, so every instance
     reading the same table is exact, not a statistical shortcut.
@@ -271,14 +328,23 @@ def pass2_degree_table(
         from . import kernels
 
         ids = np.array(sorted(tracked), dtype=np.int64)
-        counts = kernels.count_tracked_degrees(scheduler, ids, engine.chunk_size())
-        return dict(zip(ids.tolist(), counts.tolist()))
-    for a, b in scheduler.new_pass():
-        if a in tracked:
-            tracked[a] += 1
-        if b in tracked:
-            tracked[b] += 1
-    return tracked
+        plan = kernels.DegreeCountPlan(ids)
+        return RoundStage(
+            plans=[plan],
+            finish=lambda: dict(zip(ids.tolist(), plan.result().tolist())),
+        )
+    fold = _TrackedDegreeFold(tracked)
+    return RoundStage(fold=fold, finish=lambda: fold.tracked)
+
+
+def pass2_degree_table(
+    scheduler: PassScheduler,
+    sampled: List[List[Edge]],
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> Dict[Vertex, int]:
+    """Pass 2: one shared degree table for all endpoints of all instances."""
+    return execute_stage(scheduler, stage_pass2(sampled, meter, chunked))
 
 
 def draw_weighted_edges(
@@ -317,15 +383,51 @@ def draw_weighted_edges(
     return draws, owners, ells, d_rs
 
 
-def pass3_neighbor_apexes(
-    scheduler: PassScheduler,
+class _NeighborServeFold(EdgeFold):
+    """Pass-3 fold: serve per-owner incident-stream positions."""
+
+    can_finish_early = True
+
+    __slots__ = ("_pending", "_served", "_seen", "_cursor", "_unserved")
+
+    def __init__(self, pending: Dict[Vertex, list]) -> None:
+        for entries in pending.values():
+            entries.sort()
+        self._pending = pending
+        self._served: dict = {}
+        self._seen: Dict[Vertex, int] = {owner: 0 for owner in pending}
+        self._cursor: Dict[Vertex, int] = {owner: 0 for owner in pending}
+        self._unserved = sum(len(entries) for entries in pending.values())
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        for owner, neighbor in ((u, v), (v, u)):
+            entries = self._pending.get(owner)
+            if entries is None:
+                continue
+            occurrence = self._seen[owner]
+            self._seen[owner] = occurrence + 1
+            at = self._cursor[owner]
+            while at < len(entries) and entries[at][0] == occurrence:
+                self._served[entries[at][1]] = neighbor
+                at += 1
+                self._unserved -= 1
+            self._cursor[owner] = at
+
+    def done(self) -> bool:
+        return self._unserved == 0
+
+    def result(self) -> dict:
+        return self._served
+
+
+def stage_pass3(
     owners: List[List[Vertex]],
     degree: Dict[Vertex, int],
     sources: List,
     meter: SpaceMeter,
-    chunked: bool = False,
-) -> List[List[Optional[Vertex]]]:
-    """Pass 3: per-draw uniform neighbor samples, all instances at once.
+    chunked: bool,
+) -> RoundStage:
+    """Build the pass-3 stage: per-draw uniform neighbor samples.
 
     Every owner is an endpoint of a pass-1 edge, so its exact degree is
     already on hand from pass 2 - a uniform neighbor therefore needs no
@@ -363,20 +465,21 @@ def pass3_neighbor_apexes(
                 dtype=np.int64,
             )
             owner_index = np.searchsorted(owner_ids, flat_owners)
-            found = kernels.collect_neighbor_positions(
-                scheduler,
-                owner_ids,
-                owner_index,
-                np.concatenate(position_lists),
-                engine.chunk_size(),
+            plan = kernels.NeighborPositionPlan(
+                owner_ids, owner_index, np.concatenate(position_lists)
             )
-            apexes = []
-            at = 0
-            for j in range(k):
-                row = found[at : at + len(owners[j])].tolist()
-                apexes.append([None if w < 0 else int(w) for w in row])
-                at += len(owners[j])
-            return apexes
+
+            def finish_chunked() -> List[List[Optional[Vertex]]]:
+                found = plan.result()
+                apexes = []
+                at = 0
+                for j in range(k):
+                    row = found[at : at + len(owners[j])].tolist()
+                    apexes.append([None if w < 0 else int(w) for w in row])
+                    at += len(owners[j])
+                return apexes
+
+            return RoundStage(plans=[plan], finish=finish_chunked)
         positions = [p.tolist() for p in position_lists]
     else:  # pragma: no cover - exercised only without NumPy
         positions = [
@@ -386,10 +489,28 @@ def pass3_neighbor_apexes(
     for j, instance_owners in enumerate(owners):
         for i, owner in enumerate(instance_owners):
             pending.setdefault(owner, []).append((positions[j][i], (j, i)))
-    served = serve_neighbor_positions(scheduler.new_pass(), pending)
-    return [
-        [served.get((j, i)) for i in range(len(owners[j]))] for j in range(len(owners))
-    ]
+    fold = _NeighborServeFold(pending)
+
+    def finish() -> List[List[Optional[Vertex]]]:
+        served = fold.result()
+        return [
+            [served.get((j, i)) for i in range(len(owners[j]))]
+            for j in range(len(owners))
+        ]
+
+    return RoundStage(fold=fold, finish=finish)
+
+
+def pass3_neighbor_apexes(
+    scheduler: PassScheduler,
+    owners: List[List[Vertex]],
+    degree: Dict[Vertex, int],
+    sources: List,
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> List[List[Optional[Vertex]]]:
+    """Pass 3: per-draw uniform neighbor samples, all instances at once."""
+    return execute_stage(scheduler, stage_pass3(owners, degree, sources, meter, chunked))
 
 
 def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
@@ -401,31 +522,9 @@ def serve_neighbor_positions(pass_iter, pending: Dict[Vertex, list]) -> dict:
     0-based.  Returns ``{payload: neighbor}``.  The pass is abandoned once
     every request is served.
     """
-    for entries in pending.values():
-        entries.sort()
-    served: dict = {}
-    seen: Dict[Vertex, int] = {owner: 0 for owner in pending}
-    cursor: Dict[Vertex, int] = {owner: 0 for owner in pending}
-    unserved = sum(len(entries) for entries in pending.values())
-    try:
-        for a, b in pass_iter:
-            for owner, neighbor in ((a, b), (b, a)):
-                entries = pending.get(owner)
-                if entries is None:
-                    continue
-                occurrence = seen[owner]
-                seen[owner] = occurrence + 1
-                at = cursor[owner]
-                while at < len(entries) and entries[at][0] == occurrence:
-                    served[entries[at][1]] = neighbor
-                    at += 1
-                    unserved -= 1
-                cursor[owner] = at
-            if unserved == 0:
-                break  # every draw served: the rest of the pass is dead tape
-    finally:
-        pass_iter.close()
-    return served
+    fold = _NeighborServeFold(pending)
+    drive_folds(pass_iter, [fold])
+    return fold.result()
 
 
 def _closure_watch_tables(
@@ -471,22 +570,79 @@ def _fan_out_closure(
     ]
 
 
-def _scan_closure_watch(
-    scheduler: PassScheduler, watch: Dict[Edge, List[DrawKey]], chunked: bool
-) -> Dict[DrawKey, bool]:
-    """One dedicated pass-4 scan of the watch table (one pass, one sweep)."""
-    closed: Dict[DrawKey, bool] = {}
+class _WatchFold(EdgeFold):
+    """Pass-4 fold: mark watched missing edges seen anywhere on the tape."""
+
+    __slots__ = ("watch", "closed")
+
+    def __init__(self, watch: Dict[Edge, List[DrawKey]]) -> None:
+        self.watch = watch
+        self.closed: Dict[DrawKey, bool] = {}
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        for key in self.watch.get((u, v), ()):
+            self.closed[key] = True
+
+
+class _FusedWatchCollectFold(EdgeFold):
+    """Fused pass-4/5 fold: closure watch plus wedge-superset buffering."""
+
+    __slots__ = ("watch", "closed", "superset", "incident")
+
+    def __init__(self, watch: Dict[Edge, List[DrawKey]], superset: set) -> None:
+        self.watch = watch
+        self.closed: Dict[DrawKey, bool] = {}
+        self.superset = superset
+        self.incident: list = []
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        for key in self.watch.get((u, v), ()):
+            self.closed[key] = True
+        if u in self.superset or v in self.superset:
+            self.incident.append((u, v))
+
+
+def _stage_watch_scan(
+    watch: Dict[Edge, List[DrawKey]],
+    wedges: List[List[Optional[Triangle]]],
+    draws: List[List[Edge]],
+    chunked: bool,
+) -> RoundStage:
+    """One dedicated pass-4 watch scan over prebuilt tables (one pass)."""
     if chunked:
         from . import kernels
 
-        for found in kernels.scan_watch_keys(scheduler, list(watch), engine.chunk_size()):
-            for key in watch[found]:
-                closed[key] = True
-    else:
-        for edge in scheduler.new_pass():
-            for key in watch.get(edge, ()):
-                closed[key] = True
-    return closed
+        plan = kernels.WatchKeyPlan(list(watch))
+
+        def finish_chunked() -> List[List[Optional[Triangle]]]:
+            closed: Dict[DrawKey, bool] = {}
+            for found in plan.result():
+                for key in watch[found]:
+                    closed[key] = True
+            return _fan_out_closure(closed, wedges, draws)
+
+        return RoundStage(plans=[plan], finish=finish_chunked)
+    fold = _WatchFold(watch)
+    return RoundStage(
+        fold=fold, finish=lambda: _fan_out_closure(fold.closed, wedges, draws)
+    )
+
+
+def stage_pass4(
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
+    meter: SpaceMeter,
+    chunked: bool,
+) -> RoundStage:
+    """Build the pass-4 stage: resolve which wedges ``{e, w}`` close.
+
+    See :func:`_closure_watch_tables` for the watch-table construction and
+    the cross-instance dedup.  ``finish()`` is the closed triangle per
+    draw, or ``None``.
+    """
+    watch, wedges = _closure_watch_tables(draws, owners, apexes, meter)
+    return _stage_watch_scan(watch, wedges, draws, chunked)
 
 
 def pass4_closure_triangles(
@@ -497,24 +653,17 @@ def pass4_closure_triangles(
     meter: SpaceMeter,
     chunked: bool = False,
 ) -> List[List[Optional[Triangle]]]:
-    """Pass 4: resolve which wedges ``{e, w}`` close, all instances at once.
-
-    See :func:`_closure_watch_tables` for the watch-table construction and
-    the cross-instance dedup.  Returns the closed triangle per draw, or
-    ``None``.
-    """
-    watch, wedges = _closure_watch_tables(draws, owners, apexes, meter)
-    return _fan_out_closure(_scan_closure_watch(scheduler, watch, chunked), wedges, draws)
+    """Pass 4: resolve which wedges ``{e, w}`` close, all instances at once."""
+    return execute_stage(scheduler, stage_pass4(draws, owners, apexes, meter, chunked))
 
 
-def pass45_closure_and_collect(
-    scheduler: PassScheduler,
+def stage_pass45(
     draws: List[List[Edge]],
     owners: List[List[Vertex]],
     apexes: List[List[Optional[Vertex]]],
     meter: SpaceMeter,
-    chunked: bool = False,
-) -> Tuple[List[List[Optional[Triangle]]], Optional[list]]:
+    chunked: bool,
+) -> RoundStage:
     """Fused passes 4+5: closure watch and incident collection, one sweep.
 
     The assignment stage (pass 5) replays the edges incident to the
@@ -540,10 +689,10 @@ def pass45_closure_and_collect(
     therefore never more than unfused, and strictly fewer as soon as any
     round finds a candidate triangle.
 
-    Returns ``(candidates, incident_rows)`` where ``incident_rows`` is the
-    buffered incident sequence in stream order (``(k, 2)`` blocks on the
-    chunked engines, edge tuples on the Python path) for
-    :func:`replay_incident_rows` - or ``None`` when nothing was
+    ``finish()`` returns ``(candidates, incident_rows)`` where
+    ``incident_rows`` is the buffered incident sequence in stream order
+    (``(k, 2)`` blocks on the chunked engines, edge tuples on the Python
+    path) for :func:`replay_incident_rows` - or ``None`` when nothing was
     speculated.
     """
     watch, wedges = _closure_watch_tables(draws, owners, apexes, meter)
@@ -556,36 +705,47 @@ def pass45_closure_and_collect(
         # Run the plain pass-4 scan (which resolves to "no candidates")
         # and let the caller skip the assignment stage, exactly like
         # unfused execution does on such rounds.
-        candidates = _fan_out_closure(
-            _scan_closure_watch(scheduler, watch, chunked), wedges, draws
+        base = _stage_watch_scan(watch, wedges, draws, chunked)
+        return RoundStage(
+            plans=base.plans,
+            fold=base.fold,
+            passes=base.passes,
+            finish=lambda: (base.finish(), None),
         )
-        return candidates, None
-    closed: Dict[DrawKey, bool] = {}
-    incident: list
     if chunked:
         from . import kernels
-        from .executor import run_plans
 
         watch_plan = kernels.WatchKeyPlan(list(watch))
         collect_plan = kernels.IncidentCollectPlan(superset)
-        found, incident = run_plans(
-            scheduler, [watch_plan, collect_plan], chunk_size=engine.chunk_size()
-        )
-        for key_edge in found:
-            for key in watch[key_edge]:
-                closed[key] = True
-        buffered = sum(len(block) for block in incident)
-    else:
-        incident = []
-        sweep = scheduler.new_fused_pass(2)
-        try:
-            for a, b in sweep:
-                for key in watch.get((a, b), ()):
+
+        def finish_chunked():
+            closed: Dict[DrawKey, bool] = {}
+            for key_edge in watch_plan.result():
+                for key in watch[key_edge]:
                     closed[key] = True
-                if a in superset or b in superset:
-                    incident.append((a, b))
-        finally:
-            sweep.close()
-        buffered = len(incident)
-    meter.allocate(2 * buffered, "fused-incident-buffer")
-    return _fan_out_closure(closed, wedges, draws), incident
+            incident = collect_plan.result()
+            meter.allocate(
+                2 * sum(len(block) for block in incident), "fused-incident-buffer"
+            )
+            return _fan_out_closure(closed, wedges, draws), incident
+
+        return RoundStage(plans=[watch_plan, collect_plan], finish=finish_chunked)
+    fused_fold = _FusedWatchCollectFold(watch, superset)
+
+    def finish():
+        meter.allocate(2 * len(fused_fold.incident), "fused-incident-buffer")
+        return _fan_out_closure(fused_fold.closed, wedges, draws), fused_fold.incident
+
+    return RoundStage(fold=fused_fold, passes=2, finish=finish)
+
+
+def pass45_closure_and_collect(
+    scheduler: PassScheduler,
+    draws: List[List[Edge]],
+    owners: List[List[Vertex]],
+    apexes: List[List[Optional[Vertex]]],
+    meter: SpaceMeter,
+    chunked: bool = False,
+) -> Tuple[List[List[Optional[Triangle]]], Optional[list]]:
+    """Fused passes 4+5 as one sweep (see :func:`stage_pass45`)."""
+    return execute_stage(scheduler, stage_pass45(draws, owners, apexes, meter, chunked))

@@ -229,6 +229,8 @@ def run_plans(
     plans: Sequence[PassPlan],
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
+    passes: Optional[int] = None,
+    owners: Optional[Sequence[str]] = None,
 ) -> List[Any]:
     """Execute independent ``plans`` through **one** sweep of ``scheduler``.
 
@@ -239,14 +241,20 @@ def run_plans(
     have received from its own :func:`run_plan` sweep, so per-plan results
     are bit-identical to per-plan execution at any worker count.  Returns
     the plans' results in order.
+
+    ``passes`` overrides the logical-pass charge for the group (defaults to
+    ``len(plans)``); ``owners`` tags the sweep for the scheduler's
+    committed/wasted accounting (the speculative round-pair driver tags
+    shared sweeps with the rounds they serve).
     """
     if not plans:
         raise ValueError("run_plans needs at least one plan")
     chunk = chunk_size if chunk_size is not None else engine.chunk_size()
     shard_count = workers if workers is not None else engine.effective_workers()
+    charged = passes if passes is not None else len(plans)
     if shard_count > 1 and not all(plan.finished() for plan in plans):
-        return _run_sharded(scheduler, plans, chunk, shard_count)
-    return _run_serial(scheduler, plans, chunk)
+        return _run_sharded(scheduler, plans, chunk, shard_count, charged, owners)
+    return _run_serial(scheduler, plans, chunk, charged, owners)
 
 
 class _PlanState:
@@ -269,11 +277,17 @@ class _PlanState:
             self.done = True
 
 
-def _run_serial(scheduler: "PassScheduler", plans: Sequence[PassPlan], chunk: int) -> List[Any]:
+def _run_serial(
+    scheduler: "PassScheduler",
+    plans: Sequence[PassPlan],
+    chunk: int,
+    passes: int,
+    owners: Optional[Sequence[str]] = None,
+) -> List[Any]:
     states = [_PlanState(plan) for plan in plans]
     specs = [plan.spec() for plan in plans]
     offset = 0
-    chunks = scheduler.new_fused_pass_chunks(chunk, passes=len(plans))
+    chunks = scheduler.new_fused_pass_chunks(chunk, passes=passes, owners=owners)
     try:
         for block in chunks:
             offset += len(block)
@@ -288,7 +302,12 @@ def _run_serial(scheduler: "PassScheduler", plans: Sequence[PassPlan], chunk: in
 
 
 def _run_sharded(
-    scheduler: "PassScheduler", plans: Sequence[PassPlan], chunk: int, workers: int
+    scheduler: "PassScheduler",
+    plans: Sequence[PassPlan],
+    chunk: int,
+    workers: int,
+    passes: int,
+    owners: Optional[Sequence[str]] = None,
 ) -> List[Any]:
     pool = _get_pool(workers)
     token = f"{os.getpid()}:{next(_group_tokens)}"
@@ -340,7 +359,7 @@ def _run_sharded(
         for i, partial in zip(active, partials):
             states[i].absorb(partial, end_offset)
 
-    handles = scheduler.new_pass_chunk_handles(chunk, passes=len(plans))
+    handles = scheduler.new_pass_chunk_handles(chunk, passes=passes, owners=owners)
     try:
         try:
             for handle in handles:

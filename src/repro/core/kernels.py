@@ -55,6 +55,12 @@ plan                                  pass it accelerates
                                       sets)
 :class:`PackedKeyCountPlan`           pass 6 - occurrence counts of packed
                                       watch keys (merge sums)
+:class:`EdgeReplayPlan`               any pass - identity kernel + per-row
+                                      parent-side replay; the plan-shaped
+                                      fallback for scans with no
+                                      vectorized kernel (overflowing watch
+                                      keys) so they can still share a
+                                      fused sweep
 ====================================  =====================================
 
 Seed-for-seed parity with the Python path is a hard invariant, enforced by
@@ -295,6 +301,41 @@ class IncidentEdgePlan(PassPlan):
 
     def finished(self) -> bool:
         return len(self._ids) == 0
+
+    def result(self) -> None:
+        return None
+
+
+def _rows_kernel(spec, start_row: int, rows: np.ndarray):
+    """Identity kernel: ship the block back for a parent-side replay."""
+    return rows
+
+
+class EdgeReplayPlan(PassPlan):
+    """Replay every tape row to a parent-side callback, chunk-paced.
+
+    The plan-shaped form of a plain Python pass: the identity kernel ships
+    each block back unchanged and ``absorb`` replays it row by row in
+    stream order.  Used when a scan has no vectorized kernel (watched keys
+    overflowing the 64-bit packing) but must still be expressible as a
+    :class:`~repro.core.executor.PassPlan` so it can share a chunked sweep
+    with other plans.  Sharded execution ships whole blocks through the
+    pool - correct but wasteful, acceptable for the rare fallback.
+    """
+
+    name = "fallback/replay"
+    kernel = staticmethod(_rows_kernel)
+
+    def __init__(self, visit: Callable[[Vertex, Vertex], None]) -> None:
+        self._visit = visit
+
+    def spec(self) -> None:
+        return None
+
+    def absorb(self, partial) -> None:
+        visit = self._visit
+        for u, v in partial.tolist():
+            visit(u, v)
 
     def result(self) -> None:
         return None

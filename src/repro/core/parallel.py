@@ -9,10 +9,10 @@ accounting: :func:`run_parallel_estimates` executes ``k`` independent
 instances over exactly six shared passes.
 
 The pass implementations themselves live in :mod:`repro.core.estimator`
-(``pass1_uniform_samples`` ... ``pass4_closure_triangles``) - they are
-multi-instance by construction and the single runner is their ``k = 1``
-case, so both runners ride the same executor spine (serial, chunked, or
-sharded across worker processes) with no duplicated pass loops.
+(``stage_pass1`` ... ``stage_pass45``) - they are multi-instance by
+construction and the single runner is their ``k = 1`` case, so both
+runners ride the same executor spine (serial, chunked, or sharded across
+worker processes) with no duplicated pass loops.
 
 Sharing rules (what may be shared without breaking independence):
 
@@ -31,12 +31,24 @@ Sharing rules (what may be shared without breaking independence):
 The assignment stage is a multi-instance replication of
 :class:`~repro.core.assignment.StreamingAssigner` (same two passes, same
 cutoffs), with bundles keyed by ``(instance, vertex)``.
+
+The whole round is expressed as a **round program**
+(:func:`round_program`): a generator that yields one
+:class:`~repro.core.stages.RoundStage` per tape sweep it needs and
+receives the stage's result back, returning the per-instance results when
+done.  :func:`run_parallel_estimates` drives one program with one private
+sweep per stage - the sequential behaviour - while the speculative driver
+(:mod:`repro.core.speculate`) drives the programs of two *independent
+guessing rounds* in lockstep, merging their same-numbered stages into
+single shared sweeps.  The program neither knows nor cares which runner
+drives it, which is what keeps speculative execution bit-identical to
+sequential execution.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
@@ -45,20 +57,26 @@ from ..types import Edge, Triangle, Vertex, triangle_edges
 from . import engine
 from .assignment import (
     _Bundle,
-    closure_hit_counts,
     derive_sample_generator,
     replay_incident_rows,
+    stage_closure_hits,
 )
 from .estimator import (
+    CallbackFold,
+    RoundStage,
     SinglePassStackResult,
     draw_weighted_edges,
-    pass1_uniform_samples,
-    pass2_degree_table,
-    pass3_neighbor_apexes,
-    pass4_closure_triangles,
-    pass45_closure_and_collect,
+    stage_pass1,
+    stage_pass2,
+    stage_pass3,
+    stage_pass4,
+    stage_pass45,
 )
 from .params import ParameterPlan
+
+#: A round program: yields the stages it needs, receives each stage's
+#: ``finish()`` value back, and returns the per-instance results.
+RoundProgram = Generator[RoundStage, object, List[SinglePassStackResult]]
 
 
 def run_parallel_estimates(
@@ -74,39 +92,82 @@ def run_parallel_estimates(
     space (the paper's accounting - parallel copies coexist in memory).
     """
     meter = meter if meter is not None else SpaceMeter()
+    scheduler = PassScheduler(stream, max_passes=6)
+    chunked = engine.use_chunks(stream)
+    return drive_round(
+        scheduler, round_program(len(stream), plan, rngs, meter, chunked)
+    )
+
+
+def drive_round(
+    scheduler: PassScheduler, program: RoundProgram
+) -> List[SinglePassStackResult]:
+    """Drive one round program, one private sweep per stage."""
+    from .stages import execute_stage
+
+    try:
+        stage = next(program)
+        while True:
+            stage = program.send(execute_stage(scheduler, stage))
+    except StopIteration as stop:
+        return stop.value
+
+
+def round_program(
+    m: int,
+    plan: ParameterPlan,
+    rngs: List[random.Random],
+    meter: SpaceMeter,
+    chunked: bool,
+) -> RoundProgram:
+    """One guessing-loop round (``k`` parallel instances) as a stage program.
+
+    Yields one :class:`~repro.core.stages.RoundStage` per tape sweep the
+    round needs; the driver executes the stage's sweep (private, or shared
+    with another round's stage) and sends ``stage.finish()`` back.  The
+    returned results carry the round's *own* accounting - ``passes_used``
+    is the logical passes this round charged and ``sweeps_used`` the
+    number of stages it rode (its solo sweep count) - regardless of
+    whether the driver shared the physical traversals.
+    """
     k = len(rngs)
     if k < 1:
         raise ValueError("need at least one instance")
-    m = len(stream)
     if m != plan.num_edges:
         raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
-    scheduler = PassScheduler(stream, max_passes=6)
-    chunked = engine.use_chunks(stream)
     # One derived sample source per instance, consumed in instance order at
     # every stage - cross-instance independence and engine parity both hold
     # (see derive_sample_generator).
     sources = [derive_sample_generator(rngs[j]) for j in range(k)]
+    charged_passes = 0
+    stages_rode = 0
 
-    sampled = pass1_uniform_samples(scheduler, plan.r, m, sources, meter, chunked)
-    degree = pass2_degree_table(scheduler, sampled, meter, chunked)
+    def track(stage: RoundStage) -> RoundStage:
+        nonlocal charged_passes, stages_rode
+        charged_passes += stage.passes
+        stages_rode += 1
+        return stage
+
+    sampled = yield track(stage_pass1(plan.r, m, sources, meter, chunked))
+    degree = yield track(stage_pass2(sampled, meter, chunked))
     draws, owners, ells, d_rs = draw_weighted_edges(sampled, degree, plan, sources, meter)
-    apexes = pass3_neighbor_apexes(scheduler, owners, degree, sources, meter, chunked)
+    apexes = yield track(stage_pass3(owners, degree, sources, meter, chunked))
     if engine.fuse():
         # Fused sweep engine: the closure watch (pass 4) and the
         # assignment stage's incident reads (pass 5) share one traversal;
         # the buffered superset is replayed below once closure is known.
-        candidates, incident = pass45_closure_and_collect(
-            scheduler, draws, owners, apexes, meter, chunked
+        candidates, incident = yield track(
+            stage_pass45(draws, owners, apexes, meter, chunked)
         )
     else:
-        candidates = pass4_closure_triangles(scheduler, draws, owners, apexes, meter, chunked)
+        candidates = yield track(stage_pass4(draws, owners, apexes, meter, chunked))
         incident = None
 
     distinct_by_instance: List[set] = [
         {t for t in candidates[j] if t is not None} for j in range(k)
     ]
-    assignments = _passes5and6_assign(
-        scheduler, plan, rngs, distinct_by_instance, meter, chunked, incident
+    assignments = yield from _assign_program(
+        plan, rngs, distinct_by_instance, meter, chunked, incident, track
     )
 
     results: List[SinglePassStackResult] = []
@@ -126,23 +187,23 @@ def run_parallel_estimates(
                 wedges_closed=sum(1 for t in candidates[j] if t is not None),
                 assigned_hits=hits,
                 distinct_candidate_triangles=len(distinct_by_instance[j]),
-                passes_used=scheduler.passes_used,
+                passes_used=charged_passes,
                 space_words_peak=meter.peak_words,
-                sweeps_used=scheduler.sweeps_used,
+                sweeps_used=stages_rode,
             )
         )
     return results
 
 
-def _passes5and6_assign(
-    scheduler: PassScheduler,
+def _assign_program(
     plan: ParameterPlan,
     rngs: List[random.Random],
     distinct_by_instance: List[set],
     meter: SpaceMeter,
-    chunked: bool = False,
-    incident_rows: Optional[list] = None,
-) -> List[Dict[Triangle, Optional[Edge]]]:
+    chunked: bool,
+    incident_rows: Optional[list],
+    track,
+) -> Generator[RoundStage, object, List[Dict[Triangle, Optional[Edge]]]]:
     """Passes 5-6: Algorithm 3 for every instance, sharing the two passes.
 
     Bundles and estimates are per (instance, vertex/edge) - instances stay
@@ -150,7 +211,7 @@ def _passes5and6_assign(
     deduplicated *across* instances before the scan (two instances probing
     the same missing edge share one packed key; the hit count fans back
     out per (instance, edge) row - see
-    :func:`~repro.core.assignment.closure_hit_counts`).  Skipped entirely
+    :func:`~repro.core.assignment.stage_closure_hits`).  Skipped entirely
     (0 passes) when no instance found any triangle.  Under the fused sweep
     engine ``incident_rows`` carries the pass-4 sweep's buffered incident
     superset and pass 5 replays it instead of opening its own pass.
@@ -204,10 +265,11 @@ def _passes5and6_assign(
     elif chunked:
         from . import kernels
 
-        kernels.scan_incident_edges(scheduler, degree, engine.chunk_size(), offer)
+        yield track(
+            RoundStage(plans=[kernels.IncidentEdgePlan(degree, offer)])
+        )
     else:
-        for a, b in scheduler.new_pass():
-            offer(a, b)
+        yield track(RoundStage(fold=CallbackFold(offer)))
     for (j, _), bundle in bundles.items():  # deterministic construction order
         bundle.flush(sample_rngs[j])
 
@@ -231,7 +293,9 @@ def _passes5and6_assign(
             light_owners.append(owner)
             light_others.append(v if owner == u else u)
     bundle_rows = [bundles[(j, owner)] for (j, _), owner in zip(light, light_owners)]
-    hit_counts = closure_hit_counts(scheduler, bundle_rows, light_others, meter, chunked)
+    hit_counts = yield track(
+        stage_closure_hits(bundle_rows, light_others, meter, chunked)
+    )
     for (j, f), hit_count in zip(light, hit_counts):
         u, v = f
         estimates[j][f] = min(degree[u], degree[v]) * hit_count / s

@@ -1,0 +1,137 @@
+"""Speculative round-pair fusion: two guessing rounds, one set of sweeps.
+
+The driver's geometric guessing loop runs rounds that are **mutually
+independent**: round ``i+1``'s plan depends only on its (pre-determined)
+guess ``T/2^(i+1)`` and its RNGs derive from the root generator in a fixed
+label order, never on round ``i``'s outcome.  The only sequential thing
+about the loop is its *termination test* - whether round ``i``'s median
+accepts.  That makes the loop speculable: run round ``i`` and round
+``i+1`` at the same time, with each pass-``k`` stage of both rounds served
+by **one** shared tape sweep, and decide afterwards:
+
+* round ``i`` **rejects** (the common case on multi-round estimates): the
+  speculative round is exactly the round the sequential driver would have
+  run next - commit it.  The pair consumed ~half the sweeps two sequential
+  rounds would have;
+* round ``i`` **accepts**: the speculative round is work the sequential
+  driver would never have done - discard it.  Its results, meter, and RNGs
+  are dropped, the root generator is rewound past its speculative spawns
+  (the driver does this), and the sweeps that served *only* the
+  speculative round are booked as **wasted**
+  (:attr:`~repro.streams.multipass.PassScheduler.sweeps_wasted`).  Sweeps
+  shared with round ``i`` stay committed - that traversal was needed
+  regardless, so acceptance costs no extra committed sweeps.
+
+Bit-identity contract: each round's program
+(:func:`~repro.core.parallel.round_program`) folds exactly the per-edge /
+per-chunk sequence it would fold with private sweeps (see
+:func:`~repro.core.stages.sweep_stages`), and all randomness is strictly
+per-round, so every committed estimate, diagnostic, and logical-pass count
+is bit-identical to the sequential driver - at any worker count, fused or
+not, shared memory on or off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
+from ..streams.space import SpaceMeter
+from . import engine
+from .estimator import SinglePassStackResult
+from .parallel import round_program
+from .params import ParameterPlan
+from .stages import sweep_stages
+
+#: Owner tags for the scheduler's committed/wasted sweep accounting.
+PRIMARY = "round"
+SPECULATIVE = "speculative"
+
+
+@dataclass
+class SpeculativePair:
+    """Outcome of one fused round pair, before the commit/discard verdict.
+
+    ``primary`` / ``speculative`` are the two rounds' per-instance results
+    (each carrying its round's *own* logical-pass and solo-sweep
+    accounting); the sweep properties expose the pair's shared physical
+    traversals.  The driver examines the primary round's median and either
+    keeps both results or calls :meth:`discard_speculative`, after which
+    :attr:`sweeps_committed` / :attr:`sweeps_wasted` report the split.
+    """
+
+    primary: List[SinglePassStackResult]
+    speculative: List[SinglePassStackResult]
+    _scheduler: PassScheduler = field(repr=False)
+
+    @property
+    def sweeps_used(self) -> int:
+        """Physical tape sweeps the fused pair performed."""
+        return self._scheduler.sweeps_used
+
+    @property
+    def sweeps_committed(self) -> int:
+        """Sweeps serving committed work (all of them until a discard)."""
+        return self._scheduler.sweeps_committed
+
+    @property
+    def sweeps_wasted(self) -> int:
+        """Sweeps that served only discarded speculation (0 until a discard)."""
+        return self._scheduler.sweeps_wasted
+
+    def discard_speculative(self) -> None:
+        """Book the speculative round's solo sweeps as wasted (idempotent)."""
+        self._scheduler.discard_owner(SPECULATIVE)
+
+
+def run_speculative_pair(
+    stream: EdgeStream,
+    plan_primary: ParameterPlan,
+    rngs_primary: List[random.Random],
+    meter_primary: SpaceMeter,
+    plan_speculative: ParameterPlan,
+    rngs_speculative: List[random.Random],
+    meter_speculative: SpaceMeter,
+) -> SpeculativePair:
+    """Run two independent guessing rounds through shared tape sweeps.
+
+    Both rounds' programs advance in lockstep: at each step the pending
+    stages (one per still-running round) execute as a single fused sweep,
+    tagged with the rounds it serves.  When one round finishes early (a
+    round with no candidate triangles skips its assignment stages), the
+    other continues on solo sweeps tagged with it alone - those are the
+    sweeps a later discard can declare wasted.
+
+    The per-round results are bit-identical to running each round through
+    :func:`~repro.core.parallel.run_parallel_estimates` on its own.
+    """
+    scheduler = PassScheduler(stream, max_passes=12)
+    chunked = engine.use_chunks(stream)
+    m = len(stream)
+    programs = {
+        PRIMARY: round_program(m, plan_primary, rngs_primary, meter_primary, chunked),
+        SPECULATIVE: round_program(
+            m, plan_speculative, rngs_speculative, meter_speculative, chunked
+        ),
+    }
+    stages = {}
+    results = {}
+    for tag in (PRIMARY, SPECULATIVE):
+        stages[tag] = next(programs[tag])
+    while stages:
+        owners = [tag for tag in (PRIMARY, SPECULATIVE) if tag in stages]
+        sweep_stages(scheduler, [stages[tag] for tag in owners], owners=owners)
+        for tag in owners:
+            try:
+                stages[tag] = programs[tag].send(stages[tag].finish())
+            except StopIteration as stop:
+                results[tag] = stop.value
+                del stages[tag]
+    return SpeculativePair(
+        primary=results[PRIMARY],
+        speculative=results[SPECULATIVE],
+        _scheduler=scheduler,
+    )

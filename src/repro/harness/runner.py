@@ -67,13 +67,15 @@ def run_paper_estimator_on_graph(
     chunk_size: Optional[int] = None,
     workers: Optional[int] = None,
     fuse: Optional[bool] = None,
+    speculate: Optional[bool] = None,
 ) -> RunReport:
     """Run the paper's estimator on ``graph`` with the promise ``kappa``.
 
     ``config`` defaults to a fresh :class:`EstimatorConfig` carrying the
     seed and any engine selection (``engine_mode`` / ``chunk_size`` /
-    ``workers`` / ``fuse`` - ignored when an explicit ``config`` is
-    supplied, since the config already carries its own engine fields);
+    ``workers`` / ``fuse`` / ``speculate`` - ignored when an explicit
+    ``config`` is supplied, since the config already carries its own
+    engine fields);
     pass ``exact`` to skip the (possibly expensive) ground-truth count
     when the caller already knows it.
     """
@@ -84,6 +86,7 @@ def run_paper_estimator_on_graph(
             chunk_size=chunk_size,
             workers=workers,
             fuse=fuse,
+            speculate=speculate,
         )
     stream = _stream_for(graph, seed)
     truth = exact if exact is not None else count_triangles(graph)
@@ -101,6 +104,7 @@ def run_paper_estimator_on_graph(
         extras={
             "rounds": float(len(result.rounds)),
             "sweeps": float(result.sweeps_total),
+            "sweeps_wasted": float(result.sweeps_wasted),
         },
     )
 

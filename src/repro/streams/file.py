@@ -107,7 +107,15 @@ class FileEdgeStream(EdgeStream):
         yield from self._prefetched_chunks(chunk_size)
 
     def _parse_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
-        """The synchronous batch parser (one ``loadtxt`` call per chunk)."""
+        """The synchronous batch parser (one ``loadtxt`` call per chunk).
+
+        A batch-parse failure is re-diagnosed with the per-line parser
+        (one extra sweep of an already-failing file) so the raised
+        :class:`~repro.errors.StreamError` carries the standard
+        line-numbered message wherever the chunks were consumed - a plain
+        chunked pass, the prefetch reader thread, or the sharded executor
+        mid-way through shared-memory spooling.
+        """
         import numpy as np
 
         with open(self._path, "r", encoding="utf-8") as handle:
@@ -126,7 +134,7 @@ class FileEdgeStream(EdgeStream):
                             ndmin=2,
                         )
                 except ValueError as exc:
-                    raise StreamError(f"{self._path}: malformed edge-list line ({exc})") from exc
+                    raise self._line_numbered_error(exc) from exc
                 if block.size == 0:
                     return
                 block = block.reshape(-1, 2)
@@ -135,6 +143,23 @@ class FileEdgeStream(EdgeStream):
                 yield block
                 if len(block) < chunk_size:
                     return
+
+    def _line_numbered_error(self, exc: Exception) -> StreamError:
+        """Locate the first malformed line for the standard diagnostic.
+
+        ``numpy.loadtxt`` reports batch errors without a usable line
+        number (and the handle has already advanced), so the file is
+        re-scanned with the per-line parser, whose failure carries
+        ``path:lineno``.  If the per-line parser somehow accepts every
+        line (a batch-only artifact), the original batch error is wrapped
+        instead.
+        """
+        try:
+            for _ in self:
+                pass
+        except StreamError as located:
+            return located
+        return StreamError(f"{self._path}: malformed edge-list line ({exc})")
 
     def _prefetched_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
         """Run :meth:`_parse_chunks` on a reader thread, double-buffered.

@@ -18,11 +18,21 @@ logical passes at once, all served by a single sweep of the tape: the
 budget is charged for every logical pass, while :attr:`sweeps_used` grows
 by one.  Plain passes charge one of each, so for unfused execution the two
 counters coincide.
+
+Sweeps can additionally be tagged with the *owners* they serve (the
+speculative round-pair driver tags each shared sweep with the rounds whose
+plans rode it).  When a speculative owner is later discarded
+(:meth:`discard_owner`), the sweeps that served **only** discarded owners
+become *wasted* - physically performed, but spent on work the sequential
+driver would never have run - while sweeps shared with a committed owner
+stay committed (the committed round needed that traversal regardless).
+:attr:`sweeps_committed` / :attr:`sweeps_wasted` expose the split;
+untagged sweeps are always committed.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Set
 
 from ..errors import PassBudgetExceeded, StreamError
 from ..types import Edge
@@ -54,6 +64,9 @@ class PassScheduler:
         self._passes_used = 0
         self._sweeps_used = 0
         self._pass_open = False
+        #: Owner tags per sweep, in sweep order (``None`` = untagged).
+        self._sweep_owners: List[Optional[frozenset]] = []
+        self._discarded: Set[str] = set()
 
     @property
     def passes_used(self) -> int:
@@ -68,6 +81,36 @@ class PassScheduler:
         smaller whenever fused pass groups shared a sweep.
         """
         return self._sweeps_used
+
+    @property
+    def sweeps_wasted(self) -> int:
+        """Sweeps that served only owners since discarded (speculation waste).
+
+        A sweep counts as wasted when it was tagged with owners and *every*
+        one of them has been handed to :meth:`discard_owner`; sweeps shared
+        with a committed owner - and untagged sweeps - stay committed.
+        """
+        if not self._discarded:
+            return 0
+        return sum(
+            1
+            for owners in self._sweep_owners
+            if owners is not None and owners <= self._discarded
+        )
+
+    @property
+    def sweeps_committed(self) -> int:
+        """Physical sweeps net of speculation waste (see :attr:`sweeps_wasted`)."""
+        return self._sweeps_used - self.sweeps_wasted
+
+    def discard_owner(self, owner: str) -> None:
+        """Mark ``owner``'s speculative work discarded for sweep accounting.
+
+        Sweeps tagged exclusively with discarded owners move from committed
+        to wasted; the physical :attr:`sweeps_used` total is unchanged (the
+        tape was read either way).  Idempotent.
+        """
+        self._discarded.add(owner)
 
     @property
     def num_edges(self) -> int:
@@ -89,15 +132,19 @@ class PassScheduler:
         self._open_passes(1)
         return self._run_pass()
 
-    def new_fused_pass(self, passes: int) -> Iterator[Edge]:
+    def new_fused_pass(
+        self, passes: int, owners: Optional[Iterable[str]] = None
+    ) -> Iterator[Edge]:
         """Open ``passes`` logical passes served by one shared sweep.
 
         The caller is asserting that the fused passes are mutually
         independent - each one must produce the result it would have
         produced scanning the tape alone.  Pass accounting charges all
         ``passes`` against the budget; the sweep counter grows by one.
+        ``owners`` optionally tags the sweep for the committed/wasted split
+        (see :meth:`discard_owner`).
         """
-        self._open_passes(passes)
+        self._open_passes(passes, owners)
         return self._run_pass()
 
     def new_pass_chunks(
@@ -116,14 +163,20 @@ class PassScheduler:
         return self._run_pass_chunks(chunk_size)
 
     def new_fused_pass_chunks(
-        self, chunk_size: int = DEFAULT_CHUNK_EDGES, passes: int = 1
+        self,
+        chunk_size: int = DEFAULT_CHUNK_EDGES,
+        passes: int = 1,
+        owners: Optional[Iterable[str]] = None,
     ) -> Iterator["numpy.ndarray"]:
         """Chunked variant of :meth:`new_fused_pass` (one sweep, ``passes`` passes)."""
-        self._open_passes(passes)
+        self._open_passes(passes, owners)
         return self._run_pass_chunks(chunk_size)
 
     def new_pass_chunk_handles(
-        self, chunk_size: int = DEFAULT_CHUNK_EDGES, passes: int = 1
+        self,
+        chunk_size: int = DEFAULT_CHUNK_EDGES,
+        passes: int = 1,
+        owners: Optional[Iterable[str]] = None,
     ) -> Iterator["ChunkHandle"]:
         """Open ``passes`` logical passes delivered as chunk *handles*.
 
@@ -132,10 +185,10 @@ class PassScheduler:
         descriptor (see :meth:`~repro.streams.base.EdgeStream.iter_chunk_handles`).
         Accounting matches :meth:`new_fused_pass_chunks`.
         """
-        self._open_passes(passes)
+        self._open_passes(passes, owners)
         return self._run_pass_chunk_handles(chunk_size)
 
-    def _open_passes(self, count: int) -> None:
+    def _open_passes(self, count: int, owners: Optional[Iterable[str]] = None) -> None:
         if count < 1:
             raise StreamError(f"a pass group must contain at least one pass, got {count}")
         if self._pass_open:
@@ -147,6 +200,7 @@ class PassScheduler:
             )
         self._passes_used += count
         self._sweeps_used += 1
+        self._sweep_owners.append(frozenset(owners) if owners is not None else None)
         self._pass_open = True
 
     def _run_pass(self) -> Iterator[Edge]:

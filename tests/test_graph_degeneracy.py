@@ -215,3 +215,78 @@ class TestRandomizedCrosscheck:
         if kappa > 0:
             sub = g.induced_subgraph(core_vertices)
             assert min(sub.degree(v) for v in sub.vertices()) >= kappa
+
+
+class TestEdgeCaseOrderingParity:
+    """Degenerate inputs: bucket-array peel vs scalar mirror on each.
+
+    The vectorized Batagelj-Zaversnik bucket arrays and the pure-Python
+    scalar mirror must return *equal* orderings (the mirror is the parity
+    oracle) on every pathological input shape: empty graphs, isolated
+    vertices, and graphs assembled from tapes carrying self-loops or
+    repeated (multigraph) edges under the builder's drop policies.
+    """
+
+    def _assert_parity(self, g):
+        order = degeneracy_ordering(g)
+        mirror = _strict_ordering_reference(g)
+        assert order == mirror
+        assert sorted(order) == sorted(g.degrees())
+        counts = later_neighbor_counts(g, order)
+        assert max(counts.values(), default=0) <= degeneracy(g)
+
+    def test_empty_graph(self):
+        g = Graph()
+        assert degeneracy_ordering(g) == []
+        assert _strict_ordering_reference(g) == []
+        assert degeneracy(g) == 0
+
+    def test_edgeless_isolated_vertices(self):
+        g = Graph(vertices=[5, 0, 9, 2])
+        self._assert_parity(g)
+        assert degeneracy(g) == 0
+
+    def test_isolated_vertices_mixed_with_edges(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)], vertices=[7, 11, 42])
+        self._assert_parity(g)
+        order = degeneracy_ordering(g)
+        assert {7, 11, 42} <= set(order)
+
+    def test_self_loop_tape_dropped_by_builder(self):
+        from repro.graph.builder import GraphBuilder
+
+        tape = [(0, 0), (0, 1), (1, 1), (1, 2), (2, 0), (3, 3)]
+        builder = GraphBuilder(on_self_loop="ignore")
+        for u, v in tape:
+            builder.add_edge(u, v)
+        builder.add_vertex(3)  # the self-loop-only vertex survives isolated
+        g = builder.build()
+        assert builder.dropped_self_loops == 3
+        self._assert_parity(g)
+        assert degeneracy(g) == 2  # the 0-1-2 triangle
+
+    def test_multigraph_tape_dropped_by_builder(self):
+        from repro.graph.builder import GraphBuilder
+
+        tape = [(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0)]
+        builder = GraphBuilder(on_duplicate="ignore")
+        for u, v in tape:
+            builder.add_edge(u, v)
+        g = builder.build()
+        assert builder.dropped_duplicates == 4
+        self._assert_parity(g)
+        assert degeneracy(g) == 2  # the 4-cycle
+
+    def test_combined_pathologies_randomized(self):
+        from repro.graph.builder import GraphBuilder
+
+        rng = random.Random(2024)
+        for _ in range(20):
+            builder = GraphBuilder(on_duplicate="ignore", on_self_loop="ignore")
+            for _ in range(rng.randrange(0, 60)):
+                u = rng.randrange(12)
+                v = rng.randrange(12)
+                builder.add_edge(u, v)  # self-loops and repeats included
+            for _ in range(rng.randrange(0, 4)):
+                builder.add_vertex(rng.randrange(100, 110))
+            self._assert_parity(builder.build())

@@ -1,0 +1,286 @@
+"""Randomized cross-mode parity matrix: one estimator, every execution mode.
+
+The engine now has enough independent execution knobs - engine mode,
+worker count, fused sweeps, speculative round pairs, shared-memory
+transport - that hand-picked parity cases cannot cover the cross
+products.  This suite runs seeded random graphs (Erdos-Renyi, power-law
+preferential attachment, and star/clique pathologies) through the full
+knob matrix and pins the three contracts every mode must honor against
+the pure-Python sequential reference:
+
+* **bit-identical estimates**: the final estimate, the whole guessing
+  trajectory (every round's guess, median, verdict), and every per-run
+  sampling diagnostic are equal - not approximately, exactly;
+* **identical RNG consumption**: the root generator ends in the identical
+  state (speculative spawns are rewound on discard), and every committed
+  round's per-repetition child generator performs the identical number of
+  draws;
+* **pass/sweep invariants**: logical passes (the paper's budgeted
+  quantity) are constant across all modes; physical sweeps depend only on
+  the fusion tier - equal to passes unfused, monotonically fewer as
+  ``fuse`` and then ``speculate`` engage - and ``sweeps_wasted`` is zero
+  whenever speculation is off.
+
+A small representative subset runs in the fast tier; the full matrix is
+marked ``slow`` (deselected by default - run with ``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.driver as driver_module
+from repro.core import executor
+from repro.core.driver import EstimatorConfig, TriangleCountEstimator
+from repro.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    erdos_renyi_gnp,
+    star_graph,
+)
+from repro.graph import count_triangles, degeneracy
+from repro.streams import InMemoryEdgeStream, shm
+from repro.streams.transforms import shuffled
+
+REPETITIONS = 3
+
+#: (name, graph builder, seed) - seeded random families plus pathologies.
+GRAPHS = [
+    ("erdos-renyi", lambda: erdos_renyi_gnp(90, 0.09, random.Random(11)), 5),
+    ("power-law", lambda: barabasi_albert_graph(140, 4, random.Random(7)), 3),
+    ("star", lambda: star_graph(80), 1),
+    ("clique", lambda: complete_graph(18), 9),
+]
+
+#: (engine_mode, workers, shm_enabled) execution substrates.  Shared
+#: memory only participates when a worker pool exists to ship blocks to.
+SUBSTRATES = [
+    ("python", 1, True),
+    ("chunked", 1, True),
+    ("chunked", 2, True),
+    ("chunked", 2, False),
+    ("chunked", 4, True),
+    ("chunked", 4, False),
+]
+
+#: The fusion tiers, in monotonically-fewer-sweeps order.
+TIERS = [(False, False), (True, False), (False, True), (True, True)]
+
+
+class CountingRandom(random.Random):
+    """A stdlib generator that counts its primitive draws."""
+
+    def __init__(self) -> None:
+        super().__init__(0)
+        self.draws = 0
+
+    def getrandbits(self, k: int) -> int:
+        self.draws += 1
+        return super().getrandbits(k)
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+
+def _run_instrumented(monkeypatch, stream, kappa, config):
+    """One estimate with root-state capture and per-child draw counting."""
+    roots = []
+    real_make_rng = driver_module.make_rng
+    real_spawn = driver_module.spawn
+    children = {}
+
+    def recording_make_rng(seed):
+        rng = real_make_rng(seed)
+        roots.append(rng)
+        return rng
+
+    def counting_spawn(parent, label):
+        child = real_spawn(parent, label)
+        counting = CountingRandom()
+        counting.setstate(child.getstate())
+        children[label] = counting
+        return counting
+
+    with pytest.MonkeyPatch.context() as patch:
+        patch.setattr(driver_module, "make_rng", recording_make_rng)
+        patch.setattr(driver_module, "spawn", counting_spawn)
+        result = TriangleCountEstimator(config).estimate(stream, kappa=kappa)
+    committed_labels = {
+        f"round{i}/rep{rep}"
+        for i in range(len(result.rounds))
+        for rep in range(config.repetitions)
+    }
+    child_draws = {
+        label: children[label].draws
+        for label in sorted(committed_labels)
+        if label in children
+    }
+    return result, roots[-1].getstate(), child_draws
+
+
+def _sampling_fields(run):
+    """Statistical fields only: accounting (passes/sweeps/space) varies by
+    fusion tier - fused rounds charge the speculative pass-5 and meter the
+    incident buffer - and is pinned per tier separately."""
+    return (
+        run.estimate,
+        run.r,
+        run.ell,
+        run.d_r,
+        run.wedges_closed,
+        run.assigned_hits,
+        run.distinct_candidate_triangles,
+    )
+
+
+def _trajectory(result, accounting=False):
+    return [
+        (
+            r.t_guess,
+            r.median_estimate,
+            r.accepted,
+            [
+                _sampling_fields(run)
+                + (
+                    (run.passes_used, run.sweeps_used, run.space_words_peak)
+                    if accounting
+                    else ()
+                )
+                for run in r.runs
+            ],
+        )
+        for r in result.rounds
+    ]
+
+
+def _config(mode, workers, fuse, speculate, seed):
+    return EstimatorConfig(
+        seed=seed,
+        repetitions=REPETITIONS,
+        engine_mode=mode,
+        chunk_size=64,
+        workers=workers,
+        fuse=fuse,
+        speculate=speculate,
+    )
+
+
+def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
+    monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 32)
+    graph = build_graph()
+    kappa = max(1, degeneracy(graph))
+    stream = InMemoryEdgeStream.from_graph(graph, shuffled(graph, random.Random(seed)))
+    exact = count_triangles(graph)
+
+    reference, ref_root_state, ref_child_draws = _run_instrumented(
+        monkeypatch, stream, kappa, _config("python", 1, False, False, seed)
+    )
+    ref_trajectory = _trajectory(reference)
+    tier_accounting = {}
+
+    for mode, workers, shm_enabled in substrates:
+        for fuse, speculate in TIERS:
+            monkeypatch.setattr(shm, "_disabled", not shm_enabled)
+            try:
+                result, root_state, child_draws = _run_instrumented(
+                    monkeypatch,
+                    stream,
+                    kappa,
+                    _config(mode, workers, fuse, speculate, seed),
+                )
+            finally:
+                monkeypatch.setattr(shm, "_disabled", False)
+            label = f"{graph_name}/{mode}/w{workers}/shm{int(shm_enabled)}/f{int(fuse)}s{int(speculate)}"
+
+            # Bit-identical estimates and statistical trajectory.
+            assert result.estimate == reference.estimate, label
+            assert _trajectory(result) == ref_trajectory, label
+
+            # Identical RNG consumption: final root state (speculative
+            # spawns rewound) and committed child draw counts.
+            assert root_state == ref_root_state, label
+            assert child_draws == ref_child_draws, label
+
+            # Accounting depends only on the fusion tier, never on the
+            # substrate (engine / workers / shm): the first run of each
+            # tier pins passes, sweeps, waste, space, and the per-run
+            # accounting trajectory for every other substrate.
+            key = (fuse, speculate)
+            accounting = (
+                result.passes_total,
+                result.sweeps_total,
+                result.sweeps_wasted,
+                result.passes_wasted,
+                result.space_words_peak,
+                _trajectory(result, accounting=True),
+            )
+            if key in tier_accounting:
+                assert accounting == tier_accounting[key], label
+            else:
+                tier_accounting[key] = accounting
+            if not speculate:
+                assert result.sweeps_wasted == 0, label
+                assert result.passes_wasted == 0, label
+
+            # Unfused sequential execution reads the tape once per pass.
+            if key == (False, False):
+                assert result.sweeps_total == result.passes_total, label
+                assert result.passes_total == reference.passes_total, label
+
+    # Speculation never changes the logical-pass total of its fuse tier
+    # (it commits exactly the rounds the sequential loop would run).
+    for fuse in (False, True):
+        assert tier_accounting[(fuse, True)][0] == tier_accounting[(fuse, False)][0], (
+            graph_name,
+            fuse,
+        )
+    # Monotone sweep reduction across fusion tiers: every tier is no worse
+    # than unfused-sequential, and round-pair speculation never loses to
+    # its unspeculated tier (committed sweeps).
+    baseline = tier_accounting[(False, False)][1]
+    for (fuse, speculate), accounting in tier_accounting.items():
+        assert accounting[1] <= baseline, (graph_name, fuse, speculate)
+    for fuse in (False, True):
+        assert (
+            tier_accounting[(fuse, True)][1] <= tier_accounting[(fuse, False)][1]
+        ), graph_name
+    # Multi-round estimates are where speculation must actually pay, even
+    # counting the physically-performed wasted sweeps.
+    if len(reference.rounds) > 1:
+        for fuse in (False, True):
+            spec_physical = tier_accounting[(fuse, True)][1] + tier_accounting[(fuse, True)][2]
+            assert spec_physical < tier_accounting[(fuse, False)][1], graph_name
+    # Sanity: the estimator still estimates (star walks the guess to 0).
+    if exact == 0:
+        assert reference.estimate == 0.0
+
+
+@pytest.mark.parametrize("name,build,seed", GRAPHS, ids=[g[0] for g in GRAPHS])
+def test_parity_matrix_fast_tier(monkeypatch, name, build, seed):
+    """Representative subset: serial python + chunked, one pooled substrate."""
+    fast_substrates = [("python", 1, True), ("chunked", 1, True), ("chunked", 2, True)]
+    _check_matrix(monkeypatch, name, build, seed, fast_substrates)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,build,seed", GRAPHS, ids=[g[0] for g in GRAPHS])
+def test_parity_matrix_full(monkeypatch, name, build, seed):
+    """The full substrate matrix: workers {1,2,4} x shm on/off x all tiers."""
+    _check_matrix(monkeypatch, name, build, seed, SUBSTRATES)
+
+
+@pytest.mark.slow
+def test_parity_matrix_random_orders(monkeypatch):
+    """Randomized stream orders: fresh seeds each combination, full tiers."""
+    for order_seed in range(4):
+        graph = erdos_renyi_gnp(70, 0.1, random.Random(100 + order_seed))
+        _check_matrix(
+            monkeypatch,
+            f"er-order{order_seed}",
+            lambda g=graph: g,
+            order_seed,
+            [("python", 1, True), ("chunked", 2, True), ("chunked", 2, False)],
+        )
