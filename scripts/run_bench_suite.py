@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Four stages:
+Six stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -17,20 +17,26 @@ Four stages:
    full multi-round estimates: bit-identical estimates and trajectories
    asserted, the speculative run's physical sweeps (committed + wasted)
    asserted to never exceed - and on multi-round estimates to beat - the
-   sequential sweep count, wall-clock speedup recorded.
+   sequential sweep count, wall-clock speedup recorded;
+6. a speculation *depth* sweep on a file-backed multi-round workload:
+   physical sweeps and wall clock at depths 1 (sequential), 2, 3, and 4,
+   bit-identity asserted at every depth and deeper windows asserted to
+   never perform more sweeps than the depth-2 pair driver.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
 trajectory instead of overwriting it.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-5 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-6 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
 below half of the last committed ``BENCH_engine.json`` entry, if the
 fused engine came out slower than the unfused sharded engine on the same
-sweep, or if the speculative driver's multi-round physical sweep count
-failed to come in under the sequential driver's - wired into the tier-1
-flow as an opt-in pytest (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
+sweep, if the speculative driver's multi-round physical sweep count
+failed to come in under the sequential driver's, or if depth-3 windows
+performed more physical sweeps than depth-2 pairs on the canonical
+workload - wired into the tier-1 flow as an opt-in pytest
+(``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
 
@@ -424,6 +430,94 @@ def run_speculative_comparison(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_speculative_depth_sweep(scale: str, repeats: int = 3) -> dict:
+    """Physical sweeps and wall clock as a function of speculation depth.
+
+    One canonical multi-round workload - the E9 sweep's largest size,
+    written to disk so every sweep re-parses the tape - estimated by the
+    sequential driver (depth 1) and by speculative windows of depth 2, 3,
+    and 4.  Estimates, trajectories, and logical-pass totals are asserted
+    bit-identical at every depth, and no deeper window may perform more
+    physical sweeps (committed + wasted) than the depth-2 pair driver.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import tempfile
+
+    from repro.core.driver import EstimatorConfig, TriangleCountEstimator
+    from repro.io import write_edgelist
+    from repro.streams.file import FileEdgeStream
+
+    n = ENGINE_SIZES[scale][-1]
+    graph, t, _memory_stream, _plan = _e9_instance(n)
+    handle = tempfile.NamedTemporaryFile("w", suffix=".edges", delete=False)
+    handle.close()
+    write_edgelist(graph, handle.name)
+    stream = FileEdgeStream(handle.name)
+    rows = []
+    results = {}
+    try:
+        for depth in (1, 2, 3, 4):
+            config = EstimatorConfig(
+                seed=3,
+                repetitions=3,
+                engine_mode="chunked",
+                workers=1,
+                fuse=True,
+                speculate=depth > 1,
+                speculate_depth=max(2, depth),
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results[depth] = TriangleCountEstimator(config).estimate(
+                    stream, kappa=5
+                )
+                best = min(best, time.perf_counter() - start)
+            result = results[depth]
+            baseline = results[1]
+            assert result.estimate == baseline.estimate, "depth parity violated"
+            assert [
+                (r.t_guess, r.median_estimate, r.accepted) for r in result.rounds
+            ] == [
+                (r.t_guess, r.median_estimate, r.accepted) for r in baseline.rounds
+            ], "depth sweep trajectory drifted"
+            assert result.passes_total == baseline.passes_total, (
+                "speculation depth changed the logical-pass total"
+            )
+            rows.append(
+                {
+                    "depth": depth,
+                    "n": n,
+                    "m": graph.num_edges,
+                    "rounds": len(result.rounds),
+                    "committed": result.sweeps_total,
+                    "wasted": result.sweeps_wasted,
+                    "physical": result.sweeps_total + result.sweeps_wasted,
+                    "sec": round(best, 5),
+                }
+            )
+            rows[-1]["speedup_vs_sequential"] = round(rows[0]["sec"] / best, 2)
+            print(f"[bench-suite] depth {depth}: {rows[-1]}")
+        by_depth = {row["depth"]: row for row in rows}
+        for depth in (3, 4):
+            assert by_depth[depth]["physical"] <= by_depth[2]["physical"], (
+                f"depth-{depth} windows performed more sweeps than depth-2 pairs"
+            )
+        assert by_depth[2]["physical"] <= by_depth[1]["physical"], (
+            "pair speculation performed more sweeps than sequential"
+        )
+    finally:
+        os.unlink(handle.name)
+    return {
+        "scale": scale,
+        "workers": 1,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "total_speedup": rows[-1]["speedup_vs_sequential"] if rows else None,
+    }
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -455,6 +549,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_sharded = run_sharded_comparison("tiny")
     current_fused = run_fused_comparison("tiny")
     current_speculative = run_speculative_comparison("tiny")
+    current_depth_sweep = run_speculative_depth_sweep("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -504,6 +599,23 @@ def run_smoke(output: pathlib.Path) -> int:
             )
     if not speculative_rows and current_speculative.get("have_numpy", True):
         failures.append("speculative comparison produced no sweep counts")
+    # The depth gate is likewise deterministic: on the canonical workload
+    # a depth-3 window must come in at or under the depth-2 pair driver's
+    # physical sweep count (committed + wasted).  Parity across depths is
+    # asserted inside the sweep; this re-checks the recorded counts so a
+    # silently-empty sweep cannot pass the gate.
+    depth_rows = {row["depth"]: row for row in current_depth_sweep.get("rows", [])}
+    if depth_rows:
+        if 2 not in depth_rows or 3 not in depth_rows:
+            failures.append("speculative depth sweep missing depth 2/3 rows")
+        elif depth_rows[3]["physical"] > depth_rows[2]["physical"]:
+            failures.append(
+                "depth-3 speculation regressed: "
+                f"{depth_rows[3]['physical']} physical sweeps vs depth-2's "
+                f"{depth_rows[2]['physical']}"
+            )
+    elif current_depth_sweep.get("have_numpy", True):
+        failures.append("speculative depth sweep produced no rows")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -537,6 +649,7 @@ def main() -> int:
     record["sharded_comparison"] = run_sharded_comparison(args.scale)
     record["fused_comparison"] = run_fused_comparison(args.scale)
     record["speculative_comparison"] = run_speculative_comparison(args.scale)
+    record["speculative_depth_sweep"] = run_speculative_depth_sweep(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

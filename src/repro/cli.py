@@ -9,16 +9,17 @@ Commands
     One-pass exact triangle count with space/pass accounting.
 ``estimate <edgelist> --kappa K [--epsilon E] [--seed S] [--repetitions R]
 [--engine auto|chunked|python|sharded] [--chunk-size C] [--workers W]
-[--fuse | --no-fuse] [--speculate | --no-speculate]``
+[--fuse | --no-fuse] [--speculate | --no-speculate] [--speculate-depth K]``
     The paper's estimator on the file's stream; ``--engine``/``--workers``
     select the execution engine (sharded = chunked kernels fanned across
     worker processes, seed-for-seed identical to the serial engines),
     ``--fuse`` turns on the fused sweep engine (independent pass plans of
     each round share physical tape sweeps; identical estimates, fewer
     stream traversals), and ``--speculate`` additionally fuses guessing-loop
-    round *pairs* (round i+1 runs speculatively alongside round i and is
-    committed or discarded on round i's verdict; identical estimates,
-    ~2x fewer sweeps on multi-round estimates).
+    round *windows* (up to ``--speculate-depth`` pre-drawn rounds run
+    alongside round i; the prefix up to the first acceptance is committed
+    and the rest discarded; identical estimates, ~depth-fold fewer sweeps
+    on multi-round estimates).
 ``bounds <edgelist>``
     Table 1 predicted space bounds evaluated on the instance.
 ``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
@@ -93,10 +94,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=None,
         help=(
-            "speculatively fuse guessing-loop round pairs: round i and a pre-drawn "
-            "round i+1 share each pass's tape sweep, committed or discarded on "
-            "round i's verdict (identical estimates, ~2x fewer sweeps on "
+            "speculatively fuse guessing-loop rounds: round i and up to "
+            "speculate-depth-1 pre-drawn later rounds share each pass's tape "
+            "sweep; the prefix up to the first acceptance is committed and the "
+            "rest discarded (identical estimates, ~depth-fold fewer sweeps on "
             "multi-round estimates; default: REPRO_SPECULATE policy)"
+        ),
+    )
+    p_est.add_argument(
+        "--speculate-depth",
+        type=int,
+        default=None,
+        help=(
+            "max rounds per speculative window, >= 2 (2 = the original round-pair "
+            "driver; default: REPRO_SPECULATE_DEPTH policy).  Implies --speculate "
+            "unless --no-speculate is given explicitly"
         ),
     )
 
@@ -140,6 +152,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         workers=args.workers,
         fuse=args.fuse,
         speculate=args.speculate,
+        speculate_depth=args.speculate_depth,
     )
     result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
     print(f"estimate:  {result.estimate:.1f}")

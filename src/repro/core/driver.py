@@ -89,21 +89,34 @@ class EstimatorConfig:
         assignment passes there).  ``None`` keeps the global
         ``REPRO_FUSE`` policy (off by default).
     speculate:
-        Optional override of speculative round-pair fusion: the guessing
-        loop runs round ``i`` and a pre-drawn round ``i+1`` together, each
-        pass-``k`` stage of both rounds served by one shared tape sweep,
-        and commits or discards the speculative round on round ``i``'s
-        verdict (:mod:`repro.core.speculate`).  Estimates, the rounds
-        trajectory, and the logical-pass totals are bit-identical either
-        way; multi-round estimates finish in ~half the committed sweeps,
-        while an acceptance books the speculation-only sweeps as
-        :attr:`EstimateResult.sweeps_wasted`.  ``None`` keeps the global
-        ``REPRO_SPECULATE`` policy (off by default).  Speculation
-        disengages - falling back to the sequential loop - whenever a
-        ``t_hint`` (single round), a custom ``assigner_factory``, plain
-        ``share_passes=False``, or a ``space_budget_words`` cap is in
-        force (a speculative round tripping the Markov abort must not
-        fail a run the sequential driver would have finished).
+        Optional override of speculative round fusion: the guessing loop
+        runs round ``i`` together with up to ``speculate_depth - 1``
+        pre-drawn later rounds, each pass-``k`` stage of every live round
+        served by one shared tape sweep; the prefix up to the first
+        acceptance is committed and everything after it discarded
+        (:mod:`repro.core.speculate`).  Estimates, the rounds trajectory,
+        and the logical-pass totals are bit-identical either way; a
+        ``k``-deep window finishes multi-round estimates in ~``1/k`` of
+        the committed sweeps, while an acceptance books the
+        speculation-only sweeps as :attr:`EstimateResult.sweeps_wasted`.
+        ``None`` keeps the global ``REPRO_SPECULATE`` policy (off by
+        default).  Speculation disengages - falling back to the
+        sequential loop - whenever a ``t_hint`` (single round), a custom
+        ``assigner_factory``, plain ``share_passes=False``, or a
+        ``space_budget_words`` cap is in force (a speculative round
+        tripping the Markov abort must not fail a run the sequential
+        driver would have finished).
+    speculate_depth:
+        Optional override of the maximum rounds per speculative window
+        (``>= 2``; ``2`` reproduces the original round-pair driver
+        bit-for-bit).  The driver additionally caps each window's depth
+        by the *expected-waste rule*: the previous round's median
+        predicts which upcoming guess will accept, and the window never
+        speculates past it (a predicted-accepting round runs solo).
+        ``None`` keeps the global ``REPRO_SPECULATE_DEPTH`` policy
+        (default 2).  An explicit depth implies ``speculate=True`` unless
+        ``speculate=False`` is given explicitly - asking for a depth is
+        asking to speculate.
     """
 
     epsilon: float = 0.25
@@ -120,6 +133,7 @@ class EstimatorConfig:
     workers: Optional[int] = None
     fuse: Optional[bool] = None
     speculate: Optional[bool] = None
+    speculate_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -130,6 +144,7 @@ class EstimatorConfig:
             raise ParameterError(f"chunk_size must be >= 1, got {self.chunk_size}")
         if self.workers is not None and self.workers < 1:
             raise ParameterError(f"workers must be >= 1, got {self.workers}")
+        engine._check_depth(self.speculate_depth)  # one validator, one message
         if self.engine_mode is not None and self.engine_mode not in engine._MODES:
             raise ParameterError(
                 f"engine_mode must be one of {engine._MODES}, got {self.engine_mode!r}"
@@ -159,14 +174,14 @@ class EstimateResult:
     *physical tape sweeps* serving the committed rounds - equal to
     ``passes_total`` unfused, strictly smaller when the fused sweep engine
     grouped passes within a round or the speculative driver fused round
-    pairs.  ``sweeps_wasted`` counts the additional physical sweeps that
-    served *only* discarded speculation (a speculative round ``i+1``
-    thrown away because round ``i`` accepted): the tape traversals
-    actually performed are ``sweeps_total + sweeps_wasted``, and
-    ``sweeps_wasted`` is always 0 under the sequential driver.
-    ``passes_wasted`` likewise counts the discarded round's logical
+    windows.  ``sweeps_wasted`` counts the additional physical sweeps
+    that served *only* discarded speculation (pre-drawn rounds thrown
+    away because an earlier round of their window accepted): the tape
+    traversals actually performed are ``sweeps_total + sweeps_wasted``,
+    and ``sweeps_wasted`` is always 0 under the sequential driver.
+    ``passes_wasted`` likewise counts the discarded rounds' logical
     passes - the speculative work executed inside shared sweeps and then
-    thrown away.  An accepted round's speculative partner always overlaps
+    thrown away.  An accepted round's speculative partners always overlap
     it stage for stage (a round that finishes early found no candidates
     and cannot accept), so discards typically show ``passes_wasted > 0``
     with ``sweeps_wasted == 0``: speculation wastes in-sweep compute, not
@@ -237,9 +252,18 @@ class TriangleCountEstimator:
         cfg = self._config
         # Engine selection travels with the config: every pass of every
         # round runs under the requested mode / chunk size / worker count
-        # (results are seed-for-seed identical across all of them).
+        # (results are seed-for-seed identical across all of them).  An
+        # explicit speculate_depth with speculate unset implies
+        # speculation - the implication lives in engine._apply, so it
+        # holds identically for config, harness, CLI, and direct
+        # set_engine/engine_overrides callers.
         with engine_overrides(
-            cfg.engine_mode, cfg.chunk_size, cfg.workers, cfg.fuse, cfg.speculate
+            cfg.engine_mode,
+            cfg.chunk_size,
+            cfg.workers,
+            cfg.fuse,
+            cfg.speculate,
+            cfg.speculate_depth,
         ):
             return self._estimate(stream, kappa, assigner_factory)
 
@@ -333,9 +357,10 @@ class TriangleCountEstimator:
             return med, accepted
 
         share = cfg.share_passes and assigner_factory is None
-        # Round-pair speculation preserves the sequential loop's semantics
-        # only where the sequential loop actually has rounds to pair and no
-        # per-run abort can fire mid-pair; everywhere else it disengages.
+        # Speculative round fusion preserves the sequential loop's
+        # semantics only where the sequential loop actually has rounds to
+        # fuse and no per-run abort can fire mid-window; everywhere else
+        # it disengages.
         speculative = (
             engine.speculate()
             and share
@@ -343,78 +368,100 @@ class TriangleCountEstimator:
             and cfg.space_budget_words is None
         )
 
+        def window_depth(round_index: int) -> int:
+            """How many rounds the next speculative window should fuse.
+
+            Bounded by the configured depth and by the guesses the
+            sequential loop could still run (``t_guess >= 1``), then
+            capped by the *expected-waste rule*: acceptance is
+            predictable from committed data alone - medians are roughly
+            stable round to round while guesses halve, so the first
+            upcoming guess whose bar the previous round's median already
+            clears is where the loop is expected to terminate.  Rounds
+            past it would be pre-drawn only to be discarded, so the
+            window never speculates beyond it (and a predicted-accepting
+            *current* round runs solo).  The committed rounds are
+            identical at any depth; only the sweep-sharing layout
+            changes, so bit-identity is unaffected.
+            """
+            depth = 1
+            while (
+                depth < engine.speculate_depth()
+                and round_index + depth < len(guesses)
+                and guesses[round_index + depth] >= 1.0
+            ):
+                depth += 1
+            if rounds:
+                median = rounds[-1].median_estimate
+                for offset in range(depth):
+                    if median >= guesses[round_index + offset] / 2.0:
+                        return offset + 1
+            return depth
+
         round_index = 0
         while round_index < len(guesses):
             t_guess = guesses[round_index]
             if t_guess < 1.0 and cfg.t_hint is None:
                 break  # fewer than one triangle remains plausible: answer 0
             plan = build_plan(t_guess)
-            next_guess = (
-                guesses[round_index + 1] if round_index + 1 < len(guesses) else None
-            )
-            # Speculation throttle: the waste case is an *accepting* primary
-            # round (its speculative partner - the next, twice-as-provisioned
-            # round - is discarded).  Acceptance is predictable from
-            # committed data alone: medians are roughly stable round to
-            # round while guesses halve, so once the previous round's median
-            # clears the bar the current guess will be judged by, the loop
-            # is about to terminate - run the round solo instead of paying
-            # for a speculative partner that is about to be thrown away.
-            # The committed rounds are identical either way; only the
-            # sweep-sharing layout changes, so bit-identity is unaffected.
-            acceptance_imminent = bool(rounds) and rounds[-1].median_estimate >= t_guess / 2.0
-            if (
-                speculative
-                and next_guess is not None
-                and next_guess >= 1.0
-                and not acceptance_imminent
-            ):
-                from .speculate import run_speculative_pair
+            depth = window_depth(round_index) if speculative else 1
+            if depth >= 2:
+                from .speculate import run_speculative_window
 
-                rngs = spawn_round(round_index)
-                # Checkpoint the root generator before the speculative
-                # spawns: if round i accepts, the sequential driver would
-                # never have drawn them, and rewinding keeps the root's
-                # consumption bit-identical to the sequential trajectory.
-                root_checkpoint = root.getstate()
-                speculative_rngs = spawn_round(round_index + 1)
-                speculative_plan = build_plan(next_guess)
-                meter = SpaceMeter()
-                speculative_meter = SpaceMeter()
-                pair = run_speculative_pair(
-                    stream,
-                    plan,
-                    rngs,
-                    meter,
-                    speculative_plan,
-                    speculative_rngs,
-                    speculative_meter,
-                )
-                space_peak = max(space_peak, meter.peak_words)
-                passes_total += pair.primary[0].passes_used
-                med, accepted = record_round(t_guess, pair.primary, plan)
+                window_guesses = guesses[round_index : round_index + depth]
+                plans = [plan] + [build_plan(g) for g in window_guesses[1:]]
+                rng_lists = [spawn_round(round_index)]
+                # Checkpoint the root generator before each speculative
+                # round's spawns: if an earlier round accepts, the
+                # sequential driver would never have drawn the later
+                # rounds' generators, and rewinding to the checkpoint of
+                # the first discarded round keeps the root's consumption
+                # bit-identical to the sequential trajectory.
+                checkpoints = []
+                for j in range(1, depth):
+                    checkpoints.append(root.getstate())
+                    rng_lists.append(spawn_round(round_index + j))
+                meters = [SpaceMeter() for _ in range(depth)]
+                try:
+                    window = run_speculative_window(stream, plans, rng_lists, meters)
+                except BaseException:
+                    # A failed shared sweep aborts the whole window; the
+                    # speculative rounds' RNG consumption must not leak
+                    # into the root generator's state (callers observing
+                    # the root - or retrying against it - would diverge
+                    # from the sequential trajectory).
+                    root.setstate(checkpoints[0])
+                    raise
+                # Walk the window in sequential order: commit every round
+                # up to (and including) the first acceptance.
+                committed = 0
+                accepted = False
+                med = 0.0
+                for j in range(depth):
+                    space_peak = max(space_peak, meters[j].peak_words)
+                    passes_total += window.results[j][0].passes_used
+                    med, accepted = record_round(
+                        window_guesses[j], window.results[j], plans[j]
+                    )
+                    committed += 1
+                    if accepted:
+                        break
+                try:
+                    if committed < depth:
+                        # The suffix is work the sequential driver would
+                        # never have run: drop its results and meters,
+                        # rewind the root RNG past its spawns, and book
+                        # the sweeps that served only it as wasted.
+                        window.discard_from(committed)
+                        root.setstate(checkpoints[committed - 1])
+                        for j in range(committed, depth):
+                            passes_wasted += window.results[j][0].passes_used
+                finally:
+                    sweeps_total += window.sweeps_committed
+                    sweeps_wasted += window.sweeps_wasted
                 if accepted:
-                    # The speculative round is work the sequential driver
-                    # would never have run: drop its results and meter,
-                    # rewind the root RNG past its spawns, and book the
-                    # sweeps that served only it as wasted.
-                    pair.discard_speculative()
-                    root.setstate(root_checkpoint)
-                    sweeps_total += pair.sweeps_committed
-                    sweeps_wasted += pair.sweeps_wasted
-                    passes_wasted += pair.speculative[0].passes_used
                     return result(med)
-                # Rejection commits both rounds: the speculative round is
-                # exactly the next sequential round, already executed.
-                sweeps_total += pair.sweeps_used
-                space_peak = max(space_peak, speculative_meter.peak_words)
-                passes_total += pair.speculative[0].passes_used
-                med, accepted = record_round(
-                    next_guess, pair.speculative, speculative_plan
-                )
-                if accepted:
-                    return result(med)
-                round_index += 2
+                round_index += depth
                 continue
             runs: List[SinglePassStackResult] = []
             if share:

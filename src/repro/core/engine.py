@@ -75,8 +75,31 @@ def _initial_fuse() -> bool:
     return os.environ.get("REPRO_FUSE", "").strip().lower() in ("1", "true", "on")
 
 
+#: Depth-2 speculation is the original round-pair driver; it is the
+#: default because its worst case (one discarded round) is the mildest.
+DEFAULT_SPECULATE_DEPTH = 2
+
+
+def _valid_env_depth() -> Optional[int]:
+    raw = os.environ.get("REPRO_SPECULATE_DEPTH", "").strip()
+    if raw.isdigit() and int(raw) >= 2:
+        return int(raw)
+    return None
+
+
 def _initial_speculate() -> bool:
-    return os.environ.get("REPRO_SPECULATE", "").strip().lower() in ("1", "true", "on")
+    raw = os.environ.get("REPRO_SPECULATE")
+    if raw is not None:
+        return raw.strip().lower() in ("1", "true", "on")
+    # A valid REPRO_SPECULATE_DEPTH with REPRO_SPECULATE unset implies
+    # speculation - asking for a depth is asking to speculate, at the
+    # environment entry point just like at the config/CLI ones.
+    return _valid_env_depth() is not None
+
+
+def _initial_speculate_depth() -> int:
+    depth = _valid_env_depth()
+    return depth if depth is not None else DEFAULT_SPECULATE_DEPTH
 
 
 _mode: str = _initial_mode()
@@ -89,11 +112,17 @@ _workers: Optional[int] = _initial_workers()
 #: seed-for-seed identical either way; fusing trades a little extra
 #: speculative space for strictly fewer stream sweeps.
 _fuse: bool = _initial_fuse()
-#: Speculative round-pair fusion: the guessing loop runs round ``i`` and a
-#: pre-drawn round ``i+1`` through shared sweeps, committing or discarding
-#: the speculative round on round ``i``'s verdict (see
-#: :mod:`repro.core.speculate`).  Estimates are bit-identical either way.
+#: Speculative round fusion: the guessing loop runs round ``i`` and up to
+#: ``speculate_depth - 1`` pre-drawn later rounds through shared sweeps,
+#: committing the prefix up to the first acceptance and discarding the
+#: rest (see :mod:`repro.core.speculate`).  Estimates are bit-identical
+#: either way, at any depth.
 _speculate: bool = _initial_speculate()
+#: How many guessing rounds one speculative window may fuse (>= 2).  Depth
+#: 2 is the original round-pair driver; the driver's expected-waste cap
+#: may choose a shallower window per round (see
+#: :mod:`repro.core.driver`).  ``REPRO_SPECULATE_DEPTH`` seeds it.
+_speculate_depth: int = _initial_speculate_depth()
 
 
 def engine_mode() -> str:
@@ -117,8 +146,13 @@ def fuse() -> bool:
 
 
 def speculate() -> bool:
-    """Whether the guessing loop should fuse speculative round pairs."""
+    """Whether the guessing loop should fuse speculative round windows."""
     return _speculate
+
+
+def speculate_depth() -> int:
+    """Maximum rounds per speculative window (>= 2; 2 = round pairs)."""
+    return _speculate_depth
 
 
 def effective_workers() -> int:
@@ -146,16 +180,23 @@ def _check_workers(num_workers: Optional[int]) -> None:
         raise ParameterError(f"workers must be >= 1, got {num_workers}")
 
 
+def _check_depth(depth: Optional[int]) -> None:
+    if depth is not None and depth < 2:
+        raise ParameterError(f"speculate_depth must be >= 2, got {depth}")
+
+
 def _apply(
     chunk: Optional[int],
     num_workers: Optional[int],
     fused: Optional[bool] = None,
     speculative: Optional[bool] = None,
+    depth: Optional[int] = None,
 ) -> None:
     """Validate *all* settings before committing any (no partial writes)."""
-    global _chunk_size, _workers, _fuse, _speculate
+    global _chunk_size, _workers, _fuse, _speculate, _speculate_depth
     _check_chunk(chunk)
     _check_workers(num_workers)
+    _check_depth(depth)
     if chunk is not None:
         _chunk_size = chunk
     if num_workers is not None:
@@ -164,6 +205,13 @@ def _apply(
         _fuse = bool(fused)
     if speculative is not None:
         _speculate = bool(speculative)
+    elif depth is not None:
+        # Asking for a depth is asking to speculate (an explicit
+        # ``speculative`` argument - either way - always wins), so the
+        # depth knob is never silently inert at this entry point either.
+        _speculate = True
+    if depth is not None:
+        _speculate_depth = depth
 
 
 def set_engine(
@@ -172,6 +220,7 @@ def set_engine(
     num_workers: Optional[int] = None,
     fused: Optional[bool] = None,
     speculative: Optional[bool] = None,
+    speculate_depth: Optional[int] = None,
 ) -> None:
     """Set the global engine policy (and optionally chunk size / workers / fusing).
 
@@ -181,8 +230,10 @@ def set_engine(
     ``"python"`` forces the reference path; ``"auto"`` picks per stream.
     ``fused`` toggles the fused-sweep execution of each round's independent
     pass plans (any engine mode; estimates are identical either way);
-    ``speculative`` toggles the guessing loop's round-pair fusion (see
-    :mod:`repro.core.speculate` - estimates are identical either way).
+    ``speculative`` toggles the guessing loop's speculative round fusion
+    and ``speculate_depth`` (>= 2) bounds how many rounds one speculative
+    window may fuse (see :mod:`repro.core.speculate` - estimates are
+    identical either way, at any depth).
     All arguments are validated before any global state changes, so a
     rejected call leaves the policy untouched.
     """
@@ -191,7 +242,7 @@ def set_engine(
         raise ParameterError(f"engine mode must be one of {_MODES}, got {mode!r}")
     if mode in ("chunked", "sharded") and not HAVE_NUMPY:
         raise ParameterError(f"engine mode {mode!r} requires NumPy, which is not installed")
-    _apply(chunk, num_workers, fused, speculative)
+    _apply(chunk, num_workers, fused, speculative, speculate_depth)
     _mode = mode
 
 
@@ -202,9 +253,10 @@ def engine_overrides(
     num_workers: Optional[int] = None,
     fused: Optional[bool] = None,
     speculative: Optional[bool] = None,
+    speculate_depth: Optional[int] = None,
 ) -> Iterator[None]:
     """Temporarily override the engine policy, chunk size, workers, fusing,
-    and/or round-pair speculation.
+    and/or speculative round fusion (on/off and window depth).
 
     Only *explicit* arguments are validated and applied; ``None`` leaves
     the corresponding setting untouched (in particular, an environment-
@@ -212,16 +264,16 @@ def engine_overrides(
     here - it degrades at :func:`use_chunks` - rather than rejected on
     every entry).  Restoration is unconditional.
     """
-    global _mode, _chunk_size, _workers, _fuse, _speculate
-    saved = (_mode, _chunk_size, _workers, _fuse, _speculate)
+    global _mode, _chunk_size, _workers, _fuse, _speculate, _speculate_depth
+    saved = (_mode, _chunk_size, _workers, _fuse, _speculate, _speculate_depth)
     try:
         if mode is not None:
-            set_engine(mode, chunk, num_workers, fused, speculative)
+            set_engine(mode, chunk, num_workers, fused, speculative, speculate_depth)
         else:
-            _apply(chunk, num_workers, fused, speculative)
+            _apply(chunk, num_workers, fused, speculative, speculate_depth)
         yield
     finally:
-        _mode, _chunk_size, _workers, _fuse, _speculate = saved
+        (_mode, _chunk_size, _workers, _fuse, _speculate, _speculate_depth) = saved
 
 
 def use_chunks(stream: EdgeStream) -> bool:

@@ -63,6 +63,13 @@ from .stages import (  # noqa: F401 - re-exported for stage-builder callers
 
 AssignerFactory = Callable[[ParameterPlan, random.Random, SpaceMeter], Assigner]
 
+#: Theorem 5.1's constant-pass budget: one guessing round - however many
+#: parallel instances it carries - opens at most six logical passes.  The
+#: single and parallel runners budget their schedulers with it directly;
+#: the k-deep speculative driver budgets ``6 * k`` for a window of ``k``
+#: rounds (:data:`repro.core.speculate.PASSES_PER_ROUND` re-exports it).
+PASS_BUDGET_PER_ROUND = 6
+
 #: Opaque per-draw key used by the shared passes: ``(instance, slot)``.
 DrawKey = Tuple[int, int]
 
@@ -120,7 +127,7 @@ def run_single_estimate(
     m = len(stream)
     if m != plan.num_edges:
         raise ValueError(f"stream has {m} edges but plan was built for {plan.num_edges}")
-    scheduler = PassScheduler(stream, max_passes=6)
+    scheduler = PassScheduler(stream, max_passes=PASS_BUDGET_PER_ROUND)
     chunked = engine.use_chunks(stream)
     if assigner_factory is None:
         assigner: Assigner = StreamingAssigner(plan, rng, meter)

@@ -341,9 +341,17 @@ def _run_sharded(
                 blocks.append(segment.block_ref(0, segment.rows))
             else:  # shared memory unavailable: pickle the rows
                 blocks.extend(batch_blocks)
-        future = pool.submit(
-            _run_shard, kernels, token, spec_bytes, active, batch_start, blocks
-        )
+        try:
+            future = pool.submit(
+                _run_shard, kernels, token, spec_bytes, active, batch_start, blocks
+            )
+        except BaseException:
+            # A submit that never reached the window (e.g. a broken pool)
+            # would otherwise orphan the freshly spooled segment: every
+            # error path below releases only window-tracked segments.
+            if segment is not None:
+                segment.destroy()
+            raise
         window.append((future, active, batch_start + batch_rows, segment))
         batch_refs = []
         batch_blocks = []
@@ -396,13 +404,18 @@ def _run_sharded(
                 # error must not fail a pass group whose results are
                 # complete.
                 future, _, _, segment = window.popleft()
-                if not future.cancel():
-                    try:
-                        future.result()
-                    except Exception:
-                        pass
-                if segment is not None:
-                    segment.destroy()
+                try:
+                    if not future.cancel():
+                        try:
+                            future.result()
+                        except Exception:
+                            pass
+                finally:
+                    # Release the spool even if waiting on the dead-tape
+                    # task re-raised something beyond Exception (e.g. an
+                    # interrupt): once popped, no other path frees it.
+                    if segment is not None:
+                        segment.destroy()
                 continue
             absorb_next()
     except BaseException:

@@ -38,11 +38,11 @@ The whole round is expressed as a **round program**
 receives the stage's result back, returning the per-instance results when
 done.  :func:`run_parallel_estimates` drives one program with one private
 sweep per stage - the sequential behaviour - while the speculative driver
-(:mod:`repro.core.speculate`) drives the programs of two *independent
+(:mod:`repro.core.speculate`) drives the programs of ``k`` *independent
 guessing rounds* in lockstep, merging their same-numbered stages into
 single shared sweeps.  The program neither knows nor cares which runner
 drives it, which is what keeps speculative execution bit-identical to
-sequential execution.
+sequential execution at any depth.
 """
 
 from __future__ import annotations
@@ -62,6 +62,7 @@ from .assignment import (
     stage_closure_hits,
 )
 from .estimator import (
+    PASS_BUDGET_PER_ROUND,
     CallbackFold,
     RoundStage,
     SinglePassStackResult,
@@ -92,7 +93,7 @@ def run_parallel_estimates(
     space (the paper's accounting - parallel copies coexist in memory).
     """
     meter = meter if meter is not None else SpaceMeter()
-    scheduler = PassScheduler(stream, max_passes=6)
+    scheduler = PassScheduler(stream, max_passes=PASS_BUDGET_PER_ROUND)
     chunked = engine.use_chunks(stream)
     return drive_round(
         scheduler, round_program(len(stream), plan, rngs, meter, chunked)

@@ -1,75 +1,103 @@
-"""Speculative round-pair fusion: two guessing rounds, one set of sweeps.
+"""Speculative round fusion: ``k`` guessing rounds, one set of sweeps.
 
 The driver's geometric guessing loop runs rounds that are **mutually
-independent**: round ``i+1``'s plan depends only on its (pre-determined)
-guess ``T/2^(i+1)`` and its RNGs derive from the root generator in a fixed
-label order, never on round ``i``'s outcome.  The only sequential thing
-about the loop is its *termination test* - whether round ``i``'s median
-accepts.  That makes the loop speculable: run round ``i`` and round
-``i+1`` at the same time, with each pass-``k`` stage of both rounds served
+independent**: round ``i+j``'s plan depends only on its (pre-determined)
+guess ``T/2^(i+j)`` and its RNGs derive from the root generator in a fixed
+label order, never on any earlier round's outcome.  The only sequential
+thing about the loop is its *termination test* - whether a round's median
+accepts.  That makes the loop speculable to any depth: pre-draw rounds
+``i .. i+k-1`` from checkpointed root-RNG states, drive all ``k`` round
+programs in lockstep with each pass-``j`` stage of every live round served
 by **one** shared tape sweep, and decide afterwards:
 
-* round ``i`` **rejects** (the common case on multi-round estimates): the
-  speculative round is exactly the round the sequential driver would have
-  run next - commit it.  The pair consumed ~half the sweeps two sequential
-  rounds would have;
-* round ``i`` **accepts**: the speculative round is work the sequential
-  driver would never have done - discard it.  Its results, meter, and RNGs
+* every round up to (and including) the first acceptance is exactly a
+  round the sequential driver would have run - **commit the prefix**.  A
+  fully rejected window commits whole and the loop speculates the next
+  window, so multi-round estimates consume ~``1/k`` of the physical
+  sweeps the sequential loop would have;
+* everything *after* the first acceptance is work the sequential driver
+  would never have done - **discard the suffix**.  Its results and meters
   are dropped, the root generator is rewound past its speculative spawns
-  (the driver does this), and the sweeps that served *only* the
-  speculative round are booked as **wasted**
+  (the driver does this, restoring the checkpoint taken before the first
+  discarded round's spawns), and the sweeps that served *only* discarded
+  rounds are booked as **wasted**
   (:attr:`~repro.streams.multipass.PassScheduler.sweeps_wasted`).  Sweeps
-  shared with round ``i`` stay committed - that traversal was needed
-  regardless, so acceptance costs no extra committed sweeps.
+  shared with a committed round stay committed - that traversal was
+  needed regardless, so acceptance costs no extra committed sweeps.
 
 Bit-identity contract: each round's program
 (:func:`~repro.core.parallel.round_program`) folds exactly the per-edge /
 per-chunk sequence it would fold with private sweeps (see
 :func:`~repro.core.stages.sweep_stages`), and all randomness is strictly
 per-round, so every committed estimate, diagnostic, and logical-pass count
-is bit-identical to the sequential driver - at any worker count, fused or
-not, shared memory on or off.
+is bit-identical to the sequential driver **at any depth** - at any worker
+count, fused or not, shared memory on or off.  Depth 2 is exactly the
+round-pair driver this module started as (:func:`run_speculative_pair`
+remains as its adapter).
+
+Cleanup contract: if a shared sweep raises (stream I/O error, worker
+failure), the window closes every still-live round program before the
+exception propagates, so their generator ``finally`` blocks run; the
+driver's commit/discard bookkeeping - including the root-RNG rewind - is
+exception-safe on its side (see the speculative branch of
+:meth:`~repro.core.driver.TriangleCountEstimator.estimate`).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from . import engine
-from .estimator import SinglePassStackResult
+from .estimator import PASS_BUDGET_PER_ROUND, SinglePassStackResult
 from .parallel import round_program
 from .params import ParameterPlan
 from .stages import sweep_stages
 
-#: Owner tags for the scheduler's committed/wasted sweep accounting.
+#: Owner tags for the scheduler's committed/wasted sweep accounting.  The
+#: window tags position ``0`` with :data:`PRIMARY` and position ``j >= 1``
+#: with ``f"{SPECULATIVE}{j}"``.
 PRIMARY = "round"
 SPECULATIVE = "speculative"
 
+#: Logical-pass budget per round inside a window (Theorem 5.1's constant,
+#: shared with the sequential runners' schedulers).
+PASSES_PER_ROUND = PASS_BUDGET_PER_ROUND
+
+
+def _owner_tags(depth: int) -> List[str]:
+    return [PRIMARY] + [f"{SPECULATIVE}{j}" for j in range(1, depth)]
+
 
 @dataclass
-class SpeculativePair:
-    """Outcome of one fused round pair, before the commit/discard verdict.
+class SpeculativeWindow:
+    """Outcome of one fused ``k``-round window, before any verdicts.
 
-    ``primary`` / ``speculative`` are the two rounds' per-instance results
-    (each carrying its round's *own* logical-pass and solo-sweep
-    accounting); the sweep properties expose the pair's shared physical
-    traversals.  The driver examines the primary round's median and either
-    keeps both results or calls :meth:`discard_speculative`, after which
+    ``results[j]`` holds round ``j``'s per-instance results (each carrying
+    that round's *own* logical-pass and solo-sweep accounting); the sweep
+    properties expose the window's shared physical traversals.  The driver
+    walks the rounds in order, commits every result up to the first
+    acceptance, and calls :meth:`discard_from` with the index of the first
+    round the sequential driver would never have run, after which
     :attr:`sweeps_committed` / :attr:`sweeps_wasted` report the split.
     """
 
-    primary: List[SinglePassStackResult]
-    speculative: List[SinglePassStackResult]
+    results: List[List[SinglePassStackResult]]
+    _owners: List[str] = field(repr=False)
     _scheduler: PassScheduler = field(repr=False)
 
     @property
+    def depth(self) -> int:
+        """Number of rounds the window ran."""
+        return len(self.results)
+
+    @property
     def sweeps_used(self) -> int:
-        """Physical tape sweeps the fused pair performed."""
+        """Physical tape sweeps the fused window performed."""
         return self._scheduler.sweeps_used
 
     @property
@@ -79,12 +107,113 @@ class SpeculativePair:
 
     @property
     def sweeps_wasted(self) -> int:
-        """Sweeps that served only discarded speculation (0 until a discard)."""
+        """Sweeps that served only discarded rounds (0 until a discard)."""
         return self._scheduler.sweeps_wasted
+
+    def discard_from(self, index: int) -> None:
+        """Book rounds ``index..depth-1`` as discarded speculation (idempotent).
+
+        Sweeps that served only discarded rounds move to
+        :attr:`sweeps_wasted`; sweeps shared with any committed round stay
+        committed.
+        """
+        for owner in self._owners[index:]:
+            self._scheduler.discard_owner(owner)
+
+
+def run_speculative_window(
+    stream: EdgeStream,
+    plans: Sequence[ParameterPlan],
+    rng_lists: Sequence[List[random.Random]],
+    meters: Sequence[SpaceMeter],
+) -> SpeculativeWindow:
+    """Run ``len(plans)`` independent guessing rounds through shared sweeps.
+
+    All rounds' programs advance in lockstep: at each step the pending
+    stages (one per still-running round) execute as a single fused sweep,
+    tagged with the rounds it serves.  When a round finishes early (a
+    round with no candidate triangles skips its assignment stages), the
+    others continue on sweeps tagged without it - the sweeps a later
+    discard can declare wasted are exactly those no committed round rode.
+
+    The per-round results are bit-identical to running each round through
+    :func:`~repro.core.parallel.run_parallel_estimates` on its own.
+
+    If a shared sweep raises, every still-live round program is closed
+    before the exception propagates (their ``finally`` blocks run); the
+    scheduler - and with it the window's sweep accounting - is abandoned
+    with the exception.
+    """
+    depth = len(plans)
+    if depth < 1:
+        raise ValueError("a speculative window needs at least one round")
+    if len(rng_lists) != depth or len(meters) != depth:
+        raise ValueError("plans, rng_lists, and meters must align per round")
+    scheduler = PassScheduler(stream, max_passes=PASSES_PER_ROUND * depth)
+    chunked = engine.use_chunks(stream)
+    m = len(stream)
+    owners = _owner_tags(depth)
+    programs = {
+        owner: round_program(m, plans[j], rng_lists[j], meters[j], chunked)
+        for j, owner in enumerate(owners)
+    }
+    stages = {}
+    results = {}
+    try:
+        for owner in owners:
+            stages[owner] = next(programs[owner])
+        while stages:
+            live = [owner for owner in owners if owner in stages]
+            sweep_stages(scheduler, [stages[owner] for owner in live], owners=live)
+            for owner in live:
+                try:
+                    stages[owner] = programs[owner].send(stages[owner].finish())
+                except StopIteration as stop:
+                    results[owner] = stop.value
+                    del stages[owner]
+    finally:
+        # Exception safety: a failed shared sweep must not leave round
+        # programs suspended mid-stage - closing them runs their cleanup
+        # (and is a no-op for programs that already returned).
+        for program in programs.values():
+            program.close()
+    return SpeculativeWindow(
+        results=[results[owner] for owner in owners],
+        _owners=owners,
+        _scheduler=scheduler,
+    )
+
+
+@dataclass
+class SpeculativePair:
+    """Depth-2 adapter: one primary round plus one speculative round.
+
+    Kept as the stable surface of the original round-pair driver;
+    internally every pair is a two-round :class:`SpeculativeWindow`.
+    """
+
+    primary: List[SinglePassStackResult]
+    speculative: List[SinglePassStackResult]
+    _window: SpeculativeWindow = field(repr=False)
+
+    @property
+    def sweeps_used(self) -> int:
+        """Physical tape sweeps the fused pair performed."""
+        return self._window.sweeps_used
+
+    @property
+    def sweeps_committed(self) -> int:
+        """Sweeps serving committed work (all of them until a discard)."""
+        return self._window.sweeps_committed
+
+    @property
+    def sweeps_wasted(self) -> int:
+        """Sweeps that served only discarded speculation (0 until a discard)."""
+        return self._window.sweeps_wasted
 
     def discard_speculative(self) -> None:
         """Book the speculative round's solo sweeps as wasted (idempotent)."""
-        self._scheduler.discard_owner(SPECULATIVE)
+        self._window.discard_from(1)
 
 
 def run_speculative_pair(
@@ -98,40 +227,18 @@ def run_speculative_pair(
 ) -> SpeculativePair:
     """Run two independent guessing rounds through shared tape sweeps.
 
-    Both rounds' programs advance in lockstep: at each step the pending
-    stages (one per still-running round) execute as a single fused sweep,
-    tagged with the rounds it serves.  When one round finishes early (a
-    round with no candidate triangles skips its assignment stages), the
-    other continues on solo sweeps tagged with it alone - those are the
-    sweeps a later discard can declare wasted.
-
-    The per-round results are bit-identical to running each round through
-    :func:`~repro.core.parallel.run_parallel_estimates` on its own.
+    The depth-2 case of :func:`run_speculative_window`, returning the
+    original pair surface (``primary`` / ``speculative`` results and the
+    :meth:`~SpeculativePair.discard_speculative` verdict hook).
     """
-    scheduler = PassScheduler(stream, max_passes=12)
-    chunked = engine.use_chunks(stream)
-    m = len(stream)
-    programs = {
-        PRIMARY: round_program(m, plan_primary, rngs_primary, meter_primary, chunked),
-        SPECULATIVE: round_program(
-            m, plan_speculative, rngs_speculative, meter_speculative, chunked
-        ),
-    }
-    stages = {}
-    results = {}
-    for tag in (PRIMARY, SPECULATIVE):
-        stages[tag] = next(programs[tag])
-    while stages:
-        owners = [tag for tag in (PRIMARY, SPECULATIVE) if tag in stages]
-        sweep_stages(scheduler, [stages[tag] for tag in owners], owners=owners)
-        for tag in owners:
-            try:
-                stages[tag] = programs[tag].send(stages[tag].finish())
-            except StopIteration as stop:
-                results[tag] = stop.value
-                del stages[tag]
+    window = run_speculative_window(
+        stream,
+        [plan_primary, plan_speculative],
+        [rngs_primary, rngs_speculative],
+        [meter_primary, meter_speculative],
+    )
     return SpeculativePair(
-        primary=results[PRIMARY],
-        speculative=results[SPECULATIVE],
-        _scheduler=scheduler,
+        primary=window.results[0],
+        speculative=window.results[1],
+        _window=window,
     )

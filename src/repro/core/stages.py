@@ -11,10 +11,10 @@ executed.
 Separating *what a pass needs from the tape* (the stage) from *when the
 tape is traversed* (the sweep) is what lets independent rounds compose:
 :func:`execute_stage` runs one round's stage as its own sweep - exactly
-the pre-stage behaviour of the sequential runners - while the speculative
-pair driver (:mod:`repro.core.speculate`) hands the same-numbered stages
-of two rounds to :func:`sweep_stages`, which serves them with a **single**
-shared traversal.  Each stage still receives exactly the fold it would
+the pre-stage behaviour of the sequential runners - while the k-deep
+speculative driver (:mod:`repro.core.speculate`) hands the same-numbered
+stages of any number of rounds to :func:`sweep_stages`, which serves them
+with a **single** shared traversal.  Each stage still receives exactly the fold it would
 have received alone (plans via the executor's per-plan partial streams,
 folds via :func:`drive_folds`'s per-fold early-abandon), so results are
 bit-identical whether a stage's sweep was private or shared.
@@ -127,7 +127,9 @@ def sweep_stages(
     guaranteed when they come from rounds running under the same engine);
     the logical-pass charge is the sum of the stages' charges, and the
     sweep is tagged with ``owners`` for the scheduler's committed/wasted
-    accounting (see :meth:`~repro.streams.multipass.PassScheduler.discard_owner`).
+    accounting (the speculative window driver tags each shared sweep with
+    the rounds whose stages rode it; see
+    :meth:`~repro.streams.multipass.PassScheduler.discard_owner`).
     """
     passes = sum(stage.passes for stage in stages)
     if all(stage.plans is not None for stage in stages):

@@ -68,14 +68,15 @@ def run_paper_estimator_on_graph(
     workers: Optional[int] = None,
     fuse: Optional[bool] = None,
     speculate: Optional[bool] = None,
+    speculate_depth: Optional[int] = None,
 ) -> RunReport:
     """Run the paper's estimator on ``graph`` with the promise ``kappa``.
 
     ``config`` defaults to a fresh :class:`EstimatorConfig` carrying the
     seed and any engine selection (``engine_mode`` / ``chunk_size`` /
-    ``workers`` / ``fuse`` / ``speculate`` - ignored when an explicit
-    ``config`` is supplied, since the config already carries its own
-    engine fields);
+    ``workers`` / ``fuse`` / ``speculate`` / ``speculate_depth`` -
+    ignored when an explicit ``config`` is supplied, since the config
+    already carries its own engine fields);
     pass ``exact`` to skip the (possibly expensive) ground-truth count
     when the caller already knows it.
     """
@@ -87,6 +88,7 @@ def run_paper_estimator_on_graph(
             workers=workers,
             fuse=fuse,
             speculate=speculate,
+            speculate_depth=speculate_depth,
         )
     stream = _stream_for(graph, seed)
     truth = exact if exact is not None else count_triangles(graph)

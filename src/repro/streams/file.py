@@ -58,6 +58,11 @@ class FileEdgeStream(EdgeStream):
         self._validate = validate
         self._length: int | None = None
         self._stats: StreamStats | None = None
+        #: Signals-and-joins the reader thread of the live prefetched pass,
+        #: if any; a fresh chunked pass calls it to reap a reader whose
+        #: consumer was abandoned without ``close()`` (see
+        #: :meth:`_prefetched_chunks`).
+        self._prefetch_retire = None
         if not os.path.exists(self._path):
             raise StreamError(f"edge-list file not found: {self._path}")
 
@@ -77,6 +82,11 @@ class FileEdgeStream(EdgeStream):
         return (u, v)
 
     def __iter__(self) -> Iterator[Edge]:
+        # A per-line pass replays the tape just as a chunked one does, so
+        # it equally proves an abandoned prefetched pass dead (the retire
+        # hook no-ops when the caller *is* the reader thread - the batch
+        # parser's error diagnosis re-scans the file from there).
+        self.retire_prefetcher()
         with open(self._path, "r", encoding="utf-8") as handle:
             for lineno, line in enumerate(handle, start=1):
                 edge = self._parse(line, lineno)
@@ -102,6 +112,7 @@ class FileEdgeStream(EdgeStream):
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if os.environ.get("REPRO_FILE_PREFETCH", "1") == "0":
+            self.retire_prefetcher()  # inline passes reap orphans too
             yield from self._parse_chunks(chunk_size)
             return
         yield from self._prefetched_chunks(chunk_size)
@@ -161,20 +172,43 @@ class FileEdgeStream(EdgeStream):
             return located
         return StreamError(f"{self._path}: malformed edge-list line ({exc})")
 
+    def retire_prefetcher(self) -> None:
+        """Signal and join the reader thread of an abandoned chunked pass.
+
+        A consumer that neither exhausts nor closes its chunk iterator -
+        typically because an exception is propagating with the consumer's
+        frame pinned in its traceback - leaves the iterator suspended with
+        the reader thread parked behind the full queue, holding the file
+        handle open.  The thread cannot detect that on its own (the
+        consumer might still legitimately resume), so this hook retires
+        it explicitly; every fresh pass - chunked or per-line - calls it,
+        because a replay of the tape proves the old pass is dead.
+        Idempotent, a no-op when no prefetched pass is live, and a no-op
+        from the reader thread itself (whose error diagnosis re-scans the
+        file per line while its own pass is still registered).
+        """
+        retire = self._prefetch_retire
+        if retire is not None and retire():
+            self._prefetch_retire = None
+
     def _prefetched_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
         """Run :meth:`_parse_chunks` on a reader thread, double-buffered.
 
         The producer parses ahead into a bounded queue and checks a stop
-        event between puts, so an abandoned pass (generator ``close()``)
-        releases the thread promptly; parser exceptions are re-raised in
+        event between puts, so a pass abandoned *with* generator
+        ``close()`` releases the thread promptly, and one abandoned
+        *without* it is reaped by the next pass over the stream
+        (:meth:`retire_prefetcher`); parser exceptions are re-raised in
         the consumer at the point the failing chunk would have appeared.
         """
         import queue as queue_module
         import threading
 
+        self.retire_prefetcher()
         chunks: "queue_module.Queue" = queue_module.Queue(maxsize=PREFETCH_CHUNKS)
         stop = threading.Event()
         end = object()  # sentinel: clean end of file
+        retired = object()  # sentinel: reaped by a newer pass over the stream
 
         def reader() -> None:
             try:
@@ -199,17 +233,52 @@ class FileEdgeStream(EdgeStream):
 
         thread = threading.Thread(target=reader, name="repro-file-prefetch", daemon=True)
         thread.start()
+
+        def retire() -> bool:
+            if threading.current_thread() is thread:
+                # The reader re-scanning the file for a line-numbered
+                # diagnostic must not retire (join) itself; its pass is
+                # still the live one.
+                return False
+            stop.set()
+            thread.join()
+            # Drain whatever the reader had buffered and leave the retired
+            # pill in its place (the join above makes both race-free, and
+            # the queue is empty after the drain so the put cannot block):
+            # a resumed retired pass must fail on its first pull, not
+            # first replay stale chunks - or, when the tail plus end
+            # sentinel happened to be buffered, silently complete against
+            # a tape that has been re-read underneath it.
+            while True:
+                try:
+                    chunks.get_nowait()
+                except queue_module.Empty:
+                    break
+            chunks.put_nowait(retired)
+            return True
+
+        self._prefetch_retire = retire
         try:
             while True:
                 item = chunks.get()
                 if item is end:
                     return
+                if item is retired:
+                    # Retired by a newer pass while suspended: the tape
+                    # has been replayed underneath this pass, so resuming
+                    # it cannot produce a coherent sequence.
+                    raise StreamError(
+                        f"{self._path}: chunked pass abandoned and retired "
+                        "by a newer pass over the stream"
+                    )
                 if isinstance(item, BaseException):
                     raise item
                 yield item
         finally:
             stop.set()
             thread.join()
+            if self._prefetch_retire is retire:
+                self._prefetch_retire = None
 
     def _canonicalize(self, np, block: "numpy.ndarray") -> "numpy.ndarray":
         """Vectorized ``canonical_edge`` over one parsed batch."""

@@ -131,6 +131,21 @@ def _destroy_segment(shm, name: str) -> None:
 _live_segments: "OrderedDict[str, weakref.finalize]" = OrderedDict()
 
 
+def live_segment_names() -> List[str]:
+    """Names of owner-side segments created but not yet destroyed.
+
+    The executor's cleanup contract is that per-task spooled segments are
+    destroyed the moment their task's partial is absorbed - or, on any
+    error path, before the exception escapes the sweep - so after a
+    sharded pass (successful or not) the only live segments should be
+    stream-owned mirrors.  Failure-injection tests assert exactly that;
+    the GC safety-net finalizers make true leaks invisible to ``/dev/shm``
+    scans once references drop, while this registry view sees them for as
+    long as the owner object is alive.
+    """
+    return [name for name, finalizer in _live_segments.items() if finalizer.alive]
+
+
 @atexit.register
 def _unlink_all_segments() -> None:  # pragma: no cover - exit-time safety net
     while _live_segments:

@@ -66,6 +66,60 @@ class TestEstimate:
         sweeps = lambda out: int(field(out, "sweeps:").split()[1])  # noqa: E731
         assert sweeps(fused) < sweeps(unfused)
 
+    def test_speculate_depth_flag_same_estimate_fewer_sweeps(self, tmp_path, capsys):
+        # A multi-round instance (no t_hint) is where deeper speculation
+        # pays; the wheel accepts too early to show a depth-3-vs-2 gap.
+        import random
+
+        from repro.generators import barabasi_albert_graph
+
+        path = tmp_path / "ba.txt"
+        write_edgelist(barabasi_albert_graph(400, 5, random.Random(1)), path)
+        base = ["estimate", str(path), "--kappa", "5", "--seed", "7",
+                "--repetitions", "3", "--speculate"]
+        assert main(base + ["--speculate-depth", "2"]) == 0
+        pair = capsys.readouterr().out
+        assert main(base + ["--speculate-depth", "3"]) == 0
+        deep = capsys.readouterr().out
+
+        def field(out, key):
+            return next(line for line in out.splitlines() if line.startswith(key))
+
+        assert field(deep, "estimate:") == field(pair, "estimate:")
+        assert field(deep, "rounds:") == field(pair, "rounds:")
+        assert field(deep, "passes:") == field(pair, "passes:")
+        sweeps = lambda out: int(field(out, "sweeps:").split()[1])  # noqa: E731
+        assert sweeps(deep) <= sweeps(pair)
+
+    def test_speculate_depth_validation(self, wheel_file):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="speculate_depth"):
+            main(["estimate", wheel_file, "--kappa", "3", "--speculate-depth", "1"])
+
+    def test_explicit_depth_implies_speculation(self, tmp_path, capsys):
+        # An explicit --speculate-depth without --speculate must engage the
+        # speculative driver (fewer sweeps), not be silently inert; an
+        # explicit --no-speculate still wins.
+        import random
+
+        from repro.generators import barabasi_albert_graph
+
+        path = tmp_path / "ba.txt"
+        write_edgelist(barabasi_albert_graph(400, 5, random.Random(1)), path)
+        base = ["estimate", str(path), "--kappa", "5", "--seed", "7",
+                "--repetitions", "3"]
+
+        def sweeps(out):
+            line = next(l for l in out.splitlines() if l.startswith("sweeps:"))
+            return int(line.split()[1])
+
+        assert main(base + ["--no-speculate", "--speculate-depth", "3"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--speculate-depth", "3"]) == 0
+        implied = capsys.readouterr().out
+        assert sweeps(implied) < sweeps(sequential)
+
 
 class TestBounds:
     def test_bounds_table(self, wheel_file, capsys):

@@ -8,17 +8,20 @@ state left coherent.
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Iterator
 
 import pytest
 
+import repro.core.driver as driver_module
 from repro import EstimatorConfig, TriangleCountEstimator
 from repro.core.params import ParameterPlan
 from repro.core.estimator import run_single_estimate
 from repro.errors import PassBudgetExceeded, SpaceBudgetExceeded, StreamError
-from repro.generators import wheel_graph
+from repro.generators import barabasi_albert_graph, wheel_graph
 from repro.graph import count_triangles
+from repro.rng import make_rng, spawn
 from repro.streams import InMemoryEdgeStream, PassScheduler, SpaceMeter
 from repro.streams.base import EdgeStream
 from repro.types import Edge
@@ -32,6 +35,31 @@ class FlakyStream(EdgeStream):
         self._fail_after = fail_after
 
     def __iter__(self) -> Iterator[Edge]:
+        for i, e in enumerate(self._edges):
+            if i >= self._fail_after:
+                raise IOError("injected stream failure")
+            yield e
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+
+class NthPassFailingStream(EdgeStream):
+    """Delegates to a fixed tape; every pass from ``fail_pass`` on dies mid-way."""
+
+    def __init__(self, edges, fail_pass: int, fail_after: int = 10) -> None:
+        self._edges = list(edges)
+        self._fail_pass = fail_pass
+        self._fail_after = fail_after
+        self._passes = 0
+
+    def __iter__(self) -> Iterator[Edge]:
+        self._passes += 1
+        if self._passes >= self._fail_pass:
+            return self._failing_pass()
+        return iter(self._edges)
+
+    def _failing_pass(self) -> Iterator[Edge]:
         for i, e in enumerate(self._edges):
             if i >= self._fail_after:
                 raise IOError("injected stream failure")
@@ -151,3 +179,104 @@ class TestInputValidationAtBoundaries:
         cfg = EstimatorConfig(seed=1, repetitions=2)
         result = TriangleCountEstimator(cfg).estimate(stream, kappa=1)
         assert result.estimate == 0.0
+
+
+class TestSpeculativeCleanupPaths:
+    """The speculative driver's cleanup contracts under injected failures.
+
+    A shared sweep dying mid-stage must not leave speculative residue
+    behind: the root generator's consumption has to match the sequential
+    trajectory (pre-drawn rounds rewound), and a sharded sweep's per-task
+    shared-memory spools have to be unlinked even when the failure strikes
+    before their task's partial was absorbed.
+    """
+
+    @pytest.mark.parametrize("depth", [2, 3])
+    def test_sweep_failure_rewinds_speculative_rng_spawns(self, monkeypatch, depth):
+        # The stream survives the stats pass, then dies during the
+        # window's first shared sweep - after the speculative rounds'
+        # generators were already spawned from the root.
+        graph = barabasi_albert_graph(200, 4, random.Random(3))
+        stream = NthPassFailingStream(graph.edge_list(), fail_pass=2)
+        captured = []
+        real_make_rng = driver_module.make_rng
+
+        def recording_make_rng(seed):
+            rng = real_make_rng(seed)
+            captured.append(rng)
+            return rng
+
+        monkeypatch.setattr(driver_module, "make_rng", recording_make_rng)
+        cfg = EstimatorConfig(
+            seed=5,
+            repetitions=3,
+            engine_mode="python",
+            speculate=True,
+            speculate_depth=depth,
+        )
+        with pytest.raises(IOError, match="injected stream failure"):
+            TriangleCountEstimator(cfg).estimate(stream, kappa=4)
+        # The sequential driver would have drawn only round 0's children
+        # before the failing sweep; every speculative spawn must have been
+        # rewound when the window aborted.
+        expected = make_rng(5)
+        for rep in range(3):
+            spawn(expected, f"round0/rep{rep}")
+        assert captured, "instrumentation never saw the root generator"
+        assert captured[-1].getstate() == expected.getstate()
+
+    def test_sharded_sweep_failure_releases_spooled_segments(self, tmp_path, monkeypatch):
+        numpy = pytest.importorskip("numpy")
+        from repro.core import executor
+        from repro.core.kernels import DegreeCountPlan
+        from repro.streams import shm
+        from repro.streams.file import FileEdgeStream
+
+        if not shm.shm_enabled():
+            pytest.skip("shared-memory transport disabled on this platform")
+        path = tmp_path / "tape.edges"
+        path.write_text("".join(f"{i} {i + 1}\n" for i in range(2000)), encoding="utf-8")
+        stream = FileEdgeStream(path)
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+
+        created = []
+        real_new_segment = shm.new_segment_from_blocks
+
+        def recording_new_segment(blocks):
+            segment = real_new_segment(blocks)
+            if segment is not None:
+                created.append(segment)
+            return segment
+
+        monkeypatch.setattr(shm, "new_segment_from_blocks", recording_new_segment)
+        pool = executor._get_pool(2)
+        real_submit = pool.submit
+        calls = {"count": 0}
+
+        def failing_submit(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 3:
+                raise RuntimeError("injected pool failure")
+            return real_submit(*args, **kwargs)
+
+        monkeypatch.setattr(pool, "submit", failing_submit)
+        scheduler = PassScheduler(stream)
+        tracked = numpy.arange(100, dtype=numpy.int64)
+        with pytest.raises(RuntimeError, match="injected pool failure") as excinfo:
+            executor.run_plan(
+                scheduler, DegreeCountPlan(tracked), chunk_size=64, workers=2
+            )
+        # While the exception (and therefore every in-flight frame) is
+        # still alive, no owned segment may remain: the error path has to
+        # unlink explicitly, not lean on the GC safety net.
+        assert created, "failure injection never spooled a segment"
+        assert all(not segment._finalizer.alive for segment in created), (
+            "spooled segments survived the failed sweep"
+        )
+        assert not shm.live_segment_names()
+        if os.path.isdir("/dev/shm"):
+            for segment in created:
+                assert not os.path.exists(f"/dev/shm/{segment.name}"), (
+                    f"stale shared-memory entry {segment.name}"
+                )
+        del excinfo

@@ -65,8 +65,20 @@ SUBSTRATES = [
     ("chunked", 4, False),
 ]
 
-#: The fusion tiers, in monotonically-fewer-sweeps order.
-TIERS = [(False, False), (True, False), (False, True), (True, True)]
+#: The fusion tiers ``(fuse, speculate, speculate_depth)``.  Depth only
+#: matters when speculation is on; the unspeculated tiers pin it at the
+#: default so tier keys stay unique.  The fast tier samples the depth
+#: axis; the full product {2, 3, 4} runs in the slow tier.
+TIERS_FAST = [
+    (False, False, 2),
+    (True, False, 2),
+    (False, True, 2),
+    (True, True, 3),
+    (False, True, 4),
+]
+TIERS_FULL = [(False, False, 2), (True, False, 2)] + [
+    (fuse, True, depth) for fuse in (False, True) for depth in (2, 3, 4)
+]
 
 
 class CountingRandom(random.Random):
@@ -156,7 +168,7 @@ def _trajectory(result, accounting=False):
     ]
 
 
-def _config(mode, workers, fuse, speculate, seed):
+def _config(mode, workers, fuse, speculate, depth, seed):
     return EstimatorConfig(
         seed=seed,
         repetitions=REPETITIONS,
@@ -165,10 +177,12 @@ def _config(mode, workers, fuse, speculate, seed):
         workers=workers,
         fuse=fuse,
         speculate=speculate,
+        speculate_depth=depth,
     )
 
 
-def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
+def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates, tiers=None):
+    tiers = tiers if tiers is not None else TIERS_FAST
     monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 32)
     graph = build_graph()
     kappa = max(1, degeneracy(graph))
@@ -176,24 +190,27 @@ def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
     exact = count_triangles(graph)
 
     reference, ref_root_state, ref_child_draws = _run_instrumented(
-        monkeypatch, stream, kappa, _config("python", 1, False, False, seed)
+        monkeypatch, stream, kappa, _config("python", 1, False, False, 2, seed)
     )
     ref_trajectory = _trajectory(reference)
     tier_accounting = {}
 
     for mode, workers, shm_enabled in substrates:
-        for fuse, speculate in TIERS:
+        for fuse, speculate, depth in tiers:
             monkeypatch.setattr(shm, "_disabled", not shm_enabled)
             try:
                 result, root_state, child_draws = _run_instrumented(
                     monkeypatch,
                     stream,
                     kappa,
-                    _config(mode, workers, fuse, speculate, seed),
+                    _config(mode, workers, fuse, speculate, depth, seed),
                 )
             finally:
                 monkeypatch.setattr(shm, "_disabled", False)
-            label = f"{graph_name}/{mode}/w{workers}/shm{int(shm_enabled)}/f{int(fuse)}s{int(speculate)}"
+            label = (
+                f"{graph_name}/{mode}/w{workers}/shm{int(shm_enabled)}"
+                f"/f{int(fuse)}s{int(speculate)}d{depth}"
+            )
 
             # Bit-identical estimates and statistical trajectory.
             assert result.estimate == reference.estimate, label
@@ -204,11 +221,12 @@ def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
             assert root_state == ref_root_state, label
             assert child_draws == ref_child_draws, label
 
-            # Accounting depends only on the fusion tier, never on the
-            # substrate (engine / workers / shm): the first run of each
-            # tier pins passes, sweeps, waste, space, and the per-run
-            # accounting trajectory for every other substrate.
-            key = (fuse, speculate)
+            # Accounting depends only on the fusion tier (fuse x speculate
+            # x depth), never on the substrate (engine / workers / shm):
+            # the first run of each tier pins passes, sweeps, waste,
+            # space, and the per-run accounting trajectory for every
+            # other substrate.
+            key = (fuse, speculate, depth)
             accounting = (
                 result.passes_total,
                 result.sweeps_total,
@@ -226,33 +244,43 @@ def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
                 assert result.passes_wasted == 0, label
 
             # Unfused sequential execution reads the tape once per pass.
-            if key == (False, False):
+            if key == (False, False, 2):
                 assert result.sweeps_total == result.passes_total, label
                 assert result.passes_total == reference.passes_total, label
 
     # Speculation never changes the logical-pass total of its fuse tier
-    # (it commits exactly the rounds the sequential loop would run).
-    for fuse in (False, True):
-        assert tier_accounting[(fuse, True)][0] == tier_accounting[(fuse, False)][0], (
-            graph_name,
-            fuse,
-        )
+    # (it commits exactly the rounds the sequential loop would run) - at
+    # any depth.
+    for fuse, speculate, depth in tiers:
+        if speculate:
+            assert (
+                tier_accounting[(fuse, True, depth)][0]
+                == tier_accounting[(fuse, False, 2)][0]
+            ), (graph_name, fuse, depth)
     # Monotone sweep reduction across fusion tiers: every tier is no worse
-    # than unfused-sequential, and round-pair speculation never loses to
+    # than unfused-sequential, and speculation at any depth never loses to
     # its unspeculated tier (committed sweeps).
-    baseline = tier_accounting[(False, False)][1]
-    for (fuse, speculate), accounting in tier_accounting.items():
-        assert accounting[1] <= baseline, (graph_name, fuse, speculate)
-    for fuse in (False, True):
-        assert (
-            tier_accounting[(fuse, True)][1] <= tier_accounting[(fuse, False)][1]
-        ), graph_name
+    baseline = tier_accounting[(False, False, 2)][1]
+    for key, accounting in tier_accounting.items():
+        assert accounting[1] <= baseline, (graph_name, key)
+    for fuse, speculate, depth in tiers:
+        if speculate:
+            assert (
+                tier_accounting[(fuse, True, depth)][1]
+                <= tier_accounting[(fuse, False, 2)][1]
+            ), (graph_name, fuse, depth)
     # Multi-round estimates are where speculation must actually pay, even
     # counting the physically-performed wasted sweeps.
     if len(reference.rounds) > 1:
-        for fuse in (False, True):
-            spec_physical = tier_accounting[(fuse, True)][1] + tier_accounting[(fuse, True)][2]
-            assert spec_physical < tier_accounting[(fuse, False)][1], graph_name
+        for fuse, speculate, depth in tiers:
+            if speculate:
+                tier = tier_accounting[(fuse, True, depth)]
+                spec_physical = tier[1] + tier[2]
+                assert spec_physical < tier_accounting[(fuse, False, 2)][1], (
+                    graph_name,
+                    fuse,
+                    depth,
+                )
     # Sanity: the estimator still estimates (star walks the guess to 0).
     if exact == 0:
         assert reference.estimate == 0.0
@@ -260,16 +288,17 @@ def _check_matrix(monkeypatch, graph_name, build_graph, seed, substrates):
 
 @pytest.mark.parametrize("name,build,seed", GRAPHS, ids=[g[0] for g in GRAPHS])
 def test_parity_matrix_fast_tier(monkeypatch, name, build, seed):
-    """Representative subset: serial python + chunked, one pooled substrate."""
+    """Representative subset: serial python + chunked, one pooled substrate,
+    the depth axis sampled (one tier each at depths 2, 3, and 4)."""
     fast_substrates = [("python", 1, True), ("chunked", 1, True), ("chunked", 2, True)]
-    _check_matrix(monkeypatch, name, build, seed, fast_substrates)
+    _check_matrix(monkeypatch, name, build, seed, fast_substrates, TIERS_FAST)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name,build,seed", GRAPHS, ids=[g[0] for g in GRAPHS])
 def test_parity_matrix_full(monkeypatch, name, build, seed):
-    """The full substrate matrix: workers {1,2,4} x shm on/off x all tiers."""
-    _check_matrix(monkeypatch, name, build, seed, SUBSTRATES)
+    """The full matrix: workers {1,2,4} x shm on/off x fuse x depth {2,3,4}."""
+    _check_matrix(monkeypatch, name, build, seed, SUBSTRATES, TIERS_FULL)
 
 
 @pytest.mark.slow
@@ -283,4 +312,5 @@ def test_parity_matrix_random_orders(monkeypatch):
             lambda g=graph: g,
             order_seed,
             [("python", 1, True), ("chunked", 2, True), ("chunked", 2, False)],
+            TIERS_FULL,
         )

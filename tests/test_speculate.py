@@ -17,7 +17,12 @@ from repro.core import engine
 from repro.core.driver import EstimatorConfig, TriangleCountEstimator
 from repro.core.parallel import run_parallel_estimates
 from repro.core.params import ParameterPlan
-from repro.core.speculate import PRIMARY, SPECULATIVE, run_speculative_pair
+from repro.core.speculate import (
+    PRIMARY,
+    SPECULATIVE,
+    run_speculative_pair,
+    run_speculative_window,
+)
 from repro.errors import StreamError
 from repro.generators import barabasi_albert_graph, wheel_graph
 from repro.graph import count_triangles, degeneracy
@@ -128,6 +133,70 @@ class TestPairRunner:
         assert meter_b.peak_words == meter_b_solo.peak_words
 
 
+class TestWindowRunner:
+    """The k-deep generalization: one shared sweep set, ``k`` rounds."""
+
+    @pytest.mark.parametrize("depth", [3, 4])
+    def test_window_results_bit_identical_to_solo_rounds(self, depth):
+        graph = barabasi_albert_graph(200, 4, random.Random(3))
+        stream = _stream(graph)
+        plans = [_plan(graph, 4.0 * graph.num_edges / (2.0 ** j)) for j in range(depth)]
+
+        def rngs():
+            return [random.Random(s) for s in (11, 12, 13)]
+
+        with engine.engine_overrides("chunked", 64, 1, False):
+            solo = [run_parallel_estimates(stream, plan, rngs()) for plan in plans]
+            window = run_speculative_window(
+                stream, plans, [rngs() for _ in plans], [SpaceMeter() for _ in plans]
+            )
+        assert window.depth == depth
+        for j in range(depth):
+            assert window.results[j] == solo[j]
+        # The window's physical sweeps cover every round in (at most) the
+        # sweeps of the largest round alone, plus stragglers.
+        assert window.sweeps_used < sum(r[0].sweeps_used for r in solo)
+        assert window.sweeps_wasted == 0
+
+    def test_discard_from_books_suffix_only(self):
+        graph = barabasi_albert_graph(150, 4, random.Random(5))
+        stream = _stream(graph)
+        plans = [_plan(graph, 2.0 * graph.num_edges / (2.0 ** j)) for j in range(3)]
+        window = run_speculative_window(
+            stream,
+            plans,
+            [[random.Random(40 + j)] for j in range(3)],
+            [SpaceMeter() for _ in range(3)],
+        )
+        window.discard_from(1)
+        window.discard_from(1)  # idempotent
+        assert window.sweeps_committed + window.sweeps_wasted == window.sweeps_used
+        # Every sweep the primary round rode stays committed.
+        assert window.sweeps_committed >= window.results[0][0].sweeps_used
+
+    def test_window_pass_budget_scales_with_depth(self):
+        graph = wheel_graph(100)
+        stream = _stream(graph)
+        plans = [_plan(graph, 400.0 / (2.0 ** j)) for j in range(4)]
+        window = run_speculative_window(
+            stream,
+            plans,
+            [[random.Random(j + 1)] for j in range(4)],
+            [SpaceMeter() for _ in range(4)],
+        )
+        for j in range(4):
+            assert window.results[j][0].passes_used <= 6
+
+    def test_window_validates_alignment(self):
+        graph = wheel_graph(20)
+        stream = _stream(graph)
+        plan = _plan(graph, 40.0)
+        with pytest.raises(ValueError, match="align"):
+            run_speculative_window(stream, [plan], [], [SpaceMeter()])
+        with pytest.raises(ValueError, match="at least one round"):
+            run_speculative_window(stream, [], [], [])
+
+
 def _first_discard_instance():
     """A (graph, kappa, seed) whose speculative run discards a round.
 
@@ -233,6 +302,81 @@ class TestDriverCommitDiscard:
         assert result.sweeps_total == sequential.sweeps_total  # no pairing
         assert result.sweeps_wasted == 0
 
+    @pytest.mark.parametrize("depth", [3, 4])
+    def test_deep_windows_stay_identical_and_save_sweeps(self, depth):
+        graph = barabasi_albert_graph(400, 5, random.Random(1))
+        stream = _stream(graph)
+        base = dict(seed=7, repetitions=3)
+        sequential = TriangleCountEstimator(
+            EstimatorConfig(speculate=False, **base)
+        ).estimate(stream, kappa=5)
+        pair = TriangleCountEstimator(
+            EstimatorConfig(speculate=True, speculate_depth=2, **base)
+        ).estimate(stream, kappa=5)
+        deep = TriangleCountEstimator(
+            EstimatorConfig(speculate=True, speculate_depth=depth, **base)
+        ).estimate(stream, kappa=5)
+        assert deep.estimate == sequential.estimate
+        assert [r.t_guess for r in deep.rounds] == [r.t_guess for r in sequential.rounds]
+        assert [r.median_estimate for r in deep.rounds] == [
+            r.median_estimate for r in sequential.rounds
+        ]
+        assert deep.passes_total == sequential.passes_total
+        # Deeper windows commit the same rounds in fewer physical sweeps.
+        deep_physical = deep.sweeps_total + deep.sweeps_wasted
+        pair_physical = pair.sweeps_total + pair.sweeps_wasted
+        assert deep_physical <= pair_physical < sequential.sweeps_total
+
+    def test_depth_two_reproduces_the_pair_driver(self):
+        # speculate_depth=2 must be today's round-pair driver bit-for-bit:
+        # same committed outcome *and* same accounting split.
+        graph = barabasi_albert_graph(300, 4, random.Random(2))
+        stream = _stream(graph)
+        base = dict(seed=11, repetitions=3, speculate=True)
+        default = TriangleCountEstimator(EstimatorConfig(**base)).estimate(
+            stream, kappa=4
+        )
+        explicit = TriangleCountEstimator(
+            EstimatorConfig(speculate_depth=2, **base)
+        ).estimate(stream, kappa=4)
+        assert default.estimate == explicit.estimate
+        assert default.sweeps_total == explicit.sweeps_total
+        assert default.sweeps_wasted == explicit.sweeps_wasted
+        assert default.passes_total == explicit.passes_total
+        assert default.passes_wasted == explicit.passes_wasted
+
+    def test_waste_cap_never_speculates_past_predicted_acceptance(self):
+        # The expected-waste cap clips every window at the first upcoming
+        # guess the previous median already clears.  On trajectories where
+        # (a) the first, prediction-less window commits whole (at least
+        # ``depth`` rejecting rounds before the acceptance) and (b) every
+        # committed median clears the accepting round's bar, no window can
+        # extend past the accepting round - nothing may be discarded.
+        depth = 3
+        checked = 0
+        for seed, n, mdeg in ((1, 600, 6), (2, 500, 5), (6, 400, 4), (11, 300, 5)):
+            graph = barabasi_albert_graph(n, mdeg, random.Random(seed))
+            stream = _stream(graph, seed)
+            sequential = TriangleCountEstimator(
+                EstimatorConfig(seed=seed, repetitions=3, speculate=False)
+            ).estimate(stream, kappa=mdeg)
+            rounds = sequential.rounds
+            if len(rounds) < depth + 1 or not rounds[-1].accepted:
+                continue
+            final_bar = rounds[-1].t_guess / 2.0
+            if not all(r.median_estimate >= final_bar for r in rounds[:-1]):
+                continue
+            deep = TriangleCountEstimator(
+                EstimatorConfig(
+                    seed=seed, repetitions=3, speculate=True, speculate_depth=depth
+                )
+            ).estimate(stream, kappa=mdeg)
+            assert deep.estimate == sequential.estimate
+            assert deep.passes_wasted == 0, seed
+            assert deep.sweeps_wasted == 0, seed
+            checked += 1
+        assert checked > 0, "no qualifying trajectory in the scan"
+
     def test_t_hint_single_round_never_speculates(self):
         graph = wheel_graph(120)
         stream = _stream(graph)
@@ -274,6 +418,75 @@ class TestKnobPlumbing:
     def test_config_field_default_and_validation(self):
         assert EstimatorConfig().speculate is None
         assert EstimatorConfig(speculate=True).speculate is True
+
+    def test_env_depth_alone_implies_speculation(self, monkeypatch):
+        # Asking for a depth is asking to speculate - at the environment
+        # entry point too.  An explicit REPRO_SPECULATE always wins.
+        monkeypatch.delenv("REPRO_SPECULATE", raising=False)
+        monkeypatch.setenv("REPRO_SPECULATE_DEPTH", "3")
+        assert engine._initial_speculate() is True
+        monkeypatch.setenv("REPRO_SPECULATE", "0")
+        assert engine._initial_speculate() is False
+        monkeypatch.setenv("REPRO_SPECULATE_DEPTH", "1")  # invalid depth
+        monkeypatch.delenv("REPRO_SPECULATE")
+        assert engine._initial_speculate() is False
+
+    def test_config_depth_alone_implies_speculation(self):
+        graph = barabasi_albert_graph(300, 4, random.Random(2))
+        stream = _stream(graph)
+        base = dict(seed=11, repetitions=3)
+        sequential = TriangleCountEstimator(
+            EstimatorConfig(speculate=False, **base)
+        ).estimate(stream, kappa=4)
+        implied = TriangleCountEstimator(
+            EstimatorConfig(speculate_depth=3, **base)
+        ).estimate(stream, kappa=4)
+        assert implied.estimate == sequential.estimate
+        implied_physical = implied.sweeps_total + implied.sweeps_wasted
+        assert implied_physical < sequential.sweeps_total
+
+    def test_env_initial_speculate_depth(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECULATE_DEPTH", "4")
+        assert engine._initial_speculate_depth() == 4
+        monkeypatch.setenv("REPRO_SPECULATE_DEPTH", "1")  # below the floor
+        assert engine._initial_speculate_depth() == engine.DEFAULT_SPECULATE_DEPTH
+        monkeypatch.setenv("REPRO_SPECULATE_DEPTH", "nope")
+        assert engine._initial_speculate_depth() == engine.DEFAULT_SPECULATE_DEPTH
+        monkeypatch.delenv("REPRO_SPECULATE_DEPTH")
+        assert engine._initial_speculate_depth() == engine.DEFAULT_SPECULATE_DEPTH
+
+    def test_engine_overrides_restores_speculate_depth(self):
+        before = engine.speculate_depth()
+        with engine.engine_overrides(speculate_depth=5):
+            assert engine.speculate_depth() == 5
+            with engine.engine_overrides(speculate_depth=3):
+                assert engine.speculate_depth() == 3
+            assert engine.speculate_depth() == 5
+        assert engine.speculate_depth() == before
+
+    def test_set_engine_depth_alone_implies_speculation(self):
+        saved = (engine.engine_mode(), engine.speculate(), engine.speculate_depth())
+        try:
+            engine.set_engine("python", speculative=False)
+            engine.set_engine("python", speculate_depth=3)
+            assert engine.speculate() is True
+            assert engine.speculate_depth() == 3
+            # An explicit speculative argument always wins over the implication.
+            engine.set_engine("python", speculative=False, speculate_depth=4)
+            assert engine.speculate() is False
+            assert engine.speculate_depth() == 4
+        finally:
+            engine.set_engine(saved[0], speculative=saved[1], speculate_depth=saved[2])
+
+    def test_depth_validation(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError, match="speculate_depth"):
+            EstimatorConfig(speculate_depth=1)
+        with pytest.raises(ParameterError, match="depth"):
+            engine.set_engine("python", speculate_depth=0)
+        # A rejected call leaves the policy untouched.
+        assert engine.speculate_depth() >= 2
 
     def test_pass_budget_allows_the_fused_pair(self):
         # A pair charges both rounds' logical passes against one scheduler;
