@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Six stages:
+Seven stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -21,21 +21,29 @@ Six stages:
 6. a speculation *depth* sweep on a file-backed multi-round workload:
    physical sweeps and wall clock at depths 1 (sequential), 2, 3, and 4,
    bit-identity asserted at every depth and deeper windows asserted to
-   never perform more sweeps than the depth-2 pair driver.
+   never perform more sweeps than the depth-2 pair driver;
+7. a fault-recovery overhead measurement: the canonical sharded
+   multi-round estimate run clean and again with the deterministic fault
+   harness crashing a worker on each of the first few sweeps -
+   bit-identical results and an unchanged physical sweep count asserted
+   (recovery retries tasks, it never re-sweeps the tape), the wall-clock
+   overhead of the pool respawns recorded.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
 trajectory instead of overwriting it.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-6 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-7 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
 below half of the last committed ``BENCH_engine.json`` entry, if the
 fused engine came out slower than the unfused sharded engine on the same
 sweep, if the speculative driver's multi-round physical sweep count
-failed to come in under the sequential driver's, or if depth-3 windows
+failed to come in under the sequential driver's, if depth-3 windows
 performed more physical sweeps than depth-2 pairs on the canonical
-workload - wired into the tier-1 flow as an opt-in pytest
+workload, or if recovering from injected worker crashes cost more than
+2x the clean run's physical sweeps - wired into the tier-1 flow as an
+opt-in pytest
 (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
@@ -518,6 +526,88 @@ def run_speculative_depth_sweep(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_fault_recovery(scale: str, repeats: int = 3) -> dict:
+    """Recovery overhead: a clean sharded run vs one worker crash per sweep.
+
+    The canonical multi-round workload (file-backed, fused, workers=2) is
+    estimated twice: once clean, once with the fault harness crashing a
+    worker on each of the first few sweeps (every sweep at tiny scale is
+    a single pool task, so ``worker.crash@k`` kills sweep ``k``'s first
+    attempt; the cap keeps the pool-respawn bill bounded on slow boxes).
+    Estimates, trajectories, and logical-pass totals are asserted
+    bit-identical, and no degradation may be recorded - this measures
+    *recovery*, not the ladder.  The wall-clock overhead is dominated by
+    pool respawns; the sweep counts show recovery costs no extra tape
+    traversals beyond the retried rounds' waste (gated at <= 2x clean).
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import tempfile
+
+    from repro.core.driver import EstimatorConfig, TriangleCountEstimator
+    from repro.io import write_edgelist
+    from repro.streams.file import FileEdgeStream
+
+    n = ENGINE_SIZES[scale][-1]
+    graph, t, _memory_stream, _plan = _e9_instance(n)
+    handle = tempfile.NamedTemporaryFile("w", suffix=".edges", delete=False)
+    handle.close()
+    write_edgelist(graph, handle.name)
+    stream = FileEdgeStream(handle.name)
+    stream.stats()  # prime the cache so both columns pay the same passes
+    base = dict(
+        seed=3, repetitions=3, engine_mode="sharded", workers=2, fuse=True
+    )
+    try:
+        clean_config = EstimatorConfig(**base)
+        clean_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            clean = TriangleCountEstimator(clean_config).estimate(stream, kappa=5)
+            clean_best = min(clean_best, time.perf_counter() - start)
+        clean_physical = clean.sweeps_total + clean.sweeps_wasted
+        crashes = min(clean_physical, 4)
+        spec = "worker.crash@" + ",".join(str(i) for i in range(crashes))
+        faulted_config = EstimatorConfig(**base, faults=spec)
+        start = time.perf_counter()
+        faulted = TriangleCountEstimator(faulted_config).estimate(stream, kappa=5)
+        faulted_sec = time.perf_counter() - start
+        assert faulted.estimate == clean.estimate, "recovery parity violated"
+        assert [
+            (r.t_guess, r.median_estimate, r.accepted) for r in faulted.rounds
+        ] == [
+            (r.t_guess, r.median_estimate, r.accepted) for r in clean.rounds
+        ], "recovery trajectory drifted"
+        assert faulted.passes_total == clean.passes_total, (
+            "recovery changed the logical-pass total"
+        )
+        assert not faulted.degradations, (
+            f"recovery run degraded a tier: {faulted.degradations}"
+        )
+        faulted_physical = faulted.sweeps_total + faulted.sweeps_wasted
+        row = {
+            "n": n,
+            "m": graph.num_edges,
+            "rounds": len(clean.rounds),
+            "crashes_injected": crashes,
+            "clean_sec": round(clean_best, 5),
+            "faulted_sec": round(faulted_sec, 5),
+            "overhead_x": round(faulted_sec / clean_best, 2) if clean_best else None,
+            "clean_sweeps": clean_physical,
+            "faulted_sweeps": faulted_physical,
+        }
+        print(f"[bench-suite] fault recovery: {row}")
+    finally:
+        os.unlink(handle.name)
+    return {
+        "scale": scale,
+        "workers": 2,
+        "cpu_count": os.cpu_count(),
+        "rows": [row],
+        "recovered_identical": True,
+    }
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -550,6 +640,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_fused = run_fused_comparison("tiny")
     current_speculative = run_speculative_comparison("tiny")
     current_depth_sweep = run_speculative_depth_sweep("tiny")
+    current_fault_recovery = run_fault_recovery("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -616,6 +707,20 @@ def run_smoke(output: pathlib.Path) -> int:
             )
     elif current_depth_sweep.get("have_numpy", True):
         failures.append("speculative depth sweep produced no rows")
+    # The fault-recovery gate is deterministic: recovery from injected
+    # worker crashes must complete with bit-identical results (asserted
+    # inside the stage) and cost at most 2x the clean run's physical
+    # sweeps - recovery is retried tasks and pool respawns, not re-sweeps,
+    # so anything past that slack means retries are re-reading the tape.
+    recovery_rows = current_fault_recovery.get("rows", [])
+    for row in recovery_rows:
+        if row["faulted_sweeps"] > 2 * row["clean_sweeps"]:
+            failures.append(
+                "fault recovery swept the tape too often: "
+                f"{row['faulted_sweeps']} vs clean {row['clean_sweeps']}"
+            )
+    if not recovery_rows and current_fault_recovery.get("have_numpy", True):
+        failures.append("fault recovery stage produced no rows")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -650,6 +755,7 @@ def main() -> int:
     record["fused_comparison"] = run_fused_comparison(args.scale)
     record["speculative_comparison"] = run_speculative_comparison(args.scale)
     record["speculative_depth_sweep"] = run_speculative_depth_sweep(args.scale)
+    record["fault_recovery"] = run_fault_recovery(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

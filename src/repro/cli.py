@@ -19,7 +19,10 @@ Commands
     round *windows* (up to ``--speculate-depth`` pre-drawn rounds run
     alongside round i; the prefix up to the first acceptance is committed
     and the rest discarded; identical estimates, ~depth-fold fewer sweeps
-    on multi-round estimates).
+    on multi-round estimates).  ``--max-retries`` / ``--task-timeout`` tune
+    the fault-tolerant execution layer and ``--faults`` injects
+    deterministic failures for testing; any tier the recovery ladder had
+    to drop is reported as a ``degraded:`` line.
 ``bounds <edgelist>``
     Table 1 predicted space bounds evaluated on the instance.
 ``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
@@ -111,6 +114,35 @@ def _build_parser() -> argparse.ArgumentParser:
             "unless --no-speculate is given explicitly"
         ),
     )
+    p_est.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "retries per failed unit of work before the recovery ladder "
+            "degrades a tier (0 = degrade immediately; default: "
+            "REPRO_MAX_RETRIES policy, 2)"
+        ),
+    )
+    p_est.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-task deadline in seconds for sharded pool tasks - an "
+            "overstaying task is presumed hung and retried on a fresh pool "
+            "(default: REPRO_TASK_TIMEOUT policy, wait indefinitely)"
+        ),
+    )
+    p_est.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "deterministic fault-injection spec, e.g. "
+            "'worker.crash@2;sweep.mid_stage@3' (testing/benchmarking aid; "
+            "default: REPRO_FAULTS policy)"
+        ),
+    )
 
     p_bounds = sub.add_parser("bounds", help="Table 1 predicted bounds for an instance")
     p_bounds.add_argument("edgelist")
@@ -153,6 +185,9 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         fuse=args.fuse,
         speculate=args.speculate,
         speculate_depth=args.speculate_depth,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        faults=args.faults,
     )
     result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
     print(f"estimate:  {result.estimate:.1f}")
@@ -170,6 +205,11 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     if result.final_plan is not None:
         plan = result.final_plan
         print(f"plan:      r={plan.r} s={plan.s} t_guess={plan.t_guess:.0f}")
+    for report in result.degradations:
+        print(
+            f"degraded:  {report.action} after {report.attempts} attempt(s) "
+            f"at {report.site}: {report.cause}"
+        )
     return 0
 
 

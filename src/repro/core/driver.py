@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -28,10 +29,18 @@ from ..errors import EstimationError, ParameterError
 from ..rng import make_rng, spawn
 from ..sampling.combine import median
 from ..streams.base import EdgeStream
+from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from . import engine
+from . import faults as faults_module
 from .engine import engine_overrides
-from .estimator import AssignerFactory, SinglePassStackResult, run_single_estimate
+from .estimator import (
+    PASS_BUDGET_PER_ROUND,
+    AssignerFactory,
+    SinglePassStackResult,
+    run_single_estimate,
+)
+from .faults import FailureReport, RecoveryContext
 from .params import ParameterPlan, PlanConstants
 
 
@@ -117,6 +126,23 @@ class EstimatorConfig:
         (default 2).  An explicit depth implies ``speculate=True`` unless
         ``speculate=False`` is given explicitly - asking for a depth is
         asking to speculate.
+    max_retries:
+        Optional override of how many times a failed unit of work (a
+        sharded task, a round attempt) is retried before the recovery
+        ladder degrades a tier (:mod:`repro.core.faults`).  ``0`` disables
+        retries but keeps the degradation ladder.  ``None`` keeps the
+        ``REPRO_MAX_RETRIES`` policy (default 2).
+    task_timeout:
+        Optional per-task deadline (seconds) for sharded pool tasks; a
+        task overstaying it is presumed hung, its workers are killed, and
+        the task is retried on a fresh pool.  ``None`` keeps the
+        ``REPRO_TASK_TIMEOUT`` policy (default: wait indefinitely).
+    faults:
+        Optional deterministic fault-injection plan: a
+        :class:`~repro.core.faults.FaultPlan` or a spec string such as
+        ``"worker.crash@2;sweep.mid_stage@3"`` (see
+        :meth:`~repro.core.faults.FaultPlan.parse`).  ``None`` keeps the
+        ``REPRO_FAULTS`` policy (no injection unless the variable is set).
     """
 
     epsilon: float = 0.25
@@ -134,6 +160,9 @@ class EstimatorConfig:
     fuse: Optional[bool] = None
     speculate: Optional[bool] = None
     speculate_depth: Optional[int] = None
+    max_retries: Optional[int] = None
+    task_timeout: Optional[float] = None
+    faults: "str | object | None" = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -149,6 +178,12 @@ class EstimatorConfig:
             raise ParameterError(
                 f"engine_mode must be one of {engine._MODES}, got {self.engine_mode!r}"
             )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ParameterError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ParameterError(f"task_timeout must be positive, got {self.task_timeout}")
+        if self.faults is not None and not isinstance(self.faults, faults_module.FaultPlan):
+            faults_module.FaultPlan.parse(str(self.faults))  # validate eagerly
 
 
 @dataclass(frozen=True)
@@ -185,7 +220,10 @@ class EstimateResult:
     it stage for stage (a round that finishes early found no candidates
     and cannot accept), so discards typically show ``passes_wasted > 0``
     with ``sweeps_wasted == 0``: speculation wastes in-sweep compute, not
-    extra tape traversals.
+    extra tape traversals.  ``degradations`` lists every tier the recovery
+    ladder dropped while producing this result (empty on a clean run):
+    each :class:`~repro.core.faults.FailureReport` names the fault site,
+    the action taken, the attempts spent, and the triggering cause.
     """
 
     estimate: float
@@ -196,6 +234,7 @@ class EstimateResult:
     sweeps_total: int = 0
     sweeps_wasted: int = 0
     passes_wasted: int = 0
+    degradations: Tuple[FailureReport, ...] = ()
 
     @property
     def accepted_round(self) -> Optional[GuessRound]:
@@ -265,18 +304,64 @@ class TriangleCountEstimator:
             cfg.speculate,
             cfg.speculate_depth,
         ):
-            return self._estimate(stream, kappa, assigner_factory)
+            # The recovery scope installs the retry policy, arms the fault
+            # plan, and collects FailureReports; on exit it unwinds any
+            # shm/prefetch tiers the ladder dropped (the serial tier is
+            # unwound by engine_overrides above).
+            with faults_module.recovery_scope(
+                policy=faults_module.policy_from_env(cfg.max_retries, cfg.task_timeout),
+                plan=cfg.faults,
+            ) as recovery:
+                return self._estimate(stream, kappa, assigner_factory, recovery)
 
     def _estimate(
         self,
         stream: EdgeStream,
         kappa: int,
-        assigner_factory: Optional[AssignerFactory] = None,
+        assigner_factory: Optional[AssignerFactory],
+        recovery: RecoveryContext,
     ) -> EstimateResult:
         cfg = self._config
         if kappa < 1:
             raise ParameterError(f"kappa must be >= 1, got {kappa}")
-        m = len(stream)
+
+        def recovering(read):
+            """Run a pre-round stream read under the retry/degrade policy.
+
+            The statistics sweep happens before any round - no RNG to
+            rewind, no pass accounting to book - so recovery is a plain
+            retry loop: transient failures retry with backoff, and on
+            exhaustion the only tier a serial in-process read stands on
+            (the prefetch thread) is dropped before propagating.
+            """
+            from ..streams import file as file_module
+            from ..streams.file import FileEdgeStream
+
+            attempts = 0
+            while True:
+                try:
+                    return read()
+                except Exception as exc:
+                    if not faults_module.is_transient(exc):
+                        raise
+                    attempts += 1
+                    if attempts < recovery.policy.max_attempts:
+                        delay = recovery.policy.backoff_delay(attempts)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    if isinstance(stream, FileEdgeStream) and file_module.prefetch_enabled():
+                        faults_module.degrade(
+                            faults_module.ACTION_SYNC_READS,
+                            faults_module.site_of(exc),
+                            attempts,
+                            exc,
+                        )
+                        attempts = 0
+                        continue
+                    raise
+
+        m = recovering(lambda: len(stream))
         if m == 0:
             return EstimateResult(
                 estimate=0.0,
@@ -285,10 +370,11 @@ class TriangleCountEstimator:
                 passes_total=0,
                 final_plan=None,
                 sweeps_total=0,
+                degradations=tuple(recovery.reports),
             )
         # The model assumes n is known a priori (Table 1 notes this is the
         # standard assumption); one statistics pass recovers an upper bound.
-        n = stream.stats().num_vertices_upper
+        n = recovering(lambda: stream.stats().num_vertices_upper)
         root = make_rng(cfg.seed)
 
         upper = 2.0 * m * kappa  # Corollary 3.2
@@ -338,6 +424,7 @@ class TriangleCountEstimator:
                 sweeps_total=sweeps_total,
                 sweeps_wasted=sweeps_wasted,
                 passes_wasted=passes_wasted,
+                degradations=tuple(recovery.reports),
             )
 
         def record_round(
@@ -398,71 +485,79 @@ class TriangleCountEstimator:
                         return offset + 1
             return depth
 
-        round_index = 0
-        while round_index < len(guesses):
-            t_guess = guesses[round_index]
-            if t_guess < 1.0 and cfg.t_hint is None:
-                break  # fewer than one triangle remains plausible: answer 0
-            plan = build_plan(t_guess)
-            depth = window_depth(round_index) if speculative else 1
-            if depth >= 2:
-                from .speculate import run_speculative_window
+        def attempt_window(
+            round_index: int, depth: int, sched_cell: List[PassScheduler]
+        ) -> Tuple[str, int | float]:
+            """One speculative-window attempt over rounds ``round_index..+depth-1``."""
+            nonlocal space_peak, passes_total, sweeps_total, sweeps_wasted, passes_wasted
+            from .speculate import PASSES_PER_ROUND, run_speculative_window
 
-                window_guesses = guesses[round_index : round_index + depth]
-                plans = [plan] + [build_plan(g) for g in window_guesses[1:]]
-                rng_lists = [spawn_round(round_index)]
-                # Checkpoint the root generator before each speculative
-                # round's spawns: if an earlier round accepts, the
-                # sequential driver would never have drawn the later
-                # rounds' generators, and rewinding to the checkpoint of
-                # the first discarded round keeps the root's consumption
-                # bit-identical to the sequential trajectory.
-                checkpoints = []
-                for j in range(1, depth):
-                    checkpoints.append(root.getstate())
-                    rng_lists.append(spawn_round(round_index + j))
-                meters = [SpaceMeter() for _ in range(depth)]
-                try:
-                    window = run_speculative_window(stream, plans, rng_lists, meters)
-                except BaseException:
-                    # A failed shared sweep aborts the whole window; the
-                    # speculative rounds' RNG consumption must not leak
-                    # into the root generator's state (callers observing
-                    # the root - or retrying against it - would diverge
-                    # from the sequential trajectory).
-                    root.setstate(checkpoints[0])
-                    raise
-                # Walk the window in sequential order: commit every round
-                # up to (and including) the first acceptance.
-                committed = 0
-                accepted = False
-                med = 0.0
-                for j in range(depth):
-                    space_peak = max(space_peak, meters[j].peak_words)
-                    passes_total += window.results[j][0].passes_used
-                    med, accepted = record_round(
-                        window_guesses[j], window.results[j], plans[j]
-                    )
-                    committed += 1
-                    if accepted:
-                        break
-                try:
-                    if committed < depth:
-                        # The suffix is work the sequential driver would
-                        # never have run: drop its results and meters,
-                        # rewind the root RNG past its spawns, and book
-                        # the sweeps that served only it as wasted.
-                        window.discard_from(committed)
-                        root.setstate(checkpoints[committed - 1])
-                        for j in range(committed, depth):
-                            passes_wasted += window.results[j][0].passes_used
-                finally:
-                    sweeps_total += window.sweeps_committed
-                    sweeps_wasted += window.sweeps_wasted
+            window_guesses = guesses[round_index : round_index + depth]
+            plans = [build_plan(g) for g in window_guesses]
+            rng_lists = [spawn_round(round_index)]
+            # Checkpoint the root generator before each speculative
+            # round's spawns: if an earlier round accepts, the
+            # sequential driver would never have drawn the later
+            # rounds' generators, and rewinding to the checkpoint of
+            # the first discarded round keeps the root's consumption
+            # bit-identical to the sequential trajectory.
+            checkpoints = []
+            for j in range(1, depth):
+                checkpoints.append(root.getstate())
+                rng_lists.append(spawn_round(round_index + j))
+            meters = [SpaceMeter() for _ in range(depth)]
+            # The scheduler is built here rather than inside the window so
+            # that a failed attempt's sweep counters stay readable for the
+            # retry loop's wasted-work bookkeeping.
+            scheduler = PassScheduler(stream, max_passes=PASSES_PER_ROUND * depth)
+            sched_cell.append(scheduler)
+            try:
+                window = run_speculative_window(
+                    stream, plans, rng_lists, meters, scheduler=scheduler
+                )
+            except BaseException:
+                # A failed shared sweep aborts the whole window; the
+                # speculative rounds' RNG consumption must not leak
+                # into the root generator's state (callers observing
+                # the root - or retrying against it - would diverge
+                # from the sequential trajectory).
+                root.setstate(checkpoints[0])
+                raise
+            # Walk the window in sequential order: commit every round
+            # up to (and including) the first acceptance.
+            committed = 0
+            accepted = False
+            med = 0.0
+            for j in range(depth):
+                space_peak = max(space_peak, meters[j].peak_words)
+                passes_total += window.results[j][0].passes_used
+                med, accepted = record_round(
+                    window_guesses[j], window.results[j], plans[j]
+                )
+                committed += 1
                 if accepted:
-                    return result(med)
-                round_index += depth
-                continue
+                    break
+            try:
+                if committed < depth:
+                    # The suffix is work the sequential driver would
+                    # never have run: drop its results and meters,
+                    # rewind the root RNG past its spawns, and book
+                    # the sweeps that served only it as wasted.
+                    window.discard_from(committed)
+                    root.setstate(checkpoints[committed - 1])
+                    for j in range(committed, depth):
+                        passes_wasted += window.results[j][0].passes_used
+            finally:
+                sweeps_total += window.sweeps_committed
+                sweeps_wasted += window.sweeps_wasted
+            return ("accepted", med) if accepted else ("advance", depth)
+
+        def attempt_sequential(
+            round_index: int, t_guess: float, sched_cell: List[PassScheduler]
+        ) -> Tuple[str, int | float]:
+            """One sequential round attempt (shared passes or per-rep runs)."""
+            nonlocal space_peak, passes_total, sweeps_total
+            plan = build_plan(t_guess)
             runs: List[SinglePassStackResult] = []
             if share:
                 # The paper's accounting: all repetitions in parallel over
@@ -471,25 +566,128 @@ class TriangleCountEstimator:
 
                 rngs = spawn_round(round_index)
                 meter = SpaceMeter(budget_words=cfg.space_budget_words)
-                runs = run_parallel_estimates(stream, plan, rngs, meter=meter)
+                scheduler = PassScheduler(stream, max_passes=PASS_BUDGET_PER_ROUND)
+                sched_cell.append(scheduler)
+                runs = run_parallel_estimates(
+                    stream, plan, rngs, meter=meter, scheduler=scheduler
+                )
                 space_peak = max(space_peak, meter.peak_words)
                 passes_total += runs[0].passes_used if runs else 0
                 sweeps_total += runs[0].sweeps_used if runs else 0
             else:
+                # Commit the bookkeeping only once *all* repetitions have
+                # succeeded: a retry of this round must not double-count
+                # the reps that completed before the failure.
                 for rep in range(cfg.repetitions):
                     rng = spawn(root, f"round{round_index}/rep{rep}")
                     meter = SpaceMeter(budget_words=cfg.space_budget_words)
-                    run = run_single_estimate(
-                        stream, plan, rng, meter=meter, assigner_factory=assigner_factory
+                    runs.append(
+                        run_single_estimate(
+                            stream,
+                            plan,
+                            rng,
+                            meter=meter,
+                            assigner_factory=assigner_factory,
+                        )
                     )
-                    runs.append(run)
+                for run in runs:
                     space_peak = max(space_peak, run.space_words_peak)
                     passes_total += run.passes_used
                     sweeps_total += run.sweeps_used
             med, accepted = record_round(t_guess, runs, plan)
-            if accepted:
-                return result(med)
-            round_index += 1
+            return ("accepted", med) if accepted else ("advance", 1)
+
+        def pick_step(exc: BaseException, depth: int) -> Optional[str]:
+            """The degradation ladder: which tier to drop for this failure.
+
+            Prefers the step matching the failure's classified site, then
+            falls through the ladder in order; ``None`` when no applicable
+            tier is left to drop (the failure then propagates).
+            """
+            from ..streams import file as file_module
+            from ..streams import shm
+            from ..streams.file import FileEdgeStream
+
+            applicable: List[str] = []
+            if engine.effective_workers() > 1 and not recovery.serial_degraded:
+                applicable.append(faults_module.ACTION_SERIAL)
+            if engine.effective_workers() > 1 and shm.shm_enabled():
+                applicable.append(faults_module.ACTION_PICKLE)
+            if isinstance(stream, FileEdgeStream) and file_module.prefetch_enabled():
+                applicable.append(faults_module.ACTION_SYNC_READS)
+            if depth >= 2 and not recovery.speculation_degraded:
+                applicable.append(faults_module.ACTION_SEQUENTIAL)
+            if not applicable:
+                return None
+            preferred = {
+                faults_module.WORKER_CRASH: faults_module.ACTION_SERIAL,
+                faults_module.TASK_TIMEOUT: faults_module.ACTION_SERIAL,
+                faults_module.SHM_ATTACH: faults_module.ACTION_PICKLE,
+                faults_module.FILE_READ: faults_module.ACTION_SYNC_READS,
+            }.get(faults_module.site_of(exc))
+            return preferred if preferred in applicable else applicable[0]
+
+        def run_round(round_index: int, t_guess: float) -> Tuple[str, int | float]:
+            """Run one guessing step to completion, retrying and degrading.
+
+            Returns ``("accepted", median)`` or ``("advance", k)`` with
+            ``k`` the number of rounds the step committed.  Every failed
+            attempt rewinds the root generator to the state it had before
+            the attempt's spawns, so a retry re-draws bit-identical
+            per-rep generators and the committed trajectory never depends
+            on how many attempts the round took.
+            """
+            nonlocal sweeps_wasted, passes_wasted
+            base_state = root.getstate()
+            attempts = 0
+            while True:
+                depth = (
+                    window_depth(round_index)
+                    if speculative and not recovery.speculation_degraded
+                    else 1
+                )
+                sched_cell: List[PassScheduler] = []
+                try:
+                    if depth >= 2:
+                        return attempt_window(round_index, depth, sched_cell)
+                    return attempt_sequential(round_index, t_guess, sched_cell)
+                except Exception as exc:
+                    if not faults_module.is_transient(exc):
+                        raise
+                    attempts += 1
+                    if sched_cell:
+                        # The aborted attempt's physical sweeps are real
+                        # traversals lost to the failure - booked as
+                        # wasted, never as committed work.
+                        sweeps_wasted += sched_cell[0].sweeps_used
+                        passes_wasted += sched_cell[0].passes_used
+                    if attempts < recovery.policy.max_attempts:
+                        root.setstate(base_state)
+                        delay = recovery.policy.backoff_delay(attempts)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    step = pick_step(exc, depth)
+                    if step is None:
+                        # No tier left to drop: propagate without touching
+                        # the root state (a window attempt has already
+                        # rewound its own speculative spawns).
+                        raise
+                    faults_module.degrade(
+                        step, faults_module.site_of(exc), attempts, exc
+                    )
+                    attempts = 0
+                    root.setstate(base_state)
+
+        round_index = 0
+        while round_index < len(guesses):
+            t_guess = guesses[round_index]
+            if t_guess < 1.0 and cfg.t_hint is None:
+                break  # fewer than one triangle remains plausible: answer 0
+            verdict, value = run_round(round_index, t_guess)
+            if verdict == "accepted":
+                return result(float(value))
+            round_index += int(value)
 
         if cfg.t_hint is not None:  # pragma: no cover - hint rounds always accept
             raise EstimationError("hinted round did not record a result")

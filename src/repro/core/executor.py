@@ -56,6 +56,19 @@ sweep - against the :class:`~repro.streams.multipass.PassScheduler`
 budget.  Worker pools are created lazily per worker count, reused across
 passes and runs, and torn down at interpreter exit (or explicitly via
 :func:`shutdown_pools`).
+
+**Fault tolerance** (see :mod:`repro.core.faults`): because kernels are
+pure and absorption is stream-ordered, a failed task can simply be rerun -
+the recomputed partial is bit-identical to what the first attempt would
+have produced.  ``_run_sharded`` keeps every in-flight task resubmittable
+(its blocks and spool segment live until the partial is absorbed) and
+applies the active :class:`~repro.core.faults.RetryPolicy`: a broken pool
+is invalidated and respawned (so one crashed worker never poisons later
+``run_plans`` calls), a task timeout kills the hung workers before the
+respawn, and an shm attach failure retries and then falls back to pickled
+blocks.  When retries exhaust, the sweep *degrades* instead of failing:
+the remaining tasks run in-process through the identical kernel/absorb
+path, which preserves bit-identity and costs no extra tape sweeps.
 """
 
 from __future__ import annotations
@@ -64,12 +77,15 @@ import atexit
 import itertools
 import os
 import pickle
+import time
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
+from concurrent.futures import BrokenExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
+from ..errors import ShmTransportError
 from ..streams import shm
-from . import engine
+from . import engine, faults
 
 if TYPE_CHECKING:  # pragma: no cover - import-time only
     import numpy
@@ -157,15 +173,28 @@ def _run_shard(
     active: Sequence[int],
     start_row: int,
     blocks: List,
+    inject: Optional[str] = None,
 ) -> tuple:
     """Pool task: one kernel invocation per active plan over a chunk batch.
 
     ``blocks`` entries are raw ndarrays or shared-memory descriptors (see
     :func:`repro.streams.shm.resolve_block`); ``active`` indexes into the
     group's plans and the returned tuple of partials aligns with it.
+
+    ``inject`` carries a parent-side fault-injection verdict (decided once
+    per task by :func:`repro.core.faults.task_injection`; resubmissions
+    ship ``None``): ``"crash"`` kills the worker process, ``"hang"`` makes
+    the task overstay any per-task timeout, ``"shm"`` simulates a failed
+    segment attach.
     """
     import numpy as np
 
+    if inject == "crash":
+        os._exit(1)
+    elif inject == "hang":
+        time.sleep(3600)
+    elif inject == "shm":
+        raise ShmTransportError(f"injected fault: {faults.SHM_ATTACH}")
     specs = _decode_specs(token, spec_bytes)
     arrays = [shm.resolve_block(block) for block in blocks]
     rows = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
@@ -195,6 +224,29 @@ def _get_pool(workers: int):
         )
         _POOLS[workers] = pool
     return pool
+
+
+def _invalidate_pool(workers: int, pool: Any = None, kill: bool = False) -> None:
+    """Drop (and shut down) the cached pool for ``workers``.
+
+    Called when a pool is observed broken (``BrokenProcessPool``) or hung
+    (task timeout) so the *next* ``_get_pool`` call spawns a fresh one -
+    a crashed worker must never poison subsequent ``run_plans`` calls.
+    ``kill=True`` terminates the worker processes first: a hung worker
+    never observes ``shutdown()``, and waiting on it would hang the parent
+    (including the ``atexit`` hook) forever.
+    """
+    cached = _POOLS.get(workers)
+    if pool is None:
+        pool = cached
+    if cached is not None and cached is pool:
+        _POOLS.pop(workers, None)
+    if pool is None:
+        return
+    if kill:
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
@@ -301,6 +353,37 @@ def _run_serial(
     return [plan.result() for plan in plans]
 
 
+class _ShardTask:
+    """One sharded chunk batch, kept resubmittable until absorbed.
+
+    The blocks (and the per-task spool segment, when one was created) stay
+    alive until the task's partial is folded in, so any failed attempt can
+    be rerun with the identical inputs - the retry invariant of
+    :mod:`repro.core.faults`.  ``inject`` is the parent-side fault verdict
+    for the *first* submission only.
+    """
+
+    __slots__ = ("future", "active", "start", "end", "segment", "blocks", "attempts", "inject")
+
+    def __init__(
+        self,
+        active: tuple,
+        start: int,
+        end: int,
+        segment: Any,
+        blocks: List,
+        inject: Optional[str],
+    ) -> None:
+        self.future: Any = None
+        self.active = active
+        self.start = start
+        self.end = end
+        self.segment = segment
+        self.blocks = blocks
+        self.attempts = 0
+        self.inject = inject
+
+
 def _run_sharded(
     scheduler: "PassScheduler",
     plans: Sequence[PassPlan],
@@ -309,6 +392,7 @@ def _run_sharded(
     passes: int,
     owners: Optional[Sequence[str]] = None,
 ) -> List[Any]:
+    policy = faults.active_policy()
     pool = _get_pool(workers)
     token = f"{os.getpid()}:{next(_group_tokens)}"
     spec_bytes = pickle.dumps(
@@ -319,18 +403,153 @@ def _run_sharded(
     task_rows = max(chunk, TASK_ROWS_FLOOR)
     max_inflight = max(2, INFLIGHT_PER_WORKER * workers)
 
-    # In-flight futures, strictly FIFO = stream order.  Each entry is
-    # ``(future, active, end_offset, segment)``: the plan indices the task
-    # ran, the stream offset after its batch, and the per-task spool
-    # segment to release after absorption (``None`` for zero-copy refs).
-    window: deque = deque()
+    # In-flight tasks, strictly FIFO = stream order; absorption happens
+    # only at the head, so the fold sequence matches serial execution.
+    window: "deque[_ShardTask]" = deque()
     batch_refs: List = []  # shared-memory descriptors (stream-owned segments)
     batch_blocks: List = []  # raw ndarrays (pickled or spooled per task)
     batch_rows = 0
     batch_start = 0
     offset = 0
+    inline = False  # degraded: remaining tasks run in-process
+    pool_strikes = 0  # pool-level breakages observed during this sweep
+    strike_cap = max(2, policy.max_attempts)
 
-    def submit_batch() -> None:
+    def absorb_task(task: _ShardTask, partials: tuple) -> None:
+        if task.segment is not None:
+            task.segment.destroy()
+            task.segment = None
+        for i, partial in zip(task.active, partials):
+            states[i].absorb(partial, task.end)
+
+    def drain_inline() -> None:
+        # The degraded path: compute each pending task in-process through
+        # the identical kernel/absorb sequence - bit-identical results,
+        # no further pool exposure, no extra tape sweeps.  Tasks stay in
+        # the window until absorbed so the cleanup path owns their spools.
+        while window:
+            task = window[0]
+            partials = _run_shard(kernels, token, spec_bytes, task.active, task.start, task.blocks)
+            window.popleft()
+            absorb_task(task, partials)
+
+    def submit(task: _ShardTask) -> None:
+        inject, task.inject = task.inject, None
+        task.future = pool.submit(
+            _run_shard, kernels, token, spec_bytes, task.active, task.start, task.blocks, inject
+        )
+
+    def rebuild_pool(kill: bool = False) -> None:
+        nonlocal pool
+        _invalidate_pool(workers, pool, kill=kill)
+        pool = _get_pool(workers)
+
+    def resubmit_pending() -> None:
+        # After a pool rebuild: completed results survived the breakage,
+        # everything else reruns (FIFO, so stream order is preserved).
+        for task in window:
+            future = task.future
+            if future is not None and future.done() and future.exception() is None:
+                continue
+            submit(task)
+
+    def degrade_serial(site: str, attempts: int, cause: BaseException, pending=None) -> None:
+        nonlocal inline
+        inline = True
+        faults.degrade(faults.ACTION_SERIAL, site, attempts, cause)
+        if pending is not None:
+            window.append(pending)
+        drain_inline()
+
+    def dispatch(task: _ShardTask) -> None:
+        nonlocal pool_strikes
+        if inline:
+            window.append(task)
+            drain_inline()
+            return
+        while True:
+            try:
+                submit(task)
+            except BrokenExecutor as exc:
+                # A pool broken *at submit* (e.g. poisoned by an earlier
+                # run with retries disabled): rebuild and try again, up to
+                # the policy bound, then finish the sweep in-process.
+                pool_strikes += 1
+                task.attempts += 1
+                rebuild_pool()
+                if pool_strikes >= strike_cap or task.attempts >= policy.max_attempts:
+                    degrade_serial(faults.WORKER_CRASH, task.attempts, exc, pending=task)
+                    return
+                resubmit_pending()
+                continue
+            window.append(task)
+            return
+
+    def handle_failure(task: _ShardTask, exc: BaseException) -> None:
+        """Recover the window head's failed attempt, or re-raise.
+
+        Retries leave the head task in the window with a fresh future;
+        exhausted retries step down a tier (serial execution for crashes
+        and timeouts, pickled blocks for shm failures) and keep going.
+        Anything not classified as recoverable - kernel bugs above all -
+        propagates unchanged.
+        """
+        nonlocal pool_strikes
+        if isinstance(exc, BrokenExecutor):
+            task.attempts += 1
+            pool_strikes += 1
+            rebuild_pool()
+            if task.attempts >= policy.max_attempts or pool_strikes >= strike_cap:
+                degrade_serial(faults.WORKER_CRASH, task.attempts, exc)
+                return
+            time.sleep(policy.backoff_delay(task.attempts))
+            resubmit_pending()
+        elif isinstance(exc, TimeoutError):
+            task.attempts += 1
+            # A hung worker never observes shutdown(); kill the processes
+            # before respawning or the parent would wait on them forever.
+            rebuild_pool(kill=True)
+            if task.attempts >= policy.max_attempts:
+                degrade_serial(faults.TASK_TIMEOUT, task.attempts, exc)
+                return
+            time.sleep(policy.backoff_delay(task.attempts))
+            resubmit_pending()
+        elif isinstance(exc, ShmTransportError):
+            task.attempts += 1
+            if task.attempts >= policy.max_attempts:
+                # Degrade the transport, not the executor: materialize the
+                # rows parent-side, resubmit them pickled, and stop minting
+                # new descriptors for the rest of the process run.
+                import numpy as np
+
+                materialized = [np.array(shm.resolve_block(b), copy=True) for b in task.blocks]
+                if task.segment is not None:
+                    task.segment.destroy()
+                    task.segment = None
+                task.blocks = materialized
+                shm.disable_shm()
+                faults.degrade(faults.ACTION_PICKLE, faults.SHM_ATTACH, task.attempts, exc)
+                submit(task)
+                return
+            time.sleep(policy.backoff_delay(task.attempts))
+            submit(task)
+        else:
+            raise exc
+
+    def absorb_next() -> None:
+        task = window[0]
+        try:
+            if policy.timeout is not None:
+                partials = task.future.result(timeout=policy.timeout)
+            else:
+                partials = task.future.result()
+        except (BrokenExecutor, TimeoutError, ShmTransportError) as exc:
+            handle_failure(task, exc)
+            return
+        window.popleft()
+        absorb_task(task, partials)
+
+    def flush_batch() -> None:
         nonlocal batch_refs, batch_blocks, batch_rows
         active = tuple(i for i, state in enumerate(states) if not state.done)
         blocks: List = shm.coalesce_refs(batch_refs)
@@ -341,31 +560,26 @@ def _run_sharded(
                 blocks.append(segment.block_ref(0, segment.rows))
             else:  # shared memory unavailable: pickle the rows
                 blocks.extend(batch_blocks)
-        try:
-            future = pool.submit(
-                _run_shard, kernels, token, spec_bytes, active, batch_start, blocks
-            )
-        except BaseException:
-            # A submit that never reached the window (e.g. a broken pool)
-            # would otherwise orphan the freshly spooled segment: every
-            # error path below releases only window-tracked segments.
-            if segment is not None:
-                segment.destroy()
-            raise
-        window.append((future, active, batch_start + batch_rows, segment))
+        task = _ShardTask(
+            active,
+            batch_start,
+            batch_start + batch_rows,
+            segment,
+            blocks,
+            faults.task_injection(),
+        )
         batch_refs = []
         batch_blocks = []
         batch_rows = 0
-
-    def absorb_next() -> None:
-        future, active, end_offset, segment = window.popleft()
         try:
-            partials = future.result()
-        finally:
-            if segment is not None:
-                segment.destroy()
-        for i, partial in zip(active, partials):
-            states[i].absorb(partial, end_offset)
+            dispatch(task)
+        except BaseException:
+            # A task that never reached the window (a non-pool submit
+            # failure) would otherwise orphan its freshly spooled segment:
+            # every error path below releases only window-tracked spools.
+            if task.segment is not None and task not in window:
+                task.segment.destroy()
+            raise
 
     handles = scheduler.new_pass_chunk_handles(chunk, passes=passes, owners=owners)
     try:
@@ -380,12 +594,12 @@ def _run_sharded(
                 batch_rows += handle.rows
                 offset += handle.rows
                 if batch_rows >= task_rows:
-                    submit_batch()
+                    flush_batch()
                     while len(window) >= max_inflight:
                         absorb_next()
                     # Opportunistic drain: fold whatever already completed
                     # so early-abandon can trigger before the window fills.
-                    while window and window[0][0].done():
+                    while window and window[0].future is not None and window[0].future.done():
                         absorb_next()
                 if all(state.done for state in states):
                     break
@@ -393,7 +607,7 @@ def _run_sharded(
                 if all(stop is not None for stop in stops) and offset >= max(stops):
                     break
             if batch_rows and not all(state.done for state in states):
-                submit_batch()
+                flush_batch()
         finally:
             handles.close()
         while window:
@@ -403,26 +617,32 @@ def _run_sharded(
                 # results *and failures* of what has - a dead-tape worker
                 # error must not fail a pass group whose results are
                 # complete.
-                future, _, _, segment = window.popleft()
+                task = window.popleft()
                 try:
-                    if not future.cancel():
+                    future = task.future
+                    if future is not None and not future.cancel():
                         try:
-                            future.result()
+                            future.result(timeout=policy.timeout)
+                        except TimeoutError:
+                            # Don't leave a hung worker behind the next
+                            # sweep's submissions (or the exit hook).
+                            rebuild_pool(kill=True)
                         except Exception:
                             pass
                 finally:
                     # Release the spool even if waiting on the dead-tape
                     # task re-raised something beyond Exception (e.g. an
                     # interrupt): once popped, no other path frees it.
-                    if segment is not None:
-                        segment.destroy()
+                    if task.segment is not None:
+                        task.segment.destroy()
                 continue
             absorb_next()
     except BaseException:
-        for future, _, _, segment in window:  # abort: drop what's in flight
-            future.cancel()
-            if segment is not None:
-                segment.destroy()
+        for task in window:  # abort: drop what's in flight
+            if task.future is not None:
+                task.future.cancel()
+            if task.segment is not None:
+                task.segment.destroy()
         window.clear()
         raise
     return [plan.result() for plan in plans]

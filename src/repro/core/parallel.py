@@ -85,15 +85,20 @@ def run_parallel_estimates(
     plan: ParameterPlan,
     rngs: List[random.Random],
     meter: Optional[SpaceMeter] = None,
+    scheduler: Optional[PassScheduler] = None,
 ) -> List[SinglePassStackResult]:
     """Run ``len(rngs)`` independent Algorithm 2 instances in six passes.
 
     Returns one :class:`SinglePassStackResult` per instance; every result
     reports the *shared* pass count (at most 6) and the ensemble's peak
     space (the paper's accounting - parallel copies coexist in memory).
+    ``scheduler`` optionally supplies the pass scheduler (the recovery
+    layer passes one in so a failed round's sweeps stay readable from the
+    caller); it must be fresh and budgeted for one round.
     """
     meter = meter if meter is not None else SpaceMeter()
-    scheduler = PassScheduler(stream, max_passes=PASS_BUDGET_PER_ROUND)
+    if scheduler is None:
+        scheduler = PassScheduler(stream, max_passes=PASS_BUDGET_PER_ROUND)
     chunked = engine.use_chunks(stream)
     return drive_round(
         scheduler, round_program(len(stream), plan, rngs, meter, chunked)

@@ -126,6 +126,7 @@ def run_speculative_window(
     plans: Sequence[ParameterPlan],
     rng_lists: Sequence[List[random.Random]],
     meters: Sequence[SpaceMeter],
+    scheduler: "PassScheduler | None" = None,
 ) -> SpeculativeWindow:
     """Run ``len(plans)`` independent guessing rounds through shared sweeps.
 
@@ -142,14 +143,17 @@ def run_speculative_window(
     If a shared sweep raises, every still-live round program is closed
     before the exception propagates (their ``finally`` blocks run); the
     scheduler - and with it the window's sweep accounting - is abandoned
-    with the exception.
+    with the exception (unless the caller passed its own ``scheduler``,
+    which the recovery layer does precisely to keep reading the aborted
+    window's sweep counts for its wasted-work bookkeeping).
     """
     depth = len(plans)
     if depth < 1:
         raise ValueError("a speculative window needs at least one round")
     if len(rng_lists) != depth or len(meters) != depth:
         raise ValueError("plans, rng_lists, and meters must align per round")
-    scheduler = PassScheduler(stream, max_passes=PASSES_PER_ROUND * depth)
+    if scheduler is None:
+        scheduler = PassScheduler(stream, max_passes=PASSES_PER_ROUND * depth)
     chunked = engine.use_chunks(stream)
     m = len(stream)
     owners = _owner_tags(depth)

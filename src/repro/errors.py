@@ -34,6 +34,47 @@ class PassBudgetExceeded(StreamError):
     """Raised when an algorithm opens more passes than its declared budget."""
 
 
+class StreamReadError(StreamError):
+    """Raised for *transient* failures reading the tape mid-sweep.
+
+    Examples: an I/O error surfacing from a chunked file parse (or its
+    prefetch thread), or an injected ``file.read`` / ``sweep.mid_stage``
+    fault.  Distinct from the protocol violations and malformed-input
+    failures that plain :class:`StreamError` covers: a read error may
+    succeed on replay, so the recovery layer classifies it as retryable,
+    while retrying a malformed file or a budget violation cannot help.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a sharded worker process died executing a pass task.
+
+    Wraps ``concurrent.futures.process.BrokenProcessPool``: the pool that
+    observed the crash is unusable and must be rebuilt.  The executor does
+    that itself (and retries or degrades per the active
+    :class:`~repro.core.faults.RetryPolicy`); this error escapes only when
+    recovery is exhausted.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """Raised when a sharded pass task exceeded the per-task timeout.
+
+    A hung worker cannot be distinguished from a merely slow one, so the
+    executor kills and respawns the pool before retrying the task.
+    """
+
+
+class ShmTransportError(ReproError):
+    """Raised when the shared-memory chunk transport fails.
+
+    Examples: a worker attaching a segment that has vanished, or an
+    injected ``shm.attach`` fault.  Classified as retryable; exhausted
+    retries degrade the transport to pickled blocks
+    (:func:`repro.streams.shm.disable_shm`).
+    """
+
+
 class SpaceBudgetExceeded(ReproError):
     """Raised when a :class:`repro.streams.space.SpaceMeter` with a hard
     budget observes an allocation beyond that budget.

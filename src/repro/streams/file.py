@@ -21,7 +21,7 @@ import os
 import warnings
 from typing import TYPE_CHECKING, Iterator
 
-from ..errors import StreamError
+from ..errors import StreamError, StreamReadError
 from ..types import Edge, canonical_edge
 from .base import DEFAULT_CHUNK_EDGES, EdgeStream, StreamStats
 
@@ -31,6 +31,32 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
 #: Chunks the reader thread may parse ahead of the consumer (double
 #: buffering: one chunk being scanned, up to this many already parsed).
 PREFETCH_CHUNKS = 2
+
+#: Runtime override flipped by the recovery ladder's ``prefetch->sync``
+#: degradation (see :mod:`repro.core.faults`); ``REPRO_FILE_PREFETCH=0``
+#: remains the static knob and is still consulted per pass.
+_prefetch_disabled = False
+
+
+def prefetch_enabled() -> bool:
+    """Whether chunked passes may use the prefetch reader thread."""
+    if _prefetch_disabled:
+        return False
+    return os.environ.get("REPRO_FILE_PREFETCH", "1") != "0"
+
+
+def set_prefetch(enabled: bool) -> None:
+    """Flip the runtime prefetch override (recovery ladder hook)."""
+    global _prefetch_disabled
+    _prefetch_disabled = not enabled
+
+
+def _maybe_inject_read_fault(path: str) -> None:
+    # Imported lazily: repro.streams loads during repro.core's own import.
+    from ..core import faults
+
+    if faults.fires(faults.FILE_READ):
+        raise StreamReadError(f"{path}: injected fault: {faults.FILE_READ}")
 
 
 class FileEdgeStream(EdgeStream):
@@ -111,7 +137,7 @@ class FileEdgeStream(EdgeStream):
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        if os.environ.get("REPRO_FILE_PREFETCH", "1") == "0":
+        if not prefetch_enabled():
             self.retire_prefetcher()  # inline passes reap orphans too
             yield from self._parse_chunks(chunk_size)
             return
@@ -129,7 +155,14 @@ class FileEdgeStream(EdgeStream):
         """
         import numpy as np
 
-        with open(self._path, "r", encoding="utf-8") as handle:
+        try:
+            handle = open(self._path, "r", encoding="utf-8")
+        except OSError as exc:
+            # Typed as a *read* error: the file existed when the stream was
+            # built, so losing it mid-run is a transient-tape failure the
+            # recovery layer may retry, unlike a malformed file.
+            raise StreamReadError(f"{self._path}: cannot open for chunked read: {exc}") from exc
+        with handle:
             while True:
                 try:
                     with warnings.catch_warnings():
@@ -146,11 +179,16 @@ class FileEdgeStream(EdgeStream):
                         )
                 except ValueError as exc:
                     raise self._line_numbered_error(exc) from exc
+                except OSError as exc:
+                    raise StreamReadError(
+                        f"{self._path}: I/O error during chunked read: {exc}"
+                    ) from exc
                 if block.size == 0:
                     return
                 block = block.reshape(-1, 2)
                 if self._validate:
                     block = self._canonicalize(np, block)
+                _maybe_inject_read_fault(self._path)
                 yield block
                 if len(block) < chunk_size:
                     return
@@ -314,6 +352,11 @@ class FileEdgeStream(EdgeStream):
                         m += len(block)
                         max_vertex = max(max_vertex, int(block.max()))
                     self._stats = StreamStats(num_edges=m, max_vertex_id=max_vertex)
+                except StreamReadError:
+                    # Transient tape failure, not a malformed file: the
+                    # per-line rescan would mask it as a silent retry -
+                    # propagate so the recovery layer decides.
+                    raise
                 except StreamError:
                     # Re-scan per line so malformed files fail with the
                     # standard line-numbered diagnostic, not a batch error.
@@ -339,6 +382,8 @@ class FileEdgeStream(EdgeStream):
                 else:
                     try:
                         self._length = sum(len(block) for block in self.iter_chunks())
+                    except StreamReadError:
+                        raise  # transient, not malformed - see stats()
                     except StreamError:
                         # Per-line rescan for the line-numbered diagnostic.
                         self._length = sum(1 for _ in self)

@@ -103,7 +103,12 @@ class InMemoryEdgeStream(EdgeStream):
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        segment = self._shared_segment()
+        from . import shm
+
+        # Consult the transport switch per pass (not only at segment-build
+        # time): a recovery-layer shm->pickle degradation must stop an
+        # already-mirrored stream from handing out segment descriptors.
+        segment = self._shared_segment() if shm.shm_enabled() else None
         if segment is None:
             yield from super().iter_chunk_handles(chunk_size)
             return

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Set
 
-from ..errors import PassBudgetExceeded, StreamError
+from ..errors import PassBudgetExceeded, StreamError, StreamReadError
 from ..types import Edge
 from .base import DEFAULT_CHUNK_EDGES, EdgeStream
 
@@ -42,6 +42,13 @@ if TYPE_CHECKING:  # pragma: no cover - import-time only
     import numpy
 
     from .shm import ChunkHandle
+
+
+def _mid_stage_fault_fires() -> bool:
+    # Imported lazily: repro.streams loads during repro.core's own import.
+    from ..core import faults
+
+    return faults.fires(faults.SWEEP_MID_STAGE)
 
 
 class PassScheduler:
@@ -64,6 +71,8 @@ class PassScheduler:
         self._passes_used = 0
         self._sweeps_used = 0
         self._pass_open = False
+        #: Whether the currently open sweep dies mid-stage (fault injection).
+        self._fault_mid_sweep = False
         #: Owner tags per sweep, in sweep order (``None`` = untagged).
         self._sweep_owners: List[Optional[frozenset]] = []
         self._discarded: Set[str] = set()
@@ -202,26 +211,70 @@ class PassScheduler:
         self._sweeps_used += 1
         self._sweep_owners.append(frozenset(owners) if owners is not None else None)
         self._pass_open = True
+        # Decided eagerly at sweep open (one fault-plan event per sweep, in
+        # sweep order) so injection indexing is independent of how lazily
+        # the pass iterator is consumed.
+        self._fault_mid_sweep = _mid_stage_fault_fires()
+
+    def _inject_mid_sweep(self, items: Iterable) -> Iterator:
+        """Replay ``items`` but die after the first one (injected fault).
+
+        An armed fault fires even when the consumer abandons the sweep
+        early (executors stop pulling once every plan is served): closing
+        the injector converts the ``GeneratorExit`` into the fault, so a
+        scheduled injection can never be silently skipped by dead-tape
+        optimisations - injection indexing stays deterministic.
+        """
+        sweep = self._sweeps_used
+        fault = StreamReadError(f"injected fault: sweep.mid_stage (sweep {sweep - 1})")
+        try:
+            for item in items:
+                yield item
+                raise fault
+            raise fault
+        except GeneratorExit:
+            raise fault from None
 
     def _run_pass(self) -> Iterator[Edge]:
+        injector: Optional[Iterator] = None
+        source: Iterable[Edge] = self._stream
+        if self._fault_mid_sweep:
+            injector = self._inject_mid_sweep(iter(source))
+            source = injector
         try:
-            for edge in self._stream:
+            for edge in source:
                 yield edge
         finally:
             # Mark the pass closed whether it was fully consumed, abandoned,
             # or aborted by an exception - any of these ends the pass.
             self._pass_open = False
+            if injector is not None:
+                injector.close()  # raises the armed fault if still pending
 
     def _run_pass_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
+        injector: Optional[Iterator] = None
+        source: Iterable = self._stream.iter_chunks(chunk_size)
+        if self._fault_mid_sweep:
+            injector = self._inject_mid_sweep(source)
+            source = injector
         try:
-            for chunk in self._stream.iter_chunks(chunk_size):
+            for chunk in source:
                 yield chunk
         finally:
             self._pass_open = False
+            if injector is not None:
+                injector.close()
 
     def _run_pass_chunk_handles(self, chunk_size: int) -> Iterator["ChunkHandle"]:
+        injector: Optional[Iterator] = None
+        source: Iterable = self._stream.iter_chunk_handles(chunk_size)
+        if self._fault_mid_sweep:
+            injector = self._inject_mid_sweep(source)
+            source = injector
         try:
-            for handle in self._stream.iter_chunk_handles(chunk_size):
+            for handle in source:
                 yield handle
         finally:
             self._pass_open = False
+            if injector is not None:
+                injector.close()

@@ -70,6 +70,17 @@ def disable_shm() -> None:
     _disabled = True
 
 
+def _set_enabled(enabled: bool) -> None:
+    """Force the transport's enabled state (recovery-scope restore hook).
+
+    :func:`repro.core.faults.recovery_scope` uses this to undo a
+    ``shm->pickle`` degradation its ladder applied, so one failing
+    estimate does not leave the transport disabled for the process.
+    """
+    global _disabled
+    _disabled = not enabled
+
+
 class SharedEdgeSegment:
     """One shared-memory segment holding ``rows`` int64 edge pairs.
 
@@ -198,6 +209,14 @@ def _attach(name: str):
         resource_tracker.register = lambda *args, **kwargs: None
         try:
             shm = shared_memory.SharedMemory(name=name)
+        except OSError as exc:
+            # Typed so the executor's retry layer can classify the failure
+            # (segment vanished, mapping quota) without string matching.
+            from ..errors import ShmTransportError
+
+            raise ShmTransportError(
+                f"cannot attach shared-memory segment {name!r}: {exc}"
+            ) from exc
         finally:
             resource_tracker.register = original_register
         _attached[name] = shm

@@ -120,6 +120,24 @@ class TestEstimate:
         implied = capsys.readouterr().out
         assert sweeps(implied) < sweeps(sequential)
 
+    def test_degradation_reported(self, wheel_file, capsys):
+        # A persistent injected fault with a zero retry budget forces the
+        # recovery ladder to drop a tier; the CLI must surface that as a
+        # degraded: line while still printing a complete estimate.
+        base = ["estimate", wheel_file, "--kappa", "3", "--seed", "1",
+                "--repetitions", "3"]
+        assert main(base + ["--faults", "file.read@0", "--max-retries", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out
+        assert "degraded:" in out
+        assert "prefetch->sync" in out
+        assert "file.read" in out
+
+    def test_clean_run_reports_no_degradation(self, wheel_file, capsys):
+        assert main(["estimate", wheel_file, "--kappa", "3", "--seed", "1",
+                     "--repetitions", "3", "--max-retries", "2"]) == 0
+        assert "degraded:" not in capsys.readouterr().out
+
 
 class TestBounds:
     def test_bounds_table(self, wheel_file, capsys):

@@ -1,0 +1,477 @@
+"""Fault-tolerant execution layer: retry, recovery, and degradation.
+
+Three layers under test, all driven by the deterministic injection
+harness in :mod:`repro.core.faults`:
+
+* **Plumbing** - `FaultPlan` spec parsing, `RetryPolicy` determinism,
+  environment knobs (`REPRO_FAULTS`, `REPRO_MAX_RETRIES`,
+  `REPRO_TASK_TIMEOUT`).
+* **Recovery invariant** - an estimate that suffers injected faults but
+  recovers (retries, pool rebuilds, transport fallbacks) returns results
+  *bit-identical* to the fault-free run: estimates, guessing trajectory,
+  logical-pass totals, and the root generator's final state.
+* **Degradation ladder** - when retries exhaust, the run drops a tier
+  (sharded->serial, shm->pickle, prefetch->sync, speculative->sequential)
+  instead of failing, records each step on
+  ``EstimateResult.degradations``, and still produces identical numbers.
+
+The fast subset runs in tier 1 with one fault per site; the full
+fault x engine product is behind the ``slow`` marker.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.core.driver as driver_module
+from repro import EstimatorConfig, TriangleCountEstimator
+from repro.core import faults
+from repro.core.faults import FaultPlan, RetryPolicy
+from repro.errors import ParameterError, StreamReadError
+from repro.generators import barabasi_albert_graph
+from repro.io import write_edgelist
+from repro.streams import InMemoryEdgeStream
+from repro.streams.file import FileEdgeStream
+
+
+# ---------------------------------------------------------------------------
+# plumbing: FaultPlan / RetryPolicy / env knobs
+
+
+class TestFaultPlan:
+    def test_parse_bare_site_means_first_occurrence(self):
+        plan = FaultPlan.parse("worker.crash")
+        assert plan.fires(faults.WORKER_CRASH)
+        assert not plan.fires(faults.WORKER_CRASH)
+
+    def test_parse_indices_and_merging(self):
+        plan = FaultPlan.parse("sweep.mid_stage@1,3;sweep.mid_stage@5")
+        fired = [plan.fires(faults.SWEEP_MID_STAGE) for _ in range(7)]
+        assert fired == [False, True, False, True, False, True, False]
+
+    def test_parse_multiple_sites_count_independently(self):
+        plan = FaultPlan.parse("worker.crash@0;shm.attach@1")
+        assert plan.fires(faults.WORKER_CRASH)
+        assert not plan.fires(faults.SHM_ATTACH)
+        assert plan.fires(faults.SHM_ATTACH)
+
+    def test_reset_rearms_consumed_events(self):
+        plan = FaultPlan.parse("file.read@0")
+        assert plan.fires(faults.FILE_READ)
+        plan.reset()
+        assert plan.fires(faults.FILE_READ)
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus.site", "worker.crash@x", "worker.crash@-1"]
+    )
+    def test_parse_rejects_malformed_specs(self, spec):
+        with pytest.raises(ParameterError):
+            FaultPlan.parse(spec)
+
+    def test_config_validates_fault_spec_eagerly(self):
+        with pytest.raises(ParameterError):
+            EstimatorConfig(faults="no.such.site@1")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.01, jitter_seed=9)
+        delays = [policy.backoff_delay(k) for k in (1, 2, 3)]
+        assert delays == [policy.backoff_delay(k) for k in (1, 2, 3)]
+        assert 0.01 <= delays[0] <= 0.0125
+        assert 0.02 <= delays[1] <= 0.025
+        assert 0.04 <= delays[2] <= 0.05
+
+    def test_zero_base_means_no_sleeping(self):
+        assert RetryPolicy(backoff_base=0.0).backoff_delay(3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(timeout=0.0)
+
+    def test_policy_from_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        policy = faults.policy_from_env()
+        assert policy.max_attempts == 6
+        assert policy.retries == 5
+        assert policy.timeout == 2.5
+
+    def test_policy_from_env_rejects_malformed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "many")
+        with pytest.raises(ParameterError):
+            faults.policy_from_env()
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "2")
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "soon")
+        with pytest.raises(ParameterError):
+            faults.policy_from_env()
+
+    def test_config_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "7")
+        assert faults.policy_from_env(max_retries=1).max_attempts == 2
+
+
+# ---------------------------------------------------------------------------
+# shared fixtures: a file tape big enough for multiple tasks per sweep
+
+
+@pytest.fixture(scope="module")
+def tape(tmp_path_factory):
+    graph = barabasi_albert_graph(250, 4, random.Random(1))
+    path = tmp_path_factory.mktemp("faults") / "tape.edges"
+    write_edgelist(graph, path)
+    return str(path)
+
+
+def _run(stream, cfg, kappa=4):
+    """Estimate with the root generator's final state captured."""
+    captured = []
+    real_make_rng = driver_module.make_rng
+
+    def recording_make_rng(seed):
+        rng = real_make_rng(seed)
+        captured.append(rng)
+        return rng
+
+    driver_module.make_rng = recording_make_rng
+    try:
+        result = TriangleCountEstimator(cfg).estimate(stream, kappa=kappa)
+    finally:
+        driver_module.make_rng = real_make_rng
+    assert captured, "driver never built the root generator"
+    return result, captured[-1].getstate()
+
+
+def _trajectory(result):
+    return [(r.t_guess, r.median_estimate, r.accepted) for r in result.rounds]
+
+
+def _assert_bit_identical(clean, faulted):
+    clean_result, clean_root = clean
+    fault_result, fault_root = faulted
+    assert fault_result.estimate == clean_result.estimate
+    assert _trajectory(fault_result) == _trajectory(clean_result)
+    assert fault_result.passes_total == clean_result.passes_total
+    assert fault_root == clean_root
+
+
+# ---------------------------------------------------------------------------
+# the recovery invariant: injected faults, recovered, bit-identical
+
+
+class TestRecoveryBitIdentity:
+    def test_canonical_run_recovers_bit_identically(self, tape, monkeypatch):
+        """The PR's acceptance scenario: a file-backed multi-round estimate
+        at workers=2, fused, speculate_depth=3, with a worker crash, an shm
+        attach failure, and a mid-sweep stream error injected in distinct
+        places - completing without error and bit-identical to the clean
+        run, with no tier degraded (retries recovered everything)."""
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=3,
+            repetitions=3,
+            engine_mode="sharded",
+            workers=2,
+            chunk_size=64,
+            fuse=True,
+            speculate=True,
+            speculate_depth=3,
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()  # prime the cache: the stats pass is not under test
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream,
+            EstimatorConfig(
+                **base, faults="worker.crash@1;shm.attach@3;sweep.mid_stage@2"
+            ),
+        )
+        _assert_bit_identical(clean, faulted)
+        assert faulted[0].degradations == ()
+
+    def test_faults_env_knob_reaches_the_driver(self, tape, monkeypatch):
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        base = dict(seed=2, repetitions=3, engine_mode="chunked", workers=1)
+        clean = _run(stream, EstimatorConfig(**base))
+        monkeypatch.setenv("REPRO_FAULTS", "sweep.mid_stage@1")
+        faulted = _run(stream, EstimatorConfig(**base))
+        _assert_bit_identical(clean, faulted)
+        assert faulted[0].degradations == ()
+
+    @pytest.mark.parametrize(
+        "fuse,depth,spec",
+        [
+            (False, 1, "sweep.mid_stage@1"),
+            (True, 1, "file.read@2"),
+            (True, 3, "sweep.mid_stage@2"),
+            (False, 3, "file.read@3"),
+        ],
+    )
+    def test_serial_parity_under_single_fault(self, tape, fuse, depth, spec):
+        """Fast subset of the parity-under-failure matrix: serial engines,
+        one fault per applicable site, retries recover, results identical."""
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        base = dict(
+            seed=11,
+            repetitions=3,
+            engine_mode="chunked",
+            workers=1,
+            fuse=fuse,
+            speculate=depth >= 2,
+            speculate_depth=depth if depth >= 2 else None,
+        )
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(stream, EstimatorConfig(**base, faults=spec))
+        _assert_bit_identical(clean, faulted)
+        assert faulted[0].degradations == ()
+
+    def test_task_timeout_recovers_on_a_fresh_pool(self, tape, monkeypatch):
+        """A hung worker (injected ``task.timeout``) trips the per-task
+        deadline; the pool is killed and rebuilt and the task retried.
+        Recovery may or may not need to drop the sharded tier depending on
+        machine speed - either way the numbers must match the clean run."""
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 256)
+        base = dict(
+            seed=5, repetitions=3, engine_mode="sharded", workers=2, chunk_size=256
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream,
+            EstimatorConfig(**base, faults="task.timeout@0", task_timeout=5.0),
+        )
+        _assert_bit_identical(clean, faulted)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("fuse", [False, True])
+    @pytest.mark.parametrize("depth", [1, 3])
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "sweep.mid_stage@1",
+            "file.read@2",
+            "worker.crash@1",
+            "shm.attach@2",
+            "task.timeout@0",
+        ],
+    )
+    def test_full_parity_matrix(self, tape, monkeypatch, workers, fuse, depth, spec):
+        site = spec.split("@")[0]
+        if workers == 1 and site in ("worker.crash", "shm.attach", "task.timeout"):
+            pytest.skip("pool-only fault site")
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=13,
+            repetitions=3,
+            engine_mode="sharded" if workers > 1 else "chunked",
+            workers=workers,
+            chunk_size=64,
+            fuse=fuse,
+            speculate=depth >= 2,
+            speculate_depth=depth if depth >= 2 else None,
+            task_timeout=5.0 if site == "task.timeout" else None,
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(stream, EstimatorConfig(**base, faults=spec))
+        _assert_bit_identical(clean, faulted)
+
+
+# ---------------------------------------------------------------------------
+# the degradation ladder: retries exhausted, tier dropped, run completes
+
+
+class TestDegradationLadder:
+    def test_worker_crashes_degrade_to_serial(self, tape, monkeypatch):
+        """With retries disabled every crash exhausts immediately: the
+        sweep finishes in-process (sharded->serial), the result matches
+        the clean run, and the report names the site and cause."""
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=7, repetitions=3, engine_mode="sharded", workers=2, chunk_size=64
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream, EstimatorConfig(**base, faults="worker.crash@0", max_retries=0)
+        )
+        _assert_bit_identical(clean, faulted)
+        reports = faulted[0].degradations
+        assert [r.action for r in reports] == [faults.ACTION_SERIAL]
+        assert reports[0].site == faults.WORKER_CRASH
+        assert reports[0].attempts == 1
+        assert reports[0].cause
+
+    def test_engine_survives_pool_poisoning(self, tape, monkeypatch):
+        """Satellite bugfix: a BrokenProcessPool must not poison the cached
+        pool.  After a crash-degraded estimate, the broken pool is out of
+        the cache and the next sharded estimate runs clean."""
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=7, repetitions=3, engine_mode="sharded", workers=2, chunk_size=64
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        broken = executor._get_pool(2)
+        faulted = _run(
+            stream, EstimatorConfig(**base, faults="worker.crash@0", max_retries=0)
+        )
+        assert faulted[0].degradations  # the crash really was injected
+        assert executor._POOLS.get(2) is not broken
+        clean_after = _run(stream, EstimatorConfig(**base))
+        _assert_bit_identical(clean_after, faulted)
+        assert clean_after[0].degradations == ()
+
+    def test_shm_failure_degrades_to_pickled_blocks(self, tape, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.core import executor
+        from repro.streams import shm
+
+        if not shm.shm_enabled():
+            pytest.skip("shared-memory transport disabled on this platform")
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=7, repetitions=3, engine_mode="sharded", workers=2, chunk_size=64
+        )
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream, EstimatorConfig(**base, faults="shm.attach@0", max_retries=0)
+        )
+        _assert_bit_identical(clean, faulted)
+        reports = faulted[0].degradations
+        assert [r.action for r in reports] == [faults.ACTION_PICKLE]
+        assert reports[0].site == faults.SHM_ATTACH
+        # The degradation was scoped to the failing estimate: the recovery
+        # scope re-enabled the transport on exit.
+        assert shm.shm_enabled()
+
+    def test_file_read_failure_degrades_prefetch(self, tape):
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        base = dict(seed=9, repetitions=3, engine_mode="chunked", workers=1)
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream, EstimatorConfig(**base, faults="file.read@0", max_retries=0)
+        )
+        _assert_bit_identical(clean, faulted)
+        reports = faulted[0].degradations
+        assert [r.action for r in reports] == [faults.ACTION_SYNC_READS]
+        assert reports[0].site == faults.FILE_READ
+        from repro.streams import file as file_module
+
+        assert file_module.prefetch_enabled()
+
+    def test_sweep_faults_degrade_speculation(self):
+        """Three consecutive mid-sweep faults exhaust the default retry
+        budget; the ladder falls back to the sequential guessing loop and
+        the trajectory stays bit-identical (speculation invariant)."""
+        graph = barabasi_albert_graph(220, 4, random.Random(2))
+        stream = InMemoryEdgeStream.from_graph(graph)
+        base = dict(
+            seed=4,
+            repetitions=3,
+            engine_mode="chunked",
+            speculate=True,
+            speculate_depth=3,
+        )
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream, EstimatorConfig(**base, faults="sweep.mid_stage@0,1,2")
+        )
+        _assert_bit_identical(clean, faulted)
+        reports = faulted[0].degradations
+        assert [r.action for r in reports] == [faults.ACTION_SEQUENTIAL]
+        assert reports[0].attempts == 3
+
+    def test_persistent_faults_walk_multiple_tiers(self, tape):
+        """One run can need several ladder steps; each is recorded in the
+        order taken and the run still completes with clean-run numbers."""
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        base = dict(
+            seed=6,
+            repetitions=3,
+            engine_mode="chunked",
+            workers=1,
+            speculate=True,
+            speculate_depth=3,
+        )
+        clean = _run(stream, EstimatorConfig(**base))
+        faulted = _run(
+            stream,
+            EstimatorConfig(
+                **base, faults="file.read@0;sweep.mid_stage@1", max_retries=0
+            ),
+        )
+        _assert_bit_identical(clean, faulted)
+        actions = [r.action for r in faulted[0].degradations]
+        assert actions == [faults.ACTION_SYNC_READS, faults.ACTION_SEQUENTIAL]
+
+    def test_no_tier_left_propagates_the_failure(self):
+        """A persistent serial failure with nothing to degrade must still
+        fail loudly - the ladder never silently swallows a fault."""
+        graph = barabasi_albert_graph(120, 4, random.Random(5))
+        stream = InMemoryEdgeStream.from_graph(graph)
+        spec = "sweep.mid_stage@" + ",".join(str(i) for i in range(64))
+        cfg = EstimatorConfig(
+            seed=1, repetitions=2, engine_mode="chunked", faults=spec, max_retries=0
+        )
+        with pytest.raises(StreamReadError, match="injected"):
+            TriangleCountEstimator(cfg).estimate(stream, kappa=4)
+
+
+# ---------------------------------------------------------------------------
+# executor-level retry: partials bit-identical without the driver on top
+
+
+class TestExecutorRetry:
+    def test_retried_partials_match_first_try(self, tape, monkeypatch):
+        pytest.importorskip("numpy")
+        import numpy
+
+        from repro.core import executor
+        from repro.core.kernels import DegreeCountPlan
+        from repro.streams.multipass import PassScheduler
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        stream = FileEdgeStream(tape)
+        stream.stats()
+        tracked = numpy.arange(120, dtype=numpy.int64)
+
+        def degree_counts(spec):
+            scheduler = PassScheduler(stream)
+            return executor.run_plan(
+                scheduler, DegreeCountPlan(tracked), chunk_size=64, workers=2
+            )
+
+        clean = degree_counts(None)
+        with faults.fault_scope("worker.crash@1"):
+            retried = degree_counts(None)
+        assert numpy.array_equal(clean, retried)
