@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Seven stages:
+Eight stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -27,7 +27,13 @@ Seven stages:
    harness crashing a worker on each of the first few sweeps -
    bit-identical results and an unchanged physical sweep count asserted
    (recovery retries tasks, it never re-sweeps the tape), the wall-clock
-   overhead of the pool respawns recorded.
+   overhead of the pool respawns recorded;
+8. a text-vs-binary tape format comparison: the canonical file-backed
+   workload read as a text edge list and as its ``.etape`` conversion
+   (mmap zero-copy ingest) - raw sweep throughput (edges/sec) measured
+   for both formats, then full multi-round estimates timed end to end
+   with bit-identical results asserted (the storage format must be
+   invisible to the sampling layer).
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
@@ -41,9 +47,10 @@ fused engine came out slower than the unfused sharded engine on the same
 sweep, if the speculative driver's multi-round physical sweep count
 failed to come in under the sequential driver's, if depth-3 windows
 performed more physical sweeps than depth-2 pairs on the canonical
-workload, or if recovering from injected worker crashes cost more than
-2x the clean run's physical sweeps - wired into the tier-1 flow as an
-opt-in pytest
+workload, if recovering from injected worker crashes cost more than
+2x the clean run's physical sweeps, or if the mmap tape's raw sweep
+throughput fell below the text parser's - wired into the tier-1 flow as
+an opt-in pytest
 (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
@@ -608,6 +615,120 @@ def run_fault_recovery(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_tape_format_comparison(scale: str, repeats: int = 3) -> dict:
+    """Text edge list vs binary ``.etape`` tape on the canonical workload.
+
+    The E9 sweep's largest size is written to disk twice - once as the
+    text format every sweep re-parses, once converted to the packed
+    binary tape the mmap stream slices zero-copy - and measured two ways:
+
+    * **raw sweep throughput**: one full chunked pass over each format
+      (every chunk's column sums reduced, so mapped pages are actually
+      touched), reported as edges/sec;
+    * **end-to-end estimates**: the full multi-round driver on each
+      format, asserted bit-identical (estimate, trajectory, logical
+      passes) - the storage format must be invisible to the sampling
+      layer - with the wall-clock speedup recorded.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.driver import EstimatorConfig, TriangleCountEstimator
+    from repro.io import write_edgelist
+    from repro.streams.file import FileEdgeStream
+    from repro.streams.tape import MmapEdgeStream, write_tape
+
+    n = ENGINE_SIZES[scale][-1]
+    graph, t, _memory_stream, _plan = _e9_instance(n)
+    handle = tempfile.NamedTemporaryFile("w", suffix=".edges", delete=False)
+    handle.close()
+    tape_path = handle.name + ".etape"
+    write_edgelist(graph, handle.name)
+    try:
+        write_tape(handle.name, tape_path)
+        streams = {
+            "text": FileEdgeStream(handle.name),
+            "mmap": MmapEdgeStream(tape_path),
+        }
+        streams["text"].stats()  # prime: the stats sweep is not under test
+
+        def sweep_once(stream):
+            total = np.int64(0)
+            edges = 0
+            for chunk in stream.iter_chunks(65536):
+                total += chunk.sum()  # touch every mapped page
+                edges += len(chunk)
+            return edges, total
+
+        sweep = {}
+        checks = {}
+        for label, stream in streams.items():
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                edges, total = sweep_once(stream)
+                best = min(best, time.perf_counter() - start)
+            sweep[label] = {
+                "sec": round(best, 5),
+                "edges": edges,
+                "edges_per_sec": round(edges / best),
+            }
+            checks[label] = (edges, int(total))
+        assert checks["text"] == checks["mmap"], "formats swept different tapes"
+
+        config = EstimatorConfig(
+            seed=3, repetitions=3, engine_mode="chunked", workers=1, fuse=True
+        )
+        times = {}
+        results = {}
+        for label, stream in streams.items():
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                results[label] = TriangleCountEstimator(config).estimate(
+                    stream, kappa=5
+                )
+                best = min(best, time.perf_counter() - start)
+            times[label] = best
+        text_result, mmap_result = results["text"], results["mmap"]
+        assert mmap_result.estimate == text_result.estimate, "format parity violated"
+        assert [
+            (r.t_guess, r.median_estimate, r.accepted) for r in mmap_result.rounds
+        ] == [
+            (r.t_guess, r.median_estimate, r.accepted) for r in text_result.rounds
+        ], "format trajectory drifted"
+        assert mmap_result.passes_total == text_result.passes_total, (
+            "storage format changed the logical-pass total"
+        )
+        row = {
+            "n": n,
+            "m": graph.num_edges,
+            "rounds": len(text_result.rounds),
+            "text_sweep_eps": sweep["text"]["edges_per_sec"],
+            "mmap_sweep_eps": sweep["mmap"]["edges_per_sec"],
+            "sweep_speedup": round(sweep["text"]["sec"] / sweep["mmap"]["sec"], 2),
+            "text_estimate_sec": round(times["text"], 5),
+            "mmap_estimate_sec": round(times["mmap"], 5),
+            "estimate_speedup": round(times["text"] / times["mmap"], 2),
+        }
+        print(f"[bench-suite] tape format: {row}")
+    finally:
+        os.unlink(handle.name)
+        if os.path.exists(tape_path):
+            os.unlink(tape_path)
+    return {
+        "scale": scale,
+        "workers": 1,
+        "cpu_count": os.cpu_count(),
+        "rows": [row],
+        "sweep": sweep,
+        "total_speedup": row["estimate_speedup"],
+    }
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -641,6 +762,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_speculative = run_speculative_comparison("tiny")
     current_depth_sweep = run_speculative_depth_sweep("tiny")
     current_fault_recovery = run_fault_recovery("tiny")
+    current_tape_format = run_tape_format_comparison("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -721,6 +843,19 @@ def run_smoke(output: pathlib.Path) -> int:
             )
     if not recovery_rows and current_fault_recovery.get("have_numpy", True):
         failures.append("fault recovery stage produced no rows")
+    # The tape-format gate: the whole point of the binary format is that a
+    # mapped sweep skips parsing entirely, so its raw sweep throughput
+    # must never fall below the text parser's.  Bit-identical estimates
+    # across the formats are asserted inside the comparison.
+    tape_rows = current_tape_format.get("rows", [])
+    for row in tape_rows:
+        if row["mmap_sweep_eps"] < row["text_sweep_eps"]:
+            failures.append(
+                "mmap tape sweep slower than text parsing: "
+                f"{row['mmap_sweep_eps']} vs {row['text_sweep_eps']} edges/sec"
+            )
+    if not tape_rows and current_tape_format.get("have_numpy", True):
+        failures.append("tape format comparison produced no rows")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -756,6 +891,7 @@ def main() -> int:
     record["speculative_comparison"] = run_speculative_comparison(args.scale)
     record["speculative_depth_sweep"] = run_speculative_depth_sweep(args.scale)
     record["fault_recovery"] = run_fault_recovery(args.scale)
+    record["tape_format_comparison"] = run_tape_format_comparison(args.scale)
 
     out = pathlib.Path(args.output)
     history = []

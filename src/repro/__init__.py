@@ -36,7 +36,16 @@ from .errors import (
     StreamError,
 )
 from .graph import Graph, core_decomposition, count_triangles, degeneracy
-from .streams import EdgeStream, FileEdgeStream, InMemoryEdgeStream, PassScheduler, SpaceMeter
+from .streams import (
+    EdgeStream,
+    FileEdgeStream,
+    InMemoryEdgeStream,
+    MmapEdgeStream,
+    PassScheduler,
+    SpaceMeter,
+    open_edge_stream,
+    write_tape,
+)
 
 __version__ = "1.0.0"
 
@@ -56,6 +65,9 @@ __all__ = [
     "EdgeStream",
     "InMemoryEdgeStream",
     "FileEdgeStream",
+    "MmapEdgeStream",
+    "open_edge_stream",
+    "write_tape",
     "PassScheduler",
     "SpaceMeter",
     "ReproError",

@@ -27,6 +27,16 @@ Commands
     Table 1 predicted space bounds evaluated on the instance.
 ``generate <family> --out FILE [--scale tiny|small|medium] [--seed S]``
     Write a workload-suite graph to an edge-list file.
+``convert <edgelist> [--out FILE] [--validate]``
+    Convert a text edge list to the binary ``.etape`` tape format
+    (``--validate`` additionally checksums the payload and replays both
+    files to prove the round trip exact).
+``tape-info <tape>``
+    Dump an ``.etape`` header: version, edge count, vertex bound,
+    canonical flag, checksum, and the content fingerprint.
+
+Every command taking an input file auto-detects its format by magic
+bytes, so text edge lists and ``.etape`` tapes are interchangeable.
 
 All output is plain text; exit code 0 on success, 2 on usage errors.
 """
@@ -45,7 +55,15 @@ from .generators import standard_suite, workload_by_name
 from .graph.properties import summary
 from .graph.triangles import per_edge_triangle_counts
 from .io import read_edgelist, write_edgelist
-from .streams.file import FileEdgeStream
+from .streams.base import DEFAULT_CHUNK_EDGES
+from .streams.tape import (
+    MmapEdgeStream,
+    open_edge_stream,
+    read_header,
+    tape_fingerprint,
+    verify_tape,
+    write_tape,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -153,6 +171,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
     p_gen.add_argument("--seed", type=int, default=0)
 
+    p_conv = sub.add_parser(
+        "convert", help="convert a text edge list to the binary .etape tape format"
+    )
+    p_conv.add_argument("edgelist")
+    p_conv.add_argument(
+        "--out", default=None, help="output tape path (default: <edgelist>.etape)"
+    )
+    p_conv.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_EDGES,
+        help="edges per streamed conversion batch (bounded memory)",
+    )
+    p_conv.add_argument(
+        "--validate",
+        action="store_true",
+        help="after writing, checksum the payload and replay both files to "
+        "prove the round trip is exact",
+    )
+
+    p_info = sub.add_parser("tape-info", help="dump an .etape tape header and stats")
+    p_info.add_argument("tape")
+
     return parser
 
 
@@ -165,7 +206,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
-    stream = FileEdgeStream(args.edgelist)
+    stream = open_edge_stream(args.edgelist)
     result = ExactStreamingCounter().count(stream)
     print(f"triangles: {result.triangles}")
     print(f"passes:    {result.passes_used}")
@@ -174,7 +215,7 @@ def _cmd_exact(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    stream = FileEdgeStream(args.edgelist)
+    stream = open_edge_stream(args.edgelist)
     config = EstimatorConfig(
         epsilon=args.epsilon,
         seed=args.seed,
@@ -261,12 +302,73 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    out = args.out if args.out is not None else f"{args.edgelist}.etape"
+    header = write_tape(args.edgelist, out, chunk_size=args.chunk_size)
+    print(f"wrote {header.num_edges} edges to {out}")
+    print(f"fingerprint: {tape_fingerprint(out)}")
+    if args.validate:
+        verify_tape(out)  # full-payload CRC against the header
+        source = open_edge_stream(args.edgelist)
+        tape = MmapEdgeStream(out)
+        mismatch = _first_mismatch(source, tape, args.chunk_size)
+        if mismatch is not None:
+            print(f"round-trip MISMATCH at edge {mismatch}", file=sys.stderr)
+            return 1
+        print(f"validated: checksum and {header.num_edges}-edge round trip exact")
+    return 0
+
+
+def _first_mismatch(source, tape, chunk_size: int) -> Optional[int]:
+    """Index of the first differing edge between two streams, or ``None``."""
+    import itertools
+
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - NumPy baked into CI
+        np = None
+    at = 0
+    if np is not None:
+        for a, b in itertools.zip_longest(
+            source.iter_chunks(chunk_size), tape.iter_chunks(chunk_size)
+        ):
+            if a is None or b is None or len(a) != len(b):
+                return at + (0 if a is None or b is None else min(len(a), len(b)))
+            if not np.array_equal(a, b):
+                return at + int(np.flatnonzero((np.asarray(a) != np.asarray(b)).any(axis=1))[0])
+            at += len(a)
+        return None
+    for a, b in itertools.zip_longest(source, tape):  # pragma: no cover - fallback
+        if a != b:
+            return at
+        at += 1
+    return None
+
+
+def _cmd_tape_info(args: argparse.Namespace) -> int:
+    header = read_header(args.tape)
+    rows = [
+        ["version", header.version],
+        ["edges (m)", header.num_edges],
+        ["max vertex id", header.max_vertex_id],
+        ["vertex bound (n)", header.num_vertices_upper],
+        ["canonical", str(header.canonical).lower()],
+        ["payload bytes", header.payload_bytes],
+        ["checksum (crc32)", f"{header.checksum:#010x}"],
+        ["fingerprint", tape_fingerprint(args.tape)],
+    ]
+    print(format_table(["field", "value"], rows, caption=f"tape: {args.tape}"))
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "exact": _cmd_exact,
     "estimate": _cmd_estimate,
     "bounds": _cmd_bounds,
     "generate": _cmd_generate,
+    "convert": _cmd_convert,
+    "tape-info": _cmd_tape_info,
 }
 
 

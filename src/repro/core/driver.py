@@ -331,11 +331,14 @@ class TriangleCountEstimator:
             The statistics sweep happens before any round - no RNG to
             rewind, no pass accounting to book - so recovery is a plain
             retry loop: transient failures retry with backoff, and on
-            exhaustion the only tier a serial in-process read stands on
-            (the prefetch thread) is dropped before propagating.
+            exhaustion the tiers a serial in-process read stands on (the
+            prefetch thread for text streams, the mapping for mmap tapes
+            with a text twin) are dropped before propagating.
             """
             from ..streams import file as file_module
+            from ..streams import tape as tape_module
             from ..streams.file import FileEdgeStream
+            from ..streams.tape import MmapEdgeStream
 
             attempts = 0
             while True:
@@ -353,6 +356,19 @@ class TriangleCountEstimator:
                     if isinstance(stream, FileEdgeStream) and file_module.prefetch_enabled():
                         faults_module.degrade(
                             faults_module.ACTION_SYNC_READS,
+                            faults_module.site_of(exc),
+                            attempts,
+                            exc,
+                        )
+                        attempts = 0
+                        continue
+                    if (
+                        isinstance(stream, MmapEdgeStream)
+                        and stream.has_text_twin
+                        and tape_module.mmap_enabled()
+                    ):
+                        faults_module.degrade(
+                            faults_module.ACTION_TEXT,
                             faults_module.site_of(exc),
                             attempts,
                             exc,
@@ -606,8 +622,15 @@ class TriangleCountEstimator:
             """
             from ..streams import file as file_module
             from ..streams import shm
+            from ..streams import tape as tape_module
             from ..streams.file import FileEdgeStream
+            from ..streams.tape import MmapEdgeStream
 
+            mmap_tier = (
+                isinstance(stream, MmapEdgeStream)
+                and stream.has_text_twin
+                and tape_module.mmap_enabled()
+            )
             applicable: List[str] = []
             if engine.effective_workers() > 1 and not recovery.serial_degraded:
                 applicable.append(faults_module.ACTION_SERIAL)
@@ -615,6 +638,8 @@ class TriangleCountEstimator:
                 applicable.append(faults_module.ACTION_PICKLE)
             if isinstance(stream, FileEdgeStream) and file_module.prefetch_enabled():
                 applicable.append(faults_module.ACTION_SYNC_READS)
+            if mmap_tier:
+                applicable.append(faults_module.ACTION_TEXT)
             if depth >= 2 and not recovery.speculation_degraded:
                 applicable.append(faults_module.ACTION_SEQUENTIAL)
             if not applicable:
@@ -623,7 +648,11 @@ class TriangleCountEstimator:
                 faults_module.WORKER_CRASH: faults_module.ACTION_SERIAL,
                 faults_module.TASK_TIMEOUT: faults_module.ACTION_SERIAL,
                 faults_module.SHM_ATTACH: faults_module.ACTION_PICKLE,
-                faults_module.FILE_READ: faults_module.ACTION_SYNC_READS,
+                faults_module.FILE_READ: (
+                    faults_module.ACTION_TEXT
+                    if mmap_tier
+                    else faults_module.ACTION_SYNC_READS
+                ),
             }.get(faults_module.site_of(exc))
             return preferred if preferred in applicable else applicable[0]
 

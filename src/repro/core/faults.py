@@ -20,7 +20,8 @@ cooperating pieces:
 * the **degradation ladder** - when retries exhaust at one tier the run
   drops a tier and re-executes instead of failing the estimate:
   sharded -> serial execution, shm transport -> pickled blocks, prefetch
-  thread -> synchronous reads, speculative window -> sequential rounds.
+  thread -> synchronous reads, mmap tape -> its registered text twin,
+  speculative window -> sequential rounds.
   Each step is recorded as a :class:`FailureReport` on the active
   :class:`RecoveryContext` and surfaces on
   ``EstimateResult.degradations``.
@@ -80,10 +81,11 @@ ALL_SITES = (WORKER_CRASH, SHM_ATTACH, FILE_READ, SWEEP_MID_STAGE, TASK_TIMEOUT)
 ACTION_SERIAL = "sharded->serial"
 ACTION_PICKLE = "shm->pickle"
 ACTION_SYNC_READS = "prefetch->sync"
+ACTION_TEXT = "mmap->text"
 ACTION_SEQUENTIAL = "speculative->sequential"
 
 #: Ladder order used when the failure's preferred step is unavailable.
-LADDER = (ACTION_SERIAL, ACTION_PICKLE, ACTION_SYNC_READS, ACTION_SEQUENTIAL)
+LADDER = (ACTION_SERIAL, ACTION_PICKLE, ACTION_SYNC_READS, ACTION_TEXT, ACTION_SEQUENTIAL)
 
 
 @dataclass(frozen=True)
@@ -283,6 +285,7 @@ class RecoveryContext:
     speculation_degraded: bool = False
     shm_degraded: bool = False
     prefetch_degraded: bool = False
+    mmap_degraded: bool = False
     serial_degraded: bool = False
 
     def applied(self, action: str) -> bool:
@@ -290,6 +293,7 @@ class RecoveryContext:
             ACTION_SERIAL: self.serial_degraded,
             ACTION_PICKLE: self.shm_degraded,
             ACTION_SYNC_READS: self.prefetch_degraded,
+            ACTION_TEXT: self.mmap_degraded,
             ACTION_SEQUENTIAL: self.speculation_degraded,
         }[action]
 
@@ -369,6 +373,11 @@ def degrade(action: str, site: str, attempts: int, cause: BaseException) -> None
 
         file_module.set_prefetch(False)
         ctx.prefetch_degraded = True
+    elif action == ACTION_TEXT:
+        from ..streams import tape as tape_module
+
+        tape_module.set_mmap(False)
+        ctx.mmap_degraded = True
     elif action == ACTION_SEQUENTIAL:
         ctx.speculation_degraded = True
     else:  # pragma: no cover - defensive
@@ -452,10 +461,12 @@ def recovery_scope(
         ctx.plan.reset()
     from ..streams import file as file_module
     from ..streams import shm
+    from ..streams import tape as tape_module
 
     saved = (_active_policy, _active_plan, _active_recovery)
     saved_shm_enabled = shm.shm_enabled()
     saved_prefetch_enabled = file_module.prefetch_enabled()
+    saved_mmap_enabled = tape_module.mmap_enabled()
     _active_policy, _active_plan, _active_recovery = ctx.policy, ctx.plan, ctx
     try:
         yield ctx
@@ -465,3 +476,5 @@ def recovery_scope(
             shm._set_enabled(True)
         if ctx.prefetch_degraded and saved_prefetch_enabled:
             file_module.set_prefetch(True)
+        if ctx.mmap_degraded and saved_mmap_enabled:
+            tape_module.set_mmap(True)

@@ -46,6 +46,20 @@ class StreamReadError(StreamError):
     """
 
 
+class TapeFormatError(StreamReadError):
+    """Raised when a binary ``.etape`` tape fails structural validation.
+
+    Examples: bad magic bytes, an unsupported format version, a header
+    shorter than the fixed layout, or a payload whose size disagrees with
+    the header's edge count (a truncated or corrupt tape).  Subclasses
+    :class:`StreamReadError` deliberately: a tape is a *derived* artifact,
+    so the recovery ladder treats the failure as recoverable - when the
+    stream has a registered text twin the ladder degrades the mmap tier
+    back to text parsing (``mmap->text``) instead of failing the estimate.
+    Without a twin the error propagates once retries exhaust.
+    """
+
+
 class WorkerCrashError(ReproError):
     """Raised when a sharded worker process died executing a pass task.
 

@@ -11,13 +11,19 @@ The harness is the glue the benchmarks are written in:
   series (thin wrapper over :mod:`repro.analysis.tables`).
 """
 
-from .runner import RunReport, run_baseline_on_graph, run_paper_estimator_on_graph
+from .runner import (
+    RunReport,
+    run_baseline_on_graph,
+    run_paper_estimator_on_file,
+    run_paper_estimator_on_graph,
+)
 from .sweep import AggregateReport, aggregate, sweep_seeds
 from .reporting import print_report_table, report_rows
 
 __all__ = [
     "RunReport",
     "run_paper_estimator_on_graph",
+    "run_paper_estimator_on_file",
     "run_baseline_on_graph",
     "AggregateReport",
     "aggregate",

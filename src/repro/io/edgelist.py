@@ -27,9 +27,19 @@ def read_edgelist(
     what real edge-list files need; pass ``"error"`` policies for strict
     ingestion.  Malformed lines always raise
     :class:`~repro.errors.StreamError` with the offending location.
+
+    The format is auto-detected by magic bytes: a binary ``.etape`` tape
+    (:mod:`repro.streams.tape`) is ingested through its mapped payload,
+    anything else parses as text.
     """
     builder = GraphBuilder(on_duplicate=on_duplicate, on_self_loop=on_self_loop)
     path = os.fspath(path)
+    from ..streams.tape import MmapEdgeStream, is_tape
+
+    if is_tape(path):
+        for u, v in MmapEdgeStream(path):
+            builder.add_edge(u, v)
+        return builder.build()
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             text = line.strip()

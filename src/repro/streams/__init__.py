@@ -15,6 +15,7 @@ package makes that model executable and auditable:
 from .base import DEFAULT_CHUNK_EDGES, EdgeStream, StreamStats
 from .memory import InMemoryEdgeStream
 from .file import FileEdgeStream
+from .tape import MmapEdgeStream, is_tape, open_edge_stream, tape_fingerprint, write_tape
 from .multipass import PassScheduler
 from .space import SpaceMeter
 from .transforms import (
@@ -31,6 +32,11 @@ __all__ = [
     "StreamStats",
     "InMemoryEdgeStream",
     "FileEdgeStream",
+    "MmapEdgeStream",
+    "open_edge_stream",
+    "write_tape",
+    "is_tape",
+    "tape_fingerprint",
     "VertexArrivalStream",
     "DynamicEdgeStream",
     "churn_stream",

@@ -7,8 +7,10 @@ graphs far larger than RAM.  The on-disk format is the de-facto standard
 by SNAP and most public graph repositories).
 
 Chunked passes parse the file in ``chunk_size``-line batches through
-``numpy.loadtxt`` and canonicalize each batch with vectorized min/max, so
-the per-line Python interpreter cost of :meth:`__iter__` is paid only on
+``numpy.loadtxt`` (data lines pre-filtered so comment/blank lines are
+classified once, not re-tokenized by the batch parser) and canonicalize
+each batch with vectorized min/max, so the per-line Python interpreter
+cost of :meth:`__iter__` is paid only on
 the pure-Python fallback path.  Batch parsing runs on a double-buffered
 reader thread (:data:`PREFETCH_CHUNKS` ahead of the consumer), so parse
 and pass-kernel scan overlap; ``REPRO_FILE_PREFETCH=0`` forces inline
@@ -18,7 +20,6 @@ parsing.
 from __future__ import annotations
 
 import os
-import warnings
 from typing import TYPE_CHECKING, Iterator
 
 from ..errors import StreamError, StreamReadError
@@ -146,6 +147,16 @@ class FileEdgeStream(EdgeStream):
     def _parse_chunks(self, chunk_size: int) -> Iterator["numpy.ndarray"]:
         """The synchronous batch parser (one ``loadtxt`` call per chunk).
 
+        Data lines are gathered with a cheap Python-level skip of comment
+        and blank lines, so each such line is classified exactly once per
+        batch; the previous ``max_rows``-driven parse made ``loadtxt``
+        tokenize them a second time while counting data rows (and warn
+        about it).  The batch itself still parses through one vectorized
+        ``loadtxt`` call per chunk - now over pre-filtered lines, where
+        every line is known to contribute exactly one row, so the
+        end-of-batch test is exact.  Inline ``# ...`` suffixes on data
+        lines are still stripped by ``loadtxt`` itself.
+
         A batch-parse failure is re-diagnosed with the per-line parser
         (one extra sweep of an already-failing file) so the raised
         :class:`~repro.errors.StreamError` carries the standard
@@ -164,33 +175,37 @@ class FileEdgeStream(EdgeStream):
             raise StreamReadError(f"{self._path}: cannot open for chunked read: {exc}") from exc
         with handle:
             while True:
+                lines: list[str] = []
                 try:
-                    with warnings.catch_warnings():
-                        # loadtxt warns that blank/comment lines don't count
-                        # toward max_rows - exactly the behaviour we rely on.
-                        warnings.simplefilter("ignore", UserWarning)
-                        block = np.loadtxt(
-                            handle,
-                            dtype=np.int64,
-                            comments="#",
-                            usecols=(0, 1),
-                            max_rows=chunk_size,
-                            ndmin=2,
-                        )
-                except ValueError as exc:
-                    raise self._line_numbered_error(exc) from exc
+                    for line in handle:
+                        head = line.lstrip()
+                        if not head or head[0] == "#":
+                            continue  # skipped here, once; never re-tokenized
+                        lines.append(line)
+                        if len(lines) == chunk_size:
+                            break
                 except OSError as exc:
                     raise StreamReadError(
                         f"{self._path}: I/O error during chunked read: {exc}"
                     ) from exc
-                if block.size == 0:
+                if not lines:
                     return
+                try:
+                    block = np.loadtxt(
+                        lines,
+                        dtype=np.int64,
+                        comments="#",
+                        usecols=(0, 1),
+                        ndmin=2,
+                    )
+                except ValueError as exc:
+                    raise self._line_numbered_error(exc) from exc
                 block = block.reshape(-1, 2)
                 if self._validate:
                     block = self._canonicalize(np, block)
                 _maybe_inject_read_fault(self._path)
                 yield block
-                if len(block) < chunk_size:
+                if len(lines) < chunk_size:
                     return
 
     def _line_numbered_error(self, exc: Exception) -> StreamError:

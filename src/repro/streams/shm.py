@@ -53,6 +53,12 @@ ROW_BYTES = 16
 #: Descriptor tag; tasks distinguish descriptors from raw ndarray blocks.
 SHM_TAG = "shm"
 
+#: Descriptor tag for binary-tape row ranges: ``("tape", path, start, rows)``
+#: names rows of an ``.etape`` file that workers resolve against their own
+#: memory mapping (:func:`repro.streams.tape.resolve_tape_block`) - the
+#: same shape as a shm ref, so batching and coalescing treat both alike.
+TAPE_TAG = "tape"
+
 #: A picklable block reference: ``(SHM_TAG, segment name, start row, rows)``.
 ShmBlockRef = Tuple[str, str, int, int]
 
@@ -232,15 +238,26 @@ def _attach(name: str):
 
 
 def resolve_block(block) -> "numpy.ndarray":
-    """Turn one task block - raw ndarray or :data:`ShmBlockRef` - into rows."""
-    if isinstance(block, tuple) and len(block) == 4 and block[0] == SHM_TAG:
-        import numpy as np
+    """Turn one task block - raw ndarray or descriptor - into rows.
 
-        _, name, start_row, rows = block
-        shm = _attach(name)
-        return np.ndarray(
-            (rows, 2), dtype=np.int64, buffer=shm.buf, offset=start_row * ROW_BYTES
-        )
+    Descriptors are ``(tag, name-or-path, start, rows)`` tuples:
+    :data:`SHM_TAG` names a shared-memory segment range, :data:`TAPE_TAG`
+    names a row range of a binary ``.etape`` file (resolved against a
+    per-worker mapping of the file; no segment is involved at all).
+    """
+    if isinstance(block, tuple) and len(block) == 4:
+        if block[0] == SHM_TAG:
+            import numpy as np
+
+            _, name, start_row, rows = block
+            shm = _attach(name)
+            return np.ndarray(
+                (rows, 2), dtype=np.int64, buffer=shm.buf, offset=start_row * ROW_BYTES
+            )
+        if block[0] == TAPE_TAG:
+            from .tape import resolve_tape_block
+
+            return resolve_tape_block(block)
     return block
 
 

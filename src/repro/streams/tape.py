@@ -1,0 +1,600 @@
+"""The packed binary ``.etape`` tape format and its mmap-backed stream.
+
+Multi-pass estimates re-read the whole tape once per physical sweep, and
+on the text path every sweep re-runs the batched parser - which is why
+the file stream grew a prefetch thread and per-task shared-memory
+spooling.  The ``.etape`` format stores the *parsed* tape once: a
+64-byte header followed by the edges as a contiguous C-order
+little-endian ``int64[m, 2]`` array.  Re-sweeps then become
+memory-bandwidth-bound instead of parse-bound:
+
+* :meth:`MmapEdgeStream.iter_chunks` yields zero-copy read-only slices
+  of the memory-mapped payload (no parsing, no allocation per sweep);
+* ``stats()`` / ``len()`` come straight from the header in O(1) - no
+  statistics sweep at all;
+* sharded tasks ship tiny ``("tape", path, start, rows)`` descriptors
+  (:func:`resolve_tape_block`) that each worker resolves against its own
+  mapping of the same file - no shm spooling, and the prefetch thread is
+  bypassed entirely (both are artifacts of text parsing).
+
+Header layout (64 bytes, all integers little-endian)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       8     magic  b"\\x89ETAPE\\r\\n"
+    8       4     format version (currently 1)
+    12      4     flags (bit 0: every row is canonical 0 <= u < v)
+    16      8     edge count m
+    24      8     max vertex id (-1 for an empty tape)
+    32      8     vertex bound n  (= max vertex id + 1)
+    40      8     CRC-32 of the payload bytes (zero-extended)
+    48      16    reserved (zero)
+
+Structural violations raise :class:`~repro.errors.TapeFormatError`.  The
+checksum is computed by the writer (which touches every byte anyway) and
+verified on demand by :func:`verify_tape` - *not* at open, which would
+forfeit the O(1) ``stats``.  :func:`tape_fingerprint` hashes the header
+plus a strided sample of payload rows into a content fingerprint that is
+stable across byte-identical rewrites and cheap even for huge tapes -
+the future estimate cache keys on it.
+
+**Degradation contract** (see :mod:`repro.core.faults`): a stream with a
+registered *text twin* (the edge-list file the tape was converted from)
+participates in the recovery ladder as its own tier - exhausted retries
+on a read fault or a mid-run :class:`~repro.errors.TapeFormatError`
+degrade ``mmap->text`` and the pass replays against the twin, which by
+the conversion contract carries the identical edge sequence, so the
+estimate stays bit-identical.  :func:`repro.core.faults.recovery_scope`
+restores the mmap tier when the estimate returns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional, Union
+
+from ..errors import StreamError, StreamReadError, TapeFormatError
+from ..types import Edge
+from .base import DEFAULT_CHUNK_EDGES, EdgeStream, StreamStats
+from .file import FileEdgeStream, _maybe_inject_read_fault
+from .shm import ROW_BYTES, TAPE_TAG, ChunkHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    import numpy
+
+#: Leading magic bytes: the PNG trick - a high bit to trip text-mode
+#: transfers, a human-greppable name, and a CR/LF pair that a newline
+#: translation would mangle.
+MAGIC = b"\x89ETAPE\r\n"
+
+#: Current (and only) format version.
+VERSION = 1
+
+#: Fixed header size; the payload starts at this offset.
+HEADER_BYTES = 64
+
+#: Header flag bit 0: every payload row satisfies ``0 <= u < v``.
+FLAG_CANONICAL = 1
+
+#: ``<`` = little-endian: 8s magic, I version, I flags, q edges,
+#: q max vertex, q vertex bound, Q checksum, 16x reserved = 64 bytes.
+_HEADER_STRUCT = struct.Struct("<8sIIqqqQ16x")
+
+#: Strided-fingerprint sampling: up to this many blocks of this many rows.
+_SAMPLE_BLOCKS = 64
+_SAMPLE_ROWS = 1024
+
+#: Runtime override flipped by the recovery ladder's ``mmap->text``
+#: degradation; consulted per pass like the file stream's prefetch flag.
+_mmap_disabled = False
+
+
+def mmap_enabled() -> bool:
+    """Whether :class:`MmapEdgeStream` passes may read through the mapping."""
+    return not _mmap_disabled
+
+
+def set_mmap(enabled: bool) -> None:
+    """Flip the runtime mmap override (recovery ladder hook).
+
+    Only streams with a registered text twin change behaviour: a disabled
+    mmap tier makes their passes delegate to the twin's text parser.  A
+    stream with no twin has nothing to degrade to and keeps reading the
+    mapping.
+    """
+    global _mmap_disabled
+    _mmap_disabled = not enabled
+
+
+@dataclass(frozen=True)
+class TapeHeader:
+    """The decoded fixed header of one ``.etape`` file."""
+
+    version: int
+    flags: int
+    num_edges: int
+    max_vertex_id: int
+    num_vertices_upper: int
+    checksum: int
+    #: The raw 64 header bytes, kept for fingerprinting.
+    raw: bytes
+
+    @property
+    def canonical(self) -> bool:
+        """Whether every payload row satisfies ``0 <= u < v``."""
+        return bool(self.flags & FLAG_CANONICAL)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Exact payload size implied by the edge count."""
+        return self.num_edges * ROW_BYTES
+
+
+def is_tape(path: Union[str, "os.PathLike[str]"]) -> bool:
+    """Whether ``path`` starts with the ``.etape`` magic bytes.
+
+    Unreadable or too-short files answer ``False`` (the caller's text
+    path then raises its own, more specific error).
+    """
+    try:
+        with open(os.fspath(path), "rb") as handle:
+            return handle.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def read_header(path: Union[str, "os.PathLike[str]"]) -> TapeHeader:
+    """Decode and structurally validate the header of one ``.etape`` file.
+
+    Checks, in order: the file opens, the header is complete, the magic
+    matches, the version is supported, every count is sane, and the file
+    size equals header plus the payload the edge count implies (so a
+    truncated - or padded - tape is rejected here, not as a garbage
+    sweep later).  Violations raise
+    :class:`~repro.errors.TapeFormatError`.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read(HEADER_BYTES)
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+    except OSError as exc:
+        raise StreamError(f"tape file not found or unreadable: {path}: {exc}") from exc
+    if len(raw) < HEADER_BYTES:
+        raise TapeFormatError(
+            f"{path}: truncated tape header ({len(raw)} of {HEADER_BYTES} bytes)"
+        )
+    magic, version, flags, m, max_vertex, n_upper, checksum = _HEADER_STRUCT.unpack(raw)
+    if magic != MAGIC:
+        raise TapeFormatError(f"{path}: bad magic {magic!r}; not an .etape tape")
+    if version != VERSION:
+        raise TapeFormatError(
+            f"{path}: unsupported tape version {version} (this build reads {VERSION})"
+        )
+    if m < 0 or max_vertex < -1 or n_upper != max_vertex + 1:
+        raise TapeFormatError(
+            f"{path}: corrupt header (m={m}, max_vertex={max_vertex}, n={n_upper})"
+        )
+    expected = HEADER_BYTES + m * ROW_BYTES
+    if size != expected:
+        raise TapeFormatError(
+            f"{path}: payload size mismatch - header promises {m} edges "
+            f"({expected} bytes total), file has {size} bytes"
+        )
+    return TapeHeader(
+        version=version,
+        flags=flags,
+        num_edges=m,
+        max_vertex_id=max_vertex,
+        num_vertices_upper=n_upper,
+        checksum=checksum,
+        raw=raw,
+    )
+
+
+def _sample_starts(m: int) -> Iterator[int]:
+    """Deterministic strided sample offsets covering first and last rows."""
+    if m <= _SAMPLE_BLOCKS * _SAMPLE_ROWS:
+        return iter(range(0, m, _SAMPLE_ROWS))  # small tape: hash it all
+    last = m - _SAMPLE_ROWS
+    return iter(sorted({(i * last) // (_SAMPLE_BLOCKS - 1) for i in range(_SAMPLE_BLOCKS)}))
+
+
+def tape_fingerprint(path: Union[str, "os.PathLike[str]"]) -> str:
+    """Content fingerprint: SHA-256 of the header plus strided row samples.
+
+    The header already pins ``m``, the vertex bound, the flags, and the
+    writer's full-payload CRC-32; the strided samples (up to
+    :data:`_SAMPLE_BLOCKS` blocks of :data:`_SAMPLE_ROWS` rows, always
+    including the first and last rows) additionally bind the fingerprint
+    to payload bytes directly, so it is stable across byte-identical
+    rewrites, changes whenever content changes, and costs O(1) reads on
+    tapes of any size.  This is the cache key a future estimate-serving
+    daemon would use.
+    """
+    path = os.fspath(path)
+    header = read_header(path)
+    digest = hashlib.sha256()
+    digest.update(header.raw)
+    if header.num_edges:
+        try:
+            with open(path, "rb") as handle:
+                for start in _sample_starts(header.num_edges):
+                    rows = min(_SAMPLE_ROWS, header.num_edges - start)
+                    handle.seek(HEADER_BYTES + start * ROW_BYTES)
+                    digest.update(handle.read(rows * ROW_BYTES))
+        except OSError as exc:
+            raise StreamReadError(f"{path}: cannot read tape for fingerprint: {exc}") from exc
+    return digest.hexdigest()
+
+
+def verify_tape(path: Union[str, "os.PathLike[str]"]) -> TapeHeader:
+    """Full-payload checksum verification (one sequential read).
+
+    Opening a tape validates structure only; this re-reads the payload
+    and checks the writer's CRC-32, raising
+    :class:`~repro.errors.TapeFormatError` on mismatch.  Used by
+    ``repro convert --validate`` and available to callers that want the
+    stronger guarantee before long runs.
+    """
+    path = os.fspath(path)
+    header = read_header(path)
+    crc = 0
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(HEADER_BYTES)
+            while True:
+                piece = handle.read(1 << 20)
+                if not piece:
+                    break
+                crc = zlib.crc32(piece, crc)
+    except OSError as exc:
+        raise StreamReadError(f"{path}: cannot read tape for verification: {exc}") from exc
+    if crc != header.checksum:
+        raise TapeFormatError(
+            f"{path}: payload checksum mismatch "
+            f"(header {header.checksum:#010x}, payload {crc:#010x})"
+        )
+    return header
+
+
+def write_tape(
+    source: Union[str, "os.PathLike[str]", EdgeStream],
+    path: Union[str, "os.PathLike[str]"],
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> TapeHeader:
+    """Stream ``source`` into an ``.etape`` file at ``path``, bounded memory.
+
+    ``source`` is an :class:`~repro.streams.base.EdgeStream` or a file
+    path (auto-detected: a text edge list is parsed, an existing tape is
+    copied through the same streaming path).  Rows are written exactly in
+    stream order - conversion never reorders or canonicalizes, so the
+    tape replays the identical sequence and estimates stay bit-identical.
+    The canonical header flag, the extrema, and the payload CRC-32 are
+    accumulated per chunk while streaming; the header is patched in at
+    the end.  Returns the written :class:`TapeHeader`.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if isinstance(source, (str, os.PathLike)):
+        source = open_edge_stream(source)
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - the CI image bakes NumPy in
+        np = None
+    path = os.fspath(path)
+    m = 0
+    max_vertex = -1
+    crc = 0
+    canonical = True
+    with open(path, "wb") as out:
+        out.write(b"\x00" * HEADER_BYTES)
+        if np is not None:
+            for block in source.iter_chunks(chunk_size):
+                block = np.ascontiguousarray(block, dtype=np.dtype("<i8"))
+                if not len(block):
+                    continue
+                m += len(block)
+                max_vertex = max(max_vertex, int(block.max()))
+                if canonical:
+                    u, v = block[:, 0], block[:, 1]
+                    canonical = bool((u >= 0).all() and (u < v).all())
+                payload = block.tobytes()
+                crc = zlib.crc32(payload, crc)
+                out.write(payload)
+        else:  # pragma: no cover - no-NumPy fallback, exercised manually
+            pack = struct.Struct("<qq").pack
+            for u, v in source:
+                m += 1
+                max_vertex = max(max_vertex, u, v)
+                canonical = canonical and 0 <= u < v
+                payload = pack(u, v)
+                crc = zlib.crc32(payload, crc)
+                out.write(payload)
+        flags = FLAG_CANONICAL if canonical else 0  # an empty tape is trivially canonical
+        raw = _HEADER_STRUCT.pack(MAGIC, VERSION, flags, m, max_vertex, max_vertex + 1, crc)
+        out.seek(0)
+        out.write(raw)
+    return TapeHeader(
+        version=VERSION,
+        flags=flags,
+        num_edges=m,
+        max_vertex_id=max_vertex,
+        num_vertices_upper=max_vertex + 1,
+        checksum=crc,
+        raw=raw,
+    )
+
+
+def open_edge_stream(
+    path: Union[str, "os.PathLike[str]"], validate: bool = True
+) -> EdgeStream:
+    """Open a tape file as the right stream, sniffing the magic bytes.
+
+    An ``.etape`` file becomes an :class:`MmapEdgeStream`; anything else
+    is treated as a text edge list (:class:`FileEdgeStream`, with
+    ``validate`` forwarded).  This is the single auto-detection point
+    every file-loading entry point (CLI, harness, bench suite) goes
+    through, so both formats are accepted transparently everywhere.
+    """
+    if is_tape(path):
+        return MmapEdgeStream(path)
+    return FileEdgeStream(path, validate=validate)
+
+
+class MmapEdgeStream(EdgeStream):
+    """A replayable zero-copy stream over one memory-mapped ``.etape`` file.
+
+    The header is decoded (and structurally validated) at construction,
+    so ``stats()`` and ``len()`` are O(1) and raise nothing later; the
+    payload is mapped lazily on the first chunked pass and every chunk is
+    a read-only slice of that one mapping - a sweep performs no parsing,
+    no copies, and no allocation beyond the view objects.
+
+    ``text_twin`` (also settable later via :meth:`register_text_twin`)
+    names the text edge list this tape was converted from.  It is the
+    stream's degradation target: when the recovery ladder drops the mmap
+    tier (``mmap->text``), passes delegate to a
+    :class:`FileEdgeStream` over the twin, whose edge sequence is
+    identical by the conversion contract, so recovered estimates stay
+    bit-identical.  Without a twin the stream has no fallback tier.
+    """
+
+    supports_native_chunks = True
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        text_twin: Union[str, "os.PathLike[str]", None] = None,
+    ) -> None:
+        self._path = os.path.abspath(os.fspath(path))
+        self._header = read_header(self._path)
+        self._rows_map: Optional["numpy.ndarray"] = None
+        self._fingerprint: Optional[str] = None
+        self._text_twin: Optional[str] = None
+        self._twin_stream: Optional[FileEdgeStream] = None
+        if text_twin is not None:
+            self.register_text_twin(text_twin)
+
+    @property
+    def path(self) -> str:
+        """Absolute path of the mapped tape file."""
+        return self._path
+
+    @property
+    def header(self) -> TapeHeader:
+        """The decoded tape header."""
+        return self._header
+
+    # -- text-twin degradation tier ------------------------------------
+
+    @property
+    def text_twin(self) -> Optional[str]:
+        """Path of the registered text twin, if any."""
+        return self._text_twin
+
+    @property
+    def has_text_twin(self) -> bool:
+        """Whether a text fallback tier is available to the ladder."""
+        return self._text_twin is not None
+
+    def register_text_twin(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Register the text edge list this tape was converted from.
+
+        The caller asserts the twin replays the identical edge sequence
+        (``repro convert`` guarantees it); the recovery ladder may then
+        degrade this stream's passes to text parsing.
+        """
+        twin = os.fspath(path)
+        if not os.path.exists(twin):
+            raise StreamError(f"text twin not found: {twin}")
+        self._text_twin = twin
+        self._twin_stream = None
+
+    def _delegate(self) -> Optional[FileEdgeStream]:
+        """The twin stream to read through while the mmap tier is degraded."""
+        if self._text_twin is None or mmap_enabled():
+            return None
+        if self._twin_stream is None:
+            self._twin_stream = FileEdgeStream(self._text_twin)
+        return self._twin_stream
+
+    # -- mapped access -------------------------------------------------
+
+    def _check_intact(self) -> None:
+        """Cheap per-pass structural re-check (one ``stat`` call).
+
+        The mapping pins the header's promises at open; a tape truncated
+        or replaced underneath a later pass would otherwise surface as a
+        garbage scan (or a bus error on a shrunk mapping).  Raising the
+        typed error here lets the recovery ladder degrade to the text
+        twin instead.
+        """
+        try:
+            size = os.stat(self._path).st_size
+        except OSError as exc:
+            raise StreamReadError(f"{self._path}: tape vanished mid-run: {exc}") from exc
+        expected = HEADER_BYTES + self._header.payload_bytes
+        if size != expected:
+            raise TapeFormatError(
+                f"{self._path}: tape changed size mid-run "
+                f"({size} bytes, header promises {expected})"
+            )
+
+    def _rows(self) -> "numpy.ndarray":
+        """The ``(m, 2)`` read-only mapped payload, mapped once per stream."""
+        if self._rows_map is None:
+            import numpy as np
+
+            if self._header.num_edges == 0:
+                self._rows_map = np.empty((0, 2), dtype=np.int64)
+            else:
+                try:
+                    self._rows_map = np.memmap(
+                        self._path,
+                        dtype=np.dtype("<i8"),
+                        mode="r",
+                        offset=HEADER_BYTES,
+                        shape=(self._header.num_edges, 2),
+                    )
+                except (OSError, ValueError) as exc:
+                    raise StreamReadError(
+                        f"{self._path}: cannot map tape payload: {exc}"
+                    ) from exc
+        return self._rows_map
+
+    def __iter__(self) -> Iterator[Edge]:
+        delegate = self._delegate()
+        if delegate is not None:
+            yield from delegate
+            return
+        self._check_intact()
+        try:
+            import numpy  # noqa: F401
+        except ImportError:  # pragma: no cover - NumPy baked into CI
+            yield from self._iter_unpacked()
+            return
+        for block in self.iter_chunks():
+            for u, v in block.tolist():  # tolist: Python ints, like the text path
+                yield (u, v)
+
+    def _iter_unpacked(self) -> Iterator[Edge]:  # pragma: no cover - no-NumPy fallback
+        unpack = struct.Struct("<qq")
+        with open(self._path, "rb") as handle:
+            handle.seek(HEADER_BYTES)
+            while True:
+                piece = handle.read(ROW_BYTES * 4096)
+                if not piece:
+                    return
+                for edge in unpack.iter_unpack(piece):
+                    yield edge
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_EDGES) -> Iterator["numpy.ndarray"]:
+        """Zero-copy chunked pass: read-only slices of the mapped payload.
+
+        The ``file.read`` fault-injection site fires once per yielded
+        chunk, exactly like the text parser's batches, so injection
+        schedules land at the same points on either format.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        delegate = self._delegate()
+        if delegate is not None:
+            yield from delegate.iter_chunks(chunk_size)
+            return
+        self._check_intact()
+        rows = self._rows()
+        for start in range(0, len(rows), chunk_size):
+            _maybe_inject_read_fault(self._path)
+            yield rows[start : start + chunk_size]
+
+    def iter_chunk_handles(self, chunk_size: int = DEFAULT_CHUNK_EDGES):
+        """Sharded pass: ship ``(path, start, rows)`` descriptors, no spooling.
+
+        Each handle names a row range of the tape file itself; workers
+        map the file once (:func:`resolve_tape_block`) and slice it
+        zero-copy, so the executor neither pickles rows nor spools them
+        into shared-memory segments.  Consecutive descriptors coalesce
+        like shm refs, so a whole task batch is usually one descriptor.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        delegate = self._delegate()
+        if delegate is not None:
+            yield from delegate.iter_chunk_handles(chunk_size)
+            return
+        self._check_intact()
+        m = self._header.num_edges
+        for start in range(0, m, chunk_size):
+            _maybe_inject_read_fault(self._path)
+            rows = min(chunk_size, m - start)
+            yield ChunkHandle(rows=rows, ref=(TAPE_TAG, self._path, start, rows))
+
+    def stats(self) -> StreamStats:
+        """O(1): both statistics come straight from the header."""
+        return StreamStats(
+            num_edges=self._header.num_edges, max_vertex_id=self._header.max_vertex_id
+        )
+
+    def __len__(self) -> int:
+        return self._header.num_edges
+
+    def fingerprint(self) -> str:
+        """The tape's content fingerprint (see :func:`tape_fingerprint`)."""
+        if self._fingerprint is None:
+            self._fingerprint = tape_fingerprint(self._path)
+        return self._fingerprint
+
+
+# ---------------------------------------------------------------------------
+# worker side
+
+#: Worker-side cache of mapped tapes, keyed by absolute path (mirrors the
+#: shm attach cache: tiny, LRU, one mapping per tape per worker).
+_MAP_SLOTS = 4
+_mapped: "OrderedDict[str, numpy.ndarray]" = OrderedDict()
+
+
+def _map_payload(path: str) -> "numpy.ndarray":
+    rows = _mapped.get(path)
+    if rows is None:
+        import numpy as np
+
+        try:
+            flat = np.memmap(path, dtype=np.dtype("<i8"), mode="r", offset=HEADER_BYTES)
+        except (OSError, ValueError) as exc:
+            raise StreamReadError(f"{path}: cannot map tape payload: {exc}") from exc
+        if flat.size % 2:
+            raise TapeFormatError(f"{path}: truncated tape payload ({flat.nbytes} bytes)")
+        rows = flat.reshape(-1, 2)
+        _mapped[path] = rows
+        while len(_mapped) > _MAP_SLOTS:
+            _mapped.popitem(last=False)
+    else:
+        _mapped.move_to_end(path)
+    return rows
+
+
+def resolve_tape_block(block) -> "numpy.ndarray":
+    """Resolve one ``(TAPE_TAG, path, start, rows)`` descriptor to rows.
+
+    Called from :func:`repro.streams.shm.resolve_block` on both the
+    worker side (sharded tasks) and the parent side (materializing a
+    task's blocks when the descriptor transport degrades).  A descriptor
+    past the end of the file - a tape truncated after dispatch - raises
+    :class:`~repro.errors.TapeFormatError` rather than returning a short
+    read.
+    """
+    _, path, start, rows = block
+    mapped = _map_payload(path)
+    if start + rows > len(mapped):
+        raise TapeFormatError(
+            f"{path}: tape descriptor ({start}, {rows}) past payload end ({len(mapped)} rows)"
+        )
+    return mapped[start : start + rows]

@@ -177,6 +177,62 @@ class TestGenerate:
         assert a.read_text() == b.read_text()
 
 
+class TestConvertAndTapeInfo:
+    def test_convert_writes_tape_and_fingerprint(self, wheel_file, tmp_path, capsys):
+        out = str(tmp_path / "wheel.etape")
+        assert main(["convert", wheel_file, "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "wrote 118 edges" in printed
+        assert "fingerprint:" in printed
+        from repro.streams import is_tape
+
+        assert is_tape(out)
+
+    def test_convert_default_output_path(self, wheel_file, capsys):
+        assert main(["convert", wheel_file]) == 0
+        from repro.streams import is_tape
+
+        assert is_tape(wheel_file + ".etape")
+
+    def test_convert_validate_round_trip(self, wheel_file, tmp_path, capsys):
+        out = str(tmp_path / "wheel.etape")
+        assert main(["convert", wheel_file, "--out", out, "--validate"]) == 0
+        assert "round trip exact" in capsys.readouterr().out
+
+    def test_tape_info_dumps_header(self, wheel_file, tmp_path, capsys):
+        out = str(tmp_path / "wheel.etape")
+        main(["convert", wheel_file, "--out", out])
+        capsys.readouterr()
+        assert main(["tape-info", out]) == 0
+        printed = capsys.readouterr().out
+        assert "edges (m)" in printed
+        assert "118" in printed
+        assert "fingerprint" in printed
+
+    def test_estimate_and_exact_accept_tape(self, wheel_file, tmp_path, capsys):
+        """The headline invariant at the CLI surface: the same seed on the
+        text file and its tape prints the identical estimate."""
+        out = str(tmp_path / "wheel.etape")
+        main(["convert", wheel_file, "--out", out])
+        capsys.readouterr()
+        base = ["--kappa", "3", "--seed", "1", "--repetitions", "3"]
+        assert main(["estimate", wheel_file] + base) == 0
+        text_out = capsys.readouterr().out
+        assert main(["estimate", out] + base) == 0
+        tape_out = capsys.readouterr().out
+        text_line = [l for l in text_out.splitlines() if "estimate:" in l]
+        tape_line = [l for l in tape_out.splitlines() if "estimate:" in l]
+        assert text_line == tape_line
+        assert main(["exact", out]) == 0
+        assert "triangles: 59" in capsys.readouterr().out
+
+    def test_tape_info_rejects_text_file(self, wheel_file):
+        from repro.errors import TapeFormatError
+
+        with pytest.raises(TapeFormatError):
+            main(["tape-info", wheel_file])
+
+
 class TestParser:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:

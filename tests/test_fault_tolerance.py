@@ -11,7 +11,8 @@ harness in :mod:`repro.core.faults`:
   *bit-identical* to the fault-free run: estimates, guessing trajectory,
   logical-pass totals, and the root generator's final state.
 * **Degradation ladder** - when retries exhaust, the run drops a tier
-  (sharded->serial, shm->pickle, prefetch->sync, speculative->sequential)
+  (sharded->serial, shm->pickle, prefetch->sync, mmap tape->text twin,
+  speculative->sequential)
   instead of failing, records each step on
   ``EstimateResult.degradations``, and still produces identical numbers.
 
@@ -32,8 +33,9 @@ from repro.core.faults import FaultPlan, RetryPolicy
 from repro.errors import ParameterError, StreamReadError
 from repro.generators import barabasi_albert_graph
 from repro.io import write_edgelist
-from repro.streams import InMemoryEdgeStream
+from repro.streams import InMemoryEdgeStream, write_tape
 from repro.streams.file import FileEdgeStream
+from repro.streams.tape import MmapEdgeStream, mmap_enabled
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +126,14 @@ def tape(tmp_path_factory):
     graph = barabasi_albert_graph(250, 4, random.Random(1))
     path = tmp_path_factory.mktemp("faults") / "tape.edges"
     write_edgelist(graph, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def etape(tape, tmp_path_factory):
+    """The binary twin of ``tape``: identical edge sequence, mmap path."""
+    path = tmp_path_factory.mktemp("faults_bin") / "tape.etape"
+    write_tape(tape, path)
     return str(path)
 
 
@@ -445,6 +455,106 @@ class TestDegradationLadder:
         )
         with pytest.raises(StreamReadError, match="injected"):
             TriangleCountEstimator(cfg).estimate(stream, kappa=4)
+
+
+# ---------------------------------------------------------------------------
+# the mmap tape tier: file.read fires on the mapped path, and the ladder
+# degrades mmap->text when the tape has a registered text twin
+
+
+class TestMmapTapeFaults:
+    def test_read_fault_on_mmap_path_recovers_bit_identically(self, tape, etape):
+        """``file.read`` fires per yielded chunk on the mapped payload too;
+        a transient fault retries and the estimate matches the clean tape
+        run exactly, with no tier degraded."""
+        base = dict(seed=9, repetitions=3, engine_mode="chunked", workers=1)
+        clean = _run(MmapEdgeStream(etape), EstimatorConfig(**base))
+        faulted = _run(
+            MmapEdgeStream(etape), EstimatorConfig(**base, faults="file.read@1")
+        )
+        _assert_bit_identical(clean, faulted)
+        assert faulted[0].degradations == ()
+
+    def test_exhausted_read_fault_degrades_to_text_twin(self, tape, etape):
+        """Retries disabled: the first fault exhausts the budget, the ladder
+        drops the mmap tier, the pass replays against the registered text
+        twin, and the numbers still match the clean run bit-for-bit."""
+        base = dict(seed=9, repetitions=3, engine_mode="chunked", workers=1)
+        clean = _run(MmapEdgeStream(etape), EstimatorConfig(**base))
+        faulted = _run(
+            MmapEdgeStream(etape, text_twin=tape),
+            EstimatorConfig(**base, faults="file.read@0", max_retries=0),
+        )
+        _assert_bit_identical(clean, faulted)
+        reports = faulted[0].degradations
+        assert [r.action for r in reports] == [faults.ACTION_TEXT]
+        assert reports[0].site == faults.FILE_READ
+        # The degradation was scoped to the failing estimate: the recovery
+        # scope restored the mmap tier on exit.
+        assert mmap_enabled()
+
+    def test_text_parity_with_degraded_and_clean_text_run(self, tape, etape):
+        """The degraded run equals a straight text run too - the twin is
+        read through the very same parser."""
+        base = dict(seed=2, repetitions=3, engine_mode="chunked", workers=1)
+        text = _run(FileEdgeStream(tape), EstimatorConfig(**base))
+        degraded = _run(
+            MmapEdgeStream(etape, text_twin=tape),
+            EstimatorConfig(**base, faults="file.read@0", max_retries=0),
+        )
+        _assert_bit_identical(text, degraded)
+
+    def test_truncated_tape_mid_run_degrades_to_twin(self, tape, etape, tmp_path):
+        """A tape truncated underneath a running estimate surfaces as a
+        typed TapeFormatError from the per-pass intactness check; with a
+        twin registered the run completes bit-identically to the clean
+        run instead of scanning garbage."""
+        import shutil
+
+        base = dict(seed=9, repetitions=3, engine_mode="chunked", workers=1)
+        clean = _run(MmapEdgeStream(etape), EstimatorConfig(**base))
+        import os
+
+        local = tmp_path / "mutable.etape"
+        shutil.copy(etape, local)
+        stream = MmapEdgeStream(local, text_twin=tape)
+        with open(local, "r+b") as handle:
+            handle.truncate(os.path.getsize(local) - 16)
+        faulted = _run(stream, EstimatorConfig(**base, max_retries=0))
+        _assert_bit_identical(clean, faulted)
+        assert faults.ACTION_TEXT in [r.action for r in faulted[0].degradations]
+        assert mmap_enabled()
+
+    def test_no_twin_leaves_nothing_to_degrade_to(self, etape):
+        """Without a registered twin the mmap stream has no fallback tier:
+        a persistent read fault must propagate, never be swallowed."""
+        spec = "file.read@" + ",".join(str(i) for i in range(64))
+        cfg = EstimatorConfig(
+            seed=1, repetitions=2, engine_mode="chunked", faults=spec, max_retries=0
+        )
+        with pytest.raises(StreamReadError, match="injected"):
+            TriangleCountEstimator(cfg).estimate(MmapEdgeStream(etape), kappa=4)
+        assert mmap_enabled()
+
+    def test_sharded_descriptor_transport_recovers_from_crash(
+        self, tape, etape, monkeypatch
+    ):
+        """Sharded tasks over a tape ship ``(path, start, rows)`` descriptors;
+        a worker crash retries on a rebuilt pool and the result stays
+        bit-identical to the clean sharded tape run."""
+        pytest.importorskip("numpy")
+        from repro.core import executor
+
+        monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 64)
+        base = dict(
+            seed=3, repetitions=3, engine_mode="sharded", workers=2, chunk_size=64
+        )
+        clean = _run(MmapEdgeStream(etape), EstimatorConfig(**base))
+        faulted = _run(
+            MmapEdgeStream(etape), EstimatorConfig(**base, faults="worker.crash@1")
+        )
+        _assert_bit_identical(clean, faulted)
+        assert faulted[0].degradations == ()
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,23 @@ class TestRunner:
         b = run_paper_estimator_on_graph(wheel, kappa=3, seed=9)
         assert a.estimate == b.estimate
 
+    def test_file_entry_accepts_both_formats(self, wheel, tmp_path):
+        """The file runner auto-detects text vs ``.etape`` by magic bytes
+        and produces bit-identical estimates on both."""
+        from repro.harness import run_paper_estimator_on_file
+        from repro.io import write_edgelist
+        from repro.streams import write_tape
+
+        txt = tmp_path / "wheel.txt"
+        write_edgelist(wheel, txt)
+        tape = tmp_path / "wheel.etape"
+        write_tape(txt, tape)
+        text_report = run_paper_estimator_on_file(txt, kappa=3, seed=9)
+        tape_report = run_paper_estimator_on_file(tape, kappa=3, seed=9)
+        assert text_report.exact == tape_report.exact == 119
+        assert text_report.estimate == tape_report.estimate
+        assert text_report.passes_used == tape_report.passes_used
+
 
 class TestSweepAndAggregate:
     def test_sweep_runs_all_seeds(self, wheel):

@@ -21,6 +21,14 @@ the pure-Python sequential reference:
   ``fuse`` and then ``speculate`` engage - and ``sweeps_wasted`` is zero
   whenever speculation is off.
 
+The **tape-format axis** extends the same contract across the storage
+substrate: the identical edge sequence read from a text edge list
+(:class:`FileEdgeStream`) and from its binary ``.etape`` conversion
+(:class:`MmapEdgeStream`) must agree bit-for-bit - estimate, trajectory,
+pass totals, and final root RNG state - at every point of the knob
+matrix, because the storage format is below the sampling layer and must
+be invisible to it.
+
 A small representative subset runs in the fast tier; the full matrix is
 marked ``slow`` (deselected by default - run with ``pytest -m slow``).
 """
@@ -41,7 +49,8 @@ from repro.generators import (
     star_graph,
 )
 from repro.graph import count_triangles, degeneracy
-from repro.streams import InMemoryEdgeStream, shm
+from repro.io import write_edgelist
+from repro.streams import FileEdgeStream, InMemoryEdgeStream, MmapEdgeStream, shm, write_tape
 from repro.streams.transforms import shuffled
 
 REPETITIONS = 3
@@ -299,6 +308,74 @@ def test_parity_matrix_fast_tier(monkeypatch, name, build, seed):
 def test_parity_matrix_full(monkeypatch, name, build, seed):
     """The full matrix: workers {1,2,4} x shm on/off x fuse x depth {2,3,4}."""
     _check_matrix(monkeypatch, name, build, seed, SUBSTRATES, TIERS_FULL)
+
+
+def _check_format_parity(monkeypatch, tmp_path, name, build_graph, seed, substrates, tiers):
+    """Text vs ``.etape``: bit-identical at every point of the knob matrix."""
+    monkeypatch.setattr(executor, "TASK_ROWS_FLOOR", 32)
+    graph = build_graph()
+    kappa = max(1, degeneracy(graph))
+    txt = tmp_path / f"{name}.txt"
+    write_edgelist(graph, txt)
+    tape = tmp_path / f"{name}.etape"
+    header = write_tape(txt, tape)
+    assert header.num_edges == graph.num_edges
+
+    for mode, workers, shm_enabled in substrates:
+        for fuse, speculate, depth in tiers:
+            config = _config(mode, workers, fuse, speculate, depth, seed)
+            monkeypatch.setattr(shm, "_disabled", not shm_enabled)
+            try:
+                text_result, text_root, text_draws = _run_instrumented(
+                    monkeypatch, FileEdgeStream(txt), kappa, config
+                )
+                tape_result, tape_root, tape_draws = _run_instrumented(
+                    monkeypatch, MmapEdgeStream(tape), kappa, config
+                )
+            finally:
+                monkeypatch.setattr(shm, "_disabled", False)
+            label = (
+                f"{name}/{mode}/w{workers}/shm{int(shm_enabled)}"
+                f"/f{int(fuse)}s{int(speculate)}d{depth}"
+            )
+            assert tape_result.estimate == text_result.estimate, label
+            assert _trajectory(tape_result, accounting=True) == _trajectory(
+                text_result, accounting=True
+            ), label
+            assert tape_result.passes_total == text_result.passes_total, label
+            assert tape_result.sweeps_total == text_result.sweeps_total, label
+            assert tape_root == text_root, label
+            assert tape_draws == text_draws, label
+
+
+#: Tape-axis fast tier: both serial engines plus a pooled substrate with
+#: shm on and off, across the sampled fusion/depth tiers.
+FORMAT_SUBSTRATES_FAST = [
+    ("python", 1, True),
+    ("chunked", 2, True),
+    ("chunked", 2, False),
+]
+
+#: The fast tier samples two graph families; the full product runs slow.
+FORMAT_GRAPHS_FAST = [g for g in GRAPHS if g[0] in ("erdos-renyi", "power-law")]
+
+
+@pytest.mark.parametrize(
+    "name,build,seed", FORMAT_GRAPHS_FAST, ids=[g[0] for g in FORMAT_GRAPHS_FAST]
+)
+def test_tape_format_parity_fast_tier(monkeypatch, tmp_path, name, build, seed):
+    """Text vs binary tape, representative substrates and sampled tiers."""
+    _check_format_parity(
+        monkeypatch, tmp_path, name, build, seed, FORMAT_SUBSTRATES_FAST, TIERS_FAST
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,build,seed", GRAPHS, ids=[g[0] for g in GRAPHS])
+def test_tape_format_parity_full(monkeypatch, tmp_path, name, build, seed):
+    """Text vs binary tape over the full knob product: workers {1,2,4} x
+    shm on/off x fuse x depth {2,3,4}."""
+    _check_format_parity(monkeypatch, tmp_path, name, build, seed, SUBSTRATES, TIERS_FULL)
 
 
 @pytest.mark.slow
