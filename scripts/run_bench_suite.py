@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Eight stages:
+Nine stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -33,13 +33,23 @@ Eight stages:
    (mmap zero-copy ingest) - raw sweep throughput (edges/sec) measured
    for both formats, then full multi-round estimates timed end to end
    with bit-identical results asserted (the storage format must be
-   invisible to the sampling layer).
+   invisible to the sampling layer);
+9. a durable-snapshot overhead measurement: the canonical file-backed
+   workload run clean, run again with round-boundary ``.esnap``
+   snapshots enabled (atomic tmp + fsync + rename per committed round),
+   and resumed from a mid-run snapshot - all three asserted
+   bit-identical (estimate, trajectory, logical passes), with the
+   snapshotting wall overhead recorded.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
-trajectory instead of overwriting it.
+trajectory instead of overwriting it.  The history file is written
+atomically (tmp + fsync + rename, the same helper the snapshot layer
+uses) so a crash mid-append can never truncate it; if a previous crash
+*did* leave it unreadable, the corrupt file is backed up alongside and
+the history restarts rather than aborting the run.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-7 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-9 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
 below half of the last committed ``BENCH_engine.json`` entry, if the
@@ -49,8 +59,9 @@ failed to come in under the sequential driver's, if depth-3 windows
 performed more physical sweeps than depth-2 pairs on the canonical
 workload, if recovering from injected worker crashes cost more than
 2x the clean run's physical sweeps, or if the mmap tape's raw sweep
-throughput fell below the text parser's - wired into the tier-1 flow as
-an opt-in pytest
+throughput fell below the text parser's, or if round-boundary
+snapshotting failed resume parity or cost more than 2x the clean wall
+clock - wired into the tier-1 flow as an opt-in pytest
 (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
@@ -729,6 +740,131 @@ def run_tape_format_comparison(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_snapshot_overhead(scale: str, repeats: int = 3) -> dict:
+    """Durable-snapshot overhead and kill-at-round-k resume parity.
+
+    The canonical multi-round workload (file-backed, sharded workers=2,
+    fused, speculation depth 3) is estimated three ways:
+
+    * **clean**: no checkpoint dir - the baseline wall clock;
+    * **snapshotted**: a checkpoint dir configured, an atomic ``.esnap``
+      snapshot (tmp + fsync + rename) after every committed round -
+      asserted bit-identical to the clean run (snapshotting must be
+      invisible to the trajectory), wall overhead recorded;
+    * **resumed**: the run restarted from a *mid-run* snapshot - exactly
+      what a crash at that round boundary leaves behind - asserted
+      bit-identical to the clean run (estimate, trajectory, logical-pass
+      total; the kill -9 subprocess variant is pinned in
+      ``tests/test_snapshot.py``).
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import shutil
+    import tempfile
+
+    from repro.core.driver import EstimatorConfig, TriangleCountEstimator, resume_from
+    from repro.io import write_edgelist
+    from repro.streams.file import FileEdgeStream
+
+    n = ENGINE_SIZES[scale][-1]
+    graph, t, _memory_stream, _plan = _e9_instance(n)
+    handle = tempfile.NamedTemporaryFile("w", suffix=".edges", delete=False)
+    handle.close()
+    write_edgelist(graph, handle.name)
+    stream = FileEdgeStream(handle.name)
+    stream.stats()  # prime the cache so all columns pay the same passes
+    checkpoint_dir = tempfile.mkdtemp(prefix="esnap-bench-")
+    base = dict(
+        seed=3,
+        repetitions=3,
+        engine_mode="sharded",
+        workers=2,
+        fuse=True,
+        speculate=True,
+        speculate_depth=3,
+    )
+
+    def trajectory(result):
+        return [(r.t_guess, r.median_estimate, r.accepted) for r in result.rounds]
+
+    try:
+        clean_config = EstimatorConfig(**base)
+        clean_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            clean = TriangleCountEstimator(clean_config).estimate(stream, kappa=5)
+            clean_best = min(clean_best, time.perf_counter() - start)
+        snap_config = EstimatorConfig(
+            **base, checkpoint_dir=checkpoint_dir, snapshot_every=1, snapshot_keep=64
+        )
+        snap_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            snapped = TriangleCountEstimator(snap_config).estimate(stream, kappa=5)
+            snap_best = min(snap_best, time.perf_counter() - start)
+        assert snapped.estimate == clean.estimate, "snapshotting parity violated"
+        assert trajectory(snapped) == trajectory(clean), "snapshotting drifted the trajectory"
+        assert snapped.passes_total == clean.passes_total, (
+            "snapshotting changed the logical-pass total"
+        )
+        snapshots = sorted(
+            name for name in os.listdir(checkpoint_dir) if name.endswith(".esnap")
+        )
+        assert snapshots, "no snapshots were written"
+        # Resume from a mid-run boundary - the state a kill between rounds
+        # leaves on disk - and demand the clean run's exact result.
+        mid = snapshots[len(snapshots) // 2]
+        resumed = resume_from(os.path.join(checkpoint_dir, mid), stream)
+        assert resumed.estimate == clean.estimate, "resume parity violated"
+        assert trajectory(resumed) == trajectory(clean), "resume trajectory drifted"
+        assert resumed.passes_total == clean.passes_total, (
+            "resume changed the logical-pass total"
+        )
+        row = {
+            "n": n,
+            "m": graph.num_edges,
+            "rounds": len(clean.rounds),
+            "snapshots_written": len(snapshots),
+            "resumed_from": mid,
+            "clean_sec": round(clean_best, 5),
+            "snapshot_sec": round(snap_best, 5),
+            "overhead_x": round(snap_best / clean_best, 3) if clean_best else None,
+        }
+        print(f"[bench-suite] snapshot overhead: {row}")
+    finally:
+        os.unlink(handle.name)
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    return {
+        "scale": scale,
+        "workers": 2,
+        "cpu_count": os.cpu_count(),
+        "rows": [row],
+        "resumed_identical": True,
+    }
+
+
+def _load_history(path: pathlib.Path) -> list:
+    """Load the ``BENCH_engine.json`` run history, surviving corruption.
+
+    A crash during an earlier (pre-atomic-write) append could leave a
+    truncated or half-written file behind.  Losing the perf trajectory is
+    preferable to refusing every future benchmark run: an unreadable
+    history is backed up next to the original (``.corrupt-<epoch>``) and
+    the history restarts empty.  Earlier revisions wrote a single record
+    instead of an array; those are folded into a one-element list.
+    """
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        backup = path.with_name(f"{path.name}.corrupt-{int(time.time())}")
+        os.replace(path, backup)
+        print(f"[bench-suite] WARNING: {path.name} was unreadable; backed up to {backup.name}")
+        return []
+    return existing if isinstance(existing, list) else [existing]
+
+
 def _last_speedup(path: pathlib.Path, section: str, scale: str):
     """Newest recorded ``total_speedup`` for ``section`` measured at ``scale``.
 
@@ -736,11 +872,7 @@ def _last_speedup(path: pathlib.Path, section: str, scale: str):
     the gate baselines against the most recent record whose comparison was
     taken at the same scale (records from other scales are skipped).
     """
-    if not path.exists():
-        return None
-    existing = json.loads(path.read_text(encoding="utf-8"))
-    history = existing if isinstance(existing, list) else [existing]
-    for record in reversed(history):
+    for record in reversed(_load_history(path)):
         comparison = record.get(section) or {}
         if comparison.get("scale") == scale:
             return comparison.get("total_speedup")
@@ -763,6 +895,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_depth_sweep = run_speculative_depth_sweep("tiny")
     current_fault_recovery = run_fault_recovery("tiny")
     current_tape_format = run_tape_format_comparison("tiny")
+    current_snapshot = run_snapshot_overhead("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -856,6 +989,24 @@ def run_smoke(output: pathlib.Path) -> int:
             )
     if not tape_rows and current_tape_format.get("have_numpy", True):
         failures.append("tape format comparison produced no rows")
+    # The snapshot gate: resume parity is asserted inside the stage (a
+    # non-identical resume raises); here we re-check the recorded flag so
+    # a silently-empty stage cannot pass, and bound the wall overhead -
+    # one small atomic write per committed round must not dominate the
+    # round itself (2x slack for fsync latency on shared CI disks).
+    snapshot_rows = current_snapshot.get("rows", [])
+    if not current_snapshot.get("resumed_identical", False) and current_snapshot.get(
+        "have_numpy", True
+    ):
+        failures.append("snapshot stage did not verify a bit-identical resume")
+    for row in snapshot_rows:
+        overhead = row.get("overhead_x")
+        if overhead is not None and overhead > 2.0:
+            failures.append(
+                f"round-boundary snapshotting too expensive: {overhead}x clean wall clock"
+            )
+    if not snapshot_rows and current_snapshot.get("have_numpy", True):
+        failures.append("snapshot overhead stage produced no rows")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -892,15 +1043,14 @@ def main() -> int:
     record["speculative_depth_sweep"] = run_speculative_depth_sweep(args.scale)
     record["fault_recovery"] = run_fault_recovery(args.scale)
     record["tape_format_comparison"] = run_tape_format_comparison(args.scale)
+    record["snapshot_overhead"] = run_snapshot_overhead(args.scale)
 
     out = pathlib.Path(args.output)
-    history = []
-    if out.exists():
-        existing = json.loads(out.read_text(encoding="utf-8"))
-        # Earlier revisions wrote a single record; fold it into the array.
-        history = existing if isinstance(existing, list) else [existing]
+    history = _load_history(out)
     history.append(record)
-    out.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    from repro.core.snapshot import atomic_write_text
+
+    atomic_write_text(out, json.dumps(history, indent=2) + "\n")
     print(f"[bench-suite] appended run {len(history)} to {out}")
     failed = record.get("benchmarks", {}).get("returncode", 0) != 0
     return 1 if failed else 0

@@ -22,7 +22,12 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
 paper-vs-measured results.
 """
 
-from .core.driver import EstimateResult, EstimatorConfig, TriangleCountEstimator
+from .core.driver import (
+    EstimateResult,
+    EstimatorConfig,
+    TriangleCountEstimator,
+    resume_from,
+)
 from .core.exact_reference import ExactStreamingCounter
 from .core.oracle_model import DegreeOracle, IdealEstimator
 from .core.params import ParameterPlan, PlanConstants
@@ -32,6 +37,9 @@ from .errors import (
     ParameterError,
     PassBudgetExceeded,
     ReproError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
     SpaceBudgetExceeded,
     StreamError,
 )
@@ -77,5 +85,9 @@ __all__ = [
     "SpaceBudgetExceeded",
     "ParameterError",
     "EstimationError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMismatchError",
+    "resume_from",
     "__version__",
 ]

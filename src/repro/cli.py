@@ -34,18 +34,36 @@ Commands
 ``tape-info <tape>``
     Dump an ``.etape`` header: version, edge count, vertex bound,
     canonical flag, checksum, and the content fingerprint.
+``resume <snapshot-or-dir> <edgelist>``
+    Continue an interrupted estimate from a durable ``.esnap`` snapshot
+    (or the newest valid one in a checkpoint directory) - bit-identical
+    to a run that was never interrupted.  Engine flags may override the
+    snapshot's stored selection (results are engine-independent).
+``snapshot-info <snapshot-or-dir>``
+    Dump an ``.esnap`` header and state summary: version, round index,
+    committed rounds, accounting, config hash, stream fingerprint.
+
+``estimate`` (and ``resume``) accept ``--checkpoint-dir``: the driver
+then writes an atomic ``.esnap`` snapshot after every committed round
+(cadence ``--snapshot-every``, rotation ``--snapshot-keep``), and a
+SIGTERM/SIGINT mid-run flushes a final snapshot before exiting 130, so
+the run can be continued with ``repro resume``.
 
 Every command taking an input file auto-detects its format by magic
 bytes, so text edge lists and ``.etape`` tapes are interchangeable.
 
-All output is plain text; exit code 0 on success, 2 on usage errors.
+All output is plain text; exit code 0 on success, 2 on usage errors,
+130 when interrupted (after flushing a final snapshot if enabled).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from . import __version__
 from .analysis import format_table, predicted_bounds
@@ -161,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "default: REPRO_FAULTS policy)"
         ),
     )
+    _add_snapshot_arguments(p_est)
 
     p_bounds = sub.add_parser("bounds", help="Table 1 predicted bounds for an instance")
     p_bounds.add_argument("edgelist")
@@ -194,7 +213,62 @@ def _build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("tape-info", help="dump an .etape tape header and stats")
     p_info.add_argument("tape")
 
+    p_resume = sub.add_parser(
+        "resume", help="continue an interrupted estimate from an .esnap snapshot"
+    )
+    p_resume.add_argument(
+        "snapshot", help=".esnap file, or a checkpoint directory (newest valid snapshot)"
+    )
+    p_resume.add_argument("edgelist", help="the run's input (fingerprint must match)")
+    p_resume.add_argument(
+        "--engine",
+        default=None,
+        choices=["auto", "chunked", "python", "sharded"],
+        help="override the snapshot's stored engine (results are engine-independent)",
+    )
+    p_resume.add_argument("--chunk-size", type=int, default=None)
+    p_resume.add_argument("--workers", type=int, default=None)
+    p_resume.add_argument("--fuse", action=argparse.BooleanOptionalAction, default=None)
+    p_resume.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=None
+    )
+    p_resume.add_argument("--speculate-depth", type=int, default=None)
+    p_resume.add_argument("--max-retries", type=int, default=None)
+    p_resume.add_argument("--task-timeout", type=float, default=None)
+    _add_snapshot_arguments(p_resume)
+
+    p_sinfo = sub.add_parser(
+        "snapshot-info", help="dump an .esnap snapshot header and state summary"
+    )
+    p_sinfo.add_argument(
+        "snapshot", help=".esnap file, or a checkpoint directory (newest valid snapshot)"
+    )
+
     return parser
+
+
+def _add_snapshot_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "write an atomic .esnap snapshot of the estimator state here after "
+            "each committed round; a killed run resumes bit-identically with "
+            "`repro resume` (default: REPRO_CHECKPOINT_DIR policy, disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="committed rounds between persisted snapshots (default: REPRO_SNAPSHOT_EVERY, 1)",
+    )
+    parser.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=None,
+        help="snapshots retained in the rotation (default: REPRO_SNAPSHOT_KEEP, 3)",
+    )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -214,26 +288,37 @@ def _cmd_exact(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_estimate(args: argparse.Namespace) -> int:
-    stream = open_edge_stream(args.edgelist)
-    config = EstimatorConfig(
-        epsilon=args.epsilon,
-        seed=args.seed,
-        repetitions=args.repetitions,
-        engine_mode=args.engine,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
-        fuse=args.fuse,
-        speculate=args.speculate,
-        speculate_depth=args.speculate_depth,
-        max_retries=args.max_retries,
-        task_timeout=args.task_timeout,
-        faults=args.faults,
-    )
-    result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
+@contextmanager
+def _graceful_signals(checkpoint_dir: Optional[str]) -> Iterator[None]:
+    """Convert SIGTERM into ``KeyboardInterrupt`` while checkpointing.
+
+    The driver's guessing loop flushes a final snapshot on
+    ``KeyboardInterrupt``/``SystemExit`` before re-raising; SIGINT already
+    arrives as ``KeyboardInterrupt``, so only SIGTERM needs translating.
+    Installed only when a checkpoint dir is in force (there is nothing
+    durable to flush otherwise) and only where a handler may be installed
+    (the main thread).
+    """
+    if checkpoint_dir is None:
+        yield
+        return
+    def _terminate(signum, frame):  # pragma: no cover - exercised via subprocess
+        raise KeyboardInterrupt
+    try:
+        previous = signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - non-main thread embedding
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _print_estimate(result, repetitions: int) -> None:
     print(f"estimate:  {result.estimate:.1f}")
     print(f"rounds:    {len(result.rounds)}")
-    print(f"passes:    {result.passes_total} total ({6 * args.repetitions} max per round)")
+    print(f"passes:    {result.passes_total} total ({6 * repetitions} max per round)")
     if result.sweeps_wasted or result.passes_wasted:
         print(
             f"sweeps:    {result.sweeps_total} tape sweeps "
@@ -251,6 +336,111 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
             f"degraded:  {report.action} after {report.attempts} attempt(s) "
             f"at {report.site}: {report.cause}"
         )
+
+
+def _interrupted(checkpoint_dir: Optional[str]) -> int:
+    where = f" (latest snapshot in {checkpoint_dir})" if checkpoint_dir else ""
+    print(f"interrupted: final snapshot flushed{where}", file=sys.stderr)
+    return 130
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from .core.snapshot import resolve_checkpoint_dir
+
+    stream = open_edge_stream(args.edgelist)
+    config = EstimatorConfig(
+        epsilon=args.epsilon,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        engine_mode=args.engine,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        fuse=args.fuse,
+        speculate=args.speculate,
+        speculate_depth=args.speculate_depth,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        faults=args.faults,
+        checkpoint_dir=args.checkpoint_dir,
+        snapshot_every=args.snapshot_every,
+        snapshot_keep=args.snapshot_keep,
+    )
+    checkpoint_dir = resolve_checkpoint_dir(config.checkpoint_dir)
+    try:
+        with _graceful_signals(checkpoint_dir):
+            result = TriangleCountEstimator(config).estimate(stream, kappa=args.kappa)
+    except KeyboardInterrupt:
+        return _interrupted(checkpoint_dir)
+    _print_estimate(result, args.repetitions)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .core.driver import resume_from
+    from .core.snapshot import load_source, resolve_checkpoint_dir
+
+    snap = load_source(args.snapshot)
+    stream = open_edge_stream(args.edgelist)
+    overrides = {
+        field: value
+        for field, value in (
+            ("engine_mode", args.engine),
+            ("chunk_size", args.chunk_size),
+            ("workers", args.workers),
+            ("fuse", args.fuse),
+            ("speculate", args.speculate),
+            ("speculate_depth", args.speculate_depth),
+            ("max_retries", args.max_retries),
+            ("task_timeout", args.task_timeout),
+            ("checkpoint_dir", args.checkpoint_dir),
+            ("snapshot_every", args.snapshot_every),
+            ("snapshot_keep", args.snapshot_keep),
+        )
+        if value is not None
+    }
+    print(f"resuming:  round {snap.round_index} from {snap.path or '<snapshot>'}")
+    checkpoint_dir = resolve_checkpoint_dir(args.checkpoint_dir)
+    if checkpoint_dir is None and snap.path is not None:
+        checkpoint_dir = os.path.dirname(os.path.abspath(snap.path))
+    try:
+        with _graceful_signals(checkpoint_dir):
+            result = resume_from(snap, stream, overrides=overrides)
+    except KeyboardInterrupt:
+        return _interrupted(checkpoint_dir)
+    repetitions = int((snap.payload.get("config") or {}).get("repetitions", 1))
+    _print_estimate(result, repetitions)
+    return 0
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    from .core.snapshot import load_source
+
+    snap = load_source(args.snapshot)
+    payload = snap.payload
+    accounting = payload.get("accounting") or {}
+    rounds = payload.get("rounds") or []
+    config = payload.get("config") or {}
+    last_median = rounds[-1]["median_estimate"] if rounds else None
+    rows = [
+        ["version", snap.version],
+        ["next round", snap.round_index],
+        ["rounds committed", len(rounds)],
+        ["median so far", "-" if last_median is None else f"{last_median:.1f}"],
+        ["kappa", payload.get("kappa")],
+        ["seed", config.get("seed")],
+        ["repetitions", config.get("repetitions")],
+        ["passes so far", accounting.get("passes_total")],
+        ["sweeps so far", accounting.get("sweeps_total")],
+        ["space peak (words)", accounting.get("space_words_peak")],
+        ["degradations", len(payload.get("degradations") or [])],
+        ["config hash", snap.config_hash_hex[:16]],
+        ["fingerprint", snap.fingerprint_hex[:16]],
+    ]
+    print(
+        format_table(
+            ["field", "value"], rows, caption=f"snapshot: {snap.path or '<snapshot>'}"
+        )
+    )
     return 0
 
 
@@ -369,6 +559,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "convert": _cmd_convert,
     "tape-info": _cmd_tape_info,
+    "resume": _cmd_resume,
+    "snapshot-info": _cmd_snapshot_info,
 }
 
 

@@ -34,8 +34,15 @@ from .params import ParameterPlan, PlanConstants
 from .oracle_model import DegreeOracle, IdealEstimator, IdealEstimatorResult
 from .assignment import ExactAssigner, StreamingAssigner
 from .estimator import SinglePassStackResult, run_single_estimate
-from .driver import EstimateResult, EstimatorConfig, TriangleCountEstimator
+from .driver import (
+    EstimateResult,
+    EstimatorConfig,
+    ResumeState,
+    TriangleCountEstimator,
+    resume_from,
+)
 from .exact_reference import ExactStreamingCounter
+from .snapshot import Snapshot, SnapshotWriter, load_latest, read_snapshot
 
 __all__ = [
     "ParameterPlan",
@@ -54,4 +61,10 @@ __all__ = [
     "engine_mode",
     "engine_overrides",
     "set_engine",
+    "resume_from",
+    "ResumeState",
+    "Snapshot",
+    "SnapshotWriter",
+    "read_snapshot",
+    "load_latest",
 ]

@@ -19,20 +19,28 @@ no triangles walks the guess below 1 and yields estimate 0.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import EstimationError, ParameterError
-from ..rng import make_rng, spawn
+from ..errors import (
+    EstimationError,
+    ParameterError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+)
+from ..rng import decode_state, encode_state, make_rng, spawn
 from ..sampling.combine import median
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
 from ..streams.space import SpaceMeter
 from . import engine
 from . import faults as faults_module
+from . import snapshot as snapshot_module
 from .engine import engine_overrides
 from .estimator import (
     PASS_BUDGET_PER_ROUND,
@@ -143,6 +151,26 @@ class EstimatorConfig:
         ``"worker.crash@2;sweep.mid_stage@3"`` (see
         :meth:`~repro.core.faults.FaultPlan.parse`).  ``None`` keeps the
         ``REPRO_FAULTS`` policy (no injection unless the variable is set).
+    checkpoint_dir:
+        Optional durable-snapshot directory: after each committed
+        guessing round the driver atomically writes an ``.esnap``
+        snapshot of the full estimator state there
+        (:mod:`repro.core.snapshot`), and :func:`resume_from` continues a
+        killed run bit-identically from the newest one.  ``None`` keeps
+        the ``REPRO_CHECKPOINT_DIR`` policy (no snapshots unless the
+        variable is set).  Snapshotting never affects results - runs
+        with and without a checkpoint dir are bit-identical.
+    snapshot_every:
+        Optional snapshot cadence: persist every this-many committed
+        rounds (the in-memory state is still refreshed at every
+        boundary, so an interrupt flushes at most one cadence window
+        late).  ``None`` keeps the ``REPRO_SNAPSHOT_EVERY`` policy
+        (default 1 - every round).
+    snapshot_keep:
+        Optional rotation depth: how many snapshots to retain in the
+        checkpoint dir (older ones are deleted after each successful
+        write).  ``None`` keeps the ``REPRO_SNAPSHOT_KEEP`` policy
+        (default 3).
     """
 
     epsilon: float = 0.25
@@ -163,6 +191,9 @@ class EstimatorConfig:
     max_retries: Optional[int] = None
     task_timeout: Optional[float] = None
     faults: "str | object | None" = None
+    checkpoint_dir: Optional[str] = None
+    snapshot_every: Optional[int] = None
+    snapshot_keep: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -184,6 +215,10 @@ class EstimatorConfig:
             raise ParameterError(f"task_timeout must be positive, got {self.task_timeout}")
         if self.faults is not None and not isinstance(self.faults, faults_module.FaultPlan):
             faults_module.FaultPlan.parse(str(self.faults))  # validate eagerly
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise ParameterError(f"snapshot_every must be >= 1, got {self.snapshot_every}")
+        if self.snapshot_keep is not None and self.snapshot_keep < 1:
+            raise ParameterError(f"snapshot_keep must be >= 1, got {self.snapshot_keep}")
 
 
 @dataclass(frozen=True)
@@ -194,6 +229,31 @@ class GuessRound:
     runs: List[SinglePassStackResult]
     median_estimate: float
     accepted: bool
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """Decoded snapshot state: everything the guessing loop carries across
+    a round boundary (see :mod:`repro.core.snapshot`).
+
+    ``round_index`` is the next round to run; ``rounds`` are the committed
+    ones; the accounting fields restore the result totals; ``rng_state``
+    is the root generator's ``getstate()`` at the boundary and
+    ``rng_stack`` the (normally empty between rounds) speculative
+    checkpoint stack; ``degradations`` are the recovery ladder's recorded
+    reports up to the snapshot.
+    """
+
+    round_index: int
+    rounds: List[GuessRound]
+    space_words_peak: int
+    passes_total: int
+    sweeps_total: int
+    sweeps_wasted: int
+    passes_wasted: int
+    rng_state: tuple
+    rng_stack: Tuple[tuple, ...]
+    degradations: Tuple[FailureReport, ...]
 
 
 @dataclass(frozen=True)
@@ -273,6 +333,7 @@ class TriangleCountEstimator:
         stream: EdgeStream,
         kappa: int,
         assigner_factory: Optional[AssignerFactory] = None,
+        _resume: Optional[ResumeState] = None,
     ) -> EstimateResult:
         """Estimate the triangle count of ``stream``.
 
@@ -287,6 +348,8 @@ class TriangleCountEstimator:
             true degeneracy (space grows linearly in the bound).
         assigner_factory:
             Optional override of the ``IsAssigned`` implementation.
+        _resume:
+            Internal: restored snapshot state (use :func:`resume_from`).
         """
         cfg = self._config
         # Engine selection travels with the config: every pass of every
@@ -312,7 +375,7 @@ class TriangleCountEstimator:
                 policy=faults_module.policy_from_env(cfg.max_retries, cfg.task_timeout),
                 plan=cfg.faults,
             ) as recovery:
-                return self._estimate(stream, kappa, assigner_factory, recovery)
+                return self._estimate(stream, kappa, assigner_factory, recovery, _resume)
 
     def _estimate(
         self,
@@ -320,6 +383,7 @@ class TriangleCountEstimator:
         kappa: int,
         assigner_factory: Optional[AssignerFactory],
         recovery: RecoveryContext,
+        resume: Optional[ResumeState] = None,
     ) -> EstimateResult:
         cfg = self._config
         if kappa < 1:
@@ -709,16 +773,234 @@ class TriangleCountEstimator:
                     root.setstate(base_state)
 
         round_index = 0
-        while round_index < len(guesses):
-            t_guess = guesses[round_index]
-            if t_guess < 1.0 and cfg.t_hint is None:
-                break  # fewer than one triangle remains plausible: answer 0
-            verdict, value = run_round(round_index, t_guess)
-            if verdict == "accepted":
-                return result(float(value))
-            round_index += int(value)
+        if resume is not None:
+            # Restore the loop state the snapshot captured: the committed
+            # trajectory, the accounting totals, the recovery reports, and
+            # - the linchpin of bit-identity - the root generator's exact
+            # state at the boundary.  The guesses list is recomputed above
+            # from (m, kappa, config), which the snapshot's config hash
+            # and stream fingerprint have already pinned.
+            rounds.extend(resume.rounds)
+            space_peak = resume.space_words_peak
+            passes_total = resume.passes_total
+            sweeps_total = resume.sweeps_total
+            sweeps_wasted = resume.sweeps_wasted
+            passes_wasted = resume.passes_wasted
+            if rounds:
+                estimate = rounds[-1].median_estimate
+                final_plan = build_plan(rounds[-1].t_guess)
+            root.setstate(resume.rng_state)
+            recovery.reports.extend(resume.degradations)
+            round_index = resume.round_index
+
+        writer: Optional[snapshot_module.SnapshotWriter] = None
+        checkpoint_dir = snapshot_module.resolve_checkpoint_dir(cfg.checkpoint_dir)
+        if checkpoint_dir is not None:
+            writer = snapshot_module.SnapshotWriter(
+                checkpoint_dir,
+                config_digest=snapshot_module.config_hash(_config_state(cfg), kappa),
+                fingerprint=snapshot_module.stream_fingerprint(stream),
+                every=cfg.snapshot_every,
+                keep=cfg.snapshot_keep,
+            )
+
+        def boundary_payload(next_round: int) -> Dict[str, object]:
+            """The full estimator state entering round ``next_round``."""
+            return {
+                "kappa": kappa,
+                "config": _config_state(cfg),
+                "round_index": next_round,
+                "rounds": [_round_state(r) for r in rounds],
+                "accounting": {
+                    "space_words_peak": space_peak,
+                    "passes_total": passes_total,
+                    "sweeps_total": sweeps_total,
+                    "sweeps_wasted": sweeps_wasted,
+                    "passes_wasted": passes_wasted,
+                },
+                # Between rounds the speculative checkpoint stack is always
+                # empty (windows rewind or commit before the boundary); the
+                # format still carries it for the dynamic-stream roadmap.
+                "rng": {"state": encode_state(root.getstate()), "stack": []},
+                "degradations": [dataclasses.asdict(rep) for rep in recovery.reports],
+                # Round-boundary state holds no live reservoirs (each round
+                # rebuilds its own); the slot is the extension point for
+                # mid-pass checkpoints (see sampling.reservoir.state_dict).
+                "reservoirs": {},
+            }
+
+        try:
+            if writer is not None:
+                writer.boundary(round_index, boundary_payload(round_index))
+            while round_index < len(guesses):
+                t_guess = guesses[round_index]
+                if t_guess < 1.0 and cfg.t_hint is None:
+                    break  # fewer than one triangle remains plausible: answer 0
+                verdict, value = run_round(round_index, t_guess)
+                if verdict == "accepted":
+                    return result(float(value))
+                round_index += int(value)
+                if writer is not None:
+                    writer.boundary(round_index, boundary_payload(round_index))
+        except (KeyboardInterrupt, SystemExit):
+            # Process shutdown mid-round: the root generator may be
+            # mid-window, so the durable state is the *retained boundary*
+            # document, not the live locals - flush it and re-raise.
+            if writer is not None:
+                writer.write_final()
+            raise
 
         if cfg.t_hint is not None:  # pragma: no cover - hint rounds always accept
             raise EstimationError("hinted round did not record a result")
         # All guesses rejected: consistent with a (near-)triangle-free graph.
         return result(0.0 if estimate < 1.0 else estimate)
+
+
+# ---------------------------------------------------------------------------
+# snapshot serialization and resume
+
+
+def _config_state(cfg: EstimatorConfig) -> Dict[str, object]:
+    """The config as a JSON document, for snapshot payloads.
+
+    ``faults`` is deliberately dropped: an injection plan is a testing
+    aid whose scheduled indices were (partly) consumed by the run that
+    wrote the snapshot - replaying it on resume would fire faults the
+    uninterrupted run never saw.
+    """
+    state = {
+        f.name: getattr(cfg, f.name)
+        for f in dataclasses.fields(EstimatorConfig)
+        if f.name != "faults"
+    }
+    constants = state["constants"]
+    if constants is not None:
+        state["constants"] = [constants.c_r, constants.c_ell, constants.c_s]
+    return state
+
+
+def _config_from_state(state: Dict[str, object]) -> EstimatorConfig:
+    """Rebuild an :class:`EstimatorConfig` from a snapshot's document."""
+    known = {f.name for f in dataclasses.fields(EstimatorConfig)}
+    kwargs = {key: value for key, value in state.items() if key in known}
+    constants = kwargs.get("constants")
+    if constants is not None:
+        kwargs["constants"] = PlanConstants(*constants)
+    try:
+        return EstimatorConfig(**kwargs)
+    except (TypeError, ParameterError) as exc:
+        raise SnapshotFormatError(f"snapshot config does not reconstruct: {exc}") from exc
+
+
+def _round_state(round_: GuessRound) -> Dict[str, object]:
+    return {
+        "t_guess": round_.t_guess,
+        "median_estimate": round_.median_estimate,
+        "accepted": round_.accepted,
+        "runs": [run.to_state() for run in round_.runs],
+    }
+
+
+def _round_from_state(state: Dict[str, object]) -> GuessRound:
+    return GuessRound(
+        t_guess=float(state["t_guess"]),
+        runs=[SinglePassStackResult.from_state(s) for s in state["runs"]],
+        median_estimate=float(state["median_estimate"]),
+        accepted=bool(state["accepted"]),
+    )
+
+
+def _resume_state(payload: Dict[str, object]) -> ResumeState:
+    """Decode a snapshot payload into loop state; malformed documents that
+    passed the CRC (a writer bug, not disk damage) still raise the typed
+    :class:`~repro.errors.SnapshotFormatError`."""
+    try:
+        accounting = payload.get("accounting", {})
+        rng = payload["rng"]
+        return ResumeState(
+            round_index=int(payload["round_index"]),
+            rounds=[_round_from_state(s) for s in payload.get("rounds", [])],
+            space_words_peak=int(accounting.get("space_words_peak", 0)),
+            passes_total=int(accounting.get("passes_total", 0)),
+            sweeps_total=int(accounting.get("sweeps_total", 0)),
+            sweeps_wasted=int(accounting.get("sweeps_wasted", 0)),
+            passes_wasted=int(accounting.get("passes_wasted", 0)),
+            rng_state=decode_state(rng["state"]),
+            rng_stack=tuple(decode_state(s) for s in rng.get("stack", [])),
+            degradations=tuple(
+                FailureReport(**report) for report in payload.get("degradations", [])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotFormatError(f"snapshot payload malformed: {exc!r}") from exc
+
+
+def resume_from(
+    source: "Union[str, snapshot_module.Snapshot]",
+    stream: EdgeStream,
+    config: Optional[EstimatorConfig] = None,
+    assigner_factory: Optional[AssignerFactory] = None,
+    overrides: Optional[Dict[str, object]] = None,
+) -> EstimateResult:
+    """Resume an interrupted estimate from a durable snapshot.
+
+    ``source`` is an ``.esnap`` file, a checkpoint directory (its newest
+    structurally valid snapshot is used - the rotation is the fallback
+    when the newest write was torn), or an already-decoded
+    :class:`~repro.core.snapshot.Snapshot`.  The run continues from the
+    snapshot's round boundary and is bit-identical to one that was never
+    interrupted: same estimates, same trajectory, same ``passes_total``,
+    same final root-RNG state.
+
+    Validation is two-staged and typed.  Structural damage raised while
+    loading is :class:`~repro.errors.SnapshotFormatError`; a valid
+    snapshot that belongs to a different run -- the resuming stream's
+    content fingerprint or the config's trajectory hash disagrees with
+    the header -- is the hard :class:`~repro.errors.SnapshotMismatchError`.
+    Engine and robustness knobs are *outside* the hash: a run
+    checkpointed under ``--engine python`` may resume under the sharded
+    engine (results are bit-identical across engines), which ``config``
+    or ``overrides`` (a dict of :class:`EstimatorConfig` field
+    replacements applied over the snapshot's stored config) select.
+
+    Checkpointing continues by default: when neither the effective config
+    nor the environment names a checkpoint dir, the directory the
+    snapshot was loaded from is reused.
+    """
+    snap = snapshot_module.load_source(source)
+    fingerprint = snapshot_module.stream_fingerprint(stream)
+    where = snap.path or "<snapshot>"
+    if fingerprint != snap.fingerprint:
+        raise SnapshotMismatchError(
+            f"{where}: stream fingerprint mismatch - snapshot records "
+            f"{snap.fingerprint_hex[:16]}..., resuming stream hashes to "
+            f"{fingerprint.hex()[:16]}...; refusing to resume against a "
+            "different input"
+        )
+    payload = snap.payload
+    kappa = int(payload.get("kappa", 0))
+    if config is None:
+        config = _config_from_state(payload.get("config") or {})
+    if overrides:
+        try:
+            config = dataclasses.replace(config, **overrides)
+        except TypeError as exc:
+            raise ParameterError(f"unknown resume override: {exc}") from exc
+    if (
+        snapshot_module.resolve_checkpoint_dir(config.checkpoint_dir) is None
+        and snap.path is not None
+    ):
+        config = dataclasses.replace(
+            config, checkpoint_dir=os.path.dirname(os.path.abspath(snap.path))
+        )
+    if snapshot_module.config_hash(_config_state(config), kappa) != snap.config_hash:
+        raise SnapshotMismatchError(
+            f"{where}: config hash mismatch - the resuming configuration's "
+            "trajectory-relevant fields (seed, epsilon, repetitions, mode, "
+            "constants, hint, budgets, pass sharing) or kappa differ from "
+            "the run that wrote this snapshot"
+        )
+    state = _resume_state(payload)
+    return TriangleCountEstimator(config).estimate(
+        stream, kappa, assigner_factory, _resume=state
+    )

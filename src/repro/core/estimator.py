@@ -40,6 +40,7 @@ seed-for-seed bit-identical.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -97,6 +98,21 @@ class SinglePassStackResult:
     #: smaller when the fused sweep engine grouped passes - see
     #: :func:`repro.core.executor.run_plans`).
     sweeps_used: int = 0
+
+    def to_state(self) -> dict:
+        """The run as a JSON-representable document (snapshot payload)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SinglePassStackResult":
+        """Rebuild a run from :meth:`to_state` output, bit-for-bit.
+
+        Every field is a plain int or float and JSON round-trips floats
+        exactly (repr-based encoding), so a restored run compares equal
+        to the original.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in state.items() if key in names})
 
 
 def run_single_estimate(

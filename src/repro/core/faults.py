@@ -54,6 +54,7 @@ from ..errors import (
     ParameterError,
     ReproError,
     ShmTransportError,
+    SnapshotWriteError,
     StreamReadError,
     TaskTimeoutError,
     WorkerCrashError,
@@ -72,8 +73,17 @@ FILE_READ = "file.read"
 SWEEP_MID_STAGE = "sweep.mid_stage"
 #: A sharded pool task hangs past the per-task timeout.
 TASK_TIMEOUT = "task.timeout"
+#: Persisting a round-boundary snapshot to the checkpoint dir fails.
+SNAPSHOT_WRITE = "snapshot.write"
 
-ALL_SITES = (WORKER_CRASH, SHM_ATTACH, FILE_READ, SWEEP_MID_STAGE, TASK_TIMEOUT)
+ALL_SITES = (
+    WORKER_CRASH,
+    SHM_ATTACH,
+    FILE_READ,
+    SWEEP_MID_STAGE,
+    TASK_TIMEOUT,
+    SNAPSHOT_WRITE,
+)
 
 # ---------------------------------------------------------------------------
 # degradation actions
@@ -83,9 +93,17 @@ ACTION_PICKLE = "shm->pickle"
 ACTION_SYNC_READS = "prefetch->sync"
 ACTION_TEXT = "mmap->text"
 ACTION_SEQUENTIAL = "speculative->sequential"
+ACTION_NO_SNAPSHOT = "snapshot->skip"
 
 #: Ladder order used when the failure's preferred step is unavailable.
-LADDER = (ACTION_SERIAL, ACTION_PICKLE, ACTION_SYNC_READS, ACTION_TEXT, ACTION_SEQUENTIAL)
+LADDER = (
+    ACTION_SERIAL,
+    ACTION_PICKLE,
+    ACTION_SYNC_READS,
+    ACTION_TEXT,
+    ACTION_SEQUENTIAL,
+    ACTION_NO_SNAPSHOT,
+)
 
 
 @dataclass(frozen=True)
@@ -287,6 +305,7 @@ class RecoveryContext:
     prefetch_degraded: bool = False
     mmap_degraded: bool = False
     serial_degraded: bool = False
+    snapshot_degraded: bool = False
 
     def applied(self, action: str) -> bool:
         return {
@@ -295,6 +314,7 @@ class RecoveryContext:
             ACTION_SYNC_READS: self.prefetch_degraded,
             ACTION_TEXT: self.mmap_degraded,
             ACTION_SEQUENTIAL: self.speculation_degraded,
+            ACTION_NO_SNAPSHOT: self.snapshot_degraded,
         }[action]
 
 
@@ -380,6 +400,10 @@ def degrade(action: str, site: str, attempts: int, cause: BaseException) -> None
         ctx.mmap_degraded = True
     elif action == ACTION_SEQUENTIAL:
         ctx.speculation_degraded = True
+    elif action == ACTION_NO_SNAPSHOT:
+        # The writer itself stops persisting (see core.snapshot); the
+        # context only records that durability was dropped for this run.
+        ctx.snapshot_degraded = True
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown degradation action {action!r}")
     ctx.reports.append(
@@ -413,6 +437,8 @@ def site_of(exc: BaseException) -> str:
         return TASK_TIMEOUT
     if isinstance(exc, ShmTransportError):
         return SHM_ATTACH
+    if isinstance(exc, SnapshotWriteError):
+        return SNAPSHOT_WRITE
     return FILE_READ if isinstance(exc, (StreamReadError, OSError)) else "unknown"
 
 

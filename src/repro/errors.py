@@ -60,6 +60,53 @@ class TapeFormatError(StreamReadError):
     """
 
 
+class SnapshotError(ReproError):
+    """Base class for failures of the durable-snapshot layer.
+
+    See :mod:`repro.core.snapshot`: the ``.esnap`` container, the
+    round-boundary writer, and the resume path all raise subclasses of
+    this error so callers can treat "anything snapshot-related" as one
+    failure family while the recovery machinery distinguishes the three
+    modes below.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """Raised when an ``.esnap`` snapshot fails *structural* validation.
+
+    Examples: truncated header or payload, bad magic bytes, a CRC-32
+    mismatch, an unsupported (future) format version, or a payload that
+    does not decode to the expected document.  Structural damage is a
+    property of one file, not of the run, so the loader falls back to
+    the previous snapshot in the rotation; only when every rotation
+    member is damaged does the error propagate.
+    """
+
+
+class SnapshotMismatchError(SnapshotError):
+    """Raised when a structurally valid snapshot belongs to a different run.
+
+    Examples: resuming against a stream whose content fingerprint differs
+    from the one recorded at snapshot time, or with a configuration whose
+    trajectory-relevant fields (seed, epsilon, repetitions, plan mode and
+    constants, ...) hash differently.  Unlike structural damage this is a
+    *hard* error - continuing would silently produce estimates that match
+    neither the original run nor a fresh one - so there is no fallback.
+    """
+
+
+class SnapshotWriteError(SnapshotError, StreamReadError):
+    """Raised for *transient* failures persisting a snapshot to disk.
+
+    Wraps I/O errors from the tmp-write/fsync/rename sequence and the
+    injected ``snapshot.write`` fault.  Subclasses
+    :class:`StreamReadError` deliberately so the recovery layer classifies
+    it as retryable; exhausted retries degrade ``snapshot->skip`` (the
+    run continues without further checkpoints) rather than failing the
+    estimate - durability is an add-on, never a correctness dependency.
+    """
+
+
 class WorkerCrashError(ReproError):
     """Raised when a sharded worker process died executing a pass task.
 

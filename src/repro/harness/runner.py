@@ -69,6 +69,8 @@ def run_paper_estimator_on_graph(
     fuse: Optional[bool] = None,
     speculate: Optional[bool] = None,
     speculate_depth: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
 ) -> RunReport:
     """Run the paper's estimator on ``graph`` with the promise ``kappa``.
 
@@ -76,7 +78,9 @@ def run_paper_estimator_on_graph(
     seed and any engine selection (``engine_mode`` / ``chunk_size`` /
     ``workers`` / ``fuse`` / ``speculate`` / ``speculate_depth`` -
     ignored when an explicit ``config`` is supplied, since the config
-    already carries its own engine fields);
+    already carries its own engine fields) plus any durable-snapshot
+    selection (``checkpoint_dir`` / ``snapshot_every``, see
+    :mod:`repro.core.snapshot`);
     pass ``exact`` to skip the (possibly expensive) ground-truth count
     when the caller already knows it.
     """
@@ -89,6 +93,8 @@ def run_paper_estimator_on_graph(
             fuse=fuse,
             speculate=speculate,
             speculate_depth=speculate_depth,
+            checkpoint_dir=checkpoint_dir,
+            snapshot_every=snapshot_every,
         )
     stream = _stream_for(graph, seed)
     truth = exact if exact is not None else count_triangles(graph)
@@ -124,6 +130,8 @@ def run_paper_estimator_on_file(
     fuse: Optional[bool] = None,
     speculate: Optional[bool] = None,
     speculate_depth: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
 ) -> RunReport:
     """Run the paper's estimator on an edge-list *file* in either format.
 
@@ -148,6 +156,8 @@ def run_paper_estimator_on_file(
             fuse=fuse,
             speculate=speculate,
             speculate_depth=speculate_depth,
+            checkpoint_dir=checkpoint_dir,
+            snapshot_every=snapshot_every,
         )
     stream = open_edge_stream(path)
     truth = exact if exact is not None else count_triangles(read_edgelist(path))

@@ -46,3 +46,28 @@ def spawn_many(parent: random.Random, label: str, count: int) -> Iterator[random
     """Yield ``count`` independent children labelled ``label[0..count)``."""
     for i in range(count):
         yield spawn(parent, f"{label}[{i}]")
+
+
+def encode_state(state: object) -> object:
+    """Make a ``random.Random.getstate()`` value JSON-representable.
+
+    The stdlib state is a nest of tuples of ints (plus ``None`` / floats);
+    JSON has no tuple, so tuples become lists.  :func:`decode_state`
+    inverts the mapping exactly, and the pair round-trips the generator
+    bit-for-bit: ``rng.setstate(decode_state(encode_state(rng.getstate())))``
+    leaves the stream of draws unchanged.
+    """
+    if isinstance(state, tuple):
+        return [encode_state(part) for part in state]
+    return state
+
+
+def decode_state(data: object) -> object:
+    """Rebuild a ``random.Random.setstate()`` value from its encoded form.
+
+    Lists (the JSON image of tuples) become tuples recursively; scalars
+    pass through.  Accepts an already-decoded state unchanged.
+    """
+    if isinstance(data, (list, tuple)):
+        return tuple(decode_state(part) for part in data)
+    return data

@@ -18,8 +18,9 @@ Both charge their storage to an optional
 from __future__ import annotations
 
 import random
-from typing import Generic, List, Optional, TypeVar
+from typing import Dict, Generic, List, Optional, TypeVar
 
+from ..rng import decode_state, encode_state
 from ..streams.space import SpaceMeter
 
 Item = TypeVar("Item")
@@ -85,6 +86,49 @@ class Reservoir(Generic[Item]):
         """Return the current reservoir content (size ``min(k, offers)``)."""
         return list(self._items)
 
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to continue this reservoir draw-for-draw.
+
+        The document is JSON-representable (the generator state is
+        encoded via :func:`repro.rng.encode_state`; tuple items become
+        lists and are restored as tuples by :meth:`load_state_dict`).
+        This is the durable-snapshot building block: a restored
+        reservoir makes the *identical* keep/evict decision on every
+        subsequent offer.
+        """
+        return {
+            "capacity": self._capacity,
+            "offers": self._offers,
+            "items": [list(i) if isinstance(i, tuple) else i for i in self._items],
+            "rng_state": encode_state(self._rng.getstate()),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output into this reservoir.
+
+        The capacity must match the constructor's (the state is a
+        continuation, not a resize); restored items are re-charged to the
+        attached space meter so accounting continues consistently.
+        """
+        capacity = int(state["capacity"])
+        if capacity != self._capacity:
+            raise ValueError(
+                f"reservoir capacity mismatch: constructed {self._capacity}, "
+                f"state carries {capacity}"
+            )
+        items = [tuple(i) if isinstance(i, list) else i for i in state["items"]]
+        if len(items) > self._capacity:
+            raise ValueError(
+                f"reservoir state carries {len(items)} items, capacity {self._capacity}"
+            )
+        if self._meter is not None:
+            delta = len(items) - len(self._items)
+            if delta > 0:
+                self._meter.allocate(self._words_per_item * delta, self._category)
+        self._items = list(items)
+        self._offers = int(state["offers"])
+        self._rng.setstate(decode_state(state["rng_state"]))
+
 
 class SingleItemReservoir(Generic[Item]):
     """O(1)-state uniform sample of one item from a (sub-)stream.
@@ -130,3 +174,23 @@ class SingleItemReservoir(Generic[Item]):
     def sample(self) -> Optional[Item]:
         """Return the held item, or ``None`` if nothing was ever offered."""
         return self._item
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-representable continuation state (see :class:`Reservoir`)."""
+        item = self._item
+        return {
+            "offers": self._offers,
+            "item": list(item) if isinstance(item, tuple) else item,
+            "rng_state": encode_state(self._rng.getstate()),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output; draws continue identically."""
+        item = state["item"]
+        if isinstance(item, list):
+            item = tuple(item)
+        if self._meter is not None and self._item is None and item is not None:
+            self._meter.allocate(self._words_per_item, self._category)
+        self._item = item
+        self._offers = int(state["offers"])
+        self._rng.setstate(decode_state(state["rng_state"]))

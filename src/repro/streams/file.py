@@ -93,6 +93,11 @@ class FileEdgeStream(EdgeStream):
         if not os.path.exists(self._path):
             raise StreamError(f"edge-list file not found: {self._path}")
 
+    @property
+    def path(self) -> str:
+        """The edge-list file this stream reads (snapshot fingerprinting)."""
+        return self._path
+
     def _parse(self, line: str, lineno: int) -> Edge | None:
         text = line.strip()
         if not text or text.startswith("#"):

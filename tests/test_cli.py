@@ -233,6 +233,63 @@ class TestConvertAndTapeInfo:
             main(["tape-info", wheel_file])
 
 
+class TestSnapshotCommands:
+    def _result_lines(self, out):
+        return [
+            line
+            for line in out.splitlines()
+            if line.startswith(("estimate:", "rounds:", "passes:"))
+        ]
+
+    def _checkpointed(self, wheel_file, tmp_path, capsys):
+        """Run plain then checkpointed; return (result lines, dir, names)."""
+        base = ["estimate", wheel_file, "--kappa", "3", "--seed", "1",
+                "--repetitions", "3"]
+        assert main(base) == 0
+        plain = self._result_lines(capsys.readouterr().out)
+        ckdir = tmp_path / "ck"
+        assert main(base + ["--checkpoint-dir", str(ckdir), "--snapshot-keep", "64"]) == 0
+        checkpointed = self._result_lines(capsys.readouterr().out)
+        assert checkpointed == plain
+        snaps = sorted(p.name for p in ckdir.glob("*.esnap"))
+        assert snaps and snaps[0] == "snap-r000000.esnap"
+        return plain, ckdir, snaps
+
+    def test_checkpointed_estimate_writes_snapshots_identically(
+        self, wheel_file, tmp_path, capsys
+    ):
+        self._checkpointed(wheel_file, tmp_path, capsys)
+
+    def test_resume_reproduces_the_estimate(self, wheel_file, tmp_path, capsys):
+        plain, ckdir, snaps = self._checkpointed(wheel_file, tmp_path, capsys)
+        assert main(["resume", str(ckdir / snaps[0]), wheel_file]) == 0
+        out = capsys.readouterr().out
+        assert "resuming:  round 0" in out
+        assert self._result_lines(out) == plain
+        # A directory source resumes from the newest snapshot.
+        assert main(["resume", str(ckdir), wheel_file]) == 0
+        assert self._result_lines(capsys.readouterr().out) == plain
+
+    def test_snapshot_info_summarizes_state(self, wheel_file, tmp_path, capsys):
+        _plain, ckdir, _snaps = self._checkpointed(wheel_file, tmp_path, capsys)
+        assert main(["snapshot-info", str(ckdir)]) == 0
+        out = capsys.readouterr().out
+        for field in ("next round", "rounds committed", "kappa", "seed",
+                      "config hash", "fingerprint"):
+            assert field in out
+
+    def test_resume_refuses_a_different_input(self, wheel_file, tmp_path, capsys):
+        from repro.errors import SnapshotMismatchError
+        from repro.generators import wheel_graph
+        from repro.io import write_edgelist
+
+        _plain, ckdir, _snaps = self._checkpointed(wheel_file, tmp_path, capsys)
+        other = tmp_path / "other.txt"
+        write_edgelist(wheel_graph(61), other)
+        with pytest.raises(SnapshotMismatchError):
+            main(["resume", str(ckdir), str(other)])
+
+
 class TestParser:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:

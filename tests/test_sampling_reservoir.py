@@ -1,7 +1,9 @@
-"""Tests for repro.sampling.reservoir: uniformity and accounting."""
+"""Tests for repro.sampling.reservoir: uniformity, accounting, and the
+draw-for-draw continuation contract behind durable snapshots."""
 
 from __future__ import annotations
 
+import json
 import random
 from collections import Counter
 
@@ -86,4 +88,85 @@ class TestSingleItemReservoir:
         r = SingleItemReservoir(random.Random(0), meter=meter, words_per_item=1)
         for x in range(10):
             r.offer(x)
+        assert meter.peak_words == 1
+
+
+class TestReservoirStateDict:
+    """The durable-snapshot building block: a reservoir restored from its
+    ``state_dict`` makes the *identical* keep/evict decision on every
+    subsequent offer (draw-for-draw continuation)."""
+
+    @pytest.mark.parametrize("cut", [0, 3, 40, 99])
+    def test_continuation_is_draw_for_draw(self, cut):
+        items = [(i, i + 1) for i in range(100)]
+        original = Reservoir(5, random.Random(11))
+        for item in items[:cut]:
+            original.offer(item)
+        state = original.state_dict()
+        restored = Reservoir(5, random.Random(999))  # a cold generator
+        restored.load_state_dict(state)
+        assert restored.offers == original.offers
+        assert restored.sample() == original.sample()
+        for item in items[cut:]:
+            original.offer(item)
+            restored.offer(item)
+            assert restored.sample() == original.sample()
+
+    def test_state_survives_json(self):
+        original = Reservoir(4, random.Random(3))
+        for i in range(30):
+            original.offer((i, i * 2))
+        state = json.loads(json.dumps(original.state_dict()))
+        restored = Reservoir(4, random.Random(0))
+        restored.load_state_dict(state)
+        # Tuple items come back as tuples, not the lists JSON stores.
+        assert restored.sample() == original.sample()
+        for i in range(30, 60):
+            original.offer((i, i * 2))
+            restored.offer((i, i * 2))
+        assert restored.sample() == original.sample()
+
+    def test_capacity_mismatch_rejected(self):
+        original = Reservoir(4, random.Random(0))
+        with pytest.raises(ValueError, match="capacity mismatch"):
+            Reservoir(5, random.Random(0)).load_state_dict(original.state_dict())
+
+    def test_overfull_state_rejected(self):
+        state = Reservoir(2, random.Random(0)).state_dict()
+        state["items"] = [1, 2, 3]
+        with pytest.raises(ValueError, match="capacity"):
+            Reservoir(2, random.Random(0)).load_state_dict(state)
+
+    def test_restore_recharges_the_meter(self):
+        original = Reservoir(3, random.Random(0), words_per_item=2)
+        for i in range(10):
+            original.offer(i)
+        meter = SpaceMeter()
+        restored = Reservoir(3, random.Random(0), meter=meter, words_per_item=2)
+        restored.load_state_dict(original.state_dict())
+        assert meter.peak_words == 6
+
+    @pytest.mark.parametrize("cut", [0, 1, 7])
+    def test_single_item_continuation(self, cut):
+        original = SingleItemReservoir(random.Random(5))
+        for i in range(cut):
+            original.offer((i, i))
+        state = json.loads(json.dumps(original.state_dict()))
+        restored = SingleItemReservoir(random.Random(17))
+        restored.load_state_dict(state)
+        assert restored.offers == original.offers
+        assert restored.sample() == original.sample()
+        for i in range(cut, 50):
+            original.offer((i, i))
+            restored.offer((i, i))
+            assert restored.sample() == original.sample()
+
+    def test_single_item_restore_charges_meter_once(self):
+        original = SingleItemReservoir(random.Random(0))
+        original.offer("a")
+        meter = SpaceMeter()
+        restored = SingleItemReservoir(random.Random(0), meter=meter)
+        restored.load_state_dict(original.state_dict())
+        restored.load_state_dict(original.state_dict())  # idempotent charge
+        assert restored.sample() == "a"
         assert meter.peak_words == 1
