@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the benchmark suite and record the engine perf trajectory.
 
-Nine stages:
+Ten stages:
 
 1. (optional) the repo's experiment regenerators at ``REPRO_BENCH_SCALE``
    (default ``tiny`` - a smoke pass over every ``benchmarks/bench_*.py``);
@@ -39,7 +39,13 @@ Nine stages:
    snapshots enabled (atomic tmp + fsync + rename per committed round),
    and resumed from a mid-run snapshot - all three asserted
    bit-identical (estimate, trajectory, logical passes), with the
-   snapshotting wall overhead recorded.
+   snapshotting wall overhead recorded;
+10. a serve-throughput measurement: several concurrent estimate requests
+   for the same tape (distinct seeds) served by one ``repro serve``
+   daemon over its unix socket, each response asserted bit-identical to
+   its solo run (estimate, pass/sweep totals, root-RNG digest) and the
+   tape's physical sweep count asserted strictly under the solo runs'
+   sum - the cross-job sweep-sharing payoff, measured deterministically.
 
 The results are *appended* to ``BENCH_engine.json`` at the repo root (a
 JSON array, one record per run), so successive PRs accumulate the speedup
@@ -49,7 +55,7 @@ uses) so a crash mid-append can never truncate it; if a previous crash
 *did* leave it unreadable, the corrupt file is backed up alongside and
 the history restarts rather than aborting the run.
 
-``--smoke`` is the CI regression gate: it reruns stages 2-9 at tiny scale,
+``--smoke`` is the CI regression gate: it reruns stages 2-10 at tiny scale,
 appends nothing, and exits non-zero if the measured chunked speedup (or
 the sharded speedup, when the box has the cores for it) regressed to
 below half of the last committed ``BENCH_engine.json`` entry, if the
@@ -61,7 +67,9 @@ workload, if recovering from injected worker crashes cost more than
 2x the clean run's physical sweeps, or if the mmap tape's raw sweep
 throughput fell below the text parser's, or if round-boundary
 snapshotting failed resume parity or cost more than 2x the clean wall
-clock - wired into the tier-1 flow as an opt-in pytest
+clock, or if concurrently-served same-tape jobs failed to come in under
+the solo runs' summed sweep count - wired into the tier-1 flow as an
+opt-in pytest
 (``tests/test_bench_smoke.py``, ``REPRO_SMOKE=1``).
 
 Usage::
@@ -843,6 +851,112 @@ def run_snapshot_overhead(scale: str, repeats: int = 3) -> dict:
     }
 
 
+def run_serve_throughput(scale: str, repeats: int = 1, jobs: int = 3) -> dict:
+    """Cross-job sweep sharing through the serving daemon vs. solo runs.
+
+    ``jobs`` concurrent estimate requests for the same tape (distinct
+    seeds, so nothing is cacheable) are served by one daemon over its
+    unix socket, with a batch window wide enough that they co-ride from
+    the first traversal.  Each response is asserted bit-identical to its
+    solo :func:`~repro.core.driver.run_estimate_program` run (estimate,
+    trajectory totals, final root-RNG digest), and the tape's physical
+    sweep count must come in strictly under the solo runs' sum - the
+    daemon's whole value proposition, gated deterministically on sweep
+    counts rather than wall clock.
+    """
+    if not HAVE_NUMPY:  # pragma: no cover - the CI image bakes NumPy in
+        return {"scale": scale, "have_numpy": False}
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.core.driver import EstimatorConfig, run_estimate_program
+    from repro.io import write_edgelist
+    from repro.serve.daemon import background_server
+    from repro.serve.protocol import request_unix, root_rng_digest
+    from repro.streams import open_edge_stream
+
+    n = ENGINE_SIZES[scale][-1]
+    graph, _t, _memory_stream, _plan = _e9_instance(n)
+    workdir = tempfile.mkdtemp(prefix="serve-bench-")
+    tape_path = os.path.join(workdir, "tape.edges")
+    write_edgelist(graph, tape_path)
+    configs = [
+        EstimatorConfig(seed=seed, repetitions=3) for seed in (3, 9, 21)[:jobs]
+    ]
+
+    try:
+        solo = []
+        solo_best = float("inf")
+        for _ in range(repeats):
+            outcomes = []
+            start = time.perf_counter()
+            for config in configs:
+                outcomes.append(
+                    run_estimate_program(open_edge_stream(tape_path), 5, config)
+                )
+            solo_best = min(solo_best, time.perf_counter() - start)
+            solo = outcomes
+        solo_sweeps = sum(o.result.sweeps_total for o in solo)
+
+        socket_path = os.path.join(workdir, "serve.sock")
+        responses = [None] * len(configs)
+
+        def _request(index: int, config: EstimatorConfig) -> None:
+            responses[index] = request_unix(
+                socket_path,
+                {
+                    "op": "estimate",
+                    "path": tape_path,
+                    "kappa": 5,
+                    "config": {"seed": config.seed, "repetitions": config.repetitions},
+                },
+            )
+
+        with background_server(socket_path=socket_path, batch_window=0.25):
+            threads = [
+                threading.Thread(target=_request, args=(i, config))
+                for i, config in enumerate(configs)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            served_sec = time.perf_counter() - start
+            stats = request_unix(socket_path, {"op": "stats"})
+
+        shared_sweeps = stats["tapes"][0]["sweeps_physical"]
+        for outcome, response in zip(solo, responses):
+            assert response is not None and response["ok"], f"serve failed: {response}"
+            assert response["estimate"] == outcome.result.estimate, "serve parity violated"
+            assert response["passes_total"] == outcome.result.passes_total
+            assert response["sweeps_total"] == outcome.result.sweeps_total
+            assert response["root_rng_sha256"] == root_rng_digest(outcome.root_state), (
+                "served root-RNG state diverged from the solo run"
+            )
+        assert shared_sweeps < solo_sweeps, (
+            f"shared serving did not save sweeps: {shared_sweeps} vs {solo_sweeps}"
+        )
+        row = {
+            "n": n,
+            "m": graph.num_edges,
+            "jobs": len(configs),
+            "solo_sweeps": solo_sweeps,
+            "shared_sweeps": shared_sweeps,
+            "sweep_reduction_x": round(solo_sweeps / shared_sweeps, 3)
+            if shared_sweeps
+            else None,
+            "solo_sec": round(solo_best, 5),
+            "served_sec": round(served_sec, 5),
+            "shared_per_job": [r["accounting"]["sweeps_shared"] for r in responses],
+        }
+        print(f"[bench-suite] serve throughput: {row}")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {"scale": scale, "rows": [row], "parity": True}
+
+
 def _load_history(path: pathlib.Path) -> list:
     """Load the ``BENCH_engine.json`` run history, surviving corruption.
 
@@ -896,6 +1010,7 @@ def run_smoke(output: pathlib.Path) -> int:
     current_fault_recovery = run_fault_recovery("tiny")
     current_tape_format = run_tape_format_comparison("tiny")
     current_snapshot = run_snapshot_overhead("tiny")
+    current_serve = run_serve_throughput("tiny")
     failures = []
     baseline = _last_speedup(output, "engine_comparison", "tiny")
     measured = current_engine.get("total_speedup")
@@ -1007,6 +1122,22 @@ def run_smoke(output: pathlib.Path) -> int:
             )
     if not snapshot_rows and current_snapshot.get("have_numpy", True):
         failures.append("snapshot overhead stage produced no rows")
+    # The serving gate is deterministic: concurrent same-tape jobs must be
+    # bit-identical to their solo runs (asserted inside the stage) AND
+    # physically cheaper than running them solo - shared sweeps strictly
+    # under the solo sum, re-checked here per row so a silently-empty
+    # stage cannot pass.
+    serve_rows = current_serve.get("rows", [])
+    for row in serve_rows:
+        if row["shared_sweeps"] >= row["solo_sweeps"]:
+            failures.append(
+                "serving daemon saved no sweeps: "
+                f"{row['shared_sweeps']} shared vs {row['solo_sweeps']} solo"
+            )
+    if not serve_rows and current_serve.get("have_numpy", True):
+        failures.append("serve throughput stage produced no rows")
+    if serve_rows and not current_serve.get("parity", False):
+        failures.append("serve throughput stage did not verify parity")
     for failure in failures:
         print(f"[bench-suite] SMOKE FAIL: {failure}")
     if not failures:
@@ -1044,6 +1175,7 @@ def main() -> int:
     record["fault_recovery"] = run_fault_recovery(args.scale)
     record["tape_format_comparison"] = run_tape_format_comparison(args.scale)
     record["snapshot_overhead"] = run_snapshot_overhead(args.scale)
+    record["serve_throughput"] = run_serve_throughput(args.scale)
 
     out = pathlib.Path(args.output)
     history = _load_history(out)

@@ -42,6 +42,11 @@ Commands
 ``snapshot-info <snapshot-or-dir>``
     Dump an ``.esnap`` header and state summary: version, round index,
     committed rounds, accounting, config hash, stream fingerprint.
+``serve [--socket PATH] [--port N] [--cache-size N] [--batch-window S]``
+    Run the estimate-serving daemon (:mod:`repro.serve`): concurrent
+    estimate requests over the same tape share physical sweeps, and
+    repeated identical requests are served from the result cache with
+    zero sweeps.  Stops on SIGINT/SIGTERM or a ``shutdown`` request.
 
 ``estimate`` (and ``resume``) accept ``--checkpoint-dir``: the driver
 then writes an atomic ``.esnap`` snapshot after every committed round
@@ -52,8 +57,11 @@ the run can be continued with ``repro resume``.
 Every command taking an input file auto-detects its format by magic
 bytes, so text edge lists and ``.etape`` tapes are interchangeable.
 
-All output is plain text; exit code 0 on success, 2 on usage errors,
-130 when interrupted (after flushing a final snapshot if enabled).
+All output is plain text; exit code 0 on success, 2 on usage errors and
+on expected input failures (missing/unreadable files, malformed tapes or
+snapshots, resume mismatches - reported as one line on stderr, never a
+traceback), 130 when interrupted (after flushing a final snapshot if
+enabled).
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ from typing import Iterator, List, Optional
 
 from . import __version__
 from .analysis import format_table, predicted_bounds
+from .errors import GraphError, ServeError, SnapshotError, StreamError
 from .core.driver import EstimatorConfig, TriangleCountEstimator
 from .core.exact_reference import ExactStreamingCounter
 from .generators import standard_suite, workload_by_name
@@ -242,6 +251,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_sinfo.add_argument(
         "snapshot", help=".esnap file, or a checkpoint directory (newest valid snapshot)"
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the estimate-serving daemon (cross-job sweep sharing)"
+    )
+    p_serve.add_argument(
+        "--socket",
+        default=None,
+        help="unix socket path speaking JSON lines (default: REPRO_SERVE_SOCKET)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help=(
+            "localhost TCP port for the HTTP transport, 0 = ephemeral "
+            "(default: REPRO_SERVE_PORT)"
+        ),
+    )
+    p_serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="result-cache entries (default: REPRO_SERVE_CACHE_SIZE, 256)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        help=(
+            "seconds an idle tape waits for co-riding requests before its "
+            "first sweep (default: REPRO_SERVE_BATCH_WINDOW, 0.05)"
+        ),
     )
 
     return parser
@@ -551,6 +593,17 @@ def _cmd_tape_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import serve_forever
+
+    return serve_forever(
+        socket_path=args.socket,
+        port=args.port,
+        cache_size=args.cache_size,
+        batch_window=args.batch_window,
+    )
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "exact": _cmd_exact,
@@ -561,14 +614,28 @@ _COMMANDS = {
     "tape-info": _cmd_tape_info,
     "resume": _cmd_resume,
     "snapshot-info": _cmd_snapshot_info,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Expected failure modes - missing or unreadable inputs, malformed
+    tapes and snapshots, mismatched resume state, serve misconfiguration
+    - exit 2 with a one-line ``repro <command>: <message>`` on stderr
+    instead of a traceback.  Genuinely unexpected exceptions (and
+    :class:`~repro.errors.ParameterError`, which argparse-level
+    validation should have caught first) still propagate: a traceback is
+    the right interface for a bug.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (StreamError, SnapshotError, GraphError, ServeError, OSError) as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -25,7 +25,7 @@ import os
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple, Union
 
 from ..errors import (
     EstimationError,
@@ -50,6 +50,9 @@ from .estimator import (
 )
 from .faults import FailureReport, RecoveryContext
 from .params import ParameterPlan, PlanConstants
+
+if TYPE_CHECKING:  # pragma: no cover - import-time only
+    from .stages import TaggedStage
 
 
 @dataclass(frozen=True)
@@ -457,16 +460,7 @@ class TriangleCountEstimator:
         n = recovering(lambda: stream.stats().num_vertices_upper)
         root = make_rng(cfg.seed)
 
-        upper = 2.0 * m * kappa  # Corollary 3.2
-        if cfg.t_hint is not None:
-            if cfg.t_hint <= 0:
-                raise ParameterError(f"t_hint must be positive, got {cfg.t_hint}")
-            guesses: List[float] = [float(cfg.t_hint)]
-        else:
-            max_rounds = cfg.max_rounds
-            if max_rounds is None:
-                max_rounds = max(1, math.ceil(math.log2(upper)) + 2)
-            guesses = [upper / (2.0 ** k) for k in range(max_rounds)]
+        guesses = _guess_schedule(cfg, 2.0 * m * kappa)  # Corollary 3.2 upper bound
 
         rounds: List[GuessRound] = []
         space_peak = 0
@@ -536,34 +530,12 @@ class TriangleCountEstimator:
         )
 
         def window_depth(round_index: int) -> int:
-            """How many rounds the next speculative window should fuse.
-
-            Bounded by the configured depth and by the guesses the
-            sequential loop could still run (``t_guess >= 1``), then
-            capped by the *expected-waste rule*: acceptance is
-            predictable from committed data alone - medians are roughly
-            stable round to round while guesses halve, so the first
-            upcoming guess whose bar the previous round's median already
-            clears is where the loop is expected to terminate.  Rounds
-            past it would be pre-drawn only to be discarded, so the
-            window never speculates beyond it (and a predicted-accepting
-            *current* round runs solo).  The committed rounds are
-            identical at any depth; only the sweep-sharing layout
-            changes, so bit-identity is unaffected.
-            """
-            depth = 1
-            while (
-                depth < engine.speculate_depth()
-                and round_index + depth < len(guesses)
-                and guesses[round_index + depth] >= 1.0
-            ):
-                depth += 1
-            if rounds:
-                median = rounds[-1].median_estimate
-                for offset in range(depth):
-                    if median >= guesses[round_index + offset] / 2.0:
-                        return offset + 1
-            return depth
+            return _pick_window_depth(
+                guesses,
+                round_index,
+                engine.speculate_depth(),
+                rounds[-1].median_estimate if rounds else None,
+            )
 
         def attempt_window(
             round_index: int, depth: int, sched_cell: List[PassScheduler]
@@ -854,6 +826,313 @@ class TriangleCountEstimator:
             raise EstimationError("hinted round did not record a result")
         # All guesses rejected: consistent with a (near-)triangle-free graph.
         return result(0.0 if estimate < 1.0 else estimate)
+
+
+# ---------------------------------------------------------------------------
+# the guessing loop as pure schedule helpers and as a stage program
+
+
+def _guess_schedule(cfg: EstimatorConfig, upper: float) -> List[float]:
+    """The geometric guess sequence the loop will walk (or the single hint).
+
+    Shared by the in-process driver and :func:`estimate_program` so the
+    two can never disagree on the trajectory.
+    """
+    if cfg.t_hint is not None:
+        if cfg.t_hint <= 0:
+            raise ParameterError(f"t_hint must be positive, got {cfg.t_hint}")
+        return [float(cfg.t_hint)]
+    max_rounds = cfg.max_rounds
+    if max_rounds is None:
+        max_rounds = max(1, math.ceil(math.log2(upper)) + 2)
+    return [upper / (2.0 ** k) for k in range(max_rounds)]
+
+
+def _pick_window_depth(
+    guesses: List[float],
+    round_index: int,
+    max_depth: int,
+    last_median: Optional[float],
+) -> int:
+    """How many rounds the next speculative window should fuse.
+
+    Bounded by the configured depth and by the guesses the sequential
+    loop could still run (``t_guess >= 1``), then capped by the
+    *expected-waste rule*: acceptance is predictable from committed data
+    alone - medians are roughly stable round to round while guesses
+    halve, so the first upcoming guess whose bar the previous round's
+    median already clears is where the loop is expected to terminate.
+    Rounds past it would be pre-drawn only to be discarded, so the
+    window never speculates beyond it (and a predicted-accepting
+    *current* round runs solo).  The committed rounds are identical at
+    any depth; only the sweep-sharing layout changes, so bit-identity is
+    unaffected.
+    """
+    depth = 1
+    while (
+        depth < max_depth
+        and round_index + depth < len(guesses)
+        and guesses[round_index + depth] >= 1.0
+    ):
+        depth += 1
+    if last_median is not None:
+        for offset in range(depth):
+            if last_median >= guesses[round_index + offset] / 2.0:
+                return offset + 1
+    return depth
+
+
+@dataclass(frozen=True)
+class ProgramOutcome:
+    """What :func:`estimate_program` returns when it runs to completion.
+
+    ``result`` reproduces the solo driver's :class:`EstimateResult` for
+    the same seed and config - including the sweep accounting, which the
+    program books against *private* ledgers so the numbers match a solo
+    run even when its stages physically rode sweeps shared with other
+    jobs.  ``root_state`` is the root generator's final ``getstate()``
+    (the bit-identity witness the parity tests compare).
+    ``discarded_owners`` lists the owner tags of discarded speculation;
+    an entity driving many programs on one shared scheduler applies them
+    via ``discard_owner`` so the *physical* committed/wasted split stays
+    truthful too.
+    """
+
+    result: EstimateResult
+    root_state: tuple
+    discarded_owners: Tuple[str, ...] = ()
+
+
+def estimate_program(
+    stream: EdgeStream,
+    kappa: int,
+    config: Optional[EstimatorConfig] = None,
+    owner_prefix: str = "",
+) -> "Generator[List[TaggedStage], None, ProgramOutcome]":
+    """The whole guessing loop as a stage program: yields, never sweeps.
+
+    The generator inversion of :meth:`TriangleCountEstimator.estimate`'s
+    clean path: it yields each pending batch of owner-tagged stages (one
+    batch per tape sweep the solo driver would perform) and leaves the
+    *execution* of those sweeps to whoever drives it -
+    :func:`run_estimate_program` with a private scheduler, or the serving
+    layer's per-tape scheduler, which merges batches from many live
+    programs into shared traversals.  Stage owners are tagged
+    ``f"{owner_prefix}w{window}.{round_tag}"``, so on a shared scheduler
+    ``owner_report(owner_prefix)`` recovers this job's slice and each
+    discard names one window's round unambiguously.
+
+    Bit-identity contract: for the same ``(stream, kappa, config)``, the
+    returned :class:`ProgramOutcome` carries an estimate, rounds
+    trajectory, ``passes_total``, sweep accounting, and final root-RNG
+    state identical to a clean solo
+    :meth:`~TriangleCountEstimator.estimate` run under the same ambient
+    engine policy - regardless of what else rode the physical sweeps.
+
+    Restrictions: ``share_passes`` must be on (the default) and
+    ``space_budget_words`` must be unset - a per-run Markov abort fires
+    mid-sweep, and on a shared traversal that would fail jobs the solo
+    driver would have finished.  The retry/degradation ladder and
+    snapshot writing stay with the solo driver; a failed sweep simply
+    propagates to (and through) the driving entity, which must ``close()``
+    the generator so round programs clean up.
+    """
+    cfg = config if config is not None else EstimatorConfig()
+    if kappa < 1:
+        raise ParameterError(f"kappa must be >= 1, got {kappa}")
+    if not cfg.share_passes:
+        raise ParameterError("estimate_program requires share_passes=True")
+    if cfg.space_budget_words is not None:
+        raise ParameterError(
+            "estimate_program does not support space_budget_words: a Markov "
+            "abort inside a shared sweep would fail co-riding jobs"
+        )
+    from ..streams.multipass import OwnerLedger
+    from .speculate import _owner_tags, window_program
+
+    m = len(stream)
+    root = make_rng(cfg.seed)
+    if m == 0:
+        return ProgramOutcome(
+            result=EstimateResult(
+                estimate=0.0,
+                rounds=[],
+                space_words_peak=0,
+                passes_total=0,
+                final_plan=None,
+                sweeps_total=0,
+            ),
+            root_state=root.getstate(),
+        )
+    n = stream.stats().num_vertices_upper
+    chunked = engine.use_chunks(stream)
+    guesses = _guess_schedule(cfg, 2.0 * m * kappa)
+
+    rounds: List[GuessRound] = []
+    space_peak = 0
+    passes_total = 0
+    sweeps_total = 0
+    sweeps_wasted = 0
+    passes_wasted = 0
+    final_plan: Optional[ParameterPlan] = None
+    estimate = 0.0
+    discarded: List[str] = []
+
+    def build_plan(t_guess: float) -> ParameterPlan:
+        return ParameterPlan.build(
+            num_vertices=n,
+            num_edges=m,
+            kappa=kappa,
+            t_guess=t_guess,
+            epsilon=cfg.epsilon,
+            mode=cfg.mode,
+            constants=cfg.constants,
+        )
+
+    def spawn_round(round_index: int) -> List[random.Random]:
+        return [
+            spawn(root, f"round{round_index}/rep{rep}")
+            for rep in range(cfg.repetitions)
+        ]
+
+    speculative = engine.speculate() and cfg.t_hint is None
+    round_index = 0
+    window_seq = 0
+    accepted = False
+    while round_index < len(guesses):
+        t_guess = guesses[round_index]
+        if t_guess < 1.0 and cfg.t_hint is None:
+            break  # fewer than one triangle remains plausible: answer 0
+        depth = (
+            _pick_window_depth(
+                guesses,
+                round_index,
+                engine.speculate_depth(),
+                rounds[-1].median_estimate if rounds else None,
+            )
+            if speculative
+            else 1
+        )
+        window_guesses = guesses[round_index : round_index + depth]
+        plans = [build_plan(g) for g in window_guesses]
+        rng_lists = [spawn_round(round_index)]
+        # Checkpoint the root generator before each speculative round's
+        # spawns, exactly as the solo driver's window does: an acceptance
+        # rewinds past the discarded rounds' draws (see attempt_window).
+        checkpoints = []
+        for j in range(1, depth):
+            checkpoints.append(root.getstate())
+            rng_lists.append(spawn_round(round_index + j))
+        meters = [SpaceMeter() for _ in range(depth)]
+        owners = [
+            f"{owner_prefix}w{window_seq}.{tag}" for tag in _owner_tags(depth)
+        ]
+        window_seq += 1
+        # A private ledger mirrors the solo scheduler's sweep accounting:
+        # one entry per yielded batch (= one solo sweep), so the result's
+        # sweep totals match a solo run no matter how the driving entity
+        # physically served the batches.
+        ledger = OwnerLedger()
+        program = window_program(m, plans, rng_lists, meters, chunked, owners)
+        try:
+            try:
+                batch = next(program)
+                while True:
+                    ledger.record([owner for owner, _ in batch])
+                    yield batch
+                    batch = program.send(None)
+            except StopIteration as stop:
+                window_results = stop.value
+        except BaseException:
+            if checkpoints:
+                root.setstate(checkpoints[0])
+            raise
+        finally:
+            program.close()
+        # Walk the window in sequential order: commit every round up to
+        # (and including) the first acceptance, discard the rest.
+        committed = 0
+        med = 0.0
+        for j in range(depth):
+            space_peak = max(space_peak, meters[j].peak_words)
+            passes_total += window_results[j][0].passes_used
+            med = median([run.estimate for run in window_results[j]])
+            accepted = cfg.t_hint is not None or med >= window_guesses[j] / 2.0
+            rounds.append(
+                GuessRound(
+                    t_guess=window_guesses[j],
+                    runs=window_results[j],
+                    median_estimate=med,
+                    accepted=accepted,
+                )
+            )
+            final_plan = plans[j]
+            estimate = med
+            committed += 1
+            if accepted:
+                break
+        if committed < depth:
+            for owner in owners[committed:]:
+                ledger.discard(owner)
+                discarded.append(owner)
+            root.setstate(checkpoints[committed - 1])
+            for j in range(committed, depth):
+                passes_wasted += window_results[j][0].passes_used
+        sweeps_total += ledger.sweeps_committed
+        sweeps_wasted += ledger.sweeps_wasted
+        if accepted:
+            break
+        round_index += depth
+    if not accepted and estimate < 1.0:
+        # All guesses rejected: consistent with a (near-)triangle-free graph.
+        estimate = 0.0
+    return ProgramOutcome(
+        result=EstimateResult(
+            estimate=float(estimate),
+            rounds=rounds,
+            space_words_peak=space_peak,
+            passes_total=passes_total,
+            final_plan=final_plan,
+            sweeps_total=sweeps_total,
+            sweeps_wasted=sweeps_wasted,
+            passes_wasted=passes_wasted,
+        ),
+        root_state=root.getstate(),
+        discarded_owners=tuple(discarded),
+    )
+
+
+def run_estimate_program(
+    stream: EdgeStream,
+    kappa: int,
+    config: Optional[EstimatorConfig] = None,
+    scheduler: Optional[PassScheduler] = None,
+) -> ProgramOutcome:
+    """Drive :func:`estimate_program` to completion on its own sweeps.
+
+    The reference solo harness for the program path (and the parity
+    baseline the serving tests compare against): each yielded batch runs
+    as a private fused sweep on ``scheduler`` (a fresh unbudgeted one by
+    default), and discarded speculation is booked on it so its physical
+    committed/wasted split agrees with the returned result.
+    """
+    from .stages import sweep_tagged_stages
+
+    if scheduler is None:
+        scheduler = PassScheduler(stream)
+    program = estimate_program(stream, kappa, config)
+    try:
+        batch = next(program)
+        while True:
+            sweep_tagged_stages(scheduler, batch)
+            batch = program.send(None)
+    except StopIteration as stop:
+        outcome = stop.value
+    finally:
+        program.close()
+    for owner in outcome.discarded_owners:
+        scheduler.discard_owner(owner)
+    return outcome
 
 
 # ---------------------------------------------------------------------------

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Generator, List, Sequence
 
 from ..streams.base import EdgeStream
 from ..streams.multipass import PassScheduler
@@ -56,7 +56,7 @@ from . import engine
 from .estimator import PASS_BUDGET_PER_ROUND, SinglePassStackResult
 from .parallel import round_program
 from .params import ParameterPlan
-from .stages import sweep_stages
+from .stages import TaggedStage, sweep_stages
 
 #: Owner tags for the scheduler's committed/wasted sweep accounting.  The
 #: window tags position ``0`` with :data:`PRIMARY` and position ``j >= 1``
@@ -71,6 +71,61 @@ PASSES_PER_ROUND = PASS_BUDGET_PER_ROUND
 
 def _owner_tags(depth: int) -> List[str]:
     return [PRIMARY] + [f"{SPECULATIVE}{j}" for j in range(1, depth)]
+
+
+def window_program(
+    m: int,
+    plans: Sequence[ParameterPlan],
+    rng_lists: Sequence[List[random.Random]],
+    meters: Sequence[SpaceMeter],
+    chunked: bool,
+    owners: Sequence[str],
+) -> Generator[List[TaggedStage], None, List[List[SinglePassStackResult]]]:
+    """The lockstep window as a stage program: yields, never sweeps.
+
+    Drives ``len(plans)`` independent round programs in lockstep, yielding
+    at each step the pending owner-tagged stages of every still-running
+    round as one batch.  The *caller* executes each batch - as one fused
+    sweep (:func:`run_speculative_window`), or merged with other windows'
+    batches on a shared scheduler (the serving layer) - then resumes the
+    program with ``send(None)``; the program collects each stage's
+    ``finish()`` itself.  Returns the per-round result lists, aligned with
+    ``owners``.
+
+    Cleanup contract: if the caller's sweep raises, closing this generator
+    (which a ``finally`` in the caller must do) closes every still-live
+    round program so their cleanup runs before the exception propagates.
+    """
+    depth = len(plans)
+    if depth < 1:
+        raise ValueError("a speculative window needs at least one round")
+    if len(rng_lists) != depth or len(meters) != depth or len(owners) != depth:
+        raise ValueError("plans, rng_lists, meters, and owners must align per round")
+    programs = {
+        owner: round_program(m, plans[j], rng_lists[j], meters[j], chunked)
+        for j, owner in enumerate(owners)
+    }
+    stages = {}
+    results = {}
+    try:
+        for owner in owners:
+            stages[owner] = next(programs[owner])
+        while stages:
+            live = [owner for owner in owners if owner in stages]
+            yield [(owner, stages[owner]) for owner in live]
+            for owner in live:
+                try:
+                    stages[owner] = programs[owner].send(stages[owner].finish())
+                except StopIteration as stop:
+                    results[owner] = stop.value
+                    del stages[owner]
+    finally:
+        # Exception safety: a failed shared sweep must not leave round
+        # programs suspended mid-stage - closing them runs their cleanup
+        # (and is a no-op for programs that already returned).
+        for program in programs.values():
+            program.close()
+    return [results[owner] for owner in owners]
 
 
 @dataclass
@@ -157,32 +212,22 @@ def run_speculative_window(
     chunked = engine.use_chunks(stream)
     m = len(stream)
     owners = _owner_tags(depth)
-    programs = {
-        owner: round_program(m, plans[j], rng_lists[j], meters[j], chunked)
-        for j, owner in enumerate(owners)
-    }
-    stages = {}
-    results = {}
+    program = window_program(m, plans, rng_lists, meters, chunked, owners)
     try:
-        for owner in owners:
-            stages[owner] = next(programs[owner])
-        while stages:
-            live = [owner for owner in owners if owner in stages]
-            sweep_stages(scheduler, [stages[owner] for owner in live], owners=live)
-            for owner in live:
-                try:
-                    stages[owner] = programs[owner].send(stages[owner].finish())
-                except StopIteration as stop:
-                    results[owner] = stop.value
-                    del stages[owner]
+        batch = next(program)
+        while True:
+            sweep_stages(
+                scheduler,
+                [stage for _, stage in batch],
+                owners=[owner for owner, _ in batch],
+            )
+            batch = program.send(None)
+    except StopIteration as stop:
+        results = stop.value
     finally:
-        # Exception safety: a failed shared sweep must not leave round
-        # programs suspended mid-stage - closing them runs their cleanup
-        # (and is a no-op for programs that already returned).
-        for program in programs.values():
-            program.close()
+        program.close()
     return SpeculativeWindow(
-        results=[results[owner] for owner in owners],
+        results=results,
         _owners=owners,
         _scheduler=scheduler,
     )

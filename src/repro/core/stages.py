@@ -22,7 +22,7 @@ bit-identical whether a stage's sweep was private or shared.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..streams.multipass import PassScheduler
 from ..types import Vertex
@@ -149,6 +149,38 @@ def sweep_stages(
         scheduler.new_fused_pass(passes, owners=owners),
         [stage.fold for stage in stages],
     )
+
+
+#: One owner-tagged unit of sweep demand: ``(owner, stage)``.  Stage
+#: programs (:func:`repro.core.speculate.window_program`,
+#: :func:`repro.core.driver.estimate_program`) yield lists of these; the
+#: entity driving the programs decides which batches share a traversal.
+TaggedStage = Tuple[str, RoundStage]
+
+
+def sweep_tagged_stages(scheduler: PassScheduler, tagged: List[TaggedStage]) -> int:
+    """Serve a batch of owner-tagged stages in the fewest possible sweeps.
+
+    Unlike :func:`sweep_stages`, the batch may mix plan-backed and
+    fold-backed stages (batches merged across independent jobs need not
+    come from the same engine decision - chunked engines fall back to
+    folds per-stream capability).  Stages are grouped by backing kind and
+    each group rides one fused sweep tagged with its stages' owners.
+    Returns the number of physical sweeps performed (1, or 2 for a mixed
+    batch).
+    """
+    plan_group = [(owner, stage) for owner, stage in tagged if stage.plans is not None]
+    fold_group = [(owner, stage) for owner, stage in tagged if stage.plans is None]
+    sweeps = 0
+    for group in (plan_group, fold_group):
+        if group:
+            sweep_stages(
+                scheduler,
+                [stage for _, stage in group],
+                owners=[owner for owner, _ in group],
+            )
+            sweeps += 1
+    return sweeps
 
 
 def execute_stage(scheduler: PassScheduler, stage: RoundStage):

@@ -161,3 +161,22 @@ class EstimationError(ReproError):
     without stabilizing (which indicates the graph has no triangles at all or
     the configuration is pathological).
     """
+
+
+class ServeError(ReproError):
+    """Base class for failures of the estimate-serving layer.
+
+    See :mod:`repro.serve`: the daemon, its wire protocol, and the
+    client helpers raise subclasses of this error.
+    """
+
+
+class ProtocolError(ServeError):
+    """Raised for malformed or invalid serve requests/responses.
+
+    Examples: a request line that is not a JSON object, an unknown
+    ``op``, unknown or non-serializable config fields, or a response
+    the client helpers cannot decode.  The daemon converts this (like
+    every typed error) into an ``{"ok": false, "error": ...}`` response
+    rather than dropping the connection.
+    """

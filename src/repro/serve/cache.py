@@ -1,0 +1,74 @@
+"""Result cache: repeated identical requests do zero sweeps.
+
+Keys follow the snapshot module's config-hash discipline exactly: a
+served result is indexed by ``(tape content fingerprint,
+trajectory-relevant config hash, seed)``, where the config hash is
+:func:`~repro.core.snapshot.config_hash` over the same document the
+snapshot writer pins (:func:`~repro.core.driver._config_state` - seed,
+epsilon, repetitions, mode, constants, hint, budgets, pass sharing,
+plus kappa).  Anything outside that hash - engine mode, worker count,
+fusing, speculation depth - cannot change the result (the bit-identity
+contract), so requests differing only in those knobs correctly hit the
+same entry.  The seed rides in the key twice (it is part of the hashed
+document too); keeping it visible makes the key self-describing in
+stats output.
+
+The cache is in-memory and bounded (LRU): a daemon restart starts
+cleanly cold, which the restart test pins.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..core.driver import EstimatorConfig, _config_state
+from ..core.snapshot import config_hash
+
+CacheKey = Tuple[str, str, int]
+
+DEFAULT_CACHE_SIZE = 256
+
+
+def cache_key(fingerprint_hex: str, config: EstimatorConfig, kappa: int) -> CacheKey:
+    """The ``(tape fingerprint, trajectory config hash, seed)`` triple."""
+    return (
+        fingerprint_hex,
+        config_hash(_config_state(config), kappa).hex(),
+        config.seed,
+    )
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of served response documents."""
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, Dict[str, object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, object]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, document: Dict[str, object]) -> None:
+        with self._lock:
+            self._entries[key] = document
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,69 @@
+"""Jobs: one in-flight estimate request, with its completion plumbing.
+
+A :class:`Job` owns a live :func:`~repro.core.driver.estimate_program`
+generator and the synchronization around it: the scheduler thread
+advances the program and calls :meth:`Job.complete` / :meth:`Job.fail`;
+waiters (the daemon's request handlers, or a test) block on
+:meth:`Job.wait`.  The job's owner prefix is what ties its stages to the
+shared scheduler's accounting: every stage the program yields is tagged
+``f"{prefix}..."``, so
+:meth:`~repro.streams.multipass.PassScheduler.owner_report` recovers the
+job's slice of the tape's physical sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..core.driver import ProgramOutcome
+
+
+@dataclass(frozen=True)
+class JobAccounting:
+    """A completed job's slice of the shared tape's physical sweeps.
+
+    ``sweeps_physical`` counts traversals that carried at least one of
+    the job's stages; ``sweeps_shared`` those among them that also
+    carried another job's (the savings vs. running solo);
+    ``sweeps_committed`` / ``sweeps_wasted`` split the physical count by
+    the job's own commit/discard verdicts.  Distinct from the result's
+    solo-equivalent totals, which never see the sharing.
+    """
+
+    sweeps_physical: int
+    sweeps_shared: int
+    sweeps_committed: int
+    sweeps_wasted: int
+
+
+class Job:
+    """One estimate request in flight on a tape's sweep scheduler."""
+
+    def __init__(self, job_id: str, program: Generator) -> None:
+        self.id = job_id
+        #: Owner-tag prefix of every stage the program yields.
+        self.owner_prefix = f"{job_id}/"
+        self.program = program
+        self.outcome: Optional[ProgramOutcome] = None
+        self.accounting: Optional[JobAccounting] = None
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def complete(self, outcome: ProgramOutcome, accounting: JobAccounting) -> None:
+        self.outcome = outcome
+        self.accounting = accounting
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job completes or fails; True unless timed out."""
+        return self._done.wait(timeout)

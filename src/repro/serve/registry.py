@@ -1,0 +1,75 @@
+"""Tape registry: one stream + sweep scheduler per distinct tape content.
+
+Tapes are keyed by the snapshot module's
+:func:`~repro.core.snapshot.stream_fingerprint` - a content hash, not a
+path - so two requests naming different paths to identical bytes land on
+the same entry and share sweeps.  Each entry owns its own open stream
+and a started :class:`~repro.serve.scheduler.SweepScheduler`; streams
+are never shared across entries, so each scheduler thread is the sole
+reader of its tape (the sequential-pass discipline the stream layer
+enforces).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.snapshot import stream_fingerprint
+from ..streams import open_edge_stream
+from ..streams.base import EdgeStream
+from .scheduler import SweepScheduler
+
+
+@dataclass
+class TapeEntry:
+    """One registered tape: its content hash, stream, and scheduler."""
+
+    fingerprint_hex: str
+    path: str  # first path this content was seen under (diagnostics only)
+    stream: EdgeStream
+    scheduler: SweepScheduler
+    jobs_submitted: int = 0
+
+
+class TapeRegistry:
+    """Opens tapes on demand and hands out their shared schedulers."""
+
+    def __init__(self, batch_window: float = 0.0) -> None:
+        self._batch_window = batch_window
+        self._lock = threading.Lock()
+        self._entries: Dict[str, TapeEntry] = {}
+
+    def entry_for(self, path: str) -> TapeEntry:
+        """The entry serving ``path``'s content, opening it if new.
+
+        Blocking (opens and fingerprints the file) - the daemon calls it
+        off the event loop.  Raises the stream layer's typed errors
+        (:class:`~repro.errors.StreamError` and friends) or ``OSError``
+        for missing/unreadable inputs.
+        """
+        stream = open_edge_stream(path)
+        fingerprint_hex = stream_fingerprint(stream).hex()
+        with self._lock:
+            entry = self._entries.get(fingerprint_hex)
+            if entry is None:
+                entry = TapeEntry(
+                    fingerprint_hex=fingerprint_hex,
+                    path=path,
+                    stream=stream,
+                    scheduler=SweepScheduler(
+                        stream, batch_window=self._batch_window
+                    ).start(),
+                )
+                self._entries[fingerprint_hex] = entry
+            return entry
+
+    def entries(self) -> List[TapeEntry]:
+        with self._lock:
+            return list(self._entries.values())
+
+    def shutdown(self) -> None:
+        """Drain and stop every tape's scheduler."""
+        for entry in self.entries():
+            entry.scheduler.shutdown()

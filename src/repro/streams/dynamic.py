@@ -16,6 +16,7 @@ and most updates cancel - the regime where deletion tolerance matters.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -83,6 +84,7 @@ def churn_stream(
     churn_factor: float,
     rng: random.Random,
     num_vertices: int | None = None,
+    strict: bool = True,
 ) -> DynamicEdgeStream:
     """Build a dynamic stream whose net result is ``graph``.
 
@@ -93,6 +95,14 @@ def churn_stream(
 
     ``num_vertices`` widens the id range churn edges may use (defaults to
     the graph's own max id + 1).
+
+    Churn edges are drawn by rejection sampling, which can run dry on a
+    (near-)complete graph: when the attempts cap trips before the
+    requested count is reached, ``strict=True`` (the default) raises
+    :class:`~repro.errors.StreamError` naming the shortfall, while
+    ``strict=False`` returns the stream built from the churn actually
+    found.  Either way the delivered counts are recorded on the stream
+    as ``churn_requested`` / ``churn_delivered``.
     """
     if churn_factor < 0:
         raise StreamError(f"churn_factor must be non-negative, got {churn_factor}")
@@ -101,7 +111,7 @@ def churn_stream(
     n = num_vertices if num_vertices is not None else (
         max((v for v in graph.vertices()), default=0) + 1
     )
-    churn_count = int(churn_factor * m + 0.999999) if churn_factor > 0 else 0
+    churn_count = math.ceil(churn_factor * m)
 
     churn_edges: List[Edge] = []
     attempts = 0
@@ -109,7 +119,9 @@ def churn_stream(
     while len(churn_edges) < churn_count:
         attempts += 1
         if attempts > 100 * (churn_count + 1) + 1000:
-            break  # graph too dense for the requested churn; use what we have
+            # The rejection sampler ran dry: the graph is too dense (or n
+            # too small) for the requested churn.
+            break
         u = rng.randrange(n)
         v = rng.randrange(n)
         if u == v:
@@ -119,6 +131,14 @@ def churn_stream(
             continue
         present.add(e)
         churn_edges.append(e)
+    if strict and len(churn_edges) < churn_count:
+        raise StreamError(
+            f"churn shortfall: requested {churn_count} churn edges "
+            f"(churn_factor={churn_factor}, m={m}) but only {len(churn_edges)} "
+            f"non-edges were found in {attempts} attempts over {n} vertices; "
+            "widen num_vertices, lower churn_factor, or pass strict=False to "
+            "accept the delivered churn"
+        )
 
     # Event list: every real edge one insert; every churn edge an insert
     # and a delete.  Shuffle inserts; schedule each churn delete at a
@@ -130,4 +150,7 @@ def churn_stream(
         insert_at = next(i for i, (edge, d) in enumerate(updates) if edge == e and d == 1)
         position = rng.randrange(insert_at + 1, len(updates) + 1)
         updates.insert(position, (e, -1))
-    return DynamicEdgeStream(updates)
+    stream = DynamicEdgeStream(updates)
+    stream.churn_requested = churn_count
+    stream.churn_delivered = len(churn_edges)
+    return stream

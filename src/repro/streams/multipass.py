@@ -32,6 +32,7 @@ untagged sweeps are always committed.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Set
 
 from ..errors import PassBudgetExceeded, StreamError, StreamReadError
@@ -49,6 +50,90 @@ def _mid_stage_fault_fires() -> bool:
     from ..core import faults
 
     return faults.fires(faults.SWEEP_MID_STAGE)
+
+
+@dataclass(frozen=True)
+class OwnerSweepReport:
+    """Per-owner-group slice of a ledger's sweep accounting.
+
+    ``rode`` counts sweeps that served at least one matching owner;
+    ``committed`` those among them still serving a non-discarded matching
+    owner; ``wasted`` is the difference.  ``shared`` counts the ridden
+    sweeps that also carried a non-matching owner - physical work the
+    matching group split with someone else.
+    """
+
+    rode: int
+    committed: int
+    wasted: int
+    shared: int
+
+
+class OwnerLedger:
+    """Owner-tagged sweep bookkeeping, independent of any scheduler.
+
+    Records one entry per physical sweep (a frozenset of owner tags, or
+    ``None`` for untagged sweeps) plus the set of owners discarded so far.
+    :class:`PassScheduler` keeps one for its own sweeps; the estimate
+    program in :mod:`repro.core.driver` keeps private ledgers so a job
+    riding a *shared* scheduler can still report the sweep counts its solo
+    run would have produced.
+    """
+
+    def __init__(self) -> None:
+        self._sweeps: List[Optional[frozenset]] = []
+        self._discarded: Set[str] = set()
+
+    def record(self, owners: Optional[Iterable[str]]) -> None:
+        """Record one sweep tagged with ``owners`` (``None`` = untagged)."""
+        self._sweeps.append(frozenset(owners) if owners is not None else None)
+
+    def discard(self, owner: str) -> None:
+        """Mark ``owner`` discarded; idempotent."""
+        self._discarded.add(owner)
+
+    @property
+    def sweeps_recorded(self) -> int:
+        return len(self._sweeps)
+
+    @property
+    def sweeps_wasted(self) -> int:
+        """Sweeps whose every owner has been discarded (untagged never waste)."""
+        if not self._discarded:
+            return 0
+        return sum(
+            1
+            for owners in self._sweeps
+            if owners is not None and owners <= self._discarded
+        )
+
+    @property
+    def sweeps_committed(self) -> int:
+        return len(self._sweeps) - self.sweeps_wasted
+
+    def report(self, prefix: str) -> OwnerSweepReport:
+        """Accounting for the owner group whose tags start with ``prefix``.
+
+        This is the per-job view of a shared tape: with owners tagged
+        ``f"{job}..."``, ``report(job)`` says how many physical sweeps the
+        job rode, how many of those it shared with other jobs, and how the
+        committed/wasted split looks from its side.
+        """
+        rode = committed = shared = 0
+        for owners in self._sweeps:
+            if owners is None:
+                continue
+            mine = [o for o in owners if o.startswith(prefix)]
+            if not mine:
+                continue
+            rode += 1
+            if any(o not in self._discarded for o in mine):
+                committed += 1
+            if any(not o.startswith(prefix) for o in owners):
+                shared += 1
+        return OwnerSweepReport(
+            rode=rode, committed=committed, wasted=rode - committed, shared=shared
+        )
 
 
 class PassScheduler:
@@ -73,9 +158,8 @@ class PassScheduler:
         self._pass_open = False
         #: Whether the currently open sweep dies mid-stage (fault injection).
         self._fault_mid_sweep = False
-        #: Owner tags per sweep, in sweep order (``None`` = untagged).
-        self._sweep_owners: List[Optional[frozenset]] = []
-        self._discarded: Set[str] = set()
+        #: Owner tags per sweep plus the discarded set (see :class:`OwnerLedger`).
+        self._owners = OwnerLedger()
 
     @property
     def passes_used(self) -> int:
@@ -99,13 +183,7 @@ class PassScheduler:
         one of them has been handed to :meth:`discard_owner`; sweeps shared
         with a committed owner - and untagged sweeps - stay committed.
         """
-        if not self._discarded:
-            return 0
-        return sum(
-            1
-            for owners in self._sweep_owners
-            if owners is not None and owners <= self._discarded
-        )
+        return self._owners.sweeps_wasted
 
     @property
     def sweeps_committed(self) -> int:
@@ -119,7 +197,16 @@ class PassScheduler:
         to wasted; the physical :attr:`sweeps_used` total is unchanged (the
         tape was read either way).  Idempotent.
         """
-        self._discarded.add(owner)
+        self._owners.discard(owner)
+
+    def owner_report(self, prefix: str) -> OwnerSweepReport:
+        """Per-owner-group accounting (see :meth:`OwnerLedger.report`).
+
+        On a scheduler shared across jobs - owners tagged ``f"{job}..."`` -
+        ``owner_report(job)`` gives that job's slice: sweeps it rode, how
+        many it shared with other groups, and its committed/wasted split.
+        """
+        return self._owners.report(prefix)
 
     @property
     def num_edges(self) -> int:
@@ -209,7 +296,7 @@ class PassScheduler:
             )
         self._passes_used += count
         self._sweeps_used += 1
-        self._sweep_owners.append(frozenset(owners) if owners is not None else None)
+        self._owners.record(owners)
         self._pass_open = True
         # Decided eagerly at sweep open (one fault-plan event per sweep, in
         # sweep order) so injection indexing is independent of how lazily

@@ -23,9 +23,11 @@ class TestStats:
         assert "kappa" in out
         assert "59" in out  # T = n - 1
 
-    def test_missing_file(self, tmp_path):
-        with pytest.raises(Exception):
-            main(["stats", str(tmp_path / "nope.txt")])
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.txt")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro stats:")
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
 
 
 class TestExact:
@@ -226,11 +228,13 @@ class TestConvertAndTapeInfo:
         assert main(["exact", out]) == 0
         assert "triangles: 59" in capsys.readouterr().out
 
-    def test_tape_info_rejects_text_file(self, wheel_file):
-        from repro.errors import TapeFormatError
-
-        with pytest.raises(TapeFormatError):
-            main(["tape-info", wheel_file])
+    def test_tape_info_rejects_text_file(self, wheel_file, capsys):
+        # A text file is not a tape: typed TapeFormatError, reported as a
+        # one-line exit-2 failure rather than a traceback.
+        assert main(["tape-info", wheel_file]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro tape-info:")
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestSnapshotCommands:
@@ -279,15 +283,79 @@ class TestSnapshotCommands:
             assert field in out
 
     def test_resume_refuses_a_different_input(self, wheel_file, tmp_path, capsys):
-        from repro.errors import SnapshotMismatchError
         from repro.generators import wheel_graph
         from repro.io import write_edgelist
 
         _plain, ckdir, _snaps = self._checkpointed(wheel_file, tmp_path, capsys)
         other = tmp_path / "other.txt"
         write_edgelist(wheel_graph(61), other)
-        with pytest.raises(SnapshotMismatchError):
-            main(["resume", str(ckdir), str(other)])
+        assert main(["resume", str(ckdir), str(other)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro resume:")
+        assert "fingerprint mismatch" in err
+
+
+class TestTypedErrors:
+    """Expected input failures exit 2 with one stderr line, never a traceback."""
+
+    def _assert_one_line_failure(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"repro {argv[0]}:"), err
+        assert len(err.strip().splitlines()) == 1, err
+        assert "Traceback" not in err
+
+    def test_stats_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(["stats", str(tmp_path / "nope.txt")], capsys)
+
+    def test_exact_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(["exact", str(tmp_path / "nope.txt")], capsys)
+
+    def test_estimate_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(
+            ["estimate", str(tmp_path / "nope.txt"), "--kappa", "3"], capsys
+        )
+
+    def test_bounds_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(["bounds", str(tmp_path / "nope.txt")], capsys)
+
+    def test_convert_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(
+            ["convert", str(tmp_path / "nope.txt"), "--out", str(tmp_path / "o.etape")],
+            capsys,
+        )
+
+    def test_tape_info_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(["tape-info", str(tmp_path / "nope.etape")], capsys)
+
+    def test_resume_missing_snapshot(self, tmp_path, wheel_file, capsys):
+        self._assert_one_line_failure(
+            ["resume", str(tmp_path / "nope.esnap"), wheel_file], capsys
+        )
+
+    def test_snapshot_info_missing_input(self, tmp_path, capsys):
+        self._assert_one_line_failure(
+            ["snapshot-info", str(tmp_path / "nope.esnap")], capsys
+        )
+
+    def test_serve_without_endpoint(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_SOCKET", raising=False)
+        monkeypatch.delenv("REPRO_SERVE_PORT", raising=False)
+        self._assert_one_line_failure(["serve"], capsys)
+
+    def test_corrupt_tape_is_a_one_line_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.etape"
+        bad.write_bytes(b"ETAPE???" + b"\x00" * 8)  # bad magic/truncated header
+        self._assert_one_line_failure(["tape-info", str(bad)], capsys)
+
+    def test_parameter_errors_still_raise(self, wheel_file):
+        # Infeasible parameters are caller bugs, not input failures: the
+        # typed handler must not swallow ParameterError (see
+        # test_speculate_depth_validation).
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["estimate", wheel_file, "--kappa", "3", "--epsilon", "2.0"])
 
 
 class TestParser:

@@ -1,0 +1,89 @@
+"""Regression tests for :func:`repro.streams.dynamic.churn_stream`.
+
+Pins the two historical bugs: the churn count was computed with the
+float fudge ``int(churn_factor * m + 0.999999)`` instead of
+``math.ceil`` (undercounting by one when ``churn_factor * m`` sits just
+above an integer), and a rejection-sampling shortfall on dense graphs
+returned silently with less churn than requested.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.adjacency import Graph
+from repro.streams.dynamic import churn_stream
+
+
+def _path_graph(num_edges: int) -> Graph:
+    return Graph(edges=[(i, i + 1) for i in range(num_edges)])
+
+
+def _complete_graph(n: int) -> Graph:
+    return Graph(edges=list(itertools.combinations(range(n), 2)))
+
+
+class TestChurnCount:
+    """churn_count must be exactly ceil(churn_factor * m)."""
+
+    def _requested(self, churn_factor: float) -> int:
+        # m = 10 on a sparse path with plenty of vertex headroom: the
+        # sampler always delivers, so requested == delivered.
+        stream = churn_stream(
+            _path_graph(10), churn_factor, random.Random(0), num_vertices=100
+        )
+        assert stream.churn_delivered == stream.churn_requested
+        # Each churn edge contributes one insert and one delete.
+        assert len(stream) == 10 + 2 * stream.churn_requested
+        return stream.churn_requested
+
+    def test_exactly_integral(self):
+        assert self._requested(0.5) == 5  # 0.5 * 10 is exactly 5.0
+
+    def test_just_below_an_integer(self):
+        assert self._requested(0.4999999) == 5  # ceil(4.999999)
+
+    def test_just_above_an_integer(self):
+        # ceil(5.000000001) = 6; the old float fudge truncated this to 5.
+        assert self._requested(0.5000000001) == 6
+
+    def test_tiny_positive_factor_rounds_up_to_one(self):
+        # ceil(1e-7) = 1; the old fudge delivered zero churn.
+        assert self._requested(0.00000001) == 1
+
+    def test_zero_factor_means_no_churn(self):
+        assert self._requested(0.0) == 0
+
+
+class TestChurnShortfall:
+    """A dry rejection sampler must surface, not silently under-deliver."""
+
+    def test_complete_graph_raises_by_default(self):
+        # K8 has no non-edges at all within its own vertex range.
+        with pytest.raises(StreamError, match="churn shortfall"):
+            churn_stream(_complete_graph(8), 1.0, random.Random(0))
+
+    def test_near_complete_graph_raises_and_names_the_shortfall(self):
+        # K8 minus one edge: exactly one candidate non-edge for 27 requested.
+        edges = list(itertools.combinations(range(8), 2))[1:]
+        with pytest.raises(StreamError, match="requested 27 .* only 1 "):
+            churn_stream(Graph(edges=edges), 1.0, random.Random(0))
+
+    def test_non_strict_records_the_delivered_count(self):
+        graph = _complete_graph(8)
+        stream = churn_stream(graph, 1.0, random.Random(0), strict=False)
+        assert stream.churn_requested == 28
+        assert stream.churn_delivered == 0
+        assert len(stream) == 28  # all inserts, no churn pairs
+        assert stream.net_graph().edge_list() == graph.edge_list()
+
+    def test_widening_the_vertex_range_resolves_the_shortfall(self):
+        stream = churn_stream(
+            _complete_graph(8), 1.0, random.Random(0), num_vertices=64
+        )
+        assert stream.churn_delivered == stream.churn_requested == 28
+        assert stream.net_graph().edge_list() == _complete_graph(8).edge_list()
